@@ -1,0 +1,79 @@
+//! Detector benchmarks: AReST segment extraction over synthetic
+//! augmented traces of various shapes, plus the baseline comparator.
+
+use arest_core::baseline::detect_baseline;
+use arest_core::detect::{detect_segments, DetectorConfig};
+use arest_core::model::{AugmentedHop, AugmentedTrace};
+use arest_fingerprint::combined::VendorEvidence;
+use arest_topo::vendor::Vendor;
+use arest_wire::mpls::{Label, LabelStack};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn hop(n: u32, labels: &[u32], evidence: bool) -> AugmentedHop {
+    let mut h = if labels.is_empty() {
+        AugmentedHop::ip(Ipv4Addr::from(0x0a00_0000 + n))
+    } else {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l).unwrap()).collect();
+        AugmentedHop::labeled(Ipv4Addr::from(0x0a00_0000 + n), LabelStack::from_labels(&labels, 1))
+    };
+    if evidence {
+        h.evidence = Some(VendorEvidence::Exact(Vendor::Cisco));
+    }
+    h
+}
+
+/// A trace with one long CO run, a VPN-style LSO region, and IP tails.
+fn mixed_trace(hops: usize) -> AugmentedTrace {
+    let mut v = Vec::with_capacity(hops);
+    for i in 0..hops as u32 {
+        let h = match i % 8 {
+            0 | 7 => hop(i, &[], false),
+            1..=3 => hop(i, &[17_500], i == 1),
+            4 | 5 => hop(i, &[24_000 + i, 24_900], false),
+            _ => hop(i, &[16_005], false),
+        };
+        v.push(h);
+    }
+    AugmentedTrace::new("bench", Ipv4Addr::new(203, 0, 113, 1), v)
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let config = DetectorConfig::default();
+    let mut group = c.benchmark_group("detect_segments");
+    for hops in [8usize, 32, 128] {
+        let trace = mixed_trace(hops);
+        group.throughput(Throughput::Elements(hops as u64));
+        group.bench_function(format!("{hops}_hops"), |b| {
+            b.iter(|| detect_segments(black_box(&trace), &config))
+        });
+    }
+    group.finish();
+
+    // A pathological all-LSO trace (worst case for phase 2).
+    let lso: Vec<AugmentedHop> =
+        (0..64u32).map(|i| hop(i, &[600_000 + i * 7, 700_000], false)).collect();
+    let lso_trace = AugmentedTrace::new("bench", Ipv4Addr::new(203, 0, 113, 1), lso);
+    c.bench_function("detect_segments_all_lso_64", |b| {
+        b.iter(|| detect_segments(black_box(&lso_trace), &config))
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let trace = mixed_trace(64);
+    c.bench_function("baseline_marechal_64_hops", |b| {
+        b.iter(|| detect_baseline(black_box(&trace)))
+    });
+}
+
+fn bench_detector_variants(c: &mut Criterion) {
+    let trace = mixed_trace(64);
+    let no_suffix = DetectorConfig { suffix_matching: false, ..Default::default() };
+    c.bench_function("detect_segments_no_suffix_64", |b| {
+        b.iter(|| detect_segments(black_box(&trace), &no_suffix))
+    });
+}
+
+criterion_group!(benches, bench_detector, bench_baseline, bench_detector_variants);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! One benchmark group per paper *figure* (plus the §6.2 headline and
+//! the ablation sweep): the runner that regenerates each figure,
+//! measured over a shared pre-built dataset.
+
+use arest_bench::bench_dataset;
+use arest_experiments::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    for id in [
+        "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17",
+    ] {
+        group.bench_function(format!("bench_{id}"), |b| {
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+        });
+    }
+    group.finish();
+
+    let mut heavy = c.benchmark_group("analysis");
+    heavy.sample_size(10);
+    for id in ["headline", "ablation", "longitudinal"] {
+        heavy.bench_function(format!("bench_{id}"), |b| {
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+        });
+    }
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! One benchmark group per paper *table*: the runner that regenerates
+//! each table, measured over a shared pre-built dataset.
+
+use arest_bench::bench_dataset;
+use arest_experiments::run_experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(20);
+    for id in ["table1", "table2_fig5", "table3", "table5"] {
+        group.bench_function(format!("bench_{id}"), |b| {
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Wire codec benchmarks: the hot parsing paths of the measurement
+//! stack (LSE stacks, IPv4 headers, RFC 4884/4950 ICMP messages).
+
+use arest_wire::icmp::{IcmpMessage, MplsExtension};
+use arest_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+use arest_wire::mpls::{Label, LabelStack};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn stack(depth: usize) -> LabelStack {
+    let labels: Vec<Label> =
+        (0..depth).map(|i| Label::new(16_000 + i as u32).unwrap()).collect();
+    LabelStack::from_labels(&labels, 64)
+}
+
+fn bench_lse_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lse_stack");
+    for depth in [1usize, 2, 5, 10] {
+        let bytes = stack(depth).to_bytes();
+        group.bench_function(format!("parse_depth_{depth}"), |b| {
+            b.iter(|| LabelStack::parse(black_box(&bytes)).unwrap())
+        });
+        let s = stack(depth);
+        group.bench_function(format!("emit_depth_{depth}"), |b| {
+            b.iter(|| black_box(&s).to_bytes())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ipv4(c: &mut Criterion) {
+    let repr = Ipv4Repr {
+        src_addr: Ipv4Addr::new(192, 0, 2, 1),
+        dst_addr: Ipv4Addr::new(203, 0, 113, 99),
+        protocol: Protocol::Udp,
+        ttl: 17,
+        ident: 0x4242,
+        payload_len: 8,
+    };
+    let mut buf = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut buf).unwrap();
+    c.bench_function("ipv4_parse_and_verify", |b| {
+        b.iter(|| {
+            let packet = Ipv4Packet::new_checked(black_box(&buf[..])).unwrap();
+            assert!(packet.verify_checksum());
+            Ipv4Repr::parse(&packet).unwrap()
+        })
+    });
+    c.bench_function("ipv4_emit", |b| {
+        b.iter_batched(
+            || vec![0u8; repr.buffer_len()],
+            |mut buf| repr.emit(black_box(&mut buf)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_icmp(c: &mut Criterion) {
+    let msg = IcmpMessage::TimeExceeded {
+        original: vec![0x45; 28],
+        extension: Some(MplsExtension { stack: stack(3) }),
+    };
+    let bytes = msg.to_bytes();
+    c.bench_function("icmp_te_parse_with_rfc4950", |b| {
+        b.iter(|| IcmpMessage::parse(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("icmp_te_emit_with_rfc4950", |b| {
+        b.iter(|| black_box(&msg).to_bytes())
+    });
+}
+
+criterion_group!(benches, bench_lse_stack, bench_ipv4, bench_icmp);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! The Marechal et al. baseline (IMC'22 poster).
+//!
+//! The paper's predecessor detected SR-MPLS by (i) identifying Cisco
+//! routers through TTL-based fingerprinting and (ii) mapping observed
+//! labels to Cisco's known SRGB — *without* considering 20-bit label
+//! sequences (§8: "their analysis is incomplete compared to this
+//! paper, in particular by not taking 20-bit label sequences into
+//! consideration").
+//!
+//! Reproducing it gives AReST its comparison point: the baseline can
+//! only fire on fingerprinted hops, so its coverage collapses wherever
+//! fingerprinting fails (e.g. ESnet, where nothing answers), while
+//! AReST's CO flag still sees the label sequences.
+
+use crate::model::AugmentedTrace;
+use arest_fingerprint::combined::VendorEvidence;
+use arest_sr::block::cisco_srgb;
+use arest_topo::vendor::Vendor;
+use arest_wire::mpls::Label;
+
+/// One baseline detection: a single hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineDetection {
+    /// Index of the hop in the trace.
+    pub hop: usize,
+    /// The label that matched Cisco's SRGB.
+    pub label: Label,
+}
+
+/// Runs the baseline over one trace.
+pub fn detect_baseline(trace: &AugmentedTrace) -> Vec<BaselineDetection> {
+    trace
+        .hops
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, hop)| {
+            let label = hop.top_label()?;
+            let is_cisco_like = matches!(
+                hop.evidence?,
+                VendorEvidence::CiscoOrHuawei | VendorEvidence::Exact(Vendor::Cisco)
+            );
+            (is_cisco_like && cisco_srgb().contains(label))
+                .then_some(BaselineDetection { hop: idx, label })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AugmentedHop;
+    use arest_wire::mpls::LabelStack;
+    use std::net::Ipv4Addr;
+
+    fn hop(n: u8, label: Option<u32>, evidence: Option<VendorEvidence>) -> AugmentedHop {
+        let addr = Ipv4Addr::new(10, 0, 3, n);
+        let mut h = match label {
+            Some(l) => AugmentedHop::labeled(
+                addr,
+                LabelStack::from_labels(&[Label::new(l).unwrap()], 1),
+            ),
+            None => AugmentedHop::ip(addr),
+        };
+        h.evidence = evidence;
+        h
+    }
+
+    fn trace(hops: Vec<AugmentedHop>) -> AugmentedTrace {
+        AugmentedTrace::new("vp", Ipv4Addr::new(203, 0, 113, 1), hops)
+    }
+
+    #[test]
+    fn fires_on_fingerprinted_cisco_srgb_labels() {
+        let t = trace(vec![
+            hop(1, Some(16_005), Some(VendorEvidence::CiscoOrHuawei)),
+            hop(2, Some(16_005), Some(VendorEvidence::Exact(Vendor::Cisco))),
+        ]);
+        let detections = detect_baseline(&t);
+        assert_eq!(detections.len(), 2);
+        assert_eq!(detections[0].label.value(), 16_005);
+    }
+
+    #[test]
+    fn blind_without_fingerprints_where_arest_co_still_sees() {
+        // The ESnet situation: a clear label sequence, zero
+        // fingerprint coverage — the baseline finds nothing.
+        let t = trace(vec![
+            hop(1, Some(17_000), None),
+            hop(2, Some(17_000), None),
+            hop(3, Some(17_000), None),
+        ]);
+        assert!(detect_baseline(&t).is_empty());
+        let arest = crate::detect::detect_segments(&t, &Default::default());
+        assert_eq!(arest.len(), 1, "AReST's CO flag covers the same trace");
+    }
+
+    #[test]
+    fn non_cisco_evidence_is_ignored() {
+        let t = trace(vec![hop(1, Some(16_005), Some(VendorEvidence::Exact(Vendor::Juniper)))]);
+        assert!(detect_baseline(&t).is_empty());
+    }
+
+    #[test]
+    fn labels_outside_cisco_srgb_are_ignored() {
+        let t = trace(vec![hop(1, Some(40_000), Some(VendorEvidence::CiscoOrHuawei))]);
+        assert!(detect_baseline(&t).is_empty());
+    }
+}

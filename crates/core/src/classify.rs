@@ -1,0 +1,111 @@
+//! Per-hop area characterization (§7.1).
+//!
+//! Once segments are detected, every hop of a trace belongs to one of
+//! three areas: **SR-MPLS** (inside a detected segment), **classic
+//! MPLS** (MPLS involvement without an SR flag), or **IP**. Following
+//! §6.3 the default is conservative: only the strong flags (CVR, CO,
+//! LSVR, LVR) define SR areas, LSO-flagged hops count as classic MPLS
+//! unless explicitly included.
+
+use crate::detect::DetectedSegment;
+use crate::model::AugmentedTrace;
+
+/// A hop's routing area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Area {
+    /// Inside a detected SR-MPLS segment.
+    Sr,
+    /// MPLS involvement without an SR signal.
+    Mpls,
+    /// Plain IP.
+    Ip,
+}
+
+/// Characterization configuration.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct AreaConfig {
+    /// Whether LSO-flagged segments count as SR. The paper's
+    /// conservative default is `false` (§6.3: "segments flagged by
+    /// LSO will therefore be excluded from further analysis").
+    pub include_lso: bool,
+}
+
+
+/// Assigns an area to every hop of the trace, given its detected
+/// segments.
+pub fn classify_areas(
+    trace: &AugmentedTrace,
+    segments: &[DetectedSegment],
+    config: &AreaConfig,
+) -> Vec<Area> {
+    let mut areas: Vec<Area> = trace
+        .hops
+        .iter()
+        .map(|h| if h.is_mpls() { Area::Mpls } else { Area::Ip })
+        .collect();
+    for segment in segments {
+        if !segment.flag.is_strong() && !config.include_lso {
+            continue;
+        }
+        for area in areas.iter_mut().take(segment.end + 1).skip(segment.start) {
+            *area = Area::Sr;
+        }
+    }
+    areas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_segments, DetectorConfig};
+    use crate::model::AugmentedHop;
+    use arest_wire::mpls::{Label, LabelStack};
+    use std::net::Ipv4Addr;
+
+    fn hop(n: u8, labels: &[u32]) -> AugmentedHop {
+        let addr = Ipv4Addr::new(10, 0, 0, n);
+        if labels.is_empty() {
+            AugmentedHop::ip(addr)
+        } else {
+            let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+            AugmentedHop::labeled(addr, LabelStack::from_labels(&labels, 1))
+        }
+    }
+
+    fn classify(hops: Vec<AugmentedHop>, include_lso: bool) -> Vec<Area> {
+        let trace = AugmentedTrace::new("vp", Ipv4Addr::new(203, 0, 113, 1), hops);
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        classify_areas(&trace, &segments, &AreaConfig { include_lso })
+    }
+
+    #[test]
+    fn strong_segments_become_sr_areas() {
+        let areas = classify(
+            vec![hop(1, &[]), hop(2, &[17_000]), hop(3, &[17_000]), hop(4, &[])],
+            false,
+        );
+        assert_eq!(areas, vec![Area::Ip, Area::Sr, Area::Sr, Area::Ip]);
+    }
+
+    #[test]
+    fn lone_labels_without_flags_stay_classic_mpls() {
+        let areas = classify(vec![hop(1, &[]), hop(2, &[400_000]), hop(3, &[])], false);
+        assert_eq!(areas, vec![Area::Ip, Area::Mpls, Area::Ip]);
+    }
+
+    #[test]
+    fn lso_is_excluded_by_default_but_includable() {
+        let hops = vec![hop(1, &[500_000, 600_000])];
+        assert_eq!(classify(hops.clone(), false), vec![Area::Mpls], "conservative default");
+        assert_eq!(classify(hops, true), vec![Area::Sr], "opt-in inclusion");
+    }
+
+    #[test]
+    fn revealed_hops_are_mpls() {
+        let mut revealed = hop(2, &[]);
+        revealed.revealed = true;
+        let areas = classify(vec![hop(1, &[]), revealed], false);
+        assert_eq!(areas, vec![Area::Ip, Area::Mpls]);
+    }
+}

@@ -1,0 +1,268 @@
+//! SR↔LDP interworking characterization (§7.2).
+//!
+//! A *tunnel* is a maximal run of MPLS-involved hops in a trace. Each
+//! tunnel decomposes into *clouds* — contiguous SR or classic-MPLS
+//! (LDP) stretches — whose ordering reveals the interworking mode:
+//! the paper observes ≈90 % full-SR tunnels and, within the hybrid
+//! 10 %, SR→LDP ≈95 %, LDP→SR ≈2 %, LDP-SR-LDP ≈2 %, SR-LDP-SR ≈1 %.
+
+use crate::classify::{classify_areas, Area, AreaConfig};
+use crate::detect::DetectedSegment;
+use crate::model::AugmentedTrace;
+use core::fmt;
+
+/// What protocol a cloud runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloudKind {
+    /// An SR-MPLS stretch (strong-flag segments).
+    Sr,
+    /// A classic MPLS (LDP) stretch.
+    Ldp,
+}
+
+/// One cloud inside a tunnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cloud {
+    /// The protocol of the stretch.
+    pub kind: CloudKind,
+    /// First hop index in the trace.
+    pub start: usize,
+    /// Last hop index (inclusive).
+    pub end: usize,
+}
+
+impl Cloud {
+    /// Number of hops in the cloud.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Clouds are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The interworking pattern of one tunnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterworkingMode {
+    /// Entirely SR.
+    FullSr,
+    /// Entirely classic MPLS (no SR involvement at all).
+    FullLdp,
+    /// SR first, then LDP (mapping-server scenario).
+    SrToLdp,
+    /// LDP first, then SR (border mirroring scenario).
+    LdpToSr,
+    /// LDP, SR, LDP.
+    LdpSrLdp,
+    /// SR, LDP, SR.
+    SrLdpSr,
+    /// Any longer alternation.
+    Other,
+}
+
+impl fmt::Display for InterworkingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterworkingMode::FullSr => "full-SR",
+            InterworkingMode::FullLdp => "full-LDP",
+            InterworkingMode::SrToLdp => "SR→LDP",
+            InterworkingMode::LdpToSr => "LDP→SR",
+            InterworkingMode::LdpSrLdp => "LDP-SR-LDP",
+            InterworkingMode::SrLdpSr => "SR-LDP-SR",
+            InterworkingMode::Other => "other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One tunnel's decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunnelAnalysis {
+    /// The clouds, in path order.
+    pub clouds: Vec<Cloud>,
+    /// The derived interworking mode.
+    pub mode: InterworkingMode,
+}
+
+impl TunnelAnalysis {
+    /// Whether the tunnel involves SR at all.
+    pub fn involves_sr(&self) -> bool {
+        self.clouds.iter().any(|c| c.kind == CloudKind::Sr)
+    }
+
+    /// Whether the tunnel is a hybrid (SR and LDP both present).
+    pub fn is_interworking(&self) -> bool {
+        self.involves_sr() && self.clouds.iter().any(|c| c.kind == CloudKind::Ldp)
+    }
+}
+
+/// Decomposes a trace's tunnels into clouds and interworking modes.
+pub fn analyze_interworking(
+    trace: &AugmentedTrace,
+    segments: &[DetectedSegment],
+    config: &AreaConfig,
+) -> Vec<TunnelAnalysis> {
+    let areas = classify_areas(trace, segments, config);
+    let mut tunnels = Vec::new();
+    let mut i = 0;
+    while i < areas.len() {
+        if areas[i] == Area::Ip {
+            i += 1;
+            continue;
+        }
+        // A tunnel: maximal non-IP run.
+        let mut j = i;
+        while j + 1 < areas.len() && areas[j + 1] != Area::Ip {
+            j += 1;
+        }
+        // Decompose into clouds.
+        let mut clouds: Vec<Cloud> = Vec::new();
+        for (k, area) in areas.iter().enumerate().take(j + 1).skip(i) {
+            let kind = match area {
+                Area::Sr => CloudKind::Sr,
+                Area::Mpls => CloudKind::Ldp,
+                Area::Ip => unreachable!("run contains no IP hops"),
+            };
+            match clouds.last_mut() {
+                Some(last) if last.kind == kind => last.end = k,
+                _ => clouds.push(Cloud { kind, start: k, end: k }),
+            }
+        }
+        let mode = derive_mode(&clouds);
+        tunnels.push(TunnelAnalysis { clouds, mode });
+        i = j + 1;
+    }
+    tunnels
+}
+
+fn derive_mode(clouds: &[Cloud]) -> InterworkingMode {
+    let kinds: Vec<CloudKind> = clouds.iter().map(|c| c.kind).collect();
+    match kinds.as_slice() {
+        [CloudKind::Sr] => InterworkingMode::FullSr,
+        [CloudKind::Ldp] => InterworkingMode::FullLdp,
+        [CloudKind::Sr, CloudKind::Ldp] => InterworkingMode::SrToLdp,
+        [CloudKind::Ldp, CloudKind::Sr] => InterworkingMode::LdpToSr,
+        [CloudKind::Ldp, CloudKind::Sr, CloudKind::Ldp] => InterworkingMode::LdpSrLdp,
+        [CloudKind::Sr, CloudKind::Ldp, CloudKind::Sr] => InterworkingMode::SrLdpSr,
+        _ => InterworkingMode::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_segments, DetectorConfig};
+    use crate::model::AugmentedHop;
+    use arest_wire::mpls::{Label, LabelStack};
+    use std::net::Ipv4Addr;
+
+    fn hop(n: u8, labels: &[u32]) -> AugmentedHop {
+        let addr = Ipv4Addr::new(10, 0, 1, n);
+        if labels.is_empty() {
+            AugmentedHop::ip(addr)
+        } else {
+            let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+            AugmentedHop::labeled(addr, LabelStack::from_labels(&labels, 1))
+        }
+    }
+
+    fn analyze(hops: Vec<AugmentedHop>) -> Vec<TunnelAnalysis> {
+        let trace = AugmentedTrace::new("vp", Ipv4Addr::new(203, 0, 113, 1), hops);
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        analyze_interworking(&trace, &segments, &AreaConfig::default())
+    }
+
+    #[test]
+    fn full_sr_tunnel() {
+        let tunnels = analyze(vec![
+            hop(1, &[]),
+            hop(2, &[17_000]),
+            hop(3, &[17_000]),
+            hop(4, &[17_000]),
+            hop(5, &[]),
+        ]);
+        assert_eq!(tunnels.len(), 1);
+        assert_eq!(tunnels[0].mode, InterworkingMode::FullSr);
+        assert!(tunnels[0].involves_sr());
+        assert!(!tunnels[0].is_interworking());
+        assert_eq!(tunnels[0].clouds[0].len(), 3);
+    }
+
+    #[test]
+    fn sr_to_ldp_interworking() {
+        // SR cloud (same label) then an LDP cloud (changing labels,
+        // no flags).
+        let tunnels = analyze(vec![
+            hop(1, &[17_000]),
+            hop(2, &[17_000]),
+            hop(3, &[17_000]),
+            hop(4, &[612_001]),
+            hop(5, &[733_456]),
+        ]);
+        assert_eq!(tunnels.len(), 1);
+        assert_eq!(tunnels[0].mode, InterworkingMode::SrToLdp);
+        assert!(tunnels[0].is_interworking());
+        let sizes: Vec<(CloudKind, usize)> =
+            tunnels[0].clouds.iter().map(|c| (c.kind, c.len())).collect();
+        assert_eq!(sizes, vec![(CloudKind::Sr, 3), (CloudKind::Ldp, 2)]);
+    }
+
+    #[test]
+    fn ldp_to_sr_interworking() {
+        let tunnels = analyze(vec![
+            hop(1, &[612_001]),
+            hop(2, &[733_456]),
+            hop(3, &[17_000]),
+            hop(4, &[17_000]),
+        ]);
+        assert_eq!(tunnels[0].mode, InterworkingMode::LdpToSr);
+    }
+
+    #[test]
+    fn ldp_sr_ldp_chain() {
+        let tunnels = analyze(vec![
+            hop(1, &[612_001]),
+            hop(2, &[733_456]),
+            hop(3, &[17_000]),
+            hop(4, &[17_000]),
+            hop(5, &[841_990]),
+            hop(6, &[452_010]),
+        ]);
+        assert_eq!(tunnels[0].mode, InterworkingMode::LdpSrLdp);
+    }
+
+    #[test]
+    fn sr_ldp_sr_chain() {
+        let tunnels = analyze(vec![
+            hop(1, &[17_000]),
+            hop(2, &[17_000]),
+            hop(3, &[612_001]),
+            hop(4, &[733_456]),
+            hop(5, &[18_500]),
+            hop(6, &[18_500]),
+        ]);
+        assert_eq!(tunnels[0].mode, InterworkingMode::SrLdpSr);
+    }
+
+    #[test]
+    fn ip_gaps_split_tunnels() {
+        let tunnels = analyze(vec![
+            hop(1, &[17_000]),
+            hop(2, &[17_000]),
+            hop(3, &[]),
+            hop(4, &[612_001]),
+            hop(5, &[733_456]),
+        ]);
+        assert_eq!(tunnels.len(), 2);
+        assert_eq!(tunnels[0].mode, InterworkingMode::FullSr);
+        assert_eq!(tunnels[1].mode, InterworkingMode::FullLdp);
+        assert!(!tunnels[1].involves_sr());
+    }
+
+    #[test]
+    fn pure_ip_trace_has_no_tunnels() {
+        assert!(analyze(vec![hop(1, &[]), hop(2, &[])]).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Ground-truth validation — Table 3's computation.
+//!
+//! Given detected segments and an oracle that knows, per interface,
+//! whether the interface really runs SR-MPLS (in this reproduction,
+//! the synthetic-Internet generator's deployment record; in the
+//! paper, the ESnet operator), this module computes per-flag segment
+//! counts and TP/FP rates, plus interface-level precision/recall and
+//! false negatives.
+
+use crate::detect::DetectedSegment;
+use crate::flags::Flag;
+use crate::model::AugmentedTrace;
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Per-flag validation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlagCounts {
+    /// Segments that raised this flag.
+    pub segments: usize,
+    /// Segments whose every responding hop is truly SR.
+    pub true_positive: usize,
+    /// Segments containing at least one non-SR hop.
+    pub false_positive: usize,
+}
+
+impl FlagCounts {
+    /// Precision over segments; `None` with no segments.
+    pub fn precision(&self) -> Option<f64> {
+        if self.segments == 0 {
+            None
+        } else {
+            Some(self.true_positive as f64 / self.segments as f64)
+        }
+    }
+
+    /// False-positive rate over segments; `None` with no segments.
+    pub fn fp_rate(&self) -> Option<f64> {
+        self.precision().map(|p| 1.0 - p)
+    }
+}
+
+/// The validation report.
+#[derive(Debug, Clone, Default)]
+pub struct Validation {
+    /// Per-flag segment counters, iterable in flag order.
+    pub per_flag: BTreeMap<Flag, FlagCounts>,
+    /// Distinct interfaces inside flagged segments that are truly SR.
+    pub iface_true_positive: usize,
+    /// Distinct flagged interfaces that are NOT SR.
+    pub iface_false_positive: usize,
+    /// Distinct truly-SR MPLS interfaces never flagged (missed).
+    pub iface_false_negative: usize,
+    /// Distinct non-SR MPLS interfaces correctly left unflagged.
+    pub iface_true_negative: usize,
+}
+
+impl Validation {
+    /// Total segments across all flags.
+    pub fn total_segments(&self) -> usize {
+        self.per_flag.values().map(|c| c.segments).sum()
+    }
+
+    /// Interface-level precision; `None` when nothing was flagged.
+    pub fn iface_precision(&self) -> Option<f64> {
+        let flagged = self.iface_true_positive + self.iface_false_positive;
+        if flagged == 0 {
+            None
+        } else {
+            Some(self.iface_true_positive as f64 / flagged as f64)
+        }
+    }
+
+    /// Interface-level recall; `None` when nothing is truly SR.
+    pub fn iface_recall(&self) -> Option<f64> {
+        let actual = self.iface_true_positive + self.iface_false_negative;
+        if actual == 0 {
+            None
+        } else {
+            Some(self.iface_true_positive as f64 / actual as f64)
+        }
+    }
+}
+
+/// Validates detections against an oracle.
+///
+/// The oracle answers "is this interface address part of an SR-MPLS
+/// deployment?". Interface-level negatives are computed over MPLS
+/// hops only (IP hops say nothing about SR-vs-LDP classification).
+pub fn validate<F>(
+    results: &[(AugmentedTrace, Vec<DetectedSegment>)],
+    oracle: F,
+) -> Validation
+where
+    F: Fn(Ipv4Addr) -> bool,
+{
+    let mut validation = Validation::default();
+    for flag in Flag::ALL {
+        validation.per_flag.insert(flag, FlagCounts::default());
+    }
+
+    let mut flagged_ifaces: HashSet<Ipv4Addr> = HashSet::new();
+    let mut mpls_ifaces: HashSet<Ipv4Addr> = HashSet::new();
+
+    for (trace, segments) in results {
+        for hop in &trace.hops {
+            if let (Some(addr), true) = (hop.addr, hop.is_mpls()) {
+                mpls_ifaces.insert(addr);
+            }
+        }
+        for segment in segments {
+            let counts = validation.per_flag.get_mut(&segment.flag).expect("all flags present");
+            counts.segments += 1;
+            let addrs: Vec<Ipv4Addr> = trace.hops[segment.start..=segment.end]
+                .iter()
+                .filter_map(|h| h.addr)
+                .collect();
+            flagged_ifaces.extend(&addrs);
+            if addrs.iter().all(|&a| oracle(a)) {
+                counts.true_positive += 1;
+            } else {
+                counts.false_positive += 1;
+            }
+        }
+    }
+
+    for &addr in &flagged_ifaces {
+        if oracle(addr) {
+            validation.iface_true_positive += 1;
+        } else {
+            validation.iface_false_positive += 1;
+        }
+    }
+    for &addr in mpls_ifaces.difference(&flagged_ifaces) {
+        if oracle(addr) {
+            validation.iface_false_negative += 1;
+        } else {
+            validation.iface_true_negative += 1;
+        }
+    }
+
+    validation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{detect_segments, DetectorConfig};
+    use crate::model::AugmentedHop;
+    use arest_wire::mpls::{Label, LabelStack};
+
+    fn hop(n: u8, labels: &[u32]) -> AugmentedHop {
+        let addr = Ipv4Addr::new(10, 0, 2, n);
+        if labels.is_empty() {
+            AugmentedHop::ip(addr)
+        } else {
+            let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+            AugmentedHop::labeled(addr, LabelStack::from_labels(&labels, 1))
+        }
+    }
+
+    fn run(hops: Vec<AugmentedHop>) -> (AugmentedTrace, Vec<DetectedSegment>) {
+        let trace = AugmentedTrace::new("vp", Ipv4Addr::new(203, 0, 113, 1), hops);
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        (trace, segments)
+    }
+
+    #[test]
+    fn perfect_ground_truth_like_esnet() {
+        // CO sequence + LSO stack, everything truly SR: the Table 3
+        // shape — 0 % FP, 0 % FN.
+        let results = vec![
+            run(vec![hop(1, &[17_000]), hop(2, &[17_000]), hop(3, &[17_000])]),
+            run(vec![hop(4, &[400_000, 500_000])]),
+        ];
+        let v = validate(&results, |_| true);
+        assert_eq!(v.per_flag[&Flag::Co].segments, 1);
+        assert_eq!(v.per_flag[&Flag::Co].precision(), Some(1.0));
+        assert_eq!(v.per_flag[&Flag::Lso].segments, 1);
+        assert_eq!(v.per_flag[&Flag::Lso].fp_rate(), Some(0.0));
+        assert_eq!(v.iface_false_negative, 0);
+        assert_eq!(v.iface_precision(), Some(1.0));
+        assert_eq!(v.iface_recall(), Some(1.0));
+        assert_eq!(v.total_segments(), 2);
+    }
+
+    #[test]
+    fn false_positive_segment_is_counted() {
+        let results = vec![run(vec![hop(1, &[17_000]), hop(2, &[17_000])])];
+        // Oracle says nothing is SR: the CO segment is a false positive.
+        let v = validate(&results, |_| false);
+        assert_eq!(v.per_flag[&Flag::Co].false_positive, 1);
+        assert_eq!(v.per_flag[&Flag::Co].precision(), Some(0.0));
+        assert_eq!(v.iface_false_positive, 2);
+        assert_eq!(v.iface_precision(), Some(0.0));
+    }
+
+    #[test]
+    fn missed_sr_interfaces_are_false_negatives() {
+        // A lone unmapped label (no flag possible) on a truly-SR hop.
+        let results = vec![run(vec![hop(1, &[345_000])])];
+        let v = validate(&results, |_| true);
+        assert_eq!(v.total_segments(), 0);
+        assert_eq!(v.iface_false_negative, 1);
+        assert_eq!(v.iface_recall(), Some(0.0));
+        assert_eq!(v.iface_precision(), None);
+    }
+
+    #[test]
+    fn non_sr_mpls_left_unflagged_is_true_negative() {
+        let results = vec![run(vec![hop(1, &[345_000])])];
+        let v = validate(&results, |_| false);
+        assert_eq!(v.iface_true_negative, 1);
+        assert_eq!(v.iface_false_negative, 0);
+    }
+
+    #[test]
+    fn ip_hops_do_not_enter_negative_counts() {
+        let results = vec![run(vec![hop(1, &[])])];
+        let v = validate(&results, |_| true);
+        assert_eq!(
+            v.iface_true_negative + v.iface_false_negative,
+            0,
+            "IP hops are out of scope"
+        );
+    }
+}

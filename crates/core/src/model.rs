@@ -1,0 +1,144 @@
+//! The augmented-trace input format.
+//!
+//! AReST is a *post-processing* tool: its input is a traceroute path
+//! where each hop may carry a quoted MPLS label stack (from TNT) and
+//! a hardware-vendor fingerprint. This module is deliberately
+//! independent of the measurement crates so AReST can classify traces
+//! from any source — the simulator, a file, or (in the authors'
+//! setting) a real campaign.
+
+use arest_fingerprint::combined::VendorEvidence;
+use arest_wire::mpls::{Label, LabelStack};
+use std::net::Ipv4Addr;
+
+/// One augmented hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentedHop {
+    /// The replying address; `None` for a silent hop.
+    pub addr: Option<Ipv4Addr>,
+    /// The quoted MPLS label stack, top first, when the hop exposed
+    /// one (explicit tunnels everywhere; opaque tunnels at the EH).
+    pub stack: Option<LabelStack>,
+    /// Vendor knowledge from fingerprinting, when available.
+    pub evidence: Option<VendorEvidence>,
+    /// Whether TNT inserted this hop via hidden-tunnel revelation
+    /// (these hops are MPLS but never carry an LSE).
+    pub revealed: bool,
+    /// The quoted IP TTL (qTTL) — values above 1 betray a
+    /// ttl-propagating (implicit) tunnel even without LSEs.
+    pub quoted_ip_ttl: Option<u8>,
+    /// Whether this hop is the trace destination.
+    pub is_destination: bool,
+}
+
+impl AugmentedHop {
+    /// A plain IP hop at `addr`.
+    pub fn ip(addr: Ipv4Addr) -> AugmentedHop {
+        AugmentedHop {
+            addr: Some(addr),
+            stack: None,
+            evidence: None,
+            revealed: false,
+            quoted_ip_ttl: Some(1),
+            is_destination: false,
+        }
+    }
+
+    /// A hop quoting a label stack.
+    pub fn labeled(addr: Ipv4Addr, stack: LabelStack) -> AugmentedHop {
+        AugmentedHop { stack: Some(stack), ..AugmentedHop::ip(addr) }
+    }
+
+    /// The top (active) label of the quoted stack, if any.
+    pub fn top_label(&self) -> Option<Label> {
+        self.stack.as_ref().and_then(|s| s.top()).map(|lse| lse.label)
+    }
+
+    /// Depth of the quoted stack (0 when none).
+    pub fn stack_depth(&self) -> usize {
+        self.stack.as_ref().map_or(0, LabelStack::depth)
+    }
+
+    /// Whether the hop shows MPLS involvement of any kind (quoted
+    /// stack, TNT revelation, or an implicit-tunnel qTTL signature).
+    pub fn is_mpls(&self) -> bool {
+        self.stack.is_some() || self.revealed || self.quoted_ip_ttl.is_some_and(|q| q > 1)
+    }
+}
+
+/// One augmented trace, already restricted to the AS under study
+/// (bdrmapIT-style annotation happens upstream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentedTrace {
+    /// Vantage point name (provenance).
+    pub vp: String,
+    /// Probe destination.
+    pub dst: Ipv4Addr,
+    /// Hops in path order. The probing source router is *not* part of
+    /// this list (segments exclude the source, §4).
+    pub hops: Vec<AugmentedHop>,
+}
+
+impl AugmentedTrace {
+    /// Creates a trace.
+    pub fn new(vp: impl Into<String>, dst: Ipv4Addr, hops: Vec<AugmentedHop>) -> AugmentedTrace {
+        AugmentedTrace { vp: vp.into(), dst, hops }
+    }
+
+    /// Responding addresses in path order.
+    pub fn addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.hops.iter().filter_map(|h| h.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(labels: &[u32], ttl: u8) -> LabelStack {
+        let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+        LabelStack::from_labels(&labels, ttl)
+    }
+
+    #[test]
+    fn hop_constructors_and_accessors() {
+        let ip = AugmentedHop::ip(Ipv4Addr::new(10, 0, 0, 1));
+        assert!(!ip.is_mpls());
+        assert_eq!(ip.stack_depth(), 0);
+        assert!(ip.top_label().is_none());
+
+        let labeled = AugmentedHop::labeled(Ipv4Addr::new(10, 0, 0, 2), stack(&[16_005, 99], 1));
+        assert!(labeled.is_mpls());
+        assert_eq!(labeled.stack_depth(), 2);
+        assert_eq!(labeled.top_label().unwrap().value(), 16_005);
+    }
+
+    #[test]
+    fn revealed_and_qttl_hops_count_as_mpls() {
+        let mut revealed = AugmentedHop::ip(Ipv4Addr::new(10, 0, 0, 3));
+        revealed.revealed = true;
+        assert!(revealed.is_mpls());
+
+        let mut implicit = AugmentedHop::ip(Ipv4Addr::new(10, 0, 0, 4));
+        implicit.quoted_ip_ttl = Some(3);
+        assert!(implicit.is_mpls());
+    }
+
+    #[test]
+    fn trace_addrs_skips_silent() {
+        let silent = AugmentedHop {
+            addr: None,
+            stack: None,
+            evidence: None,
+            revealed: false,
+            quoted_ip_ttl: None,
+            is_destination: false,
+        };
+        let trace = AugmentedTrace::new(
+            "vp",
+            Ipv4Addr::new(203, 0, 113, 1),
+            vec![AugmentedHop::ip(Ipv4Addr::new(10, 0, 0, 1)), silent],
+        );
+        assert_eq!(trace.addrs().count(), 1);
+    }
+}

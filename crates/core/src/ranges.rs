@@ -1,0 +1,72 @@
+//! Vendor evidence × SR label range matching.
+//!
+//! The paper's rule (§5): SNMPv3 evidence names an exact vendor, so
+//! labels are matched against that vendor's Table 1 ranges; TTL
+//! evidence can only say "Cisco or Huawei", so labels are matched
+//! against the *intersection* of the two vendors' SRGBs
+//! (16,000–23,999).
+
+use arest_fingerprint::combined::VendorEvidence;
+use arest_sr::block::{cisco_huawei_srgb_intersection, VendorSrRanges};
+use arest_wire::mpls::Label;
+
+/// Whether `label` falls inside a known SR range for the vendor the
+/// evidence describes.
+pub fn label_in_sr_range(evidence: VendorEvidence, label: Label) -> bool {
+    match evidence {
+        VendorEvidence::Exact(vendor) => VendorSrRanges::defaults(vendor).covers(label),
+        VendorEvidence::CiscoOrHuawei => cisco_huawei_srgb_intersection().contains(label),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::vendor::Vendor;
+
+    fn l(v: u32) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    #[test]
+    fn exact_cisco_matches_srgb_and_srlb() {
+        let e = VendorEvidence::Exact(Vendor::Cisco);
+        assert!(label_in_sr_range(e, l(16_005)), "SRGB");
+        assert!(label_in_sr_range(e, l(15_500)), "SRLB");
+        assert!(!label_in_sr_range(e, l(30_000)));
+    }
+
+    #[test]
+    fn exact_huawei_matches_its_wider_srgb() {
+        let e = VendorEvidence::Exact(Vendor::Huawei);
+        assert!(label_in_sr_range(e, l(40_000)), "inside Huawei SRGB, outside Cisco's");
+        assert!(label_in_sr_range(e, l(50_000)), "Huawei SRLB");
+    }
+
+    #[test]
+    fn ttl_evidence_uses_the_intersection_only() {
+        let e = VendorEvidence::CiscoOrHuawei;
+        assert!(label_in_sr_range(e, l(16_005)));
+        assert!(label_in_sr_range(e, l(23_999)));
+        // 40,000 is Huawei SRGB but NOT Cisco's: the intersection rule
+        // must reject it.
+        assert!(!label_in_sr_range(e, l(40_000)));
+        // Cisco's SRLB is not in the intersection either.
+        assert!(!label_in_sr_range(e, l(15_500)));
+    }
+
+    #[test]
+    fn vendors_without_published_defaults_never_match() {
+        for vendor in [Vendor::Juniper, Vendor::Nokia, Vendor::Linux] {
+            assert!(!label_in_sr_range(VendorEvidence::Exact(vendor), l(16_005)), "{vendor}");
+        }
+    }
+
+    #[test]
+    fn arista_exact_matches_high_ranges() {
+        let e = VendorEvidence::Exact(Vendor::Arista);
+        assert!(label_in_sr_range(e, l(900_500)));
+        assert!(label_in_sr_range(e, l(100_100)));
+        assert!(!label_in_sr_range(e, l(16_005)), "Arista blocks sit high");
+    }
+}

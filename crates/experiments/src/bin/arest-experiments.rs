@@ -1,0 +1,96 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! arest-experiments [options] <experiment ids… | all>
+//!
+//! options:
+//!   --quick          tiny Internet (unit-test scale)
+//!   --scale <f64>    generator scale (default 0.05)
+//!   --vps <n>        vantage points (default 50)
+//!   --targets <n>    Anaximander target cap per AS (default 48)
+//!   --seed <n>       generator seed (default 2025)
+//!   --out <dir>      also write each report to <dir>/<id>.txt
+//! ```
+
+use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = PipelineConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir: Option<String> = None;
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config = PipelineConfig::quick(),
+            "--scale" => config.gen.scale = expect_value(&mut iter, "--scale"),
+            "--vps" => config.gen.vp_count = expect_value(&mut iter, "--vps"),
+            "--targets" => config.targets_per_as = expect_value(&mut iter, "--targets"),
+            "--seed" => config.gen.seed = expect_value(&mut iter, "--seed"),
+            "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown option {other}")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
+        config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
+    );
+    let started = Instant::now();
+    let dataset = Dataset::build(config);
+    eprintln!(
+        "dataset ready in {:.1}s: {} raw traces, {} routers",
+        started.elapsed().as_secs_f64(),
+        dataset.raw_trace_count,
+        dataset.internet.net.topo().router_count(),
+    );
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+
+    for id in &ids {
+        match run_experiment(id, &dataset) {
+            Some(report) => {
+                let rendered = report.render();
+                println!("{rendered}");
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/{id}.txt");
+                    let mut file = std::fs::File::create(&path).expect("create report file");
+                    file.write_all(rendered.as_bytes()).expect("write report");
+                }
+            }
+            None => eprintln!("unknown experiment id: {id} (see --help)"),
+        }
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(
+    iter: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    iter.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
+         [--out DIR] <ids…|all>\nexperiments: {}",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,165 @@
+//! Background experiments: Fig. 1, Table 1, Table 2 / Fig. 5, Fig. 7.
+
+use crate::render::{bar, pct, Report, Table};
+use arest_netgen::longitudinal::{generate_archive, Platform};
+use arest_sr::block::VendorSrRanges;
+use arest_survey::Survey;
+use core::fmt::Write as _;
+
+/// Fig. 1 — Segment Routing publications per year, 2014–2025.
+///
+/// A context figure in the paper (counts from ACM DL / IEEEXplore /
+/// ScienceDirect keyword searches). Reproduced with a logistic
+/// adoption-curve model peaking in 2024 and dipping in 2025 (partial
+/// year, data collected March 31st), matching the figure's shape.
+pub fn fig01_publications() -> Report {
+    let mut table = Table::new(["year", "publications", ""]);
+    let mut last = 0u32;
+    for year in 2014..=2025u16 {
+        // Logistic growth toward ~520 papers/year, centred on 2019.
+        let t = f64::from(year) - 2019.0;
+        let mut count = (520.0 / (1.0 + (-0.55 * t).exp())).round() as u32;
+        if year == 2025 {
+            count /= 4; // partial year: collected March 31st, 2025
+        }
+        last = last.max(count);
+        table.row([
+            year.to_string(),
+            count.to_string(),
+            bar(f64::from(count) / 520.0, 40),
+        ]);
+    }
+    let body = format!(
+        "{}\nShape check: monotone growth 2014-2024 (peak {last}), partial-year dip in 2025.\n",
+        table.to_text()
+    );
+    Report { id: "fig1", title: "Fig. 1 — SR publications per year (synthetic bibliometric model)".into(), body }
+}
+
+/// Table 1 — default vendor SRGB/SRLB label ranges.
+pub fn table1_vendor_ranges() -> Report {
+    let mut table = Table::new(["label range", "usage"]);
+    for ranges in VendorSrRanges::table1() {
+        if let Some(srgb) = ranges.srgb {
+            table.row([
+                format!("{}-{}", srgb.start(), srgb.end()),
+                format!("{} default SRGB", ranges.vendor),
+            ]);
+        }
+        if let Some(srlb) = ranges.srlb {
+            table.row([
+                format!("{}-{}", srlb.start(), srlb.end()),
+                format!("{} default SRLB", ranges.vendor),
+            ]);
+        }
+    }
+    table.row(["0-255".to_string(), "reserved for special MPLS purposes".to_string()]);
+    Report {
+        id: "table1",
+        title: "Table 1 — vendor default SRGB/SRLB MPLS label ranges".into(),
+        body: table.to_text(),
+    }
+}
+
+/// Table 2 + Fig. 5 — the operator survey (N = 46).
+pub fn fig05_survey() -> Report {
+    let survey = Survey::paper();
+    let mut body = String::new();
+
+    let _ = writeln!(body, "(a) Hardware equipment used for SR-MPLS (N = {}):\n", survey.len());
+    let mut vendors = Table::new(["vendor", "share", ""]);
+    let mut shares = survey.vendor_shares();
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (vendor, share) in shares {
+        vendors.row([vendor.to_string(), pct(share), bar(share, 30)]);
+    }
+    body.push_str(&vendors.to_text());
+
+    let _ = writeln!(body, "\n(b) SR-MPLS usage:\n");
+    let mut usages = Table::new(["usage", "share", ""]);
+    for (usage, share) in survey.usage_shares() {
+        usages.row([usage.to_string(), pct(share), bar(share, 30)]);
+    }
+    body.push_str(&usages.to_text());
+
+    let _ = writeln!(
+        body,
+        "\nSRGB: {} keep the vendor default ({} customize).\nSRLB: {} keep the vendor default ({} customize).",
+        pct(survey.srgb_default_share()),
+        pct(1.0 - survey.srgb_default_share()),
+        pct(survey.srlb_default_share()),
+        pct(1.0 - survey.srlb_default_share()),
+    );
+
+    Report {
+        id: "table2_fig5",
+        title: "Table 2 / Fig. 5 — operator survey results".into(),
+        body,
+    }
+}
+
+/// Fig. 7 — MPLS LSE stack-size evolution, 2015–2025.
+pub fn fig07_stack_evolution() -> Report {
+    let mut body = String::new();
+    for (platform, label) in [
+        (Platform::Caida, "(a) CAIDA Ark (NL, US, JP nodes)"),
+        (Platform::RipeAtlas, "(b) RIPE Atlas (SE, US, JP measurements)"),
+    ] {
+        let archive = generate_archive(platform, 2_025);
+        let _ = writeln!(body, "{label}:\n");
+        let mut table = Table::new(["quarter", "stacks >= 2", ""]);
+        for sample in archive.iter().filter(|s| s.month == 12 || (s.year, s.month) == (2025, 3)) {
+            let share = sample.multi_label_share();
+            table.row([
+                format!("{}-{:02}", sample.year, sample.month),
+                pct(share),
+                bar(share / 0.25, 32),
+            ]);
+        }
+        body.push_str(&table.to_text());
+        let last = archive.last().unwrap().multi_label_share();
+        let _ = writeln!(body, "final multi-label share: {}\n", pct(last));
+    }
+    body.push_str(
+        "Shape check: both series grow over the decade; CAIDA ends near 20%, RIPE near 10%.\n",
+    );
+    Report {
+        id: "fig7",
+        title: "Fig. 7 — LSE stack-size evolution 2015-2025 (synthetic archives)".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_peaks_late() {
+        let report = fig01_publications();
+        assert!(report.body.contains("2024"));
+        assert!(report.body.contains("Shape check"));
+    }
+
+    #[test]
+    fn table1_lists_all_six_ranges() {
+        let report = table1_vendor_ranges();
+        for needle in ["16000-23999", "15000-15999", "16000-47999", "900000-965535", "100000-116383"] {
+            assert!(report.body.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn fig5_reports_srgb_share() {
+        let report = fig05_survey();
+        assert!(report.body.contains("SRGB"));
+        assert!(report.body.contains("Cisco"));
+    }
+
+    #[test]
+    fn fig7_has_both_platforms() {
+        let report = fig07_stack_evolution();
+        assert!(report.body.contains("CAIDA"));
+        assert!(report.body.contains("RIPE"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Detection experiments: Fig. 8 (flags per AS) and Fig. 9 (stack
+//! sizes by context).
+
+use crate::pipeline::Dataset;
+use crate::render::{pct, Report, Table};
+use arest_core::flags::Flag;
+use arest_core::model::AugmentedHop;
+use arest_netgen::catalog::{by_id, Confirmation};
+use arest_wire::mpls::Label;
+use core::fmt::Write as _;
+
+/// Stack depth with RFC 6790 entropy pairs excluded — the same
+/// refinement the detector applies, so Fig. 9 measures steering
+/// stacks, not load-balancing plumbing.
+fn steering_depth(hop: &AugmentedHop) -> usize {
+    let Some(stack) = &hop.stack else { return 0 };
+    stack
+        .entries()
+        .iter()
+        .position(|lse| lse.label == Label::ENTROPY_INDICATOR)
+        .unwrap_or(stack.depth())
+}
+
+fn confirmation_tag(id: u8) -> &'static str {
+    match by_id(id).map(|e| e.confirmation) {
+        Some(Confirmation::Cisco) => "[C]",
+        Some(Confirmation::Survey) => "[S]",
+        _ => "[-]",
+    }
+}
+
+/// Fig. 8 — proportion of SR segments flagged by each detection flag,
+/// per analyzed AS.
+pub fn fig08_flags_per_as(dataset: &Dataset) -> Report {
+    let mut table =
+        Table::new(["AS", "src", "segs", "CVR", "CO", "LSVR", "LVR", "LSO"]);
+    let mut suffix_total = 0usize;
+    let mut segments_total = 0usize;
+    let mut flag_totals = [0usize; 5];
+    for result in dataset.analyzed() {
+        let total = result.all_segments().count();
+        if total == 0 {
+            table.row([
+                format!("#{}", result.id),
+                confirmation_tag(result.id).to_string(),
+                "0".to_string(),
+            ]);
+            continue;
+        }
+        let mut counts = [0usize; 5];
+        for segment in result.all_segments() {
+            let idx = Flag::ALL.iter().position(|f| *f == segment.flag).expect("known flag");
+            counts[idx] += 1;
+            flag_totals[idx] += 1;
+            if segment.suffix_based {
+                suffix_total += 1;
+            }
+        }
+        segments_total += total;
+        let mut row = vec![
+            format!("#{}", result.id),
+            confirmation_tag(result.id).to_string(),
+            total.to_string(),
+        ];
+        row.extend(counts.iter().map(|&c| pct(c as f64 / total as f64)));
+        table.row(row);
+    }
+    let mut body = table.to_text();
+    let _ = writeln!(body, "\nTotals per flag across analyzed ASes:");
+    for (flag, count) in Flag::ALL.iter().zip(flag_totals) {
+        let _ = writeln!(
+            body,
+            "  {flag:<4} {count:>7}  ({})",
+            pct(count as f64 / segments_total.max(1) as f64)
+        );
+    }
+    let _ = writeln!(
+        body,
+        "suffix-based sequence matches: {} of {} segments ({})",
+        suffix_total,
+        segments_total,
+        pct(suffix_total as f64 / segments_total.max(1) as f64),
+    );
+    let _ = writeln!(
+        body,
+        "Paper shapes: LSO most frequent overall, CO next; CVR/LSVR/LVR rarer (fingerprint-\n\
+         limited) and concentrated in #31/#38/#40/#55; suffix matches ~0.01%."
+    );
+    Report { id: "fig8", title: "Fig. 8 — SR segments per AReST flag and AS".into(), body }
+}
+
+/// Fig. 9 — LSE stack-size distributions: strong-SR contexts versus
+/// traditional-MPLS / LSO contexts.
+pub fn fig09_stack_sizes(dataset: &Dataset) -> Report {
+    // Per AS: depth histograms in the two contexts.
+    let mut table = Table::new([
+        "AS", "src", "SR hops", "SR >=2", "trad hops", "trad >=2",
+    ]);
+    let mut sr_multi_sum = 0.0;
+    let mut trad_multi_sum = 0.0;
+    let mut rows = 0usize;
+    for result in dataset.analyzed() {
+        let mut sr = [0usize; 2]; // [depth-1, depth>=2]
+        let mut trad = [0usize; 2];
+        for (trace, segments) in result.augmented.iter().zip(&result.segments) {
+            let mut strong = vec![false; trace.hops.len()];
+            for segment in segments {
+                if segment.flag.is_strong() {
+                    for slot in strong.iter_mut().take(segment.end + 1).skip(segment.start) {
+                        *slot = true;
+                    }
+                }
+            }
+            for (idx, hop) in trace.hops.iter().enumerate() {
+                let depth = steering_depth(hop);
+                if depth == 0 {
+                    continue;
+                }
+                let bucket = if strong[idx] { &mut sr } else { &mut trad };
+                bucket[usize::from(depth >= 2)] += 1;
+            }
+        }
+        let (sr_total, trad_total) = (sr[0] + sr[1], trad[0] + trad[1]);
+        if sr_total + trad_total == 0 {
+            continue;
+        }
+        let sr_share = sr[1] as f64 / sr_total.max(1) as f64;
+        let trad_share = trad[1] as f64 / trad_total.max(1) as f64;
+        if sr_total > 0 && trad_total > 0 {
+            sr_multi_sum += sr_share;
+            trad_multi_sum += trad_share;
+            rows += 1;
+        }
+        table.row([
+            format!("#{}", result.id),
+            confirmation_tag(result.id).to_string(),
+            sr_total.to_string(),
+            pct(sr_share),
+            trad_total.to_string(),
+            pct(trad_share),
+        ]);
+    }
+    let mut body = table.to_text();
+    if rows > 0 {
+        let _ = writeln!(
+            body,
+            "\nMean multi-label share: SR contexts {} vs traditional/LSO contexts {} \
+             (paper: stacks >= 2 appear ~20 pp more often under SR).",
+            pct(sr_multi_sum / rows as f64),
+            pct(trad_multi_sum / rows as f64),
+        );
+    }
+    let _ = writeln!(
+        body,
+        "ASes #46 (ESnet) and #52 (Execulink) should show deep stacks in both contexts \
+         (service SIDs / unshrinking stacks)."
+    );
+    Report { id: "fig9", title: "Fig. 9 — LSE stack sizes by detection context".into(), body }
+}

@@ -1,0 +1,362 @@
+//! The shared measurement pipeline behind every experiment.
+//!
+//! Reproduces the paper's §5 end to end: Anaximander target lists
+//! from the BGP view, a TNT campaign from every vantage point,
+//! SNMPv3 + TTL fingerprinting, MIDAR/APPLE alias resolution feeding
+//! bdrmapIT-style AS restriction, and finally AReST detection over
+//! the augmented intra-AS traces.
+
+use arest_core::detect::{detect_segments, DetectedSegment, DetectorConfig};
+use arest_core::model::{AugmentedHop, AugmentedTrace};
+use arest_fingerprint::combined::{
+    fingerprint_addresses, FingerprintSource, VendorEvidence,
+};
+use arest_fingerprint::snmp::SnmpDataset;
+use arest_mapping::alias::{AliasResolver, IpIdOracle};
+use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
+use arest_mapping::bdrmap::AsAnnotator;
+use arest_mapping::bgp::{BgpRoute, BgpView};
+use arest_netgen::internet::{generate, GenConfig, Internet};
+use arest_tnt::campaign::{run_campaign, CampaignConfig, VantagePoint};
+use arest_tnt::trace::Trace;
+use arest_topo::ids::AsNumber;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Synthetic-Internet generator settings.
+    pub gen: GenConfig,
+    /// Cap on Anaximander targets per AS.
+    pub targets_per_as: usize,
+    /// Traces sampled per AS for alias-candidate generation.
+    pub alias_paths_per_as: usize,
+    /// AReST detector settings.
+    pub detector: DetectorConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            gen: GenConfig::default(),
+            targets_per_as: 48,
+            alias_paths_per_as: 12,
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> PipelineConfig {
+        PipelineConfig {
+            gen: GenConfig::tiny(),
+            targets_per_as: 8,
+            alias_paths_per_as: 4,
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Everything the pipeline produced for one AS.
+#[derive(Debug, Clone)]
+pub struct AsResult {
+    /// The paper identifier (1–60).
+    pub id: u8,
+    /// The ASN.
+    pub asn: AsNumber,
+    /// Anaximander targets probed for this AS (per VP).
+    pub targets_probed: usize,
+    /// Raw TNT traces restricted to the intra-AS span.
+    pub restricted: Vec<Trace>,
+    /// The same traces in AReST's augmented form.
+    pub augmented: Vec<AugmentedTrace>,
+    /// Detected segments, parallel to `augmented`.
+    pub segments: Vec<Vec<DetectedSegment>>,
+    /// Distinct addresses annotated to this AS across all traces.
+    pub discovered: HashSet<Ipv4Addr>,
+}
+
+impl AsResult {
+    /// All `(trace, segments)` pairs, the shape `arest-core`'s
+    /// validation consumes.
+    pub fn detections(&self) -> Vec<(AugmentedTrace, Vec<DetectedSegment>)> {
+        self.augmented.iter().cloned().zip(self.segments.iter().cloned()).collect()
+    }
+
+    /// All detected segments, flattened.
+    pub fn all_segments(&self) -> impl Iterator<Item = &DetectedSegment> {
+        self.segments.iter().flatten()
+    }
+}
+
+/// The full pipeline output.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The synthetic Internet (topology, ground truth, plans).
+    pub internet: Internet,
+    /// The configuration the dataset was built with.
+    pub config: PipelineConfig,
+    /// Per-AS results, in catalog order (always 60 entries).
+    pub results: Vec<AsResult>,
+    /// Fingerprint evidence per address, with its source method.
+    pub fingerprints: HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
+    /// The harvested SNMPv3 dataset.
+    pub snmp: SnmpDataset,
+    /// Distinct in-AS addresses seen per VP name (drives Fig. 17).
+    pub per_vp_discovered: HashMap<String, HashSet<Ipv4Addr>>,
+    /// Total traces collected before restriction.
+    pub raw_trace_count: usize,
+}
+
+impl Dataset {
+    /// Runs the whole pipeline.
+    pub fn build(config: PipelineConfig) -> Dataset {
+        let internet = generate(&config.gen);
+
+        // BGP view for Anaximander.
+        let view: BgpView = internet
+            .routes
+            .iter()
+            .map(|r| BgpRoute { prefix: r.prefix, origin: r.origin, path: r.path.clone() })
+            .collect();
+
+        let vps: Vec<VantagePoint> = internet
+            .vps
+            .iter()
+            .map(|vp| VantagePoint {
+                name: vp.name.clone(),
+                addr: vp.addr,
+                gateway: vp.gateway,
+            })
+            .collect();
+
+        let anax = AnaximanderConfig {
+            targets_per_prefix: 2,
+            max_targets: config.targets_per_as,
+        };
+        let campaign_cfg = CampaignConfig::default();
+
+        // ---- Probing: one campaign per AS of interest ----
+        let mut raw_per_as: Vec<(usize, Vec<Trace>)> = Vec::new();
+        let mut raw_trace_count = 0;
+        for plan in &internet.plans {
+            let targets = build_target_list(&view, plan.asn, &anax);
+            if targets.is_empty() {
+                raw_per_as.push((0, Vec::new()));
+                continue;
+            }
+            let traces = run_campaign(&internet.net, &vps, &targets, &campaign_cfg);
+            raw_trace_count += traces.len();
+            raw_per_as.push((targets.len(), traces));
+        }
+
+        // ---- Fingerprinting ----
+        let snmp = SnmpDataset::harvest(&internet.net);
+        let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
+        let mut all_addrs: HashSet<Ipv4Addr> = HashSet::new();
+        for (_, traces) in &raw_per_as {
+            for trace in traces {
+                for hop in &trace.hops {
+                    if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
+                        all_addrs.insert(addr);
+                        te_ttls.entry(addr).or_insert(ttl);
+                    }
+                }
+            }
+        }
+        let addr_list: Vec<Ipv4Addr> = all_addrs.iter().copied().collect();
+        let fingerprints = fingerprint_addresses(
+            &internet.net,
+            vps[0].gateway,
+            vps[0].addr,
+            &addr_list,
+            &te_ttls,
+            &snmp,
+        );
+
+        // ---- Alias resolution (feeds the annotator) ----
+        let oracle = IpIdOracle::new(&internet.net);
+        let mut resolver = AliasResolver::new();
+        for (_, traces) in &raw_per_as {
+            let paths: Vec<Vec<Ipv4Addr>> = traces
+                .iter()
+                .take(config.alias_paths_per_as)
+                .map(|t| t.responding_addrs().collect())
+                .collect();
+            resolver.add_candidates_from_paths(&paths);
+        }
+        let clusters = resolver.resolve(&oracle, 5);
+
+        // ---- AS annotation and restriction ----
+        let mut annotator = AsAnnotator::new(internet.ownership.iter().copied());
+        annotator.attach_aliases(clusters);
+
+        let mut per_vp_discovered: HashMap<String, HashSet<Ipv4Addr>> = HashMap::new();
+        let mut results = Vec::with_capacity(60);
+        for (plan, (targets_probed, traces)) in internet.plans.iter().zip(&raw_per_as) {
+            let mut result = AsResult {
+                id: plan.entry.id,
+                asn: plan.asn,
+                targets_probed: *targets_probed,
+                restricted: Vec::new(),
+                augmented: Vec::new(),
+                segments: Vec::new(),
+                discovered: HashSet::new(),
+            };
+            for trace in traces {
+                let addrs: Vec<Option<Ipv4Addr>> = trace.hops.iter().map(|h| h.addr).collect();
+                let Some((first, last)) = annotator.intra_as_span(&addrs, plan.asn) else {
+                    continue;
+                };
+                // Collapse consecutive hops answering from the same
+                // address (the no-PHP "extra hop" artifact): standard
+                // traceroute post-processing, keeping the first reply
+                // (it carries the fuller RFC 4950 quote).
+                let mut hops = trace.hops[first..=last].to_vec();
+                hops.dedup_by(|b, a| a.addr.is_some() && a.addr == b.addr);
+                let restricted = Trace {
+                    vp: trace.vp.clone(),
+                    src: trace.src,
+                    dst: trace.dst,
+                    hops,
+                    reached: trace.reached,
+                };
+                for hop in &restricted.hops {
+                    if let Some(addr) = hop.addr {
+                        if annotator.annotate(addr) == Some(plan.asn) {
+                            result.discovered.insert(addr);
+                            per_vp_discovered
+                                .entry(trace.vp.clone())
+                                .or_default()
+                                .insert(addr);
+                        }
+                    }
+                }
+                let augmented = augment(&restricted, &fingerprints);
+                let segments = detect_segments(&augmented, &config.detector);
+                result.restricted.push(restricted);
+                result.augmented.push(augmented);
+                result.segments.push(segments);
+            }
+            results.push(result);
+        }
+
+        Dataset {
+            internet,
+            config,
+            results,
+            fingerprints,
+            snmp,
+            per_vp_discovered,
+            raw_trace_count,
+        }
+    }
+
+    /// The result for paper identifier `id`.
+    pub fn result(&self, id: u8) -> Option<&AsResult> {
+        self.results.get(usize::from(id).checked_sub(1)?)
+    }
+
+    /// Results for the ASes the paper's ≥100-address rule keeps.
+    pub fn analyzed(&self) -> impl Iterator<Item = &AsResult> {
+        self.results
+            .iter()
+            .filter(|r| arest_netgen::catalog::by_id(r.id).is_some_and(|e| e.analyzed()))
+    }
+}
+
+/// Converts a restricted TNT trace into AReST's input form, attaching
+/// fingerprint evidence per hop.
+pub fn augment(
+    trace: &Trace,
+    fingerprints: &HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
+) -> AugmentedTrace {
+    let hops = trace
+        .hops
+        .iter()
+        .map(|h| AugmentedHop {
+            addr: h.addr,
+            stack: h.stack.clone(),
+            evidence: h.addr.and_then(|a| fingerprints.get(&a).map(|(e, _)| *e)),
+            revealed: h.revealed,
+            quoted_ip_ttl: h.quoted_ip_ttl,
+            is_destination: h.is_destination,
+        })
+        .collect();
+    AugmentedTrace::new(trace.vp.clone(), trace.dst, hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_core::flags::Flag;
+
+    fn quick_dataset() -> Dataset {
+        Dataset::build(PipelineConfig::quick())
+    }
+
+    #[test]
+    fn pipeline_produces_results_for_all_60_ases() {
+        let ds = quick_dataset();
+        assert_eq!(ds.results.len(), 60);
+        assert!(ds.raw_trace_count > 0);
+        assert!(ds.analyzed().count() <= 41);
+    }
+
+    #[test]
+    fn big_ases_yield_traces_and_discoveries() {
+        let ds = quick_dataset();
+        // Arelion (#58) is the largest AS: traces must enter it.
+        let arelion = ds.result(58).unwrap();
+        assert!(!arelion.restricted.is_empty(), "no intra-AS traces for Arelion");
+        assert!(!arelion.discovered.is_empty());
+    }
+
+    #[test]
+    fn esnet_detections_are_co_and_lso_only() {
+        let ds = quick_dataset();
+        let esnet = ds.result(46).unwrap();
+        let flags: HashSet<Flag> = esnet.all_segments().map(|s| s.flag).collect();
+        assert!(!flags.is_empty(), "ESnet must show SR segments");
+        assert!(
+            flags.is_subset(&[Flag::Co, Flag::Lso].into()),
+            "no fingerprints → no vendor-range flags, got {flags:?}"
+        );
+    }
+
+    #[test]
+    fn esnet_has_perfect_precision_against_ground_truth() {
+        let ds = quick_dataset();
+        let esnet = ds.result(46).unwrap();
+        let validation = arest_core::metrics::validate(&esnet.detections(), |addr| {
+            ds.internet.ground_truth.is_sr(addr)
+        });
+        assert!(validation.total_segments() > 0);
+        assert_eq!(validation.iface_false_positive, 0, "Table 3: zero FPs");
+    }
+
+    #[test]
+    fn fingerprints_cover_some_hops_with_snmp_and_ttl() {
+        let ds = quick_dataset();
+        let snmp = ds
+            .fingerprints
+            .values()
+            .filter(|(_, src)| *src == FingerprintSource::Snmp)
+            .count();
+        let ttl = ds
+            .fingerprints
+            .values()
+            .filter(|(_, src)| *src == FingerprintSource::Ttl)
+            .count();
+        assert!(ttl > 0, "TTL fingerprinting found nothing");
+        assert!(ttl > snmp, "TTL should dominate as in the paper (88%/12%)");
+    }
+
+    #[test]
+    fn per_vp_discovery_covers_every_vp() {
+        let ds = quick_dataset();
+        assert_eq!(ds.per_vp_discovered.len(), ds.internet.vps.len());
+    }
+}

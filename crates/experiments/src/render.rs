@@ -1,0 +1,158 @@
+//! Text-table, CSV, and ASCII-bar rendering for reports.
+
+use core::fmt::Write as _;
+
+/// One experiment's rendered output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The experiment id (e.g. `"table3"`).
+    pub id: &'static str,
+    /// Human-readable title referencing the paper artifact.
+    pub title: String,
+    /// The rendered body (tables, bars, commentary).
+    pub body: String,
+}
+
+impl Report {
+    /// Renders the full report (header + body).
+    pub fn render(&self) -> String {
+        let rule = "=".repeat(self.title.len().min(78));
+        format!("{}\n{}\n\n{}\n", self.title, rule, self.body)
+    }
+}
+
+/// A simple aligned text table that can also emit CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{cell:<width$}", width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC 4180-ish quoting).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut emit = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&self.headers);
+        for row in &self.rows {
+            emit(row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// An ASCII bar scaled so 1.0 fills `width` characters.
+pub fn bar(x: f64, width: usize) -> String {
+    let filled = ((x.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = "#".repeat(filled);
+    s.push_str(&".".repeat(width - filled.min(width)));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_and_pads() {
+        let mut t = Table::new(["AS", "share"]);
+        t.row(["#46 ESnet", "95.6%"]);
+        t.row(vec!["#15".to_string()]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("AS"));
+        assert!(lines[2].contains("ESnet"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(["name"]);
+        t.row(["a,b"]);
+        assert_eq!(t.to_csv(), "name\n\"a,b\"\n");
+    }
+
+    #[test]
+    fn pct_and_bar() {
+        assert_eq!(pct(0.756), "75.6%");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(1.5, 4), "####");
+        assert_eq!(bar(-0.2, 4), "....");
+    }
+
+    #[test]
+    fn report_renders_title_rule() {
+        let r = Report { id: "x", title: "T".into(), body: "b".into() };
+        assert!(r.render().contains("=\n\nb"));
+    }
+}

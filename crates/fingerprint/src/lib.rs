@@ -1,0 +1,27 @@
+//! # arest-fingerprint
+//!
+//! Router hardware-vendor fingerprinting, reproducing the two methods
+//! the paper combines (§5):
+//!
+//! * [`ttl`] — TTL-based signatures (Vanaubel et al.): the pair of
+//!   initial TTLs a router uses for echo replies and time-exceeded
+//!   messages. Coarse — Cisco and Huawei share `(255, 255)`, which is
+//!   why the paper matches their SRGB *intersection* for TTL-derived
+//!   flags.
+//! * [`snmp`] — a simulated SNMPv3 fingerprint dataset (Albakour et
+//!   al.): exact vendors, but partial coverage, and no Arista
+//!   fingerprints at all (the paper notes Arista is absent from the
+//!   public dataset).
+//! * [`combined`] — the fusion rule: SNMPv3 takes precedence over TTL
+//!   when both speak for the same hop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod snmp;
+pub mod ttl;
+
+pub use combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
+pub use snmp::SnmpDataset;
+pub use ttl::{ttl_class, TtlClass, TtlSignature};

@@ -1,0 +1,133 @@
+//! A simulated SNMPv3 fingerprint dataset (Albakour et al.).
+//!
+//! The real dataset is a public snapshot of routers whose SNMPv3
+//! engine responses betray their vendor. This module harvests the
+//! same thing from the simulator: every router whose management plane
+//! answers SNMPv3 (`snmp_responsive`) contributes all of its
+//! addresses with its exact vendor — except Arista devices, absent
+//! from the public dataset the paper used (Appendix C: "Arista
+//! equipment was absent from our results").
+
+use arest_simnet::Network;
+use arest_topo::vendor::Vendor;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// An address → exact-vendor fingerprint dataset.
+#[derive(Debug, Clone, Default)]
+pub struct SnmpDataset {
+    entries: HashMap<Ipv4Addr, Vendor>,
+}
+
+impl SnmpDataset {
+    /// An empty dataset.
+    pub fn new() -> SnmpDataset {
+        SnmpDataset::default()
+    }
+
+    /// Harvests the dataset from a network: all addresses (interfaces
+    /// and loopback) of SNMP-responsive routers, minus Arista.
+    pub fn harvest(net: &Network) -> SnmpDataset {
+        let mut entries = HashMap::new();
+        for router in net.topo().routers() {
+            if !net.plane(router.id).snmp_responsive {
+                continue;
+            }
+            if router.vendor == Vendor::Arista {
+                continue; // no Arista fingerprints in the public dataset
+            }
+            entries.insert(router.loopback, router.vendor);
+            for &iface in &router.ifaces {
+                entries.insert(net.topo().iface(iface).addr, router.vendor);
+            }
+        }
+        SnmpDataset { entries }
+    }
+
+    /// Adds one entry (for hand-built datasets in tests).
+    pub fn insert(&mut self, addr: Ipv4Addr, vendor: Vendor) {
+        self.entries.insert(addr, vendor);
+    }
+
+    /// Looks up an address.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<Vendor> {
+        self.entries.get(&addr).copied()
+    }
+
+    /// Number of fingerprinted addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ipv4Addr, &Vendor)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::AsNumber;
+
+    fn net_with(vendors: &[(Vendor, bool)]) -> Network {
+        let mut topo = Topology::new();
+        let mut prev = None;
+        for (i, (vendor, _)) in vendors.iter().enumerate() {
+            let r = topo.add_router(
+                format!("r{i}"),
+                AsNumber(65_200),
+                *vendor,
+                Ipv4Addr::new(10, 255, 20, (i + 1) as u8),
+            );
+            if let Some(p) = prev {
+                topo.add_link(
+                    p,
+                    Ipv4Addr::new(10, 20, i as u8, 1),
+                    r,
+                    Ipv4Addr::new(10, 20, i as u8, 2),
+                    1,
+                );
+            }
+            prev = Some(r);
+        }
+        let mut net = Network::new(topo);
+        for (i, (_, responsive)) in vendors.iter().enumerate() {
+            net.plane_mut(arest_topo::ids::RouterId(i as u32)).snmp_responsive = *responsive;
+        }
+        net
+    }
+
+    #[test]
+    fn harvest_includes_only_responsive_routers() {
+        let net = net_with(&[(Vendor::Cisco, true), (Vendor::Juniper, false)]);
+        let dataset = SnmpDataset::harvest(&net);
+        assert_eq!(dataset.lookup(Ipv4Addr::new(10, 255, 20, 1)), Some(Vendor::Cisco));
+        assert_eq!(dataset.lookup(Ipv4Addr::new(10, 255, 20, 2)), None);
+        // The responsive router's interface address is covered too.
+        assert_eq!(dataset.lookup(Ipv4Addr::new(10, 20, 1, 1)), Some(Vendor::Cisco));
+    }
+
+    #[test]
+    fn arista_is_never_harvested() {
+        let net = net_with(&[(Vendor::Arista, true), (Vendor::Huawei, true)]);
+        let dataset = SnmpDataset::harvest(&net);
+        assert_eq!(dataset.lookup(Ipv4Addr::new(10, 255, 20, 1)), None, "Arista absent");
+        assert_eq!(dataset.lookup(Ipv4Addr::new(10, 255, 20, 2)), Some(Vendor::Huawei));
+    }
+
+    #[test]
+    fn empty_and_insert() {
+        let mut dataset = SnmpDataset::new();
+        assert!(dataset.is_empty());
+        dataset.insert(Ipv4Addr::new(1, 1, 1, 1), Vendor::Nokia);
+        assert_eq!(dataset.len(), 1);
+        assert_eq!(dataset.iter().count(), 1);
+    }
+}

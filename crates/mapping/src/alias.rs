@@ -1,0 +1,240 @@
+//! Alias resolution: MIDAR-style IP-ID monotonicity with APPLE-style
+//! candidate pruning.
+//!
+//! MIDAR's insight: many routers stamp outgoing packets from one
+//! shared, monotonically increasing IP-ID counter, so interleaved
+//! samples from two aliases of the same router form one monotonic
+//! sequence. The simulator models a per-router counter (seeded by the
+//! router, advancing with virtual time); the resolver only sees
+//! addresses and sampled IDs, exactly like the real tool.
+//!
+//! APPLE's contribution is cheap candidate generation: only test
+//! address pairs whose path-length estimates agree — here, pairs
+//! observed at comparable positions in traces.
+
+use arest_simnet::Network;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Simulates the IP-ID counters MIDAR samples.
+///
+/// Each router owns one counter with a router-specific start and
+/// rate; every address of the router answers from it. Non-responding
+/// addresses return `None`.
+#[derive(Debug, Clone)]
+pub struct IpIdOracle<'net> {
+    net: &'net Network,
+}
+
+impl<'net> IpIdOracle<'net> {
+    /// Wraps a network.
+    pub fn new(net: &'net Network) -> IpIdOracle<'net> {
+        IpIdOracle { net }
+    }
+
+    /// Samples the IP-ID of `addr` at virtual time `t`.
+    pub fn sample(&self, addr: Ipv4Addr, t: u32) -> Option<u16> {
+        let router = self.net.topo().router_by_any_addr(addr)?;
+        if !self.net.plane(router.id).icmp_enabled {
+            return None;
+        }
+        let seed = router.id.0;
+        // Router-specific start and velocity (both deterministic).
+        let start = seed.wrapping_mul(40_503) & 0xffff;
+        let rate = 3 + (seed % 7);
+        Some(((start + rate * t) & 0xffff) as u16)
+    }
+}
+
+/// Pairwise alias testing and clustering.
+#[derive(Debug, Default)]
+pub struct AliasResolver {
+    /// Candidate pairs to test.
+    candidates: Vec<(Ipv4Addr, Ipv4Addr)>,
+}
+
+impl AliasResolver {
+    /// An empty resolver.
+    pub fn new() -> AliasResolver {
+        AliasResolver::default()
+    }
+
+    /// APPLE-style candidate generation: pairs of addresses observed
+    /// at the same position (±1) across traces from the same vantage
+    /// point — their path-length estimates agree, so they *could* sit
+    /// on one router.
+    pub fn add_candidates_from_paths(&mut self, paths: &[Vec<Ipv4Addr>]) {
+        let mut by_position: HashMap<usize, Vec<Ipv4Addr>> = HashMap::new();
+        for path in paths {
+            for (pos, &addr) in path.iter().enumerate() {
+                let bucket = by_position.entry(pos).or_default();
+                if !bucket.contains(&addr) {
+                    bucket.push(addr);
+                }
+            }
+        }
+        let mut seen: std::collections::HashSet<(Ipv4Addr, Ipv4Addr)> = Default::default();
+        for (&pos, bucket) in &by_position {
+            // Same position, and one off.
+            let mut pool: Vec<Ipv4Addr> = bucket.clone();
+            if let Some(next) = by_position.get(&(pos + 1)) {
+                pool.extend(next.iter().copied());
+            }
+            for i in 0..pool.len() {
+                for j in i + 1..pool.len() {
+                    let key = if pool[i] < pool[j] { (pool[i], pool[j]) } else { (pool[j], pool[i]) };
+                    if key.0 != key.1 && seen.insert(key) {
+                        self.candidates.push(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds one explicit candidate pair.
+    pub fn add_candidate(&mut self, a: Ipv4Addr, b: Ipv4Addr) {
+        self.candidates.push(if a < b { (a, b) } else { (b, a) });
+    }
+
+    /// Number of queued candidate pairs.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// MIDAR-style test of one pair: interleave `rounds` samples and
+    /// require the merged sequence to be monotonic (mod-2^16 wrap
+    /// tolerated) with plausible inter-sample deltas.
+    pub fn midar_test(oracle: &IpIdOracle<'_>, a: Ipv4Addr, b: Ipv4Addr, rounds: u32) -> bool {
+        let mut merged: Vec<u16> = Vec::with_capacity((rounds * 2) as usize);
+        for round in 0..rounds {
+            let t = round * 2;
+            let (Some(ida), Some(idb)) = (oracle.sample(a, t), oracle.sample(b, t + 1)) else {
+                return false;
+            };
+            merged.push(ida);
+            merged.push(idb);
+        }
+        // Monotonic with small positive deltas (wrap-around allowed).
+        merged.windows(2).all(|w| {
+            let delta = w[1].wrapping_sub(w[0]);
+            delta > 0 && delta < 1_000
+        })
+    }
+
+    /// Tests every candidate pair and clusters the aliases
+    /// (union–find). Returns `address → cluster id`.
+    pub fn resolve(&self, oracle: &IpIdOracle<'_>, rounds: u32) -> HashMap<Ipv4Addr, usize> {
+        // Union–find over the addresses appearing in candidates.
+        let mut index: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut parent: Vec<usize> = Vec::new();
+        let id_of = |addr: Ipv4Addr, parent: &mut Vec<usize>, index: &mut HashMap<Ipv4Addr, usize>| {
+            *index.entry(addr).or_insert_with(|| {
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(a, b) in &self.candidates {
+            if Self::midar_test(oracle, a, b, rounds) {
+                let ia = id_of(a, &mut parent, &mut index);
+                let ib = id_of(b, &mut parent, &mut index);
+                let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+                if ra != rb {
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+            } else {
+                // Still materialize singleton entries so callers see
+                // the addresses were tested.
+                id_of(a, &mut parent, &mut index);
+                id_of(b, &mut parent, &mut index);
+            }
+        }
+        index
+            .into_iter()
+            .map(|(addr, id)| {
+                let root = find(&mut parent, id);
+                (addr, root)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::AsNumber;
+    use arest_topo::vendor::Vendor;
+
+    /// Two routers, two interfaces each (via two parallel-ish links).
+    fn testbed() -> (Network, [Ipv4Addr; 2], [Ipv4Addr; 2]) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_400);
+        let a = topo.add_router("a", asn, Vendor::Cisco, Ipv4Addr::new(10, 255, 40, 1));
+        let b = topo.add_router("b", asn, Vendor::Cisco, Ipv4Addr::new(10, 255, 40, 2));
+        let c = topo.add_router("c", asn, Vendor::Cisco, Ipv4Addr::new(10, 255, 40, 3));
+        topo.add_link(a, Ipv4Addr::new(10, 40, 0, 1), b, Ipv4Addr::new(10, 40, 0, 2), 1);
+        topo.add_link(a, Ipv4Addr::new(10, 40, 1, 1), c, Ipv4Addr::new(10, 40, 1, 2), 1);
+        let a_ifaces = [Ipv4Addr::new(10, 40, 0, 1), Ipv4Addr::new(10, 40, 1, 1)];
+        let others = [Ipv4Addr::new(10, 40, 0, 2), Ipv4Addr::new(10, 40, 1, 2)];
+        (Network::new(topo), a_ifaces, others)
+    }
+
+    #[test]
+    fn same_router_addresses_pass_midar() {
+        let (net, a_ifaces, _) = testbed();
+        let oracle = IpIdOracle::new(&net);
+        assert!(AliasResolver::midar_test(&oracle, a_ifaces[0], a_ifaces[1], 10));
+    }
+
+    #[test]
+    fn different_router_addresses_fail_midar() {
+        let (net, a_ifaces, others) = testbed();
+        let oracle = IpIdOracle::new(&net);
+        assert!(!AliasResolver::midar_test(&oracle, a_ifaces[0], others[0], 10));
+    }
+
+    #[test]
+    fn unresponsive_router_fails_midar() {
+        let (mut net, a_ifaces, _) = testbed();
+        net.plane_mut(arest_topo::ids::RouterId(0)).icmp_enabled = false;
+        let oracle = IpIdOracle::new(&net);
+        assert!(!AliasResolver::midar_test(&oracle, a_ifaces[0], a_ifaces[1], 4));
+    }
+
+    #[test]
+    fn resolve_clusters_true_aliases_only() {
+        let (net, a_ifaces, others) = testbed();
+        let oracle = IpIdOracle::new(&net);
+        let mut resolver = AliasResolver::new();
+        resolver.add_candidate(a_ifaces[0], a_ifaces[1]);
+        resolver.add_candidate(a_ifaces[0], others[0]);
+        resolver.add_candidate(others[0], others[1]);
+        let clusters = resolver.resolve(&oracle, 8);
+        assert_eq!(clusters[&a_ifaces[0]], clusters[&a_ifaces[1]], "true aliases merge");
+        assert_ne!(clusters[&a_ifaces[0]], clusters[&others[0]]);
+        assert_ne!(clusters[&others[0]], clusters[&others[1]], "b and c are distinct routers");
+    }
+
+    #[test]
+    fn path_candidates_pair_same_and_adjacent_positions() {
+        let mut resolver = AliasResolver::new();
+        let p1 = vec![Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)];
+        let p2 = vec![Ipv4Addr::new(1, 1, 1, 9), Ipv4Addr::new(2, 2, 2, 9)];
+        resolver.add_candidates_from_paths(&[p1, p2]);
+        assert!(resolver.candidate_count() >= 2);
+    }
+
+    #[test]
+    fn unknown_address_samples_none() {
+        let (net, _, _) = testbed();
+        let oracle = IpIdOracle::new(&net);
+        assert!(oracle.sample(Ipv4Addr::new(8, 8, 8, 8), 0).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Anaximander-style target-list construction (Marechal et al.).
+//!
+//! Given a BGP view and an AS of interest, produce an *ordered,
+//! pruned* list of probe targets expected to reveal the AS's
+//! intra-domain topology with minimal probing:
+//!
+//! 1. **Initial pool** — prefixes originated by the AS (internal
+//!    exploration) and prefixes transiting it (crossing traffic).
+//! 2. **Pruning** — drop prefixes fully covered by an already-kept
+//!    less-specific prefix of the same category, and cap the number
+//!    of targets per prefix.
+//! 3. **Scheduling** — originated prefixes first (they map the core),
+//!    then transit prefixes, each group in deterministic
+//!    prefix order.
+
+use crate::bgp::BgpView;
+use arest_topo::ids::AsNumber;
+use arest_topo::prefix::Prefix;
+use std::net::Ipv4Addr;
+
+/// Target-list construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AnaximanderConfig {
+    /// Probe targets generated per kept prefix.
+    pub targets_per_prefix: u32,
+    /// Hard cap on the list length (0 = unlimited).
+    pub max_targets: usize,
+}
+
+impl Default for AnaximanderConfig {
+    fn default() -> AnaximanderConfig {
+        AnaximanderConfig { targets_per_prefix: 2, max_targets: 0 }
+    }
+}
+
+/// Builds the ordered target list for `asn`.
+pub fn build_target_list(
+    view: &BgpView,
+    asn: AsNumber,
+    config: &AnaximanderConfig,
+) -> Vec<Ipv4Addr> {
+    let originated: Vec<Prefix> = prune(view.originated_by(asn).map(|r| r.prefix));
+    let transit: Vec<Prefix> = prune(view.transiting(asn).map(|r| r.prefix));
+
+    let mut targets = Vec::new();
+    for prefix in originated.iter().chain(transit.iter()) {
+        let span = prefix.size();
+        for i in 0..config.targets_per_prefix.min(span) {
+            // Spread representatives across the prefix, skipping the
+            // network address (offset starts at 1).
+            let offset = 1 + i * (span.saturating_sub(2) / config.targets_per_prefix.max(1)).max(1);
+            targets.push(prefix.nth(offset));
+        }
+    }
+    targets.dedup();
+    if config.max_targets > 0 {
+        targets.truncate(config.max_targets);
+    }
+    targets
+}
+
+/// Keeps the least-specific representative of every covering chain,
+/// in deterministic order.
+fn prune(prefixes: impl Iterator<Item = Prefix>) -> Vec<Prefix> {
+    let mut sorted: Vec<Prefix> = prefixes.collect();
+    sorted.sort();
+    sorted.dedup();
+    // Sort by prefix length so coverers come first.
+    sorted.sort_by_key(|p| p.len());
+    let mut kept: Vec<Prefix> = Vec::new();
+    for prefix in sorted {
+        if !kept.iter().any(|k| k.covers(&prefix)) {
+            kept.push(prefix);
+        }
+    }
+    kept.sort();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::BgpRoute;
+
+    fn route(prefix: &str, path: &[u32]) -> BgpRoute {
+        BgpRoute {
+            prefix: prefix.parse().unwrap(),
+            origin: AsNumber(*path.last().unwrap()),
+            path: path.iter().map(|&a| AsNumber(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn pruning_drops_covered_prefixes() {
+        let view: BgpView = [
+            route("203.0.113.0/24", &[300]),
+            route("203.0.113.128/25", &[300]), // covered by the /24
+            route("198.51.100.0/24", &[300]),
+        ]
+        .into_iter()
+        .collect();
+        let targets = build_target_list(
+            &view,
+            AsNumber(300),
+            &AnaximanderConfig { targets_per_prefix: 1, max_targets: 0 },
+        );
+        assert_eq!(targets.len(), 2, "the /25 is pruned: {targets:?}");
+    }
+
+    #[test]
+    fn originated_prefixes_come_first() {
+        let view: BgpView = [
+            route("203.0.113.0/24", &[100, 300]), // transits 100... no
+            route("198.51.100.0/24", &[100]),     // originated by 100
+        ]
+        .into_iter()
+        .collect();
+        let targets = build_target_list(
+            &view,
+            AsNumber(100),
+            &AnaximanderConfig { targets_per_prefix: 1, max_targets: 0 },
+        );
+        assert_eq!(targets.len(), 2);
+        assert!(
+            Prefix::new(Ipv4Addr::new(198, 51, 100, 0), 24).unwrap().contains(targets[0]),
+            "originated prefix scheduled before transit: {targets:?}"
+        );
+    }
+
+    #[test]
+    fn targets_avoid_the_network_address_and_spread() {
+        let view: BgpView = [route("203.0.113.0/24", &[300])].into_iter().collect();
+        let targets = build_target_list(
+            &view,
+            AsNumber(300),
+            &AnaximanderConfig { targets_per_prefix: 3, max_targets: 0 },
+        );
+        assert_eq!(targets.len(), 3);
+        assert!(targets.iter().all(|t| *t != Ipv4Addr::new(203, 0, 113, 0)));
+        let unique: std::collections::HashSet<_> = targets.iter().collect();
+        assert_eq!(unique.len(), 3, "representatives spread across the prefix");
+    }
+
+    #[test]
+    fn max_targets_caps_the_list() {
+        let view: BgpView = (0..20)
+            .map(|i| route(&format!("10.{i}.0.0/16"), &[300]))
+            .collect();
+        let targets = build_target_list(
+            &view,
+            AsNumber(300),
+            &AnaximanderConfig { targets_per_prefix: 2, max_targets: 7 },
+        );
+        assert_eq!(targets.len(), 7);
+    }
+
+    #[test]
+    fn unrelated_as_yields_empty_list() {
+        let view: BgpView = [route("203.0.113.0/24", &[300])].into_iter().collect();
+        assert!(build_target_list(&view, AsNumber(999), &Default::default()).is_empty());
+    }
+}

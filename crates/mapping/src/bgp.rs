@@ -1,0 +1,113 @@
+//! A synthetic BGP collector view.
+//!
+//! Anaximander bootstraps from RIBs collected at RouteViews / RIPE RIS
+//! (63 collectors in the paper). The generator produces the same
+//! abstraction: routes with a prefix, an origin AS, and an AS path —
+//! enough to find prefixes *originated by* and *transiting* an AS of
+//! interest.
+
+use arest_topo::ids::AsNumber;
+use arest_topo::prefix::Prefix;
+
+/// One BGP route as seen from a collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpRoute {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS (last element of the path).
+    pub origin: AsNumber,
+    /// The AS path, collector-side first.
+    pub path: Vec<AsNumber>,
+}
+
+impl BgpRoute {
+    /// Whether the path transits (or originates in) `asn`.
+    pub fn involves(&self, asn: AsNumber) -> bool {
+        self.origin == asn || self.path.contains(&asn)
+    }
+}
+
+/// A merged multi-collector BGP view.
+#[derive(Debug, Clone, Default)]
+pub struct BgpView {
+    routes: Vec<BgpRoute>,
+}
+
+impl BgpView {
+    /// An empty view.
+    pub fn new() -> BgpView {
+        BgpView::default()
+    }
+
+    /// Adds a route.
+    pub fn add(&mut self, route: BgpRoute) {
+        self.routes.push(route);
+    }
+
+    /// All routes.
+    pub fn routes(&self) -> &[BgpRoute] {
+        &self.routes
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Prefixes originated by `asn`.
+    pub fn originated_by(&self, asn: AsNumber) -> impl Iterator<Item = &BgpRoute> + '_ {
+        self.routes.iter().filter(move |r| r.origin == asn)
+    }
+
+    /// Prefixes whose path transits `asn` without originating there.
+    pub fn transiting(&self, asn: AsNumber) -> impl Iterator<Item = &BgpRoute> + '_ {
+        self.routes
+            .iter()
+            .filter(move |r| r.origin != asn && r.path.contains(&asn))
+    }
+}
+
+impl FromIterator<BgpRoute> for BgpView {
+    fn from_iter<I: IntoIterator<Item = BgpRoute>>(iter: I) -> BgpView {
+        BgpView { routes: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(prefix: &str, path: &[u32]) -> BgpRoute {
+        BgpRoute {
+            prefix: prefix.parse().unwrap(),
+            origin: AsNumber(*path.last().unwrap()),
+            path: path.iter().map(|&a| AsNumber(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn origin_and_transit_queries() {
+        let view: BgpView = [
+            route("203.0.113.0/24", &[100, 200, 300]),
+            route("198.51.100.0/24", &[100, 300]),
+            route("192.0.2.0/24", &[100, 200]),
+        ]
+        .into_iter()
+        .collect();
+
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.originated_by(AsNumber(300)).count(), 2);
+        assert_eq!(view.transiting(AsNumber(200)).count(), 1);
+        assert_eq!(
+            view.transiting(AsNumber(200)).next().unwrap().prefix.to_string(),
+            "203.0.113.0/24"
+        );
+        assert!(view.routes()[0].involves(AsNumber(200)));
+        assert!(!view.routes()[1].involves(AsNumber(200)));
+    }
+}

@@ -1,0 +1,29 @@
+//! # arest-mapping
+//!
+//! The measurement-preparation substrates of the paper's pipeline
+//! (§5): target selection, AS-ownership annotation, and router alias
+//! resolution.
+//!
+//! * [`bgp`] — a synthetic BGP collector view (RouteViews / RIPE RIS
+//!   stand-in) listing prefixes, their origins, and AS paths.
+//! * [`anaximander`] — per-AS target-list construction with pruning
+//!   and scheduling (Marechal et al., PAM'22): originated prefixes
+//!   first, then transiting prefixes, one representative probe per
+//!   covering prefix.
+//! * [`bdrmap`] — bdrmapIT-style annotation: assign each hop address
+//!   to an AS and cut the intra-AS span out of a trace.
+//! * [`alias`] — MIDAR-style IP-ID monotonicity alias testing with
+//!   APPLE-style candidate pruning, producing router-level clusters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod anaximander;
+pub mod bdrmap;
+pub mod bgp;
+
+pub use alias::{AliasResolver, IpIdOracle};
+pub use anaximander::{build_target_list, AnaximanderConfig};
+pub use bdrmap::AsAnnotator;
+pub use bgp::{BgpRoute, BgpView};

@@ -1,0 +1,189 @@
+//! Executable per-router MPLS state: the LFIB and the FTN.
+//!
+//! Both the classic LDP control plane ([`crate::ldp`]) and the SR
+//! control plane (`arest-sr`) compile down to these two tables; the
+//! simulator (`arest-simnet`) only ever interprets them, so one data
+//! plane serves both — exactly the SR-MPLS premise of "SR over the
+//! existing MPLS forwarding plane" (paper §2.3).
+
+use arest_topo::ids::{IfaceId, RouterId};
+use arest_topo::prefix::{Prefix, PrefixMap};
+use arest_wire::mpls::Label;
+use std::collections::HashMap;
+
+/// What a router does with an incoming top label (its NHLFE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LfibAction {
+    /// SWAP: replace the top label and forward.
+    Swap {
+        /// The outgoing label.
+        out_label: Label,
+        /// Egress interface.
+        out_iface: IfaceId,
+        /// The neighbour on the far side (for bookkeeping/tests).
+        next_router: RouterId,
+    },
+    /// POP and forward: remove the top label and send what remains
+    /// (deeper stack or plain IP) out an interface — penultimate-hop
+    /// popping, or an adjacency SID's forced egress.
+    PopForward {
+        /// Egress interface.
+        out_iface: IfaceId,
+        /// The neighbour on the far side.
+        next_router: RouterId,
+    },
+    /// POP locally: the label addressed this router (its node SID or
+    /// an egress label); remove it and re-process the packet here
+    /// (IP lookup, or act on the next label).
+    PopLocal,
+}
+
+/// The Label Forwarding Information Base: incoming label → action.
+#[derive(Debug, Clone, Default)]
+pub struct Lfib {
+    entries: HashMap<Label, LfibAction>,
+}
+
+impl Lfib {
+    /// Creates an empty LFIB.
+    pub fn new() -> Lfib {
+        Lfib::default()
+    }
+
+    /// Installs an entry; returns the previous action when overwritten.
+    pub fn install(&mut self, in_label: Label, action: LfibAction) -> Option<LfibAction> {
+        self.entries.insert(in_label, action)
+    }
+
+    /// Looks up the action for an incoming label.
+    pub fn lookup(&self, label: Label) -> Option<LfibAction> {
+        self.entries.get(&label).copied()
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the LFIB is empty (a pure-IP router).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(in_label, action)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Label, &LfibAction)> {
+        self.entries.iter()
+    }
+}
+
+/// The ingress encapsulation instruction attached to a FEC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushInstruction {
+    /// Labels to push, top of stack first. Empty means "forward as
+    /// plain IP" (the downstream advertised implicit NULL).
+    pub labels: Vec<Label>,
+    /// Egress interface for the encapsulated packet.
+    pub out_iface: IfaceId,
+    /// The neighbour on the far side.
+    pub next_router: RouterId,
+}
+
+/// The FEC-To-NHLFE map: destination prefix → push instruction.
+///
+/// Consulted by ingress LERs (and by LSRs whose [`LfibAction::PopLocal`]
+/// re-enters the IP layer mid-tunnel, as happens at SR/LDP boundaries).
+#[derive(Debug, Clone, Default)]
+pub struct Ftn {
+    map: PrefixMap<PushInstruction>,
+}
+
+impl Ftn {
+    /// Creates an empty FTN.
+    pub fn new() -> Ftn {
+        Ftn::default()
+    }
+
+    /// Installs an instruction for a FEC.
+    pub fn install(&mut self, fec: Prefix, instruction: PushInstruction) {
+        self.map.insert(fec, instruction);
+    }
+
+    /// Longest-prefix-match lookup for a destination address.
+    pub fn lookup(&self, dst: std::net::Ipv4Addr) -> Option<&PushInstruction> {
+        self.map.lookup(dst).map(|(_, i)| i)
+    }
+
+    /// Number of FECs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no FEC is installed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(prefix, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &PushInstruction)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn label(v: u32) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    #[test]
+    fn lfib_install_lookup_overwrite() {
+        let mut lfib = Lfib::new();
+        assert!(lfib.is_empty());
+        let swap = LfibAction::Swap {
+            out_label: label(17_005),
+            out_iface: IfaceId(4),
+            next_router: RouterId(2),
+        };
+        assert_eq!(lfib.install(label(16_005), swap), None);
+        assert_eq!(lfib.lookup(label(16_005)), Some(swap));
+        assert_eq!(lfib.lookup(label(99)), None);
+        let pop = LfibAction::PopLocal;
+        assert_eq!(lfib.install(label(16_005), pop), Some(swap));
+        assert_eq!(lfib.len(), 1);
+    }
+
+    #[test]
+    fn ftn_longest_prefix_wins() {
+        let mut ftn = Ftn::new();
+        let coarse = PushInstruction {
+            labels: vec![label(30_000)],
+            out_iface: IfaceId(1),
+            next_router: RouterId(1),
+        };
+        let fine = PushInstruction {
+            labels: vec![label(30_001), label(30_002)],
+            out_iface: IfaceId(2),
+            next_router: RouterId(2),
+        };
+        ftn.install("10.0.0.0/8".parse().unwrap(), coarse.clone());
+        ftn.install("10.1.0.0/16".parse().unwrap(), fine.clone());
+        assert_eq!(ftn.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(&fine));
+        assert_eq!(ftn.lookup(Ipv4Addr::new(10, 9, 9, 9)), Some(&coarse));
+        assert_eq!(ftn.lookup(Ipv4Addr::new(192, 0, 2, 1)), None);
+        assert_eq!(ftn.len(), 2);
+    }
+
+    #[test]
+    fn empty_push_means_plain_ip() {
+        let mut ftn = Ftn::new();
+        ftn.install(
+            "198.51.100.0/24".parse().unwrap(),
+            PushInstruction { labels: vec![], out_iface: IfaceId(0), next_router: RouterId(9) },
+        );
+        let i = ftn.lookup(Ipv4Addr::new(198, 51, 100, 77)).unwrap();
+        assert!(i.labels.is_empty());
+    }
+}

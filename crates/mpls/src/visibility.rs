@@ -1,0 +1,122 @@
+//! MPLS tunnel visibility to traceroute.
+//!
+//! Two independent router/ingress settings decide what traceroute can
+//! see of a tunnel (Donnet et al., paper §2.2 and Appendix C):
+//!
+//! * **ttl-propagate** — whether the ingress LER copies the IP TTL
+//!   into the pushed LSE TTL (revealing interior LSRs) or sets it to
+//!   255 (hiding them);
+//! * **RFC 4950** — whether LSRs quote the received label stack in
+//!   their ICMP time-exceeded messages.
+//!
+//! Their combinations yield the four tunnel types AReST cares about.
+
+use core::fmt;
+
+/// A tunnel's visibility configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TunnelVisibility {
+    /// Ingress copies IP TTL into the LSE TTL (`ttl-propagate`).
+    pub ttl_propagate: bool,
+    /// LSRs implement RFC 4950 and quote the LSE stack in ICMP errors.
+    pub rfc4950: bool,
+}
+
+impl TunnelVisibility {
+    /// Fully visible configuration: propagate + RFC 4950.
+    pub const EXPLICIT: TunnelVisibility =
+        TunnelVisibility { ttl_propagate: true, rfc4950: true };
+    /// Propagating but not quoting: hops appear as plain IP.
+    pub const IMPLICIT: TunnelVisibility =
+        TunnelVisibility { ttl_propagate: true, rfc4950: false };
+    /// Quoting but not propagating: only the ending hop is seen.
+    pub const OPAQUE: TunnelVisibility =
+        TunnelVisibility { ttl_propagate: false, rfc4950: true };
+    /// Neither: the tunnel is entirely hidden.
+    pub const INVISIBLE: TunnelVisibility =
+        TunnelVisibility { ttl_propagate: false, rfc4950: false };
+
+    /// The tunnel type this configuration produces.
+    pub const fn tunnel_type(self) -> TunnelType {
+        match (self.ttl_propagate, self.rfc4950) {
+            (true, true) => TunnelType::Explicit,
+            (true, false) => TunnelType::Implicit,
+            (false, true) => TunnelType::Opaque,
+            (false, false) => TunnelType::Invisible,
+        }
+    }
+}
+
+/// The Donnet et al. tunnel taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TunnelType {
+    /// LSRs reveal themselves *and* quote their LSE stacks: eligible
+    /// for every AReST flag.
+    Explicit,
+    /// LSRs reveal themselves but quote no LSE: indistinguishable from
+    /// IP, no flag can fire.
+    Implicit,
+    /// Only the ending hop is revealed, with its LSE: eligible for the
+    /// stack-based flags (LSVR, LVR, LSO) but not the sequence-based
+    /// ones (CVR, CO).
+    Opaque,
+    /// Nothing is revealed.
+    Invisible,
+}
+
+impl TunnelType {
+    /// All four types, in taxonomy order.
+    pub const ALL: [TunnelType; 4] =
+        [TunnelType::Explicit, TunnelType::Implicit, TunnelType::Opaque, TunnelType::Invisible];
+
+    /// Whether traces through this tunnel can trigger the
+    /// label-sequence flags CVR and CO (needs every hop's LSE).
+    pub const fn supports_sequence_flags(self) -> bool {
+        matches!(self, TunnelType::Explicit)
+    }
+
+    /// Whether traces through this tunnel can trigger any flag at all
+    /// (needs at least one quoted LSE).
+    pub const fn supports_stack_flags(self) -> bool {
+        matches!(self, TunnelType::Explicit | TunnelType::Opaque)
+    }
+}
+
+impl fmt::Display for TunnelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TunnelType::Explicit => "explicit",
+            TunnelType::Implicit => "implicit",
+            TunnelType::Opaque => "opaque",
+            TunnelType::Invisible => "invisible",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_donnet_table() {
+        assert_eq!(TunnelVisibility::EXPLICIT.tunnel_type(), TunnelType::Explicit);
+        assert_eq!(TunnelVisibility::IMPLICIT.tunnel_type(), TunnelType::Implicit);
+        assert_eq!(TunnelVisibility::OPAQUE.tunnel_type(), TunnelType::Opaque);
+        assert_eq!(TunnelVisibility::INVISIBLE.tunnel_type(), TunnelType::Invisible);
+    }
+
+    #[test]
+    fn flag_eligibility_follows_paper_appendix_c() {
+        // "Only explicit tunnels fully expose MPLS LSEs, making them
+        // eligible for all detection flags… Opaque tunnels expose only
+        // the last hop LSE, limiting their eligibility to flags LSVR,
+        // LVR, and LSO."
+        assert!(TunnelType::Explicit.supports_sequence_flags());
+        assert!(TunnelType::Explicit.supports_stack_flags());
+        assert!(!TunnelType::Opaque.supports_sequence_flags());
+        assert!(TunnelType::Opaque.supports_stack_flags());
+        assert!(!TunnelType::Implicit.supports_stack_flags());
+        assert!(!TunnelType::Invisible.supports_stack_flags());
+    }
+}

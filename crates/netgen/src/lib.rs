@@ -1,0 +1,38 @@
+//! # arest-netgen
+//!
+//! The synthetic Internet generator — the substitute for the paper's
+//! measurement substrate (the real IPv4 Internet, 60 target ASes,
+//! 50 cloud vantage points).
+//!
+//! The generator is *mechanistic*, not distributional: it does not
+//! paint label values onto traces; it deploys real control planes
+//! (LDP from `arest-mpls`, SR-MPLS from `arest-sr`) over generated
+//! topologies with per-AS operational profiles (vendor mixes,
+//! ttl-propagate / RFC 4950 configs, SRGB customization, SNMP
+//! exposure), so every signal AReST later detects arises for the same
+//! causal reason as in the wild.
+//!
+//! * [`catalog`] — the paper's Table 5: the 60 target ASes with their
+//!   type, size, and SR-MPLS confirmation source.
+//! * [`profile`] — per-AS deployment profiles derived from the
+//!   catalog plus the paper's observations (§5–§7, Appendix C).
+//! * [`builder`] — builds one AS: topology, LDP/SR domains,
+//!   interworking, policies, visibility and management-plane configs.
+//! * [`internet`] — assembles the full Internet: all 60 ASes, the 50
+//!   vantage points, inter-AS wiring, the BGP view, and the ground
+//!   truth record used for validation.
+//! * [`longitudinal`] — the synthetic CAIDA/RIPE-style longitudinal
+//!   archive behind Fig. 7 (LSE stack sizes, 2015–2025).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod internet;
+pub mod longitudinal;
+pub mod profile;
+
+pub use catalog::{AsProfile, AsType, Confirmation, CATALOG};
+pub use internet::{GenConfig, GroundTruth, Internet, RouteSpec, VpSpec};
+pub use profile::DeploymentProfile;

@@ -1,0 +1,373 @@
+//! Per-AS deployment profiles.
+//!
+//! A profile translates a Table 5 row into the operational knobs the
+//! builder deploys. The derivations encode the paper's *observations*
+//! so the reproduction exhibits the same shapes for the same causal
+//! reasons:
+//!
+//! * confirmed deployers actually run SR over part of their core;
+//!   Microsoft (#15) and ESnet (#46) run it widest (§7.1), ESnet with
+//!   no LDP at all and a dark management plane (§6.1: no hop answered
+//!   fingerprinting) plus service-SID policies (§6.2);
+//! * stubs hide their tunnels (Appendix C: mostly invisible/implicit;
+//!   #2, #3, #16 expose no explicit tunnels at all; #44 ≈ 5 %);
+//! * #31, #38, #40, #55 have unusually good fingerprint coverage and
+//!   thus carry the CVR/LSVR/LVR flags (§6.2);
+//! * ~30 % of SR operators customize their SRGB (§3), making CVR
+//!   impossible there while CO keeps working;
+//! * unconfirmed ASes mostly run classic MPLS with VPN-style 2-label
+//!   stacks — the source of the LSO-dominant detections (§6.2) —
+//!   while a minority secretly run SR.
+
+use crate::catalog::{AsProfile, AsType, Confirmation};
+use arest_topo::vendor::Vendor;
+
+/// The operational knobs for one generated AS.
+#[derive(Debug, Clone)]
+pub struct DeploymentProfile {
+    /// Router count (scaled from discovered addresses).
+    pub routers: usize,
+    /// Number of border routers facing the rest of the Internet.
+    pub borders: usize,
+    /// Fraction of routers inside the SR domain (0 = no SR).
+    pub sr_share: f64,
+    /// Fraction of routers inside the classic LDP domain.
+    pub ldp_share: f64,
+    /// Per-router probability of `ttl-propagate`.
+    pub p_propagate: f64,
+    /// Per-router probability of implementing RFC 4950.
+    pub p_rfc4950: f64,
+    /// Per-router probability of answering echo requests.
+    pub echo_rate: f64,
+    /// Per-router probability of SNMPv3 exposure.
+    pub snmp_rate: f64,
+    /// The domain SRGB base (16,000 = the Table 1 default; custom
+    /// bases defeat vendor-range flags but not sequence flags).
+    pub srgb_base: u32,
+    /// Penultimate-hop popping for SR prefix SIDs.
+    pub php: bool,
+    /// Fraction of LDP FECs carrying VPN-style 2-label stacks.
+    pub vpn_stack_share: f64,
+    /// Fraction of SR FECs steered by 2-segment TE policies.
+    pub te_policy_share: f64,
+    /// Fraction of SR FECs carrying service SIDs (unshrinking
+    /// stacks, the ESnet/Execulink signature).
+    pub service_sid_share: f64,
+    /// Customer /24 prefixes attached to edge routers.
+    pub customer_prefixes: usize,
+    /// Vendor mix as (vendor, weight) pairs.
+    pub vendor_mix: Vec<(Vendor, f64)>,
+}
+
+/// A deterministic per-AS hash in `[0, 1)`, used for the
+/// "30 % of unconfirmed ASes secretly deploy SR"-style draws.
+fn unit_hash(asn: u32, salt: u32) -> f64 {
+    let mut h = u64::from(asn).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(salt) << 32;
+    h ^= h >> 31;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 29;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Derives the deployment profile for one catalog entry.
+///
+/// `scale` multiplies the paper's discovered-address counts before
+/// they are turned into router counts; the default experiment profile
+/// uses a small scale so the whole Internet fits in memory while
+/// preserving relative AS sizes.
+///
+/// `adoption` in `[0, 1]` rewinds the SR deployment clock: it scales
+/// each deployer's SR footprint and the probability that unconfirmed
+/// ASes deploy at all, enabling the longitudinal what-if studies the
+/// paper leaves as future work. `1.0` reproduces the 2025 snapshot.
+pub fn profile_for(entry: &AsProfile, scale: f64, adoption: f64) -> DeploymentProfile {
+    let claimed = entry.confirmation != Confirmation::None;
+    let adoption = adoption.clamp(0.0, 1.0);
+
+    // Router count: roughly one router per four discovered addresses,
+    // scaled, clamped to keep the biggest ASes tractable. Tiny ASes
+    // stay tiny so the <100-address exclusion rule reproduces itself.
+    let scaled_ips = entry.ips_discovered as f64 * scale;
+    let mut routers = ((scaled_ips / 4.0).round() as usize).clamp(1, 200);
+    if entry.ips_discovered == 0 {
+        routers = 1; // unreachable AS: a lone unreachable router
+    }
+    // ESnet is small in addresses but is the ground-truth reference:
+    // keep enough routers for meaningful segment statistics.
+    if entry.id == 46 {
+        routers = routers.max(20);
+    }
+    // Analyzed claimants need a core deep enough that label sequences
+    // can span multiple distinct hops — the paper detected SR in all
+    // of them except the tunnel-hiding four.
+    if claimed && entry.analyzed() {
+        routers = routers.max(24);
+    }
+
+    let borders = (routers / 12).clamp(1, 4);
+
+    // SR share by confirmation and role (§7.1).
+    // Shares are deliberately modest: the paper finds SR-related
+    // interfaces are <= 10 % of observed addresses for most ASes
+    // (Fig. 10b), with Microsoft and ESnet as outliers.
+    let mut sr_share: f64 = if claimed {
+        match entry.astype {
+            AsType::Stub => 0.30,
+            AsType::Content => 0.30,
+            AsType::Transit => 0.28,
+            AsType::Tier1 => 0.22,
+        }
+    } else if unit_hash(entry.asn, 1) < 0.30 * adoption && entry.astype != AsType::Stub {
+        0.20 // a hidden deployer
+    } else {
+        0.0
+    };
+    sr_share *= adoption;
+    match entry.id {
+        15 => sr_share = 0.60 * adoption, // Microsoft: ~50 % of interfaces SR
+        46 => sr_share = 1.0 * adoption,  // ESnet: SR everywhere
+        28 | 58 => sr_share = 0.55 * adoption, // Bell Canada / Arelion
+        // Hidden deployers the paper's results imply: Google and
+        // Amazon show LSO alongside strong flags (§6.3); Telecom
+        // Italia and Hurricane Electric are top CVR/LSVR/LVR
+        // contributors (§6.2) despite no external confirmation.
+        14 | 19 | 38 | 40 => sr_share = sr_share.max(0.30 * adoption),
+        _ => {}
+    }
+
+    // LDP share: the non-SR remainder mostly runs classic MPLS in
+    // Content/Transit/Tier-1; full-SR ASes keep none.
+    // LDP islands stay smaller than the SR core where both exist
+    // (Fig. 12: "smaller LDP islands interconnected by larger SR
+    // clouds"); ASes without SR keep a larger classic-MPLS footprint.
+    let ldp_share = if sr_share >= 1.0 {
+        0.0
+    } else if sr_share > 0.0 {
+        0.30
+    } else {
+        match entry.astype {
+            AsType::Stub => 0.5,
+            _ => 0.55,
+        }
+    };
+
+    // Tunnel visibility (Appendix C): default mostly explicit;
+    // stubs mostly hidden; per-AS specials.
+    let (mut p_propagate, mut p_rfc4950) = match entry.astype {
+        // Stubs implement RFC 4950 like everyone else but rarely
+        // propagate TTLs into their tunnels: mostly invisible paths
+        // with a modest explicit share (Appendix C, Fig. 13).
+        AsType::Stub => (0.35, 0.90),
+        _ => (0.88, 0.92),
+    };
+    match entry.id {
+        2 | 3 | 16 => p_rfc4950 = 0.0,           // no explicit tunnels at all
+        44 => {
+            p_propagate = 0.25;                   // Midco: ~5 % explicit paths
+            p_rfc4950 = 0.25;
+        }
+        46 => {
+            p_propagate = 1.0;                    // ESnet: fully explicit
+            p_rfc4950 = 1.0;
+        }
+        // The implied hidden deployers carry vendor-range flags in the
+        // paper (§6.2), which requires explicit tunnels.
+        14 | 19 | 38 | 40 => {
+            p_propagate = 1.0;
+            p_rfc4950 = 1.0;
+        }
+        // Every other confirmed deployer showed detectable (explicit)
+        // tunnels in the paper's campaign — their fleet templates
+        // implement RFC 4950 and propagate TTLs at the ingress.
+        _ if claimed => {
+            p_rfc4950 = 1.0;
+            p_propagate = 1.0;
+        }
+        _ => {}
+    }
+
+    // Management plane: fingerprinting coverage (§5, Appendix C).
+    // Echo responsiveness is deliberately low: the paper fingerprints
+    // only ~23 % of SR hops, which is what keeps CVR rarer than CO.
+    let (mut echo_rate, mut snmp_rate) = (0.30, 0.04);
+    match entry.id {
+        31 | 38 | 40 | 55 => snmp_rate = 0.35, // the CVR/LSVR/LVR contributors
+        46 => {
+            echo_rate = 0.0;                    // ESnet answers nothing
+            snmp_rate = 0.0;
+        }
+        _ => {}
+    }
+
+    // SRGB customization: ~30 % of SR operators move off the default
+    // (§3); interoperability-driven, so still within low label space.
+    let srgb_base = if sr_share > 0.0 && unit_hash(entry.asn, 2) < 0.30 && entry.id != 46 {
+        28_000
+    } else {
+        16_000
+    };
+
+    // Stack-producing features.
+    let vpn_stack_share = match entry.astype {
+        AsType::Stub => 0.10,
+        AsType::Content => 0.28,
+        AsType::Transit | AsType::Tier1 => 0.28,
+    };
+    // Traffic engineering is a primary SR use case (survey Fig. 5b:
+    // ~46 % of SR operators) — TE policies are what pushes multi-label
+    // stacks into SR contexts (Fig. 9a).
+    let te_policy_share = if sr_share > 0.0 { 0.35 } else { 0.0 };
+    let service_sid_share = match entry.id {
+        46 | 52 => 0.10, // ESnet / Execulink: unshrinking stacks
+        14 | 19 => 0.06, // Google / Amazon: LSO alongside strong flags
+        _ => 0.0,
+    };
+
+    // Vendor mix, echoing the survey (Fig. 5a): Cisco and Juniper
+    // dominate; the fingerprint-rich ASes skew further toward
+    // Cisco/Huawei so TTL evidence lands on vendor ranges.
+    let vendor_mix = match entry.id {
+        31 | 38 | 40 | 55 => vec![
+            (Vendor::Cisco, 0.55),
+            (Vendor::Huawei, 0.20),
+            (Vendor::Juniper, 0.15),
+            (Vendor::Nokia, 0.10),
+        ],
+        _ => vec![
+            (Vendor::Cisco, 0.42),
+            (Vendor::Juniper, 0.28),
+            (Vendor::Nokia, 0.12),
+            (Vendor::Arista, 0.08),
+            (Vendor::Huawei, 0.06),
+            (Vendor::Linux, 0.04),
+        ],
+    };
+
+    DeploymentProfile {
+        routers,
+        borders,
+        sr_share,
+        ldp_share,
+        p_propagate,
+        p_rfc4950,
+        echo_rate,
+        snmp_rate,
+        srgb_base,
+        // SR prefix SIDs run without PHP: explicit-null retention is
+        // the common SR-OAM configuration, it keeps the segment label
+        // visible end to end, and it lets RFC 8661 borders stitch
+        // SR→LDP without an unlabelled gap at the junction.
+        php: false,
+        vpn_stack_share,
+        te_policy_share,
+        service_sid_share,
+        customer_prefixes: (routers / 3).clamp(1, 40),
+        vendor_mix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{by_id, CATALOG};
+
+    const SCALE: f64 = 0.05;
+
+    #[test]
+    fn esnet_profile_matches_ground_truth_conditions() {
+        let p = profile_for(by_id(46).unwrap(), SCALE, 1.0);
+        assert_eq!(p.sr_share, 1.0, "SR everywhere");
+        assert_eq!(p.ldp_share, 0.0, "no traditional MPLS");
+        assert_eq!(p.echo_rate, 0.0, "no fingerprinting answers");
+        assert_eq!(p.snmp_rate, 0.0);
+        assert_eq!((p.p_propagate, p.p_rfc4950), (1.0, 1.0), "explicit tunnels");
+        assert!(p.service_sid_share > 0.0, "unshrinking stacks");
+        assert!(!p.php, "stacks persist to the destination");
+        assert!(p.routers >= 18);
+        assert_eq!(p.srgb_base, 16_000);
+    }
+
+    #[test]
+    fn microsoft_runs_the_widest_sr() {
+        let ms = profile_for(by_id(15).unwrap(), SCALE, 1.0);
+        for entry in CATALOG.iter().filter(|e| e.id != 15 && e.id != 46) {
+            let other = profile_for(entry, SCALE, 1.0);
+            assert!(ms.sr_share >= other.sr_share, "#{} out-deploys Microsoft", entry.id);
+        }
+    }
+
+    #[test]
+    fn no_explicit_trio_has_zero_rfc4950() {
+        for id in [2u8, 3, 16] {
+            let p = profile_for(by_id(id).unwrap(), SCALE, 1.0);
+            assert_eq!(p.p_rfc4950, 0.0, "#{id}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_rich_ases_have_high_snmp() {
+        for id in [31u8, 38, 40, 55] {
+            let p = profile_for(by_id(id).unwrap(), SCALE, 1.0);
+            assert!(p.snmp_rate > 0.3, "#{id}");
+        }
+    }
+
+    #[test]
+    fn stubs_hide_their_tunnels() {
+        let stub = profile_for(by_id(7).unwrap(), SCALE, 1.0);
+        let transit = profile_for(by_id(35).unwrap(), SCALE, 1.0);
+        assert!(stub.p_propagate < transit.p_propagate);
+        assert!(stub.p_rfc4950 < transit.p_rfc4950);
+    }
+
+    #[test]
+    fn router_counts_scale_and_preserve_order() {
+        let small = profile_for(by_id(47).unwrap(), SCALE, 1.0); // Aruba, 346 IPs
+        let large = profile_for(by_id(58).unwrap(), SCALE, 1.0); // Arelion, 339k IPs
+        assert!(small.routers < large.routers);
+        assert_eq!(large.routers, 200, "clamped at the cap");
+    }
+
+    #[test]
+    fn about_30_percent_of_sr_ases_customize_srgb() {
+        let sr_ases: Vec<_> = CATALOG
+            .iter()
+            .map(|e| profile_for(e, SCALE, 1.0))
+            .filter(|p| p.sr_share > 0.0)
+            .collect();
+        let custom = sr_ases.iter().filter(|p| p.srgb_base != 16_000).count();
+        let share = custom as f64 / sr_ases.len() as f64;
+        assert!(share > 0.1 && share < 0.5, "custom-SRGB share {share}");
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = profile_for(by_id(19).unwrap(), SCALE, 1.0);
+        let b = profile_for(by_id(19).unwrap(), SCALE, 1.0);
+        assert_eq!(a.sr_share, b.sr_share);
+        assert_eq!(a.srgb_base, b.srgb_base);
+    }
+
+    #[test]
+    fn adoption_rewinds_the_deployment_clock() {
+        for entry in CATALOG.iter() {
+            let now = profile_for(entry, SCALE, 1.0);
+            let early = profile_for(entry, SCALE, 0.4);
+            let none = profile_for(entry, SCALE, 0.0);
+            assert!(early.sr_share <= now.sr_share, "#{}", entry.id);
+            assert_eq!(none.sr_share, 0.0, "#{}: adoption 0 means no SR", entry.id);
+        }
+        // ESnet at half adoption runs SR on half its core.
+        let esnet = profile_for(by_id(46).unwrap(), SCALE, 0.5);
+        assert!((esnet.sr_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconfirmed_stubs_never_deploy_sr() {
+        for entry in CATALOG.iter().filter(|e| {
+            e.astype == AsType::Stub && e.confirmation == Confirmation::None
+        }) {
+            assert_eq!(profile_for(entry, SCALE, 1.0).sr_share, 0.0, "#{}", entry.id);
+        }
+    }
+}

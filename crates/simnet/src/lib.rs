@@ -1,0 +1,38 @@
+//! # arest-simnet
+//!
+//! A packet-level network simulator with wire-accurate edges.
+//!
+//! Routers forward an in-memory packet representation for speed, but
+//! every ICMP reply handed back to the prober is a real byte buffer
+//! built with `arest-wire` — including RFC 4884 extension structures
+//! and RFC 4950 MPLS Label Stack objects — so the measurement stack
+//! above (`arest-tnt`) exercises genuine parsing end to end.
+//!
+//! The TTL semantics follow RFC 3443 and the behaviours the paper's
+//! tunnel taxonomy depends on:
+//!
+//! * ingress LERs either copy the IP TTL into pushed LSEs
+//!   (`ttl-propagate`) or set 255;
+//! * interior LSRs decrement only the top LSE TTL;
+//! * popping merges TTLs with the `min` rule, so short-pipe tunnels
+//!   stay invisible and uniform tunnels expose their hops;
+//! * routers with RFC 4950 quote the *received* label stack in their
+//!   time-exceeded messages.
+//!
+//! Modules:
+//! * [`plane`] — per-router forwarding state (FIB/LFIB/FTN + ICMP and
+//!   visibility configuration).
+//! * [`packet`] — the simulated packet, probe specification, and reply
+//!   types.
+//! * [`network`] — the [`network::Network`] forwarding engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod packet;
+pub mod plane;
+
+pub use network::Network;
+pub use packet::{DropReason, ProbeReply, ProbeSpec, SimPacket, TransportPayload};
+pub use plane::{Route, RouterPlane};

@@ -1,0 +1,1139 @@
+//! The forwarding engine.
+
+use crate::packet::{DropReason, ProbeReply, ProbeSpec, SimPacket, TransportPayload};
+use crate::plane::RouterPlane;
+use arest_mpls::tables::LfibAction;
+use arest_topo::graph::Topology;
+use arest_topo::ids::{AsNumber, IfaceId, RouterId};
+use arest_topo::prefix::{Prefix, PrefixMap};
+use arest_topo::spf::DomainSpf;
+use arest_wire::icmp::{IcmpMessage, MplsExtension};
+use arest_wire::mpls::LabelStack;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Safety bound on router visits per probe; anything beyond this is a
+/// control-plane bug surfacing as a forwarding loop.
+const MAX_VISITS: usize = 1_024;
+
+/// The assembled network: topology plus per-router planes.
+///
+/// Besides per-router FIB entries, three shared structures keep
+/// Internet-scale routing state sub-quadratic:
+///
+/// * **IGP domains** — one [`DomainSpf`] per AS answers "next hop from
+///   here toward that router" for every intra-AS pair, standing in for
+///   the loopback /32 routes the IGP would install on every router;
+/// * **anchors** — prefixes terminated *at* a router (customer blocks
+///   on an edge router): probes into an anchored prefix are answered
+///   by the anchor as if the covered host replied;
+/// * **exit maps** — per-AS longest-prefix tables naming the egress
+///   border router for external destinations (the iBGP view).
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    planes: Vec<RouterPlane>,
+    igp: HashMap<AsNumber, DomainSpf>,
+    anchors: PrefixMap<RouterId>,
+    exits: HashMap<AsNumber, PrefixMap<RouterId>>,
+}
+
+impl Network {
+    /// Wraps a topology with default (pure-IP, fully visible) planes.
+    pub fn new(topo: Topology) -> Network {
+        let planes = (0..topo.router_count()).map(|_| RouterPlane::default()).collect();
+        Network {
+            topo,
+            planes,
+            igp: HashMap::new(),
+            anchors: PrefixMap::new(),
+            exits: HashMap::new(),
+        }
+    }
+
+    /// Registers the IGP shortest-path oracle for one AS.
+    pub fn register_igp(&mut self, asn: AsNumber, spf: DomainSpf) {
+        self.igp.insert(asn, spf);
+    }
+
+    /// Anchors a prefix at a router: probes to any covered address are
+    /// delivered there (the router answers on behalf of the covered
+    /// hosts, e.g. a customer block on an edge router).
+    pub fn anchor_prefix(&mut self, prefix: Prefix, router: RouterId) {
+        self.anchors.insert(prefix, router);
+    }
+
+    /// Declares that, within `asn`, external destinations under
+    /// `prefix` leave the AS at border router `exit`.
+    pub fn register_exit(&mut self, asn: AsNumber, prefix: Prefix, exit: RouterId) {
+        self.exits.entry(asn).or_default().insert(prefix, exit);
+    }
+
+    /// The router that terminates `addr`: its interface/loopback
+    /// owner, or the anchor of a covering prefix.
+    pub fn terminal_router(&self, addr: Ipv4Addr) -> Option<RouterId> {
+        if let Some(router) = self.topo.router_by_any_addr(addr) {
+            return Some(router.id);
+        }
+        self.anchors.lookup(addr).map(|(_, r)| *r)
+    }
+
+    /// The underlying topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the topology (failure injection).
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// A router's plane.
+    pub fn plane(&self, r: RouterId) -> &RouterPlane {
+        &self.planes[r.index()]
+    }
+
+    /// Mutable access to a router's plane (used by generators).
+    pub fn plane_mut(&mut self, r: RouterId) -> &mut RouterPlane {
+        &mut self.planes[r.index()]
+    }
+
+    /// Injects one probe and runs it to completion.
+    pub fn probe(&self, spec: &ProbeSpec) -> ProbeReply {
+        // The flow key: per-flow load balancers hash the 5-tuple. The
+        // Paris design keeps it constant across a trace (ports fixed,
+        // ident in the checksum), so every probe of one trace follows
+        // one ECMP choice.
+        let flow = flow_hash(spec);
+        let mut pkt = spec.packet();
+        let mut current = spec.entry;
+        let mut incoming_iface: Option<IfaceId> = None;
+        // Set when the packet arrived at `current` carrying labels that
+        // were popped locally — RFC 4950 quoting still applies then.
+        let mut received_labeled: Option<LabelStack> = None;
+        let mut hops: u8 = 0;
+
+        for _ in 0..MAX_VISITS {
+            let plane = &self.planes[current.index()];
+            let reply_src = incoming_iface
+                .map(|i| self.topo.iface(i).addr)
+                .unwrap_or(self.topo.router(current).loopback);
+
+            if !pkt.stack.is_empty() {
+                // ---- MPLS visit ----
+                // RFC 4950 quotes the stack of the packet *as received
+                // by this router*: when a PopLocal loops back here with
+                // a shorter stack, the quote still shows what arrived.
+                let received =
+                    received_labeled.take().unwrap_or_else(|| pkt.stack.clone());
+                let ttl = pkt.stack.decrement_ttl().expect("stack checked non-empty");
+                if ttl == 0 {
+                    return self.time_exceeded(current, reply_src, &pkt, Some(received), hops);
+                }
+                let top = pkt.stack.top().expect("non-empty").label;
+                match plane.lfib.lookup(top) {
+                    None => return ProbeReply::Silent(DropReason::NoLabelEntry),
+                    Some(LfibAction::Swap { out_label, out_iface, next_router }) => {
+                        pkt.stack.swap(out_label);
+                        match self.hop(out_iface).map(|r| (r, next_router)).or_else(|| {
+                            self.try_repair(current, out_iface, &mut pkt)
+                        }) {
+                            Some((remote, next)) => {
+                                incoming_iface = Some(remote);
+                                current = next;
+                                hops += 1;
+                                received_labeled = None;
+                            }
+                            None => return ProbeReply::Silent(DropReason::NoRoute),
+                        }
+                    }
+                    Some(LfibAction::PopForward { out_iface, next_router }) => {
+                        let popped = pkt.stack.pop().expect("non-empty");
+                        merge_ttl_down(&mut pkt, popped.ttl);
+                        match self.hop(out_iface).map(|r| (r, next_router)).or_else(|| {
+                            self.try_repair(current, out_iface, &mut pkt)
+                        }) {
+                            Some((remote, next)) => {
+                                incoming_iface = Some(remote);
+                                current = next;
+                                hops += 1;
+                                received_labeled = None;
+                            }
+                            None => return ProbeReply::Silent(DropReason::NoRoute),
+                        }
+                    }
+                    Some(LfibAction::PopLocal) => {
+                        let popped = pkt.stack.pop().expect("non-empty");
+                        merge_ttl_down(&mut pkt, popped.ttl);
+                        // Reprocess at this router; remember the stack
+                        // we received so ICMP errors can quote it.
+                        received_labeled = Some(received);
+                    }
+                }
+                continue;
+            }
+
+            // ---- IP visit ----
+            // Delivery check precedes the TTL decrement: a destination
+            // host consumes the packet rather than forwarding it.
+            if self
+                .topo
+                .router_by_any_addr(pkt.ip.dst_addr)
+                .is_some_and(|r| r.id == current)
+            {
+                // The probed address belongs to this router itself: it
+                // answers directly, quoting any received label stack.
+                return self.deliver(current, &pkt, received_labeled.as_ref(), hops);
+            }
+            if self.anchors.lookup(pkt.ip.dst_addr).map(|(_, r)| *r) == Some(current) {
+                // The probed address sits in a customer prefix anchored
+                // here: this router is the provider edge, and the
+                // actual destination (the virtual CE) is one IP hop
+                // beyond it. The PE decrements and may expire the probe
+                // (quoting its received labels); otherwise the CE
+                // answers — as plain IP, because MPLS never reaches the
+                // customer side.
+                let received_ttl = pkt.ip.ttl;
+                pkt.ip.ttl = pkt.ip.ttl.saturating_sub(1);
+                if pkt.ip.ttl == 0 {
+                    let mut quoted = pkt.clone();
+                    quoted.ip.ttl = received_ttl;
+                    return self.time_exceeded(current, reply_src, &quoted, received_labeled, hops);
+                }
+                return self.deliver(current, &pkt, None, hops + 1);
+            }
+            let received_ttl = pkt.ip.ttl;
+            pkt.ip.ttl = pkt.ip.ttl.saturating_sub(1);
+            if pkt.ip.ttl == 0 {
+                let mut quoted = pkt.clone();
+                quoted.ip.ttl = received_ttl;
+                return self.time_exceeded(current, reply_src, &quoted, received_labeled, hops);
+            }
+
+            // Ingress encapsulation: FTN first (MPLS/SR preferred over
+            // plain IP). Deliberately NO owner-loopback fallback here:
+            // LDP/SR bind FECs to loopbacks and customer prefixes, not
+            // to link subnets, which is why probing an interface
+            // address rides plain IP — the property TNT's revelation
+            // techniques (DPR/BRPR) exploit to expose hidden tunnels.
+            let push = plane.ftn.lookup(pkt.ip.dst_addr).cloned();
+            if let Some(push) = push {
+                if !push.labels.is_empty() {
+                    let lse_ttl = if plane.ttl_propagate { pkt.ip.ttl } else { 255 };
+                    for &label in push.labels.iter().rev() {
+                        pkt.stack.push(label, lse_ttl);
+                    }
+                }
+                match self.hop(push.out_iface).map(|r| (r, push.next_router)).or_else(|| {
+                    self.try_repair(current, push.out_iface, &mut pkt)
+                }) {
+                    Some((remote, next)) => {
+                        incoming_iface = Some(remote);
+                        current = next;
+                        hops += 1;
+                        received_labeled = None;
+                        continue;
+                    }
+                    None => return ProbeReply::Silent(DropReason::NoRoute),
+                }
+            }
+
+            // Plain IP routing.
+            match self.route_ip(current, pkt.ip.dst_addr, flow) {
+                Some(route) => match self
+                    .hop(route.out_iface)
+                    .map(|r| (r, route.next_router))
+                    .or_else(|| self.try_repair(current, route.out_iface, &mut pkt))
+                {
+                    Some((remote, next)) => {
+                        incoming_iface = Some(remote);
+                        current = next;
+                        hops += 1;
+                        received_labeled = None;
+                    }
+                    None => return ProbeReply::Silent(DropReason::NoRoute),
+                },
+                None => return ProbeReply::Silent(DropReason::NoRoute),
+            }
+        }
+        ProbeReply::Silent(DropReason::HopBudgetExhausted)
+    }
+
+    /// The IP routing decision at `current` for `dst`, in lookup
+    /// order: explicit FIB entry, intra-AS IGP shortest path toward
+    /// the terminal router, per-AS exit map toward the egress border,
+    /// FIB entry for the terminal router's loopback. IGP decisions
+    /// hash `flow` over the equal-cost next-hop set (ECMP).
+    fn route_ip(&self, current: RouterId, dst: Ipv4Addr, flow: u64) -> Option<crate::plane::Route> {
+        let plane = &self.planes[current.index()];
+        if let Some((_, route)) = plane.fib.lookup(dst) {
+            return Some(*route);
+        }
+        let asn = self.topo.router(current).asn;
+        let terminal = self.terminal_router(dst);
+        if let Some(terminal) = terminal {
+            if self.topo.router(terminal).asn == asn {
+                if let Some(route) = self.igp_route(asn, current, terminal, flow) {
+                    return Some(route);
+                }
+            }
+        }
+        if let Some(exits) = self.exits.get(&asn) {
+            if let Some((_, &exit)) = exits.lookup(dst) {
+                if exit != current {
+                    if let Some(route) = self.igp_route(asn, current, exit, flow) {
+                        return Some(route);
+                    }
+                }
+            }
+        }
+        let loopback = self.topo.router(terminal?).loopback;
+        plane.fib.lookup(loopback).map(|(_, r)| *r)
+    }
+
+    /// The per-flow ECMP choice among the IGP's equal-cost next hops.
+    fn igp_route(
+        &self,
+        asn: AsNumber,
+        from: RouterId,
+        to: RouterId,
+        flow: u64,
+    ) -> Option<crate::plane::Route> {
+        let hops = self.igp.get(&asn)?.next_hops(from, to);
+        if hops.is_empty() {
+            return None;
+        }
+        // Mix the local router in, as real ECMP hashes do: two routers
+        // on the path make independent choices for the same flow.
+        let slot = (flow ^ u64::from(from.0).wrapping_mul(0x9e37_79b9)) as usize % hops.len();
+        let (out_iface, next_router) = hops[slot];
+        Some(crate::plane::Route { out_iface, next_router })
+    }
+
+    /// Crosses a link: the remote interface of `out_iface`, if up.
+    fn hop(&self, out_iface: IfaceId) -> Option<IfaceId> {
+        self.topo.remote_iface(out_iface).map(|i| i.id)
+    }
+
+    /// TI-LFA local repair: when `out_iface`'s link is down and the
+    /// router holds a precomputed repair for it, prepend the repair
+    /// labels and redirect onto the repair path. Returns the remote
+    /// incoming interface and next router, or `None` when the traffic
+    /// is unprotected (or the repair path is down too).
+    fn try_repair(
+        &self,
+        current: RouterId,
+        out_iface: IfaceId,
+        pkt: &mut SimPacket,
+    ) -> Option<(IfaceId, RouterId)> {
+        let repair = self.planes[current.index()].protection.get(&out_iface)?;
+        let remote = self.hop(repair.out_iface)?;
+        let lse_ttl = pkt.stack.top().map(|l| l.ttl).unwrap_or(pkt.ip.ttl);
+        for &label in repair.labels.iter().rev() {
+            pkt.stack.push(label, lse_ttl);
+        }
+        Some((remote, repair.next_router))
+    }
+
+    fn time_exceeded(
+        &self,
+        router: RouterId,
+        reply_src: Ipv4Addr,
+        pkt: &SimPacket,
+        received_stack: Option<LabelStack>,
+        hops: u8,
+    ) -> ProbeReply {
+        let plane = &self.planes[router.index()];
+        if !plane.icmp_enabled {
+            return ProbeReply::Silent(DropReason::IcmpDisabled);
+        }
+        let extension = match received_stack {
+            Some(stack) if plane.rfc4950 && !stack.is_empty() => {
+                Some(MplsExtension { stack })
+            }
+            _ => None,
+        };
+        let msg = IcmpMessage::TimeExceeded { original: pkt.quoted_datagram(), extension };
+        let vendor = self.topo.router(router).vendor;
+        ProbeReply::TimeExceeded {
+            from: reply_src,
+            raw: msg.to_bytes(),
+            reply_ttl: vendor.time_exceeded_initial_ttl().saturating_sub(hops),
+            forward_hops: hops,
+        }
+    }
+
+    fn deliver(
+        &self,
+        router: RouterId,
+        pkt: &SimPacket,
+        received_stack: Option<&LabelStack>,
+        hops: u8,
+    ) -> ProbeReply {
+        let plane = &self.planes[router.index()];
+        let vendor = self.topo.router(router).vendor;
+        match pkt.transport {
+            TransportPayload::Udp { .. } => {
+                if !plane.icmp_enabled {
+                    return ProbeReply::Silent(DropReason::TargetSilent);
+                }
+                let extension = match received_stack {
+                    Some(stack) if plane.rfc4950 && !stack.is_empty() => {
+                        Some(MplsExtension { stack: stack.clone() })
+                    }
+                    _ => None,
+                };
+                let msg = IcmpMessage::DestUnreachable {
+                    code: 3, // port unreachable
+                    original: pkt.quoted_datagram(),
+                    extension,
+                };
+                ProbeReply::DestUnreachable {
+                    from: pkt.ip.dst_addr,
+                    raw: msg.to_bytes(),
+                    reply_ttl: vendor.time_exceeded_initial_ttl().saturating_sub(hops),
+                    forward_hops: hops,
+                }
+            }
+            TransportPayload::Echo { .. } => {
+                if !plane.answers_echo {
+                    return ProbeReply::Silent(DropReason::TargetSilent);
+                }
+                ProbeReply::EchoReply {
+                    from: pkt.ip.dst_addr,
+                    reply_ttl: vendor.echo_reply_initial_ttl().saturating_sub(hops),
+                    forward_hops: hops,
+                }
+            }
+        }
+    }
+}
+
+/// The 5-tuple flow hash per-flow load balancers use.
+fn flow_hash(spec: &ProbeSpec) -> u64 {
+    let (a, b) = match spec.transport {
+        TransportPayload::Udp { src_port, dst_port, .. } => (src_port, dst_port),
+        TransportPayload::Echo { ident, .. } => (ident, 0),
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [
+        u64::from(u32::from(spec.src)),
+        u64::from(u32::from(spec.dst)),
+        u64::from(a),
+        u64::from(b),
+    ] {
+        h ^= chunk;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// RFC 3443 TTL merge on pop: the exposed TTL (next label or the IP
+/// header) never exceeds the popped one. Short-pipe tunnels (LSE
+/// pushed at 255) therefore leave the IP TTL untouched; uniform
+/// tunnels (propagated TTL) carry their decrements out.
+fn merge_ttl_down(pkt: &mut SimPacket, popped_ttl: u8) {
+    if let Some(top) = pkt.stack.top_mut() {
+        top.ttl = top.ttl.min(popped_ttl);
+    } else {
+        pkt.ip.ttl = pkt.ip.ttl.min(popped_ttl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::Route;
+    use arest_mpls::ldp::{LdpDomain, LdpFec};
+    use arest_mpls::pool::DynamicLabelPool;
+    use arest_sr::block::{cisco_srgb, cisco_srlb};
+    use arest_sr::domain::{SrDomain, SrDomainSpec, SrNodeConfig};
+    use arest_topo::ids::AsNumber;
+    use arest_topo::prefix::Prefix;
+    use arest_topo::vendor::Vendor;
+    use std::collections::HashMap;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    /// Linear topology: VPGW(R0) - R1 - R2 - R3 - R4(target holder).
+    /// The target prefix 203.0.113.0/24 is owned by R4 (delivery to
+    /// its interface addresses tests use the loopback).
+    struct Net {
+        net: Network,
+        r: Vec<RouterId>,
+        target: Ipv4Addr, // R4's loopback
+    }
+
+    fn chain(n: usize) -> (Topology, Vec<RouterId>) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_100);
+        let routers: Vec<RouterId> = (0..n)
+            .map(|i| {
+                topo.add_router(
+                    format!("r{i}"),
+                    asn,
+                    Vendor::Cisco,
+                    ip(10, 255, 10, (i + 1) as u8),
+                )
+            })
+            .collect();
+        for i in 0..n - 1 {
+            topo.add_link(
+                routers[i],
+                ip(10, 10, i as u8, 1),
+                routers[i + 1],
+                ip(10, 10, i as u8, 2),
+                1,
+            );
+        }
+        (topo, routers)
+    }
+
+    /// Installs plain IP routes along the chain toward every loopback.
+    fn install_ip_routes(net: &mut Network, routers: &[RouterId]) {
+        let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), routers);
+        let loopbacks: Vec<(RouterId, Ipv4Addr)> = routers
+            .iter()
+            .map(|&r| (r, net.topo().router(r).loopback))
+            .collect();
+        for &from in routers {
+            for &(to, lo) in &loopbacks {
+                if from == to {
+                    continue;
+                }
+                if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                    net.plane_mut(from).install_route(
+                        Prefix::host(lo),
+                        Route { out_iface, next_router },
+                    );
+                }
+            }
+        }
+    }
+
+    fn plain_ip_net() -> Net {
+        let (topo, r) = chain(5);
+        let target = topo.router(r[4]).loopback;
+        let mut net = Network::new(topo);
+        install_ip_routes(&mut net, &r);
+        Net { net, r, target }
+    }
+
+    fn probe(net: &Net, ttl: u8) -> ProbeReply {
+        net.net.probe(&ProbeSpec {
+            entry: net.r[0],
+            src: ip(192, 0, 2, 1),
+            dst: net.target,
+            ttl,
+            transport: TransportPayload::Udp { src_port: 33_434, dst_port: 33_434, ident: 77 },
+        })
+    }
+
+    #[test]
+    fn ip_traceroute_reveals_every_hop() {
+        let net = plain_ip_net();
+        // TTL 1 expires at the entry router R0 itself.
+        match probe(&net, 1) {
+            ProbeReply::TimeExceeded { from, raw, .. } => {
+                assert_eq!(from, net.net.topo().router(net.r[0]).loopback);
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                assert!(msg.mpls_extension().is_none());
+            }
+            other => panic!("expected TE, got {other:?}"),
+        }
+        // TTLs 2..=4 expire at R1..R3, replying from the incoming iface.
+        for (ttl, idx) in [(2u8, 1usize), (3, 2), (4, 3)] {
+            match probe(&net, ttl) {
+                ProbeReply::TimeExceeded { from, .. } => {
+                    assert_eq!(from, ip(10, 10, (idx - 1) as u8, 2), "hop {idx}");
+                }
+                other => panic!("ttl {ttl}: expected TE, got {other:?}"),
+            }
+        }
+        // TTL 5 reaches R4's loopback: port unreachable from the target.
+        match probe(&net, 5) {
+            ProbeReply::DestUnreachable { from, raw, .. } => {
+                assert_eq!(from, net.target);
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                match msg {
+                    IcmpMessage::DestUnreachable { code, .. } => assert_eq!(code, 3),
+                    _ => panic!("wrong variant"),
+                }
+            }
+            other => panic!("expected port unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_datagram_round_trips_paris_ident() {
+        let net = plain_ip_net();
+        if let ProbeReply::TimeExceeded { raw, .. } = probe(&net, 3) {
+            let msg = IcmpMessage::parse(&raw).unwrap();
+            let quoted = msg.original_datagram().unwrap();
+            let udp = arest_wire::udp::UdpPacket::new_unchecked(&quoted[20..]);
+            assert_eq!(udp.checksum(), 77, "ident survives the quote");
+        } else {
+            panic!("expected TE");
+        }
+    }
+
+    #[test]
+    fn icmp_disabled_router_is_silent() {
+        let mut net = plain_ip_net();
+        net.net.plane_mut(net.r[2]).icmp_enabled = false;
+        match probe(&net, 3) {
+            ProbeReply::Silent(DropReason::IcmpDisabled) => {}
+            other => panic!("expected silence, got {other:?}"),
+        }
+        // Other hops still answer.
+        assert!(matches!(probe(&net, 2), ProbeReply::TimeExceeded { .. }));
+    }
+
+    #[test]
+    fn echo_request_gets_vendor_ttl_reply() {
+        let net = plain_ip_net();
+        let reply = net.net.probe(&ProbeSpec {
+            entry: net.r[0],
+            src: ip(192, 0, 2, 1),
+            dst: net.target,
+            ttl: 64,
+            transport: TransportPayload::Echo { ident: 1, seq: 1 },
+        });
+        match reply {
+            ProbeReply::EchoReply { from, reply_ttl, forward_hops } => {
+                assert_eq!(from, net.target);
+                assert_eq!(forward_hops, 4);
+                // Cisco echo-reply initial TTL 255 minus 4 return hops.
+                assert_eq!(reply_ttl, 251);
+            }
+            other => panic!("expected echo reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_route_is_silent() {
+        let net = plain_ip_net();
+        let reply = net.net.probe(&ProbeSpec {
+            entry: net.r[0],
+            src: ip(192, 0, 2, 1),
+            dst: ip(8, 8, 8, 8),
+            ttl: 64,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 3 },
+        });
+        assert!(matches!(reply, ProbeReply::Silent(DropReason::NoRoute)));
+    }
+
+    // ---- MPLS tunnels: the four visibility types ----
+
+    /// Builds the chain with an LDP tunnel R1→R3 (ingress R1, egress
+    /// R3) for the target FEC, with the requested visibility.
+    fn ldp_net(ttl_propagate: bool, rfc4950: bool, php: bool) -> Net {
+        let (topo, r) = chain(5);
+        let target = topo.router(r[4]).loopback;
+        let fec = Prefix::host(target);
+        let members = vec![r[1], r[2], r[3]];
+        let mut pools: HashMap<RouterId, DynamicLabelPool> = members
+            .iter()
+            .map(|&m| (m, DynamicLabelPool::classic(u64::from(m.0) * 13 + 5)))
+            .collect();
+        let domain = LdpDomain::build(
+            &topo,
+            &members,
+            &[LdpFec { prefix: fec, egress: r[3] }],
+            &mut pools,
+            php,
+        );
+        let mut net = Network::new(topo);
+        install_ip_routes(&mut net, &r);
+        let (lfibs, ftns) = domain.into_tables();
+        for (router, lfib) in lfibs {
+            net.plane_mut(router).merge_lfib(lfib);
+        }
+        for (router, ftn) in ftns {
+            net.plane_mut(router).merge_ftn(ftn);
+        }
+        for &m in &members {
+            net.plane_mut(m).ttl_propagate = ttl_propagate;
+            net.plane_mut(m).rfc4950 = rfc4950;
+        }
+        Net { net, r, target }
+    }
+
+    #[test]
+    fn explicit_tunnel_quotes_lses() {
+        let net = ldp_net(true, true, true);
+        // Hop 3 is R2, inside the LSP: the TE must carry an extension.
+        match probe(&net, 3) {
+            ProbeReply::TimeExceeded { raw, .. } => {
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                let ext = msg.mpls_extension().expect("explicit tunnels quote the stack");
+                assert_eq!(ext.stack.depth(), 1);
+                // The quoted (received) LSE TTL is 1: about to expire.
+                assert_eq!(ext.stack.top().unwrap().ttl, 1);
+            }
+            other => panic!("expected TE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implicit_tunnel_reveals_hops_without_lses() {
+        let net = ldp_net(true, false, true);
+        match probe(&net, 3) {
+            ProbeReply::TimeExceeded { from, raw, .. } => {
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                assert!(msg.mpls_extension().is_none(), "no RFC 4950 quote");
+                assert_eq!(from, ip(10, 10, 1, 2), "interior hop still visible");
+            }
+            other => panic!("expected TE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_tunnel_reveals_only_ending_hop_with_lse() {
+        // no-propagate + RFC 4950 + no PHP: the egress receives the
+        // label, pops locally, and its IP TTL expiry quotes the LSE.
+        let net = ldp_net(false, true, false);
+        // Probes that would have expired inside the tunnel (ttl 3)
+        // sail through (LSE TTL 255) and expire at the egress R3,
+        // whose reply quotes the label it received.
+        match probe(&net, 3) {
+            ProbeReply::TimeExceeded { from, raw, .. } => {
+                assert_eq!(from, ip(10, 10, 2, 2), "the ending hop R3");
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                let ext = msg.mpls_extension().expect("EH quotes the received stack");
+                assert_eq!(ext.stack.depth(), 1);
+                assert!(ext.stack.top().unwrap().ttl > 200, "LSE TTL stayed near 255");
+            }
+            other => panic!("expected TE from EH, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invisible_tunnel_hides_interior_entirely() {
+        // no-propagate + PHP: interior LSRs never see a TTL expiry and
+        // the packet emerges unlabeled; nothing quotes an LSE.
+        let net = ldp_net(false, true, true);
+        let mut seen = Vec::new();
+        for ttl in 1..=6u8 {
+            if let ProbeReply::TimeExceeded { from, raw, .. } = probe(&net, ttl) {
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                assert!(msg.mpls_extension().is_none(), "ttl {ttl} must not quote LSE");
+                seen.push(from);
+            }
+        }
+        // Interior hop R2 (10.10.1.2) never appears.
+        assert!(!seen.contains(&ip(10, 10, 1, 2)), "hidden interior leaked: {seen:?}");
+    }
+
+    // ---- SR-MPLS ----
+
+    /// The chain with an SR domain over R1..R3 (Cisco defaults) and
+    /// target FEC anchored at R3 via a prefix SID.
+    fn sr_net(php: bool) -> Net {
+        let (topo, r) = chain(5);
+        let target = topo.router(r[4]).loopback;
+        let members = vec![r[1], r[2], r[3]];
+        let spec = SrDomainSpec {
+            members: members.clone(),
+            configs: members
+                .iter()
+                .map(|&m| (m, SrNodeConfig { srgb: cisco_srgb(), srlb: Some(cisco_srlb()) }))
+                .collect(),
+            extra_prefix_sids: vec![arest_sr::sid::PrefixSidSpec {
+                prefix: Prefix::host(target),
+                egress: r[3],
+                index: arest_sr::sid::SidIndex(500),
+            }],
+            php,
+            install_node_ftn: true,
+            node_sid_base: 100,
+        };
+        let mut pools = HashMap::new();
+        let domain = SrDomain::build(&topo, &spec, &mut pools);
+        let mut net = Network::new(topo);
+        install_ip_routes(&mut net, &r);
+        let (lfibs, ftns) = domain.into_tables();
+        for (router, lfib) in lfibs {
+            net.plane_mut(router).merge_lfib(lfib);
+        }
+        for (router, ftn) in ftns {
+            net.plane_mut(router).merge_ftn(ftn);
+        }
+        Net { net, r, target }
+    }
+
+    #[test]
+    fn sr_tunnel_shows_same_label_on_consecutive_hops() {
+        let net = sr_net(false);
+        let mut labels = Vec::new();
+        for ttl in 1..=6u8 {
+            if let ProbeReply::TimeExceeded { raw, .. } = probe(&net, ttl) {
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                if let Some(ext) = msg.mpls_extension() {
+                    labels.push(ext.stack.top().unwrap().label.value());
+                }
+            }
+        }
+        // R2 and R3 both see the prefix SID label 16,500 — the
+        // persistence AReST's CO/CVR flags key on. Without PHP the
+        // egress occupies two TTL slots (it decrements the LSE TTL on
+        // the MPLS pass and the IP TTL after popping — the well-known
+        // "extra hop" artifact of no-PHP tunnels), and both of its
+        // replies quote the received label.
+        assert_eq!(labels, vec![16_500, 16_500, 16_500]);
+    }
+
+    #[test]
+    fn sr_php_hides_label_at_final_segment_hop() {
+        let net = sr_net(true);
+        let mut labels = Vec::new();
+        for ttl in 1..=6u8 {
+            if let ProbeReply::TimeExceeded { raw, .. } = probe(&net, ttl) {
+                let msg = IcmpMessage::parse(&raw).unwrap();
+                if let Some(ext) = msg.mpls_extension() {
+                    labels.push(ext.stack.top().unwrap().label.value());
+                }
+            }
+        }
+        // Ingress R1 pushes toward R2; R2 sees the label, then pops
+        // (penultimate to the R3 segment egress).
+        assert_eq!(labels, vec![16_500]);
+    }
+
+    #[test]
+    fn delivery_still_works_through_sr() {
+        let net = sr_net(false);
+        match probe(&net, 10) {
+            ProbeReply::DestUnreachable { from, .. } => assert_eq!(from, net.target),
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    // ---- ECMP and Paris flow stability ----
+
+    /// A diamond: GW — {B, C} — D(target holder), equal costs.
+    fn diamond() -> (Network, Vec<RouterId>, Ipv4Addr) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_101);
+        let r: Vec<RouterId> = (0..4)
+            .map(|i| {
+                topo.add_router(
+                    format!("d{i}"),
+                    asn,
+                    Vendor::Cisco,
+                    ip(10, 254, 2, i + 1),
+                )
+            })
+            .collect();
+        for (k, (a, b)) in [(0usize, 1usize), (0, 2), (1, 3), (2, 3)].iter().enumerate() {
+            topo.add_link(
+                r[*a],
+                ip(10, 254, 20 + k as u8, 1),
+                r[*b],
+                ip(10, 254, 20 + k as u8, 2),
+                1,
+            );
+        }
+        let target = topo.router(r[3]).loopback;
+        let spf = arest_topo::spf::DomainSpf::for_as(&topo, asn);
+        let mut net = Network::new(topo);
+        net.register_igp(asn, spf);
+        (net, r, target)
+    }
+
+    #[test]
+    fn paris_flow_is_path_stable_but_flows_diverge() {
+        let (net, r, target) = diamond();
+        let middle_hop = |sport: u16| -> Ipv4Addr {
+            let reply = net.probe(&ProbeSpec {
+                entry: r[0],
+                src: ip(192, 0, 2, 1),
+                dst: target,
+                ttl: 2,
+                transport: TransportPayload::Udp { src_port: sport, dst_port: 33_434, ident: 1 },
+            });
+            match reply {
+                ProbeReply::TimeExceeded { from, .. } => from,
+                other => panic!("expected TE, got {other:?}"),
+            }
+        };
+        // Same flow, repeated: always the same middle router (Paris).
+        let first = middle_hop(33_434);
+        for _ in 0..8 {
+            assert_eq!(middle_hop(33_434), first, "one flow, one path");
+        }
+        // Across many flows, both branches are exercised (ECMP).
+        let mut seen: std::collections::HashSet<Ipv4Addr> = Default::default();
+        for sport in 33_400..33_464 {
+            seen.insert(middle_hop(sport));
+        }
+        assert_eq!(seen.len(), 2, "both equal-cost branches used: {seen:?}");
+    }
+
+    // ---- Failure injection ----
+
+    #[test]
+    fn stale_lfib_blackholes_after_link_failure() {
+        // An LSP whose transit link dies mid-stream blackholes until
+        // the control plane reconverges — the simulator must surface
+        // that as silence, not panic or misroute.
+        let mut net = ldp_net(true, true, true).net;
+        // Down the R2—R3 link (third link added: LinkId 2).
+        net.topo_mut().set_link_up(arest_topo::ids::LinkId(2), false);
+        let reply = net.probe(&ProbeSpec {
+            entry: RouterId(0),
+            src: ip(192, 0, 2, 1),
+            dst: ip(10, 255, 10, 5),
+            ttl: 20,
+            transport: TransportPayload::Udp { src_port: 33_434, dst_port: 33_434, ident: 4 },
+        });
+        assert!(
+            matches!(reply, ProbeReply::Silent(DropReason::NoRoute)),
+            "stale LSP must blackhole: {reply:?}"
+        );
+    }
+
+    #[test]
+    fn forwarding_loops_hit_the_hop_budget() {
+        // Two routers pointing default routes at each other.
+        let (topo, r) = chain(2);
+        let mut net = Network::new(topo);
+        let if0 = net.topo().adjacencies(r[0]).next().unwrap().1;
+        let if1 = net.topo().adjacencies(r[1]).next().unwrap().1;
+        net.plane_mut(r[0]).install_route(
+            Prefix::DEFAULT,
+            Route { out_iface: if0, next_router: r[1] },
+        );
+        net.plane_mut(r[1]).install_route(
+            Prefix::DEFAULT,
+            Route { out_iface: if1, next_router: r[0] },
+        );
+        let reply = net.probe(&ProbeSpec {
+            entry: r[0],
+            src: ip(192, 0, 2, 1),
+            dst: ip(8, 8, 8, 8),
+            ttl: 255,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 3 },
+        });
+        // The IP TTL drains first (255 decrements), producing a TE from
+        // inside the loop rather than an infinite walk.
+        assert!(
+            matches!(reply, ProbeReply::TimeExceeded { .. }),
+            "loops must terminate via TTL: {reply:?}"
+        );
+    }
+
+    #[test]
+    fn udp_target_with_icmp_disabled_is_silent() {
+        let mut net = plain_ip_net();
+        let last = *net.r.last().unwrap();
+        net.net.plane_mut(last).icmp_enabled = false;
+        match probe(&net, 10) {
+            ProbeReply::Silent(DropReason::TargetSilent) => {}
+            other => panic!("expected silent target, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_packet_at_ip_only_router_is_dropped() {
+        // Push a label toward a router with an empty LFIB.
+        let (topo, r) = chain(3);
+        let mut net = Network::new(topo);
+        let spf = arest_topo::spf::DomainSpf::for_as(&net.topo().clone(), AsNumber(65_100));
+        net.register_igp(AsNumber(65_100), spf);
+        let out_iface = net.topo().adjacencies(r[0]).next().unwrap().1;
+        net.plane_mut(r[0]).ftn.install(
+            Prefix::host(ip(10, 255, 10, 3)),
+            arest_mpls::tables::PushInstruction {
+                labels: vec![arest_wire::mpls::Label::new(50_000).unwrap()],
+                out_iface,
+                next_router: r[1],
+            },
+        );
+        let reply = net.probe(&ProbeSpec {
+            entry: r[0],
+            src: ip(192, 0, 2, 1),
+            dst: ip(10, 255, 10, 3),
+            ttl: 20,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 9 },
+        });
+        assert!(
+            matches!(reply, ProbeReply::Silent(DropReason::NoLabelEntry)),
+            "unknown label must drop: {reply:?}"
+        );
+    }
+
+    #[test]
+    fn tilfa_repairs_traffic_before_reconvergence() {
+        // A square SR domain: r0—r1—r2 primary, r0—r3—r2 backup.
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_102);
+        let r: Vec<RouterId> = (0..4)
+            .map(|i| {
+                topo.add_router(
+                    format!("q{i}"),
+                    asn,
+                    Vendor::Cisco,
+                    ip(10, 254, 3, i + 1),
+                )
+            })
+            .collect();
+        let mut protected_link = None;
+        for (k, (a, b)) in [(0usize, 1usize), (1, 2), (0, 3), (3, 2)].iter().enumerate() {
+            let link = topo.add_link(
+                r[*a],
+                ip(10, 254, 30 + k as u8, 1),
+                r[*b],
+                ip(10, 254, 30 + k as u8, 2),
+                1,
+            );
+            if k == 1 {
+                protected_link = Some(link); // r1—r2
+            }
+        }
+        let customer: Prefix = "100.99.0.0/24".parse().unwrap();
+        let spec = arest_sr::domain::SrDomainSpec {
+            members: r.clone(),
+            configs: r
+                .iter()
+                .map(|&x| {
+                    (x, arest_sr::domain::SrNodeConfig {
+                        srgb: cisco_srgb(),
+                        srlb: Some(cisco_srlb()),
+                    })
+                })
+                .collect(),
+            extra_prefix_sids: vec![arest_sr::sid::PrefixSidSpec {
+                prefix: customer,
+                egress: r[2],
+                index: arest_sr::sid::SidIndex(700),
+            }],
+            php: false,
+            node_sid_base: 100,
+            install_node_ftn: false,
+        };
+        let mut pools = HashMap::new();
+        let domain = SrDomain::build(&topo, &spec, &mut pools);
+        let tilfa = arest_sr::tilfa::compute_tilfa(&topo, &domain);
+
+        let mut net = Network::new(topo);
+        net.register_igp(asn, arest_topo::spf::DomainSpf::for_as(net.topo(), asn));
+        net.anchor_prefix(customer, r[2]);
+        let (lfibs, ftns) = domain.into_tables();
+        for (router, lfib) in lfibs {
+            net.plane_mut(router).merge_lfib(lfib);
+        }
+        for (router, ftn) in ftns {
+            net.plane_mut(router).merge_ftn(ftn);
+        }
+        for ((plr, protected), repair) in tilfa.iter() {
+            net.plane_mut(*plr).install_protection(*protected, repair.clone());
+        }
+
+        let probe = |net: &Network| {
+            net.probe(&ProbeSpec {
+                entry: r[0],
+                src: ip(192, 0, 2, 1),
+                dst: ip(100, 99, 0, 7),
+                ttl: 32,
+                transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 8 },
+            })
+        };
+        // Healthy network: delivery via the primary side.
+        assert!(matches!(probe(&net), ProbeReply::DestUnreachable { .. }));
+
+        // Fail r1—r2 WITHOUT reconverging: the stale LFIB at r1 points
+        // into the dead link, but the TI-LFA repair carries the packet
+        // around via r0—r3—r2.
+        net.topo_mut().set_link_up(protected_link.unwrap(), false);
+        match probe(&net) {
+            ProbeReply::DestUnreachable { forward_hops, .. } => {
+                assert!(forward_hops >= 4, "the repair detour is longer: {forward_hops}");
+            }
+            other => panic!("TI-LFA must keep delivering, got {other:?}"),
+        }
+    }
+
+    // ---- Shared routing structures (IGP oracle / anchors / exits) ----
+
+    #[test]
+    fn igp_oracle_replaces_per_router_fib_entries() {
+        let (topo, r) = chain(5);
+        let target = topo.router(r[4]).loopback;
+        let asn = topo.router(r[0]).asn;
+        let spf = arest_topo::spf::DomainSpf::for_as(&topo, asn);
+        let mut net = Network::new(topo);
+        net.register_igp(asn, spf);
+        // No FIB entries installed at all — the oracle routes.
+        let reply = net.probe(&ProbeSpec {
+            entry: r[0],
+            src: ip(192, 0, 2, 1),
+            dst: target,
+            ttl: 32,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 5 },
+        });
+        assert!(matches!(reply, ProbeReply::DestUnreachable { .. }), "{reply:?}");
+    }
+
+    #[test]
+    fn anchored_prefix_is_delivered_at_the_anchor() {
+        let (topo, r) = chain(3);
+        let asn = topo.router(r[0]).asn;
+        let spf = arest_topo::spf::DomainSpf::for_as(&topo, asn);
+        let mut net = Network::new(topo);
+        net.register_igp(asn, spf);
+        let customer: Prefix = "100.66.0.0/24".parse().unwrap();
+        net.anchor_prefix(customer, r[2]);
+        let dst = ip(100, 66, 0, 42);
+        let reply = net.probe(&ProbeSpec {
+            entry: r[0],
+            src: ip(192, 0, 2, 1),
+            dst,
+            ttl: 32,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 5 },
+        });
+        match reply {
+            ProbeReply::DestUnreachable { from, forward_hops, .. } => {
+                assert_eq!(from, dst, "the virtual CE answers beyond the anchor");
+                assert_eq!(forward_hops, 3, "r1, r2, plus the CE hop");
+            }
+            other => panic!("expected anchored delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_map_steers_external_destinations_to_the_border() {
+        // Two ASes: chain A (r0..r2) in 65,100, single router X in
+        // 65,999 holding the external prefix, linked to r2.
+        let (mut topo, r) = chain(3);
+        let asn = topo.router(r[0]).asn;
+        let x = topo.add_router("x", AsNumber(65_999), Vendor::Juniper, ip(10, 255, 99, 1));
+        topo.add_link(r[2], ip(10, 99, 0, 1), x, ip(10, 99, 0, 2), 1);
+        let spf = arest_topo::spf::DomainSpf::for_as(&topo, asn);
+        let mut net = Network::new(topo);
+        net.register_igp(asn, spf);
+        let external: Prefix = "100.77.0.0/24".parse().unwrap();
+        net.anchor_prefix(external, x);
+        net.register_exit(asn, external, r[2]);
+        // The border itself needs the direct FIB route onto the
+        // inter-AS link.
+        let out_iface = net.topo().adjacencies(r[2]).find(|(_, _, _, rem, _)| *rem == x).unwrap().1;
+        net.plane_mut(r[2]).install_route(external, Route { out_iface, next_router: x });
+        let reply = net.probe(&ProbeSpec {
+            entry: r[0],
+            src: ip(192, 0, 2, 1),
+            dst: ip(100, 77, 0, 9),
+            ttl: 32,
+            transport: TransportPayload::Udp { src_port: 1, dst_port: 2, ident: 5 },
+        });
+        match reply {
+            ProbeReply::DestUnreachable { from, forward_hops, .. } => {
+                assert_eq!(from, ip(100, 77, 0, 9));
+                assert_eq!(forward_hops, 4, "r1, r2, X, plus the CE hop");
+            }
+            other => panic!("expected cross-AS delivery, got {other:?}"),
+        }
+    }
+}

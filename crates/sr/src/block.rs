@@ -1,0 +1,293 @@
+//! Label blocks and the vendor SRGB/SRLB defaults of Table 1.
+//!
+//! The Segment Routing Global Block (SRGB) is the label range global
+//! node SIDs are allocated from; the Segment Routing Local Block
+//! (SRLB) serves adjacency SIDs on vendors that implement it. A SID is
+//! an *index* into the block: `label = block.start + index`.
+//!
+//! The defaults below are the exact ranges of the paper's Table 1 —
+//! the knowledge AReST's vendor-range flags (CVR, LSVR, LVR) match
+//! against.
+
+use arest_topo::vendor::Vendor;
+use arest_wire::mpls::{Label, MAX_LABEL};
+use core::fmt;
+
+/// A contiguous MPLS label block `[start, start + size)`.
+///
+/// ```
+/// use arest_sr::block::cisco_srgb;
+/// use arest_wire::mpls::Label;
+///
+/// // SID index 5 through the default Cisco SRGB → label 16,005,
+/// // the paper's running example.
+/// let srgb = cisco_srgb();
+/// let label = srgb.label_for(5).unwrap();
+/// assert_eq!(label.value(), 16_005);
+/// assert_eq!(srgb.index_of(label), Some(5));
+/// assert!(!srgb.contains(Label::new(24_000).unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelBlock {
+    start: u32,
+    size: u32,
+}
+
+impl LabelBlock {
+    /// Creates a block, checking it fits the 20-bit label space.
+    ///
+    /// # Panics
+    /// Panics on an empty block or one crossing `MAX_LABEL`.
+    pub fn new(start: u32, size: u32) -> LabelBlock {
+        assert!(size > 0, "empty label block");
+        assert!(
+            start <= MAX_LABEL && start + size - 1 <= MAX_LABEL,
+            "label block {start}+{size} exceeds the 20-bit space"
+        );
+        LabelBlock { start, size }
+    }
+
+    /// A block from inclusive bounds, as Table 1 writes them.
+    pub fn from_range(first: u32, last: u32) -> LabelBlock {
+        assert!(first <= last, "inverted label block bounds");
+        LabelBlock::new(first, last - first + 1)
+    }
+
+    /// First label of the block (the "SRGB base").
+    pub const fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Number of labels in the block.
+    pub const fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Last label of the block (inclusive).
+    pub const fn end(&self) -> u32 {
+        self.start + self.size - 1
+    }
+
+    /// Whether `label` lies inside the block.
+    pub fn contains(&self, label: Label) -> bool {
+        let v = label.value();
+        v >= self.start && v <= self.end()
+    }
+
+    /// The label for SID index `index`, or `None` if the index falls
+    /// outside the block.
+    pub fn label_for(&self, index: u32) -> Option<Label> {
+        if index < self.size {
+            Some(Label::new(self.start + index).expect("block bounds checked at construction"))
+        } else {
+            None
+        }
+    }
+
+    /// The SID index a label decodes to inside this block.
+    pub fn index_of(&self, label: Label) -> Option<u32> {
+        self.contains(label).then(|| label.value() - self.start)
+    }
+
+    /// The intersection of two blocks, if they overlap.
+    pub fn intersect(&self, other: &LabelBlock) -> Option<LabelBlock> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        (start <= end).then(|| LabelBlock::from_range(start, end))
+    }
+}
+
+impl fmt::Display for LabelBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end())
+    }
+}
+
+/// Vendor default SR label ranges — the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VendorSrRanges {
+    /// The vendor these defaults belong to.
+    pub vendor: Vendor,
+    /// Default SRGB, if the vendor ships one.
+    pub srgb: Option<LabelBlock>,
+    /// Default SRLB, if the vendor implements a separate one.
+    pub srlb: Option<LabelBlock>,
+}
+
+/// Cisco default SRGB: 16,000–23,999 (Table 1).
+pub fn cisco_srgb() -> LabelBlock {
+    LabelBlock::from_range(16_000, 23_999)
+}
+
+/// Cisco default SRLB: 15,000–15,999 (Table 1).
+pub fn cisco_srlb() -> LabelBlock {
+    LabelBlock::from_range(15_000, 15_999)
+}
+
+/// Huawei default SRGB: 16,000–47,999 (Table 1).
+pub fn huawei_srgb() -> LabelBlock {
+    LabelBlock::from_range(16_000, 47_999)
+}
+
+/// Huawei base SRLB: starts at 48,000 with a user-defined size
+/// (Table 1); we model the common 16k-label configuration.
+pub fn huawei_srlb() -> LabelBlock {
+    LabelBlock::from_range(48_000, 63_999)
+}
+
+/// Arista default SRGB: 900,000–965,535 (Table 1).
+pub fn arista_srgb() -> LabelBlock {
+    LabelBlock::from_range(900_000, 965_535)
+}
+
+/// Arista default SRLB: 100,000–116,383 (Table 1).
+pub fn arista_srlb() -> LabelBlock {
+    LabelBlock::from_range(100_000, 116_383)
+}
+
+/// The intersection of the Cisco and Huawei SRGBs: 16,000–23,999.
+///
+/// TTL fingerprinting cannot tell Cisco from Huawei (they share the
+/// (255, 255) signature), so TTL-based vendor-range flags match this
+/// intersection only (paper §5).
+pub fn cisco_huawei_srgb_intersection() -> LabelBlock {
+    cisco_srgb().intersect(&huawei_srgb()).expect("the defaults overlap")
+}
+
+impl VendorSrRanges {
+    /// The Table 1 defaults for `vendor`.
+    ///
+    /// Vendors without published defaults (Juniper allocates adjacency
+    /// SIDs from the dynamic pool and requires a user-configured SRGB;
+    /// Nokia likewise) return `None` ranges.
+    pub fn defaults(vendor: Vendor) -> VendorSrRanges {
+        let (srgb, srlb) = match vendor {
+            Vendor::Cisco => (Some(cisco_srgb()), Some(cisco_srlb())),
+            Vendor::Huawei => (Some(huawei_srgb()), Some(huawei_srlb())),
+            Vendor::Arista => (Some(arista_srgb()), Some(arista_srlb())),
+            _ => (None, None),
+        };
+        VendorSrRanges { vendor, srgb, srlb }
+    }
+
+    /// All vendors with at least one published default range — the
+    /// rows of Table 1.
+    pub fn table1() -> Vec<VendorSrRanges> {
+        [Vendor::Cisco, Vendor::Huawei, Vendor::Arista]
+            .into_iter()
+            .map(VendorSrRanges::defaults)
+            .collect()
+    }
+
+    /// Whether `label` falls in any of this vendor's default SR ranges.
+    pub fn covers(&self, label: Label) -> bool {
+        self.srgb.is_some_and(|b| b.contains(label))
+            || self.srlb.is_some_and(|b| b.contains(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn label(v: u32) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    #[test]
+    fn table1_values_are_exact() {
+        assert_eq!((cisco_srgb().start(), cisco_srgb().end()), (16_000, 23_999));
+        assert_eq!((cisco_srlb().start(), cisco_srlb().end()), (15_000, 15_999));
+        assert_eq!((huawei_srgb().start(), huawei_srgb().end()), (16_000, 47_999));
+        assert_eq!(huawei_srlb().start(), 48_000);
+        assert_eq!((arista_srgb().start(), arista_srgb().end()), (900_000, 965_535));
+        assert_eq!((arista_srlb().start(), arista_srlb().end()), (100_000, 116_383));
+    }
+
+    #[test]
+    fn cisco_huawei_intersection_is_cisco_srgb() {
+        let i = cisco_huawei_srgb_intersection();
+        assert_eq!((i.start(), i.end()), (16_000, 23_999));
+    }
+
+    #[test]
+    fn sid_label_arithmetic() {
+        let srgb = cisco_srgb();
+        assert_eq!(srgb.label_for(5).unwrap().value(), 16_005);
+        assert_eq!(srgb.index_of(label(16_005)), Some(5));
+        assert_eq!(srgb.index_of(label(24_000)), None);
+        assert_eq!(srgb.label_for(8_000), None, "index beyond block size");
+        assert_eq!(srgb.label_for(7_999).unwrap().value(), 23_999);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let srgb = cisco_srgb();
+        assert!(!srgb.contains(label(15_999)));
+        assert!(srgb.contains(label(16_000)));
+        assert!(srgb.contains(label(23_999)));
+        assert!(!srgb.contains(label(24_000)));
+    }
+
+    #[test]
+    fn defaults_per_vendor() {
+        assert!(VendorSrRanges::defaults(Vendor::Cisco).srgb.is_some());
+        assert!(VendorSrRanges::defaults(Vendor::Juniper).srgb.is_none());
+        assert!(VendorSrRanges::defaults(Vendor::Juniper).srlb.is_none());
+        assert!(VendorSrRanges::defaults(Vendor::Nokia).srgb.is_none());
+        assert_eq!(VendorSrRanges::table1().len(), 3);
+    }
+
+    #[test]
+    fn covers_checks_both_blocks() {
+        let cisco = VendorSrRanges::defaults(Vendor::Cisco);
+        assert!(cisco.covers(label(16_500)), "SRGB");
+        assert!(cisco.covers(label(15_500)), "SRLB");
+        assert!(!cisco.covers(label(30_000)));
+        let juniper = VendorSrRanges::defaults(Vendor::Juniper);
+        assert!(!juniper.covers(label(16_500)));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        assert!(cisco_srlb().intersect(&arista_srgb()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 20-bit space")]
+    fn block_must_fit_label_space() {
+        LabelBlock::new(1_048_570, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_label_round_trip(start in 0u32..1_000_000, size in 1u32..48_000, idx: u32) {
+            prop_assume!(start + size - 1 <= arest_wire::mpls::MAX_LABEL);
+            let block = LabelBlock::new(start, size);
+            if let Some(l) = block.label_for(idx) {
+                prop_assert_eq!(block.index_of(l), Some(idx));
+                prop_assert!(block.contains(l));
+            } else {
+                prop_assert!(idx >= size);
+            }
+        }
+
+        #[test]
+        fn prop_intersection_is_symmetric_and_contained(
+            a_start in 0u32..100_000, a_size in 1u32..50_000,
+            b_start in 0u32..100_000, b_size in 1u32..50_000,
+        ) {
+            let a = LabelBlock::new(a_start, a_size);
+            let b = LabelBlock::new(b_start, b_size);
+            let ab = a.intersect(&b);
+            let ba = b.intersect(&a);
+            prop_assert_eq!(ab, ba);
+            if let Some(i) = ab {
+                prop_assert!(i.start() >= a.start() && i.end() <= a.end() || i.start() >= b.start());
+                prop_assert!(a.contains(Label::new(i.start()).unwrap()));
+                prop_assert!(b.contains(Label::new(i.start()).unwrap()));
+            }
+        }
+    }
+}

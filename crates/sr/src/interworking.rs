@@ -1,0 +1,89 @@
+//! SR ↔ LDP interworking (RFC 8661).
+//!
+//! The paper (§7.2) observes that ~10 % of SR tunnels interwork with
+//! classic LDP, in four chaining patterns: SR→LDP (≈95 % — needs a
+//! *mapping server*), LDP→SR (≈2 % — border routers mirror node SIDs
+//! into LDP bindings), and the composite LDP-SR-LDP / SR-LDP-SR.
+//!
+//! In this reproduction both directions reduce to control-plane
+//! advertisements; the data plane stitches itself because a
+//! [`arest_mpls::tables::LfibAction::PopLocal`] at a border router
+//! re-enters that router's IP lookup, where the *other* protocol's
+//! FTN picks the packet up:
+//!
+//! * **SR → LDP**: the mapping server advertises prefix SIDs on
+//!   behalf of LDP-only destinations, with the SR/LDP border as the
+//!   segment egress ([`mapping_server_sids`]). The SR segment ends at
+//!   the border; the border's LDP FTN continues the tunnel.
+//! * **LDP → SR**: the border generates LDP FECs mirroring the SR
+//!   destinations it has learned ([`mirrored_ldp_fecs`]); LDP label
+//!   chains end at the border whose SR FTN pushes the node SID.
+
+use crate::sid::{PrefixSidSpec, SidIndex};
+use arest_mpls::ldp::LdpFec;
+use arest_topo::ids::RouterId;
+use arest_topo::prefix::Prefix;
+
+/// Mapping-server advertisements: prefix SIDs for non-SR destinations,
+/// anchored at the SR/LDP border router.
+///
+/// Indexes are assigned sequentially from `base_index`, which must not
+/// collide with the domain's node SID indexes.
+pub fn mapping_server_sids(
+    prefixes: &[Prefix],
+    border: RouterId,
+    base_index: u32,
+) -> Vec<PrefixSidSpec> {
+    prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, &prefix)| PrefixSidSpec {
+            prefix,
+            egress: border,
+            index: SidIndex(base_index + i as u32),
+        })
+        .collect()
+}
+
+/// Border-generated LDP FECs mirroring SR-side destinations, so LDP
+/// routers can tunnel toward them; the LDP chain terminates at the
+/// border, whose SR FTN carries the packet onward.
+pub fn mirrored_ldp_fecs(prefixes: &[Prefix], border: RouterId) -> Vec<LdpFec> {
+    prefixes.iter().map(|&prefix| LdpFec { prefix, egress: border }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn mapping_server_assigns_sequential_indexes() {
+        let sids = mapping_server_sids(
+            &[p("203.0.113.0/24"), p("198.51.100.0/24")],
+            RouterId(7),
+            500,
+        );
+        assert_eq!(sids.len(), 2);
+        assert_eq!(sids[0].index, SidIndex(500));
+        assert_eq!(sids[1].index, SidIndex(501));
+        assert!(sids.iter().all(|s| s.egress == RouterId(7)));
+    }
+
+    #[test]
+    fn mirrored_fecs_anchor_at_border() {
+        let fecs = mirrored_ldp_fecs(&[p("10.255.0.1/32"), p("10.255.0.2/32")], RouterId(3));
+        assert_eq!(fecs.len(), 2);
+        assert!(fecs.iter().all(|f| f.egress == RouterId(3)));
+        assert_eq!(fecs[0].prefix, p("10.255.0.1/32"));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_outputs() {
+        assert!(mapping_server_sids(&[], RouterId(0), 0).is_empty());
+        assert!(mirrored_ldp_fecs(&[], RouterId(0)).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # arest-sr
+//!
+//! The SR-MPLS control plane (RFC 8660/8402) of the reproduction.
+//!
+//! Segment Routing reuses the MPLS forwarding plane unchanged, so this
+//! crate compiles down to the same [`arest_mpls::tables`] the classic
+//! LDP control plane produces — the simulator cannot tell them apart,
+//! which is precisely why AReST has to *infer* SR from label behaviour.
+//!
+//! * [`block`] — label blocks, the SRGB/SRLB vendor defaults of the
+//!   paper's Table 1, and the SID-index ↔ label arithmetic.
+//! * [`sid`] — node/prefix/adjacency segment identifiers and the
+//!   segment vocabulary of SR policies.
+//! * [`domain`] — builds the converged SR domain state: SID
+//!   distribution through the IGP, LFIB/FTN compilation, PHP.
+//! * [`policy`] — SR-TE policies: explicit segment lists compiled into
+//!   label stacks at a headend, plus service SIDs producing the
+//!   unshrinking stacks observed at ESnet (paper §6.2).
+//! * [`interworking`] — SR ↔ LDP interworking (RFC 8661): the mapping
+//!   server and the border mirroring helpers.
+//! * [`tilfa`] — TI-LFA fast reroute: precomputed repair segment
+//!   lists applied at the point of local repair (the survey's top
+//!   SR use case).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod domain;
+pub mod interworking;
+pub mod policy;
+pub mod sid;
+pub mod tilfa;
+
+pub use block::{LabelBlock, VendorSrRanges};
+pub use domain::{SrDomain, SrDomainSpec, SrNodeConfig};
+pub use policy::{ServiceSid, SrPolicy};
+pub use sid::{PrefixSidSpec, Segment, SidIndex};
+pub use tilfa::{compute_tilfa, TilfaTable};

@@ -1,0 +1,92 @@
+//! Segment identifiers and the segment vocabulary.
+//!
+//! Prefix/node SIDs are *indexes* with global significance: every
+//! router in the domain maps the index through its neighbour's SRGB
+//! (paper §2.3). Adjacency SIDs are absolute labels with local
+//! significance: only the originating router acts on them.
+
+use arest_topo::ids::{IfaceId, RouterId};
+use arest_topo::prefix::Prefix;
+use core::fmt;
+
+/// A SID index into an SRGB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SidIndex(pub u32);
+
+impl fmt::Display for SidIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idx{}", self.0)
+    }
+}
+
+/// A prefix SID advertisement: "reach `prefix` by shortest path; its
+/// segment endpoint is `egress`".
+///
+/// Node SIDs are the special case where `prefix` is the egress
+/// router's loopback /32. Mapping-server advertisements (RFC 8661) are
+/// the case where `egress` is an SR/LDP border router advertising on
+/// behalf of a non-SR destination — see [`crate::interworking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixSidSpec {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// The SR router where this segment ends.
+    pub egress: RouterId,
+    /// The SID index into the domain's SRGBs.
+    pub index: SidIndex,
+}
+
+/// One segment of an SR policy's explicit path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Shortest path to a node (its node SID).
+    Node(RouterId),
+    /// Forced transmission over a specific IGP adjacency of `owner`
+    /// (its adjacency SID for `out_iface`).
+    Adjacency {
+        /// The router owning the adjacency.
+        owner: RouterId,
+        /// The egress interface of the adjacency.
+        out_iface: IfaceId,
+    },
+}
+
+impl Segment {
+    /// The router at which this segment's instruction completes: the
+    /// node itself, or the far end of the adjacency (resolved later —
+    /// for an adjacency this returns the *owner*; the compiled policy
+    /// looks up the remote router through the topology).
+    pub fn anchor(&self) -> RouterId {
+        match self {
+            Segment::Node(r) => *r,
+            Segment::Adjacency { owner, .. } => *owner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn display_and_anchor() {
+        assert_eq!(SidIndex(104).to_string(), "idx104");
+        assert_eq!(Segment::Node(RouterId(3)).anchor(), RouterId(3));
+        assert_eq!(
+            Segment::Adjacency { owner: RouterId(4), out_iface: IfaceId(7) }.anchor(),
+            RouterId(4)
+        );
+    }
+
+    #[test]
+    fn prefix_sid_spec_holds_fields() {
+        let spec = PrefixSidSpec {
+            prefix: Prefix::host(Ipv4Addr::new(10, 255, 0, 8)),
+            egress: RouterId(8),
+            index: SidIndex(108),
+        };
+        assert_eq!(spec.index.0, 108);
+        assert_eq!(spec.prefix.len(), 32);
+    }
+}

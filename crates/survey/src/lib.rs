@@ -1,0 +1,244 @@
+//! # arest-survey
+//!
+//! The operator survey of the paper's §3 (Table 2, Fig. 5).
+//!
+//! The real survey went to the IETF/RIPE/NANOG lists and collected
+//! N = 46 responses. This crate is a generative respondent model whose
+//! marginals match the reported results:
+//!
+//! * every respondent deploys SR-MPLS;
+//! * Cisco and Juniper dominate the equipment answers, followed by
+//!   Nokia, Arista, Linux, and Huawei (Fig. 5a);
+//! * usage is led by network resilience, then MPLS simplification,
+//!   traditional services (VPNs), traffic engineering, and ~40 %
+//!   best-effort transport (Fig. 5b);
+//! * 70 % keep the vendor's recommended SRGB and 67 % the SRLB, the
+//!   rest customize for multi-vendor interoperability (§3) — the
+//!   number AReST's false-positive reasoning leans on (§4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of responses the paper received.
+pub const PAPER_N: usize = 46;
+
+/// Share of respondents keeping the recommended SRGB (§3).
+pub const SRGB_DEFAULT_SHARE: f64 = 0.70;
+
+/// Share of respondents keeping the recommended SRLB (§3).
+pub const SRLB_DEFAULT_SHARE: f64 = 0.67;
+
+/// The vendor options offered by the survey (Table 2).
+pub const VENDOR_OPTIONS: [(&str, f64); 11] = [
+    ("Cisco", 0.72),
+    ("Juniper", 0.58),
+    ("Nokia", 0.34),
+    ("Arista", 0.22),
+    ("Linux", 0.16),
+    ("Huawei", 0.12),
+    ("MikroTik", 0.07),
+    ("Dell", 0.04),
+    ("FreeBSD", 0.03),
+    ("Alcatel", 0.03),
+    ("Brocade", 0.02),
+];
+
+/// Why operators deploy SR-MPLS (Table 2 / Fig. 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Usage {
+    /// Fast reroute and similar resilience mechanisms.
+    NetworkResilience,
+    /// Removing LDP and simplifying the MPLS control plane.
+    SimplifyMpls,
+    /// VPNs and other traditional MPLS services.
+    TraditionalServices,
+    /// Explicit-path traffic engineering.
+    TrafficEngineering,
+    /// Plain best-effort transport.
+    BestEffort,
+    /// Free-text "other" answers.
+    Other,
+}
+
+impl Usage {
+    /// All options in Fig. 5b's descending-share order, with the
+    /// shares the figure reports.
+    pub const SHARES: [(Usage, f64); 6] = [
+        (Usage::NetworkResilience, 0.61),
+        (Usage::SimplifyMpls, 0.57),
+        (Usage::TraditionalServices, 0.52),
+        (Usage::TrafficEngineering, 0.46),
+        (Usage::BestEffort, 0.40),
+        (Usage::Other, 0.07),
+    ];
+}
+
+impl core::fmt::Display for Usage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Usage::NetworkResilience => "Network Resilience",
+            Usage::SimplifyMpls => "Simplify MPLS",
+            Usage::TraditionalServices => "Traditional Services",
+            Usage::TrafficEngineering => "Traffic Engineering",
+            Usage::BestEffort => "Best Effort Traffic",
+            Usage::Other => "Others",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One survey respondent.
+#[derive(Debug, Clone)]
+pub struct Respondent {
+    /// Vendors this operator runs SR-MPLS on (multiple choice).
+    pub vendors: Vec<&'static str>,
+    /// Reported SR-MPLS usages (multiple choice).
+    pub usages: Vec<Usage>,
+    /// Keeps the vendor-recommended SRGB.
+    pub srgb_default: bool,
+    /// Keeps the vendor-recommended SRLB.
+    pub srlb_default: bool,
+}
+
+/// A full survey result set.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    /// The respondents.
+    pub respondents: Vec<Respondent>,
+}
+
+impl Survey {
+    /// Generates `n` respondents from the paper's marginals.
+    pub fn generate(n: usize, seed: u64) -> Survey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let respondents = (0..n)
+            .map(|_| {
+                let mut vendors: Vec<&'static str> = VENDOR_OPTIONS
+                    .iter()
+                    .filter(|(_, p)| rng.random_bool(*p))
+                    .map(|(v, _)| *v)
+                    .collect();
+                if vendors.is_empty() {
+                    vendors.push("Cisco"); // every respondent runs something
+                }
+                let mut usages: Vec<Usage> = Usage::SHARES
+                    .iter()
+                    .filter(|(_, p)| rng.random_bool(*p))
+                    .map(|(u, _)| *u)
+                    .collect();
+                if usages.is_empty() {
+                    usages.push(Usage::NetworkResilience);
+                }
+                Respondent {
+                    vendors,
+                    usages,
+                    srgb_default: rng.random_bool(SRGB_DEFAULT_SHARE),
+                    srlb_default: rng.random_bool(SRLB_DEFAULT_SHARE),
+                }
+            })
+            .collect();
+        Survey { respondents }
+    }
+
+    /// The paper's survey: N = 46, fixed seed.
+    pub fn paper() -> Survey {
+        Survey::generate(PAPER_N, 0x5e9)
+    }
+
+    /// Number of respondents.
+    pub fn len(&self) -> usize {
+        self.respondents.len()
+    }
+
+    /// Whether no responses exist.
+    pub fn is_empty(&self) -> bool {
+        self.respondents.is_empty()
+    }
+
+    /// Fraction of respondents naming each vendor, in option order.
+    pub fn vendor_shares(&self) -> Vec<(&'static str, f64)> {
+        VENDOR_OPTIONS
+            .iter()
+            .map(|(vendor, _)| {
+                let count =
+                    self.respondents.iter().filter(|r| r.vendors.contains(vendor)).count();
+                (*vendor, count as f64 / self.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Fraction of respondents reporting each usage, in Fig. 5b order.
+    pub fn usage_shares(&self) -> Vec<(Usage, f64)> {
+        Usage::SHARES
+            .iter()
+            .map(|(usage, _)| {
+                let count =
+                    self.respondents.iter().filter(|r| r.usages.contains(usage)).count();
+                (*usage, count as f64 / self.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Fraction keeping the recommended SRGB.
+    pub fn srgb_default_share(&self) -> f64 {
+        self.respondents.iter().filter(|r| r.srgb_default).count() as f64 / self.len() as f64
+    }
+
+    /// Fraction keeping the recommended SRLB.
+    pub fn srlb_default_share(&self) -> f64 {
+        self.respondents.iter().filter(|r| r.srlb_default).count() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_survey_has_46_deploying_respondents() {
+        let survey = Survey::paper();
+        assert_eq!(survey.len(), PAPER_N);
+        assert!(survey.respondents.iter().all(|r| !r.vendors.is_empty()));
+        assert!(survey.respondents.iter().all(|r| !r.usages.is_empty()));
+    }
+
+    #[test]
+    fn cisco_and_juniper_dominate() {
+        // Use a large sample so the marginals converge.
+        let survey = Survey::generate(4_000, 11);
+        let shares = survey.vendor_shares();
+        let share = |name: &str| shares.iter().find(|(v, _)| *v == name).unwrap().1;
+        assert!(share("Cisco") > share("Nokia"));
+        assert!(share("Juniper") > share("Nokia"));
+        assert!(share("Nokia") > share("Huawei"));
+        assert!(share("Cisco") > 0.6);
+    }
+
+    #[test]
+    fn resilience_leads_and_best_effort_is_40_percent() {
+        let survey = Survey::generate(4_000, 12);
+        let shares = survey.usage_shares();
+        assert_eq!(shares[0].0, Usage::NetworkResilience);
+        assert!(shares[0].1 > shares[4].1);
+        let best_effort = shares.iter().find(|(u, _)| *u == Usage::BestEffort).unwrap().1;
+        assert!((best_effort - 0.40).abs() < 0.05, "best effort ≈ 40 %, got {best_effort}");
+    }
+
+    #[test]
+    fn default_range_shares_match_section3() {
+        let survey = Survey::generate(8_000, 13);
+        assert!((survey.srgb_default_share() - 0.70).abs() < 0.03);
+        assert!((survey.srlb_default_share() - 0.67).abs() < 0.03);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Survey::generate(46, 5);
+        let b = Survey::generate(46, 5);
+        assert_eq!(a.srgb_default_share(), b.srgb_default_share());
+        assert_eq!(a.respondents[0].vendors, b.respondents[0].vendors);
+    }
+}

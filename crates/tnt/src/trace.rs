@@ -1,0 +1,132 @@
+//! The augmented trace model TNT produces and AReST consumes.
+
+use arest_wire::mpls::LabelStack;
+use std::net::Ipv4Addr;
+
+/// One hop of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The probe TTL this hop answered (1-based). Revealed hops share
+    /// the TTL of the tunnel's ending hop they were hidden behind.
+    pub ttl: u8,
+    /// The replying address, `None` for a silent hop (`*`).
+    pub addr: Option<Ipv4Addr>,
+    /// Round-trip time in microseconds, when a reply arrived.
+    pub rtt_us: Option<u32>,
+    /// The MPLS label stack quoted via RFC 4950, top entry first.
+    pub stack: Option<LabelStack>,
+    /// The TTL of the quoted IP header inside the ICMP error (the
+    /// "qTTL"); values above 1 betray ttl-propagating tunnels.
+    pub quoted_ip_ttl: Option<u8>,
+    /// The IP TTL of the ICMP reply itself as received at the vantage
+    /// point — the raw material of TTL fingerprinting.
+    pub reply_ip_ttl: Option<u8>,
+    /// Whether TNT inserted this hop through hidden-tunnel revelation
+    /// (no LSE available for revealed hops, per the paper §2.2).
+    pub revealed: bool,
+    /// Whether this hop is the probe destination (port unreachable).
+    pub is_destination: bool,
+}
+
+impl Hop {
+    /// A silent hop at `ttl`.
+    pub fn silent(ttl: u8) -> Hop {
+        Hop {
+            ttl,
+            addr: None,
+            rtt_us: None,
+            stack: None,
+            quoted_ip_ttl: None,
+            reply_ip_ttl: None,
+            revealed: false,
+            is_destination: false,
+        }
+    }
+
+    /// Whether the hop replied at all.
+    pub fn responded(&self) -> bool {
+        self.addr.is_some()
+    }
+
+    /// Depth of the quoted label stack (0 when none was quoted).
+    pub fn stack_depth(&self) -> usize {
+        self.stack.as_ref().map_or(0, LabelStack::depth)
+    }
+}
+
+/// A complete augmented trace from one vantage point to one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Name of the vantage point that ran the trace.
+    pub vp: String,
+    /// Probe source address.
+    pub src: Ipv4Addr,
+    /// Probe destination address.
+    pub dst: Ipv4Addr,
+    /// Hops in path order (revealed hops spliced in place).
+    pub hops: Vec<Hop>,
+    /// Whether the destination answered.
+    pub reached: bool,
+}
+
+impl Trace {
+    /// Addresses that replied, in path order.
+    pub fn responding_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.hops.iter().filter_map(|h| h.addr)
+    }
+
+    /// Number of hops that quoted an MPLS label stack.
+    pub fn mpls_hop_count(&self) -> usize {
+        self.hops.iter().filter(|h| h.stack.is_some()).count()
+    }
+
+    /// Whether any hop quoted an MPLS label stack.
+    pub fn has_mpls(&self) -> bool {
+        self.hops.iter().any(|h| h.stack.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_wire::mpls::Label;
+
+    fn stack(labels: &[u32]) -> LabelStack {
+        let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+        LabelStack::from_labels(&labels, 1)
+    }
+
+    #[test]
+    fn silent_hop_has_no_data() {
+        let hop = Hop::silent(7);
+        assert_eq!(hop.ttl, 7);
+        assert!(!hop.responded());
+        assert_eq!(hop.stack_depth(), 0);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let mut trace = Trace {
+            vp: "vm1".into(),
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 1),
+            hops: vec![Hop::silent(1)],
+            reached: false,
+        };
+        assert!(!trace.has_mpls());
+        trace.hops.push(Hop {
+            ttl: 2,
+            addr: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            rtt_us: Some(1200),
+            stack: Some(stack(&[16_005, 24_001])),
+            quoted_ip_ttl: Some(1),
+            reply_ip_ttl: Some(253),
+            revealed: false,
+            is_destination: false,
+        });
+        assert!(trace.has_mpls());
+        assert_eq!(trace.mpls_hop_count(), 1);
+        assert_eq!(trace.responding_addrs().count(), 1);
+        assert_eq!(trace.hops[1].stack_depth(), 2);
+    }
+}

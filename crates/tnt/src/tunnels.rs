@@ -1,0 +1,268 @@
+//! Per-trace tunnel span classification.
+//!
+//! Groups a trace's hops into MPLS tunnel observations following the
+//! Donnet et al. taxonomy (paper §2.2 / Appendix C):
+//!
+//! * runs of hops quoting LSEs → **explicit**; except a *single*
+//!   labelled hop whose quoted LSE TTL is near 255, which is the
+//!   signature of an **opaque** tunnel's ending hop (the LSE was
+//!   pushed at 255 and survived almost intact);
+//! * runs of hops TNT spliced in via revelation → **invisible**
+//!   (or the interior of an opaque tunnel — the LSE-bearing EH right
+//!   after the revealed run disambiguates);
+//! * runs of unlabelled hops whose quoted IP TTL exceeds 1 →
+//!   **implicit** (the ingress propagated the TTL but hops quote no
+//!   LSE, so the quoted IP TTL grows along the tunnel).
+
+use crate::trace::Trace;
+use arest_mpls::visibility::TunnelType;
+
+/// Quoted-LSE-TTL threshold above which a lone labelled hop is read
+/// as an opaque tunnel's ending hop.
+pub const OPAQUE_LSE_TTL_MIN: u8 = 200;
+
+/// TNT's opaque-length inference: the LSE was pushed at 255 and each
+/// LSR decremented it once, so the ending hop's quoted LSE TTL `q`
+/// betrays `255 - q` hidden LSRs upstream of it.
+pub fn opaque_hidden_lsrs(quoted_lse_ttl: u8) -> u8 {
+    255u8.saturating_sub(quoted_lse_ttl)
+}
+
+/// One observed tunnel inside a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunnelObservation {
+    /// Index of the first hop of the span in `trace.hops`.
+    pub start: usize,
+    /// Index of the last hop of the span (inclusive).
+    pub end: usize,
+    /// The inferred tunnel type.
+    pub ttype: TunnelType,
+    /// For opaque tunnels: TNT's inference of how many LSRs hide
+    /// between the (invisible) ingress and the ending hop, derived
+    /// from the quoted LSE TTL (`255 - qTTL`, since the LSE was
+    /// pushed at 255 and decremented once per LSR).
+    pub hidden_lsrs: Option<u8>,
+}
+
+impl TunnelObservation {
+    /// Number of hops in the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Spans are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Classifies the tunnel spans of a trace.
+pub fn classify_tunnels(trace: &Trace) -> Vec<TunnelObservation> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Kind {
+        Lse,
+        Revealed,
+        ImplicitQttl,
+        Plain,
+    }
+
+    let kinds: Vec<Kind> = trace
+        .hops
+        .iter()
+        .map(|h| {
+            if h.revealed {
+                Kind::Revealed
+            } else if h.stack.is_some() {
+                Kind::Lse
+            } else if h.quoted_ip_ttl.is_some_and(|q| q > 1) {
+                Kind::ImplicitQttl
+            } else {
+                Kind::Plain
+            }
+        })
+        .collect();
+
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < kinds.len() {
+        let kind = kinds[i];
+        let mut j = i;
+        while j + 1 < kinds.len() && kinds[j + 1] == kind {
+            j += 1;
+        }
+        match kind {
+            Kind::Lse => {
+                let single = i == j;
+                let opaque = single
+                    && trace.hops[i]
+                        .stack
+                        .as_ref()
+                        .and_then(|s| s.top().map(|lse| lse.ttl))
+                        .is_some_and(|ttl| ttl >= OPAQUE_LSE_TTL_MIN);
+                // A lone high-TTL LSE right after a revealed run is the
+                // ending hop of that (opaque) tunnel: merge them below.
+                let ttype = if opaque { TunnelType::Opaque } else { TunnelType::Explicit };
+                let hidden_lsrs = opaque
+                    .then(|| {
+                        trace.hops[i]
+                            .stack
+                            .as_ref()
+                            .and_then(|s| s.top())
+                            .map(|lse| opaque_hidden_lsrs(lse.ttl))
+                    })
+                    .flatten();
+                spans.push(TunnelObservation { start: i, end: j, ttype, hidden_lsrs });
+            }
+            Kind::Revealed => {
+                spans.push(TunnelObservation {
+                    start: i,
+                    end: j,
+                    ttype: TunnelType::Invisible,
+                    hidden_lsrs: None,
+                });
+            }
+            Kind::ImplicitQttl => {
+                spans.push(TunnelObservation {
+                    start: i,
+                    end: j,
+                    ttype: TunnelType::Implicit,
+                    hidden_lsrs: None,
+                });
+            }
+            Kind::Plain => {}
+        }
+        i = j + 1;
+    }
+
+    // Merge a revealed run followed by an opaque ending hop into one
+    // opaque observation (the revelation exposed that tunnel's
+    // interior).
+    let mut merged: Vec<TunnelObservation> = Vec::with_capacity(spans.len());
+    for span in spans {
+        if let Some(last) = merged.last_mut() {
+            if last.ttype == TunnelType::Invisible
+                && span.ttype == TunnelType::Opaque
+                && span.start == last.end + 1
+            {
+                last.end = span.end;
+                last.ttype = TunnelType::Opaque;
+                last.hidden_lsrs = span.hidden_lsrs;
+                continue;
+            }
+        }
+        merged.push(span);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Hop;
+    use arest_wire::mpls::{Label, LabelStack};
+    use std::net::Ipv4Addr;
+
+    fn hop(ttl: u8) -> Hop {
+        Hop {
+            addr: Some(Ipv4Addr::new(10, 0, 0, ttl)),
+            rtt_us: Some(1000),
+            quoted_ip_ttl: Some(1),
+            reply_ip_ttl: Some(250),
+            ..Hop::silent(ttl)
+        }
+    }
+
+    fn lse_hop(ttl: u8, label: u32, lse_ttl: u8) -> Hop {
+        let mut h = hop(ttl);
+        h.stack = Some(LabelStack::from_labels(&[Label::new(label).unwrap()], lse_ttl));
+        h
+    }
+
+    fn trace_of(hops: Vec<Hop>) -> Trace {
+        Trace {
+            vp: "t".into(),
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 1),
+            hops,
+            reached: true,
+        }
+    }
+
+    #[test]
+    fn explicit_run_is_one_span() {
+        let t = trace_of(vec![
+            hop(1),
+            lse_hop(2, 16_005, 1),
+            lse_hop(3, 16_005, 1),
+            lse_hop(4, 16_005, 1),
+            hop(5),
+        ]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].start, spans[0].end), (1, 3));
+        assert_eq!(spans[0].ttype, TunnelType::Explicit);
+        assert_eq!(spans[0].len(), 3);
+    }
+
+    #[test]
+    fn lone_high_ttl_lse_is_opaque_with_length_inference() {
+        let t = trace_of(vec![hop(1), lse_hop(2, 30_001, 252), hop(3)]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ttype, TunnelType::Opaque);
+        // LSE pushed at 255, quoted 252 → three hidden LSRs.
+        assert_eq!(spans[0].hidden_lsrs, Some(3));
+        assert_eq!(opaque_hidden_lsrs(255), 0);
+    }
+
+    #[test]
+    fn lone_low_ttl_lse_is_explicit() {
+        // A one-hop LSP with propagated TTL quotes LSE TTL 1.
+        let t = trace_of(vec![hop(1), lse_hop(2, 30_001, 1), hop(3)]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans[0].ttype, TunnelType::Explicit);
+    }
+
+    #[test]
+    fn revealed_run_is_invisible() {
+        let mut r1 = hop(3);
+        r1.revealed = true;
+        let mut r2 = hop(3);
+        r2.addr = Some(Ipv4Addr::new(10, 0, 9, 9));
+        r2.revealed = true;
+        let t = trace_of(vec![hop(1), hop(2), r1, r2, hop(4)]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ttype, TunnelType::Invisible);
+        assert_eq!(spans[0].len(), 2);
+    }
+
+    #[test]
+    fn revealed_run_plus_opaque_eh_merges() {
+        let mut r1 = hop(3);
+        r1.revealed = true;
+        let t = trace_of(vec![hop(1), hop(2), r1, lse_hop(3, 30_001, 251), hop(4)]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ttype, TunnelType::Opaque);
+        assert_eq!(spans[0].len(), 2);
+    }
+
+    #[test]
+    fn implicit_qttl_run() {
+        let mut i1 = hop(2);
+        i1.quoted_ip_ttl = Some(2);
+        let mut i2 = hop(3);
+        i2.quoted_ip_ttl = Some(3);
+        let t = trace_of(vec![hop(1), i1, i2, hop(4)]);
+        let spans = classify_tunnels(&t);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].ttype, TunnelType::Implicit);
+    }
+
+    #[test]
+    fn plain_trace_has_no_tunnels() {
+        let t = trace_of(vec![hop(1), hop(2), hop(3)]);
+        assert!(classify_tunnels(&t).is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! The router-level topology graph and its builder API.
+//!
+//! A [`Topology`] owns routers, interfaces and point-to-point links for
+//! *all* modelled ASes at once — the synthetic Internet is one graph,
+//! and AS membership is a router attribute, mirroring how traceroute
+//! sees the real thing (one address space, AS boundaries inferred).
+
+use crate::ids::{AsNumber, IfaceId, LinkId, RouterId};
+use crate::vendor::Vendor;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// This router's identifier.
+    pub id: RouterId,
+    /// Human-readable name (used in reports and DNS-like strings).
+    pub name: String,
+    /// The AS this router belongs to.
+    pub asn: AsNumber,
+    /// Hardware vendor (drives TTL signatures and SR label blocks).
+    pub vendor: Vendor,
+    /// Loopback address, unique across the topology.
+    pub loopback: Ipv4Addr,
+    /// Interfaces attached to this router.
+    pub ifaces: Vec<IfaceId>,
+}
+
+/// A numbered interface on a router.
+#[derive(Debug, Clone)]
+pub struct Interface {
+    /// This interface's identifier.
+    pub id: IfaceId,
+    /// Owning router.
+    pub router: RouterId,
+    /// Interface address, unique across the topology.
+    pub addr: Ipv4Addr,
+    /// The link this interface terminates, if connected.
+    pub link: Option<LinkId>,
+}
+
+/// A bidirectional point-to-point link with a symmetric IGP cost.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// This link's identifier.
+    pub id: LinkId,
+    /// The two endpoint interfaces.
+    pub endpoints: [IfaceId; 2],
+    /// Symmetric IGP metric.
+    pub cost: u32,
+    /// Administrative/operational state; SPF ignores links that are
+    /// down (used for failure-injection tests).
+    pub up: bool,
+}
+
+/// The topology graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    routers: Vec<Router>,
+    ifaces: Vec<Interface>,
+    links: Vec<Link>,
+    addr_index: HashMap<Ipv4Addr, IfaceId>,
+    loopback_index: HashMap<Ipv4Addr, RouterId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds a router.
+    ///
+    /// # Panics
+    /// Panics if `loopback` collides with an existing loopback or
+    /// interface address — topologies are built by generators that must
+    /// guarantee address uniqueness.
+    pub fn add_router(
+        &mut self,
+        name: impl Into<String>,
+        asn: AsNumber,
+        vendor: Vendor,
+        loopback: Ipv4Addr,
+    ) -> RouterId {
+        assert!(
+            !self.loopback_index.contains_key(&loopback) && !self.addr_index.contains_key(&loopback),
+            "duplicate loopback {loopback}"
+        );
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router {
+            id,
+            name: name.into(),
+            asn,
+            vendor,
+            loopback,
+            ifaces: Vec::new(),
+        });
+        self.loopback_index.insert(loopback, id);
+        id
+    }
+
+    /// Connects two routers with a point-to-point link, creating one
+    /// interface on each side with the given addresses.
+    ///
+    /// # Panics
+    /// Panics on address collisions or self-links.
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        addr_a: Ipv4Addr,
+        b: RouterId,
+        addr_b: Ipv4Addr,
+        cost: u32,
+    ) -> LinkId {
+        assert_ne!(a, b, "self-links are not allowed");
+        let link_id = LinkId(self.links.len() as u32);
+        let if_a = self.add_iface(a, addr_a, Some(link_id));
+        let if_b = self.add_iface(b, addr_b, Some(link_id));
+        self.links.push(Link { id: link_id, endpoints: [if_a, if_b], cost, up: true });
+        link_id
+    }
+
+    fn add_iface(&mut self, router: RouterId, addr: Ipv4Addr, link: Option<LinkId>) -> IfaceId {
+        assert!(
+            !self.addr_index.contains_key(&addr) && !self.loopback_index.contains_key(&addr),
+            "duplicate interface address {addr}"
+        );
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Interface { id, router, addr, link });
+        self.addr_index.insert(addr, id);
+        self.routers[router.index()].ifaces.push(id);
+        id
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of interfaces.
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Immutable access to a router.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// Immutable access to an interface.
+    pub fn iface(&self, id: IfaceId) -> &Interface {
+        &self.ifaces[id.index()]
+    }
+
+    /// Immutable access to a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Sets a link's operational state (failure injection).
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        self.links[id.index()].up = up;
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> impl Iterator<Item = &Router> {
+        self.routers.iter()
+    }
+
+    /// All interfaces.
+    pub fn ifaces(&self) -> impl Iterator<Item = &Interface> {
+        self.ifaces.iter()
+    }
+
+    /// All links.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Routers belonging to `asn`.
+    pub fn routers_in_as(&self, asn: AsNumber) -> impl Iterator<Item = &Router> + '_ {
+        self.routers.iter().filter(move |r| r.asn == asn)
+    }
+
+    /// Looks up an interface by address.
+    pub fn iface_by_addr(&self, addr: Ipv4Addr) -> Option<&Interface> {
+        self.addr_index.get(&addr).map(|id| self.iface(*id))
+    }
+
+    /// Looks up a router by loopback address.
+    pub fn router_by_loopback(&self, addr: Ipv4Addr) -> Option<&Router> {
+        self.loopback_index.get(&addr).map(|id| self.router(*id))
+    }
+
+    /// Resolves any address (interface or loopback) to its owning
+    /// router — what MIDAR-style alias resolution reconstructs from
+    /// the outside.
+    pub fn router_by_any_addr(&self, addr: Ipv4Addr) -> Option<&Router> {
+        if let Some(iface) = self.iface_by_addr(addr) {
+            return Some(self.router(iface.router));
+        }
+        self.router_by_loopback(addr)
+    }
+
+    /// The interface on the far side of `iface`'s link, if the link is
+    /// up.
+    pub fn remote_iface(&self, iface: IfaceId) -> Option<&Interface> {
+        let link_id = self.iface(iface).link?;
+        let link = self.link(link_id);
+        if !link.up {
+            return None;
+        }
+        let [a, b] = link.endpoints;
+        let remote = if a == iface { b } else { a };
+        Some(self.iface(remote))
+    }
+
+    /// Iterates over `router`'s live adjacencies as
+    /// `(link, local iface, remote iface, remote router, cost)`.
+    pub fn adjacencies(
+        &self,
+        router: RouterId,
+    ) -> impl Iterator<Item = (LinkId, IfaceId, IfaceId, RouterId, u32)> + '_ {
+        self.routers[router.index()].ifaces.iter().filter_map(move |&iface_id| {
+            let link_id = self.iface(iface_id).link?;
+            let link = self.link(link_id);
+            if !link.up {
+                return None;
+            }
+            let [a, b] = link.endpoints;
+            let remote_if = if a == iface_id { b } else { a };
+            let remote = self.iface(remote_if).router;
+            Some((link_id, iface_id, remote_if, remote, link.cost))
+        })
+    }
+
+    /// Number of live IGP adjacencies of a router — the number of
+    /// adjacency SIDs an SR router generates (paper §2.3).
+    pub fn degree(&self, router: RouterId) -> usize {
+        self.adjacencies(router).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn two_router_topo() -> (Topology, RouterId, RouterId, LinkId) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_000);
+        let a = topo.add_router("a", asn, Vendor::Cisco, ip(10, 255, 0, 1));
+        let b = topo.add_router("b", asn, Vendor::Juniper, ip(10, 255, 0, 2));
+        let l = topo.add_link(a, ip(10, 0, 0, 1), b, ip(10, 0, 0, 2), 10);
+        (topo, a, b, l)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (topo, a, b, l) = two_router_topo();
+        assert_eq!(topo.router_count(), 2);
+        assert_eq!(topo.iface_count(), 2);
+        assert_eq!(topo.link_count(), 1);
+        assert_eq!(topo.router(a).vendor, Vendor::Cisco);
+        assert_eq!(topo.iface_by_addr(ip(10, 0, 0, 2)).unwrap().router, b);
+        assert_eq!(topo.router_by_loopback(ip(10, 255, 0, 1)).unwrap().id, a);
+        assert_eq!(topo.router_by_any_addr(ip(10, 0, 0, 1)).unwrap().id, a);
+        assert_eq!(topo.router_by_any_addr(ip(10, 255, 0, 2)).unwrap().id, b);
+        assert!(topo.router_by_any_addr(ip(1, 1, 1, 1)).is_none());
+        assert_eq!(topo.link(l).cost, 10);
+    }
+
+    #[test]
+    fn adjacencies_and_degree() {
+        let (mut topo, a, b, l) = two_router_topo();
+        let c = topo.add_router("c", AsNumber(65_000), Vendor::Cisco, ip(10, 255, 0, 3));
+        topo.add_link(a, ip(10, 0, 1, 1), c, ip(10, 0, 1, 2), 5);
+
+        assert_eq!(topo.degree(a), 2);
+        assert_eq!(topo.degree(b), 1);
+        let neighbours: Vec<RouterId> =
+            topo.adjacencies(a).map(|(_, _, _, remote, _)| remote).collect();
+        assert_eq!(neighbours, vec![b, c]);
+
+        // Downing the a—b link removes the adjacency from both sides.
+        topo.set_link_up(l, false);
+        assert_eq!(topo.degree(a), 1);
+        assert_eq!(topo.degree(b), 0);
+        let a_if = topo.router(a).ifaces[0];
+        assert!(topo.remote_iface(a_if).is_none());
+    }
+
+    #[test]
+    fn remote_iface_crosses_link() {
+        let (topo, a, b, _) = two_router_topo();
+        let a_if = topo.router(a).ifaces[0];
+        let remote = topo.remote_iface(a_if).unwrap();
+        assert_eq!(remote.router, b);
+        assert_eq!(remote.addr, ip(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn routers_in_as_filters() {
+        let (mut topo, _, _, _) = two_router_topo();
+        topo.add_router("x", AsNumber(64_999), Vendor::Nokia, ip(10, 255, 0, 9));
+        assert_eq!(topo.routers_in_as(AsNumber(65_000)).count(), 2);
+        assert_eq!(topo.routers_in_as(AsNumber(64_999)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate loopback")]
+    fn duplicate_loopback_panics() {
+        let mut topo = Topology::new();
+        topo.add_router("a", AsNumber(1), Vendor::Cisco, ip(1, 1, 1, 1));
+        topo.add_router("b", AsNumber(1), Vendor::Cisco, ip(1, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interface address")]
+    fn duplicate_iface_addr_panics() {
+        let (mut topo, a, b, _) = two_router_topo();
+        topo.add_link(a, ip(10, 0, 0, 1), b, ip(10, 0, 0, 9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let (mut topo, a, _, _) = two_router_topo();
+        topo.add_link(a, ip(10, 9, 0, 1), a, ip(10, 9, 0, 2), 1);
+    }
+}

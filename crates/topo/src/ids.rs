@@ -1,0 +1,95 @@
+//! Typed identifiers for topology entities.
+//!
+//! Plain `u32` newtypes with `Display` impls; using distinct types
+//! keeps router/interface/AS indices from being mixed up at compile
+//! time, which matters in code that juggles all three (bdrmapIT-style
+//! annotation, alias resolution, the simulator's forwarding loop).
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(value: u32) -> $name {
+                $name(value)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a router within a [`crate::Topology`].
+    RouterId,
+    "R"
+);
+
+id_type!(
+    /// Identifies an interface within a [`crate::Topology`].
+    IfaceId,
+    "if"
+);
+
+id_type!(
+    /// Identifies a point-to-point link within a [`crate::Topology`].
+    LinkId,
+    "L"
+);
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsNumber(pub u32);
+
+impl AsNumber {
+    /// The reserved ASN used for vantage-point hosts that do not
+    /// belong to any modelled AS.
+    pub const MEASUREMENT: AsNumber = AsNumber(64_512);
+}
+
+impl fmt::Display for AsNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for AsNumber {
+    fn from(value: u32) -> AsNumber {
+        AsNumber(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RouterId(7).to_string(), "R7");
+        assert_eq!(IfaceId(3).to_string(), "if3");
+        assert_eq!(LinkId(1).to_string(), "L1");
+        assert_eq!(AsNumber(293).to_string(), "AS293");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(RouterId(1) < RouterId(2));
+        assert_eq!(RouterId(5).index(), 5);
+        assert_eq!(IfaceId::from(9u32), IfaceId(9));
+    }
+}

@@ -1,0 +1,388 @@
+//! IPv4 prefixes and a binary-trie longest-prefix-match map.
+//!
+//! [`PrefixMap`] backs every routing decision in the reproduction:
+//! router FIBs, the synthetic BGP view Anaximander consumes, and the
+//! prefix-to-AS ownership table bdrmapIT-style annotation relies on.
+
+use core::fmt;
+use core::str::FromStr;
+use std::net::Ipv4Addr;
+
+/// An IPv4 prefix in CIDR form, normalized so host bits are zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Creates a prefix, masking out host bits.
+    ///
+    /// Returns `None` if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Option<Prefix> {
+        if len > 32 {
+            return None;
+        }
+        let bits = u32::from(addr) & mask(len);
+        Some(Prefix { bits, len })
+    }
+
+    /// A /32 host prefix.
+    pub fn host(addr: Ipv4Addr) -> Prefix {
+        Prefix { bits: u32::from(addr), len: 32 }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered (saturating at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len)
+        }
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & mask(self.len) == self.bits
+    }
+
+    /// Whether `other` is fully covered by this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// The `i`-th address inside the prefix (wrapping within the
+    /// prefix), handy for deterministic target generation.
+    pub fn nth(&self, i: u32) -> Ipv4Addr {
+        let span = self.size();
+        Ipv4Addr::from(self.bits.wrapping_add(i % span))
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// Errors parsing a `a.b.c.d/len` string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsePrefixError;
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix syntax (expected a.b.c.d/len)")
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+    fn from_str(s: &str) -> Result<Prefix, ParsePrefixError> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| ParsePrefixError)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError)?;
+        Prefix::new(addr, len).ok_or(ParsePrefixError)
+    }
+}
+
+/// A longest-prefix-match map from [`Prefix`] to `T`, implemented as a
+/// binary trie over address bits.
+///
+/// ```
+/// use arest_topo::prefix::{Prefix, PrefixMap};
+/// use std::net::Ipv4Addr;
+///
+/// let mut fib: PrefixMap<&str> = PrefixMap::new();
+/// fib.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// fib.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let (prefix, route) = fib.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!(*route, "fine");
+/// assert_eq!(prefix.len(), 16);
+/// ```
+///
+/// Lookups walk at most 32 nodes; inserts allocate one node per
+/// distinct bit-path. This is the FIB structure every simulated router
+/// uses, so it favours lookup simplicity over memory compaction.
+#[derive(Debug, Clone)]
+pub struct PrefixMap<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<(Prefix, T)>,
+}
+
+impl<T> Default for PrefixMap<T> {
+    fn default() -> PrefixMap<T> {
+        PrefixMap { nodes: vec![Node { children: [None, None], value: None }], len: 0 }
+    }
+}
+
+impl<T> PrefixMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> PrefixMap<T> {
+        PrefixMap::default()
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `prefix`, returning the previous value if
+    /// the exact prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = 0usize;
+        let bits = u32::from(prefix.network());
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(child) => child as usize,
+                None => {
+                    let child = self.nodes.len() as u32;
+                    self.nodes.push(Node { children: [None, None], value: None });
+                    self.nodes[node].children[bit] = Some(child);
+                    child as usize
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace((prefix, value));
+        match old {
+            Some((_, v)) => Some(v),
+            None => {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Longest-prefix-match lookup: the most specific entry covering
+    /// `addr`, with the matched prefix.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(&Prefix, &T)> {
+        let bits = u32::from(addr);
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for depth in 0..32 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(child) => {
+                    node = child as usize;
+                    if let Some(entry) = self.nodes[node].value.as_ref() {
+                        best = Some(entry);
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (p, v))
+    }
+
+    /// Exact-match lookup for a stored prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&T> {
+        let bits = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        match &self.nodes[node].value {
+            Some((p, v)) if p == prefix => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterates over all stored `(prefix, value)` pairs in trie order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &T)> {
+        self.nodes.iter().filter_map(|n| n.value.as_ref().map(|(p, v)| (p, v)))
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixMap<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> PrefixMap<T> {
+        let mut map = PrefixMap::new();
+        for (p, v) in iter {
+            map.insert(p, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn prefix_normalizes_host_bits() {
+        let prefix = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16).unwrap();
+        assert_eq!(prefix.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(prefix.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_rejects_bad_len() {
+        assert!(Prefix::new(Ipv4Addr::UNSPECIFIED, 33).is_none());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let net = p("192.0.2.0/24");
+        assert!(net.contains(Ipv4Addr::new(192, 0, 2, 200)));
+        assert!(!net.contains(Ipv4Addr::new(192, 0, 3, 1)));
+        assert!(net.covers(&p("192.0.2.128/25")));
+        assert!(!net.covers(&p("192.0.0.0/16")));
+        assert!(Prefix::DEFAULT.covers(&net));
+        assert!(Prefix::DEFAULT.contains(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn nth_wraps_within_prefix() {
+        let net = p("10.0.0.0/30");
+        assert_eq!(net.nth(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(net.nth(3), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(net.nth(4), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn host_prefix() {
+        let h = Prefix::host(Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(h.len(), 32);
+        assert_eq!(h.size(), 1);
+        assert!(h.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!h.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut map = PrefixMap::new();
+        map.insert(Prefix::DEFAULT, "default");
+        map.insert(p("10.0.0.0/8"), "eight");
+        map.insert(p("10.1.0.0/16"), "sixteen");
+        map.insert(p("10.1.2.0/24"), "twentyfour");
+
+        let q = |a: [u8; 4]| map.lookup(Ipv4Addr::from(a)).map(|(_, v)| *v);
+        assert_eq!(q([10, 1, 2, 3]), Some("twentyfour"));
+        assert_eq!(q([10, 1, 9, 9]), Some("sixteen"));
+        assert_eq!(q([10, 200, 0, 1]), Some("eight"));
+        assert_eq!(q([192, 0, 2, 1]), Some("default"));
+    }
+
+    #[test]
+    fn lpm_without_default_can_miss() {
+        let mut map = PrefixMap::new();
+        map.insert(p("172.16.0.0/12"), ());
+        assert!(map.lookup(Ipv4Addr::new(8, 8, 8, 8)).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_exact_prefix() {
+        let mut map = PrefixMap::new();
+        assert_eq!(map.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(map.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(map.get(&p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let entries = vec![(p("10.0.0.0/8"), 1), (p("10.1.0.0/16"), 2), (p("0.0.0.0/0"), 3)];
+        let map: PrefixMap<i32> = entries.iter().cloned().collect();
+        assert_eq!(map.len(), 3);
+        let mut got: Vec<_> = map.iter().map(|(p, v)| (*p, *v)).collect();
+        got.sort();
+        let mut want = entries;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lookup_matches_linear_scan(
+            entries in prop::collection::vec((any::<u32>(), 0u8..=32), 1..40),
+            queries in prop::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let mut map = PrefixMap::new();
+            let mut list: Vec<(Prefix, usize)> = Vec::new();
+            for (i, (bits, len)) in entries.iter().enumerate() {
+                let prefix = Prefix::new(Ipv4Addr::from(*bits), *len).unwrap();
+                map.insert(prefix, i);
+                list.retain(|(p, _)| p != &prefix);
+                list.push((prefix, i));
+            }
+            for q in queries {
+                let addr = Ipv4Addr::from(q);
+                let expected = list
+                    .iter()
+                    .filter(|(p, _)| p.contains(addr))
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|(_, v)| *v);
+                let got = map.lookup(addr).map(|(_, v)| *v);
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        #[test]
+        fn prop_prefix_parse_round_trip(bits: u32, len in 0u8..=32) {
+            let prefix = Prefix::new(Ipv4Addr::from(bits), len).unwrap();
+            let parsed: Prefix = prefix.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, prefix);
+        }
+
+        #[test]
+        fn prop_contains_iff_host_covered(bits: u32, len in 0u8..=32, addr: u32) {
+            let prefix = Prefix::new(Ipv4Addr::from(bits), len).unwrap();
+            let addr = Ipv4Addr::from(addr);
+            prop_assert_eq!(prefix.contains(addr), prefix.covers(&Prefix::host(addr)));
+        }
+    }
+}

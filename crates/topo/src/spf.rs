@@ -1,0 +1,385 @@
+//! Deterministic Dijkstra shortest-path-first — the IGP stand-in.
+//!
+//! Both IS-IS and OSPF reduce, for this reproduction's purposes, to
+//! "every router knows the shortest path to every other router in its
+//! domain". [`SpfTree`] computes that from one source; [`DomainSpf`]
+//! caches a tree per router so the data plane can ask "next hop from
+//! *here* toward X" in O(1).
+//!
+//! Ties are broken deterministically (lowest predecessor router id)
+//! for the *primary* next hop, and all equal-cost first hops are
+//! retained ([`SpfTree::next_hops`]) so the data plane can do ECMP:
+//! per-flow hashing over that set is exactly the load-balancing
+//! behaviour Paris traceroute's flow-stable probing exists to tame.
+
+use crate::graph::Topology;
+use crate::ids::{AsNumber, IfaceId, RouterId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cap on retained equal-cost first hops per destination (real
+/// routers bound their ECMP fan-out similarly).
+const MAX_ECMP: usize = 4;
+
+/// The shortest-path tree rooted at one router.
+#[derive(Debug, Clone)]
+pub struct SpfTree {
+    /// The root of the tree.
+    pub source: RouterId,
+    dist: HashMap<RouterId, u32>,
+    /// For each reachable router: every equal-cost first hop from the
+    /// source (egress interface + neighbour), deterministically
+    /// ordered; index 0 is the primary.
+    next: HashMap<RouterId, Vec<(IfaceId, RouterId)>>,
+    /// Immediate predecessor on the primary shortest path.
+    pred: HashMap<RouterId, RouterId>,
+}
+
+impl SpfTree {
+    /// Runs Dijkstra from `source` over routers for which `in_domain`
+    /// returns true. Links with `up == false` are skipped.
+    pub fn compute(
+        topo: &Topology,
+        source: RouterId,
+        in_domain: impl Fn(RouterId) -> bool,
+    ) -> SpfTree {
+        SpfTree::compute_avoiding(topo, source, in_domain, None)
+    }
+
+    /// Like [`SpfTree::compute`], additionally excluding one link —
+    /// the post-convergence view TI-LFA repair paths are built from.
+    pub fn compute_avoiding(
+        topo: &Topology,
+        source: RouterId,
+        in_domain: impl Fn(RouterId) -> bool,
+        avoid: Option<crate::ids::LinkId>,
+    ) -> SpfTree {
+        let mut dist: HashMap<RouterId, u32> = HashMap::new();
+        let mut next: HashMap<RouterId, Vec<(IfaceId, RouterId)>> = HashMap::new();
+        let mut pred: HashMap<RouterId, RouterId> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(u32, RouterId)>> = BinaryHeap::new();
+
+        dist.insert(source, 0);
+        heap.push(Reverse((0, source)));
+
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).copied() != Some(d) {
+                continue; // stale heap entry
+            }
+            for (link, local_if, _, v, cost) in topo.adjacencies(u) {
+                if !in_domain(v) || Some(link) == avoid {
+                    continue;
+                }
+                let nd = d.saturating_add(cost);
+                let first_hops_via_u = if u == source {
+                    vec![(local_if, v)]
+                } else {
+                    next[&u].clone()
+                };
+                match dist.get(&v) {
+                    None => {
+                        dist.insert(v, nd);
+                        pred.insert(v, u);
+                        next.insert(v, first_hops_via_u);
+                        heap.push(Reverse((nd, v)));
+                    }
+                    Some(&old) if nd < old => {
+                        dist.insert(v, nd);
+                        pred.insert(v, u);
+                        next.insert(v, first_hops_via_u);
+                        heap.push(Reverse((nd, v)));
+                    }
+                    Some(&old) if nd == old => {
+                        // Equal cost: merge the first-hop sets (ECMP)
+                        // and keep the primary deterministic by
+                        // preferring the smaller predecessor id.
+                        if pred.get(&v).is_some_and(|&p| u < p) {
+                            pred.insert(v, u);
+                            let mut merged = first_hops_via_u;
+                            merged.extend(next[&v].iter().copied());
+                            dedup_hops(&mut merged);
+                            next.insert(v, merged);
+                        } else {
+                            let hops = next.get_mut(&v).expect("set on first visit");
+                            hops.extend(first_hops_via_u);
+                            dedup_hops(hops);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        SpfTree { source, dist, next, pred }
+    }
+
+    /// IGP distance to `dst`, if reachable.
+    pub fn distance(&self, dst: RouterId) -> Option<u32> {
+        self.dist.get(&dst).copied()
+    }
+
+    /// The primary first hop from the source toward `dst` (control
+    /// planes install this one). `None` when unreachable or
+    /// `dst == source`.
+    pub fn next_hop(&self, dst: RouterId) -> Option<(IfaceId, RouterId)> {
+        self.next.get(&dst).and_then(|hops| hops.first().copied())
+    }
+
+    /// All equal-cost first hops toward `dst`, primary first. The data
+    /// plane hashes a flow over this set (ECMP).
+    pub fn next_hops(&self, dst: RouterId) -> &[(IfaceId, RouterId)] {
+        self.next.get(&dst).map_or(&[], Vec::as_slice)
+    }
+
+    /// The full router path `source..=dst`, or `None` if unreachable.
+    pub fn path(&self, dst: RouterId) -> Option<Vec<RouterId>> {
+        if dst == self.source {
+            return Some(vec![dst]);
+        }
+        self.dist.get(&dst)?;
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.source {
+            cur = *self.pred.get(&cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Routers reachable from the source (including itself).
+    pub fn reachable(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.dist.keys().copied()
+    }
+}
+
+/// Order-preserving dedup with the ECMP fan-out cap.
+fn dedup_hops(hops: &mut Vec<(IfaceId, RouterId)>) {
+    let mut seen = std::collections::HashSet::new();
+    hops.retain(|hop| seen.insert(*hop));
+    hops.truncate(MAX_ECMP);
+}
+
+/// Per-domain all-sources SPF cache.
+///
+/// A "domain" is the set of routers sharing one IGP — in this
+/// reproduction, one AS (plus, for SR, the subset that is SR-capable
+/// is filtered at the control-plane layer, not here).
+#[derive(Debug, Clone)]
+pub struct DomainSpf {
+    trees: HashMap<RouterId, SpfTree>,
+}
+
+impl DomainSpf {
+    /// Computes an SPF tree from every router of `asn`.
+    pub fn for_as(topo: &Topology, asn: AsNumber) -> DomainSpf {
+        let members: Vec<RouterId> = topo.routers_in_as(asn).map(|r| r.id).collect();
+        DomainSpf::for_members(topo, &members)
+    }
+
+    /// Computes an SPF tree from every router in `members`, with the
+    /// domain restricted to exactly that set.
+    pub fn for_members(topo: &Topology, members: &[RouterId]) -> DomainSpf {
+        let set: std::collections::HashSet<RouterId> = members.iter().copied().collect();
+        let trees = members
+            .iter()
+            .map(|&r| (r, SpfTree::compute(topo, r, |x| set.contains(&x))))
+            .collect();
+        DomainSpf { trees }
+    }
+
+    /// The SPF tree rooted at `router`, if it belongs to the domain.
+    pub fn tree(&self, router: RouterId) -> Option<&SpfTree> {
+        self.trees.get(&router)
+    }
+
+    /// Primary next hop from `from` toward `to` within the domain.
+    pub fn next_hop(&self, from: RouterId, to: RouterId) -> Option<(IfaceId, RouterId)> {
+        self.trees.get(&from)?.next_hop(to)
+    }
+
+    /// All equal-cost next hops from `from` toward `to` (ECMP set).
+    pub fn next_hops(&self, from: RouterId, to: RouterId) -> &[(IfaceId, RouterId)] {
+        self.trees.get(&from).map_or(&[], |t| t.next_hops(to))
+    }
+
+    /// IGP distance between two domain routers.
+    pub fn distance(&self, from: RouterId, to: RouterId) -> Option<u32> {
+        self.trees.get(&from)?.distance(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::Vendor;
+    use std::net::Ipv4Addr;
+
+    /// Builds the topology of the paper's Fig. 3:
+    ///
+    /// ```text
+    /// A - B - D - E - G - H      (all cost 1)
+    ///      \   \_ F _/
+    ///       C (stub off B)
+    /// ```
+    /// plus a direct D—E link which Fig. 3 steers through with an
+    /// adjacency SID.
+    fn fig3_topology() -> (Topology, Vec<RouterId>) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_001);
+        let names = ["A", "B", "C", "D", "E", "F", "G", "H"];
+        let routers: Vec<RouterId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                topo.add_router(
+                    *name,
+                    asn,
+                    Vendor::Cisco,
+                    Ipv4Addr::new(10, 255, 1, (i + 1) as u8),
+                )
+            })
+            .collect();
+        let mut nth = 0u8;
+        let mut link = |topo: &mut Topology, a: usize, b: usize, cost: u32| {
+            nth += 1;
+            topo.add_link(
+                routers[a],
+                Ipv4Addr::new(10, 1, nth, 1),
+                routers[b],
+                Ipv4Addr::new(10, 1, nth, 2),
+                cost,
+            );
+        };
+        link(&mut topo, 0, 1, 1); // A-B
+        link(&mut topo, 1, 2, 1); // B-C
+        link(&mut topo, 1, 3, 1); // B-D
+        link(&mut topo, 3, 4, 1); // D-E
+        link(&mut topo, 3, 5, 1); // D-F
+        link(&mut topo, 5, 6, 1); // F-G
+        link(&mut topo, 4, 6, 1); // E-G
+        link(&mut topo, 6, 7, 1); // G-H
+        (topo, routers)
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let (topo, r) = fig3_topology();
+        let tree = SpfTree::compute(&topo, r[0], |_| true);
+        // A=0 B=1 C=2 D=2 E=3 F=3 G=4 H=5
+        let expect = [0u32, 1, 2, 2, 3, 3, 4, 5];
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(tree.distance(r[i]), Some(*want), "distance to {}", i);
+        }
+    }
+
+    #[test]
+    fn next_hop_is_first_edge_of_path() {
+        let (topo, r) = fig3_topology();
+        let tree = SpfTree::compute(&topo, r[0], |_| true);
+        let (iface, neighbour) = tree.next_hop(r[7]).unwrap();
+        assert_eq!(neighbour, r[1], "everything from A goes via B");
+        assert_eq!(topo.iface(iface).router, r[0]);
+        assert_eq!(tree.next_hop(r[0]), None, "no next hop to self");
+    }
+
+    #[test]
+    fn path_lists_every_router() {
+        let (topo, r) = fig3_topology();
+        let tree = SpfTree::compute(&topo, r[0], |_| true);
+        let path = tree.path(r[7]).unwrap();
+        assert_eq!(path.first(), Some(&r[0]));
+        assert_eq!(path.last(), Some(&r[7]));
+        assert_eq!(path.len(), 6); // A B D E|F G H
+        assert_eq!(tree.path(r[0]).unwrap(), vec![r[0]]);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_predecessor_id() {
+        let (topo, r) = fig3_topology();
+        // From D (r[3]) to G (r[6]): via E (r[4]) or F (r[5]), both
+        // cost 2. The deterministic rule must choose predecessor E.
+        let tree = SpfTree::compute(&topo, r[3], |_| true);
+        let path = tree.path(r[6]).unwrap();
+        assert_eq!(path, vec![r[3], r[4], r[6]]);
+    }
+
+    #[test]
+    fn domain_filter_excludes_foreign_routers() {
+        let (topo, r) = fig3_topology();
+        // Restrict the domain to {A, B}: D becomes unreachable.
+        let members = [r[0], r[1]];
+        let spf = DomainSpf::for_members(&topo, &members);
+        assert_eq!(spf.distance(r[0], r[1]), Some(1));
+        assert_eq!(spf.tree(r[0]).unwrap().distance(r[3]), None);
+        assert!(spf.tree(r[3]).is_none());
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        let (mut topo, r) = fig3_topology();
+        // Down the D—E link (4th added, LinkId 3): D now reaches E via F,G.
+        let tree_before = SpfTree::compute(&topo, r[3], |_| true);
+        assert_eq!(tree_before.distance(r[4]), Some(1));
+        topo.set_link_up(crate::ids::LinkId(3), false);
+        let tree = SpfTree::compute(&topo, r[3], |_| true);
+        assert_eq!(tree.distance(r[4]), Some(3), "D-F-G-E after failure");
+        assert_eq!(tree.path(r[4]).unwrap(), vec![r[3], r[5], r[6], r[4]]);
+    }
+
+    #[test]
+    fn ecmp_diamond_exposes_both_first_hops() {
+        // A—B—D and A—C—D, all cost 1: two equal-cost first hops.
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_002);
+        let r: Vec<RouterId> = ["A", "B", "C", "D"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                topo.add_router(*n, asn, Vendor::Cisco, Ipv4Addr::new(10, 254, 1, (i + 1) as u8))
+            })
+            .collect();
+        let pairs = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        for (k, (a, b)) in pairs.iter().enumerate() {
+            topo.add_link(
+                r[*a],
+                Ipv4Addr::new(10, 254, k as u8 + 10, 1),
+                r[*b],
+                Ipv4Addr::new(10, 254, k as u8 + 10, 2),
+                1,
+            );
+        }
+        let tree = SpfTree::compute(&topo, r[0], |_| true);
+        let hops = tree.next_hops(r[3]);
+        assert_eq!(hops.len(), 2, "both equal-cost branches retained");
+        let neighbours: Vec<RouterId> = hops.iter().map(|(_, n)| *n).collect();
+        assert!(neighbours.contains(&r[1]) && neighbours.contains(&r[2]));
+        // The primary is the deterministic tie-break winner and
+        // next_hop() agrees with next_hops()[0].
+        assert_eq!(tree.next_hop(r[3]), Some(hops[0]));
+        // Unreachable targets expose an empty set.
+        assert!(tree.next_hops(RouterId(99)).is_empty());
+    }
+
+    #[test]
+    fn ecmp_sets_are_deterministic() {
+        let (topo, r) = fig3_topology();
+        let a = SpfTree::compute(&topo, r[3], |_| true);
+        let b = SpfTree::compute(&topo, r[3], |_| true);
+        for &dst in &r {
+            assert_eq!(a.next_hops(dst), b.next_hops(dst));
+        }
+    }
+
+    #[test]
+    fn all_pairs_agree_with_single_source() {
+        let (topo, r) = fig3_topology();
+        let spf = DomainSpf::for_as(&topo, AsNumber(65_001));
+        for &from in &r {
+            let tree = SpfTree::compute(&topo, from, |_| true);
+            for &to in &r {
+                assert_eq!(spf.distance(from, to), tree.distance(to));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Hardware vendor vocabulary.
+//!
+//! The paper's survey (Table 2 / Fig. 5a) and its fingerprinting layer
+//! both speak in terms of router vendors; the SR label-block table
+//! (Table 1) is indexed by vendor too. This enum is the shared
+//! vocabulary for all three.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A router hardware vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Vendor {
+    /// Cisco Systems (IOS / IOS-XR).
+    Cisco,
+    /// Juniper Networks (Junos).
+    Juniper,
+    /// Huawei (VRP).
+    Huawei,
+    /// Nokia, formerly Alcatel-Lucent (SR OS).
+    Nokia,
+    /// Arista Networks (EOS).
+    Arista,
+    /// MikroTik (RouterOS).
+    Mikrotik,
+    /// Linux-based routing platforms (FRR, BIRD hosts, …).
+    Linux,
+    /// Brocade / Extreme.
+    Brocade,
+}
+
+impl Vendor {
+    /// All vendors the survey proposed (Table 2), in survey order.
+    pub const ALL: [Vendor; 8] = [
+        Vendor::Cisco,
+        Vendor::Juniper,
+        Vendor::Huawei,
+        Vendor::Nokia,
+        Vendor::Arista,
+        Vendor::Mikrotik,
+        Vendor::Linux,
+        Vendor::Brocade,
+    ];
+
+    /// Initial TTL a router of this vendor uses for ICMP echo replies
+    /// (first component of the Vanaubel et al. TTL signature).
+    pub const fn echo_reply_initial_ttl(self) -> u8 {
+        match self {
+            Vendor::Cisco | Vendor::Huawei | Vendor::Brocade => 255,
+            Vendor::Juniper => 64,
+            Vendor::Nokia => 64,
+            Vendor::Arista | Vendor::Mikrotik | Vendor::Linux => 64,
+        }
+    }
+
+    /// Initial TTL a router of this vendor uses for ICMP time-exceeded
+    /// messages (second component of the TTL signature).
+    ///
+    /// Cisco and Huawei share the `(255, 255)` signature — the very
+    /// ambiguity that forces AReST to match against the intersection
+    /// of their SR label ranges (paper §5).
+    pub const fn time_exceeded_initial_ttl(self) -> u8 {
+        match self {
+            Vendor::Cisco | Vendor::Huawei => 255,
+            Vendor::Juniper => 255,
+            Vendor::Nokia => 255,
+            Vendor::Arista | Vendor::Mikrotik | Vendor::Linux | Vendor::Brocade => 64,
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Vendor::Cisco => "Cisco",
+            Vendor::Juniper => "Juniper",
+            Vendor::Huawei => "Huawei",
+            Vendor::Nokia => "Nokia",
+            Vendor::Arista => "Arista",
+            Vendor::Mikrotik => "MikroTik",
+            Vendor::Linux => "Linux",
+            Vendor::Brocade => "Brocade",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl FromStr for Vendor {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Vendor, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "cisco" => Ok(Vendor::Cisco),
+            "juniper" => Ok(Vendor::Juniper),
+            "huawei" => Ok(Vendor::Huawei),
+            "nokia" | "alcatel" | "alcatel-lucent" => Ok(Vendor::Nokia),
+            "arista" => Ok(Vendor::Arista),
+            "mikrotik" => Ok(Vendor::Mikrotik),
+            "linux" => Ok(Vendor::Linux),
+            "brocade" => Ok(Vendor::Brocade),
+            _ => Err(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cisco_and_huawei_share_ttl_signature() {
+        assert_eq!(
+            (Vendor::Cisco.echo_reply_initial_ttl(), Vendor::Cisco.time_exceeded_initial_ttl()),
+            (Vendor::Huawei.echo_reply_initial_ttl(), Vendor::Huawei.time_exceeded_initial_ttl()),
+        );
+    }
+
+    #[test]
+    fn juniper_signature_differs_from_cisco() {
+        assert_ne!(
+            (Vendor::Juniper.echo_reply_initial_ttl(), Vendor::Juniper.time_exceeded_initial_ttl()),
+            (Vendor::Cisco.echo_reply_initial_ttl(), Vendor::Cisco.time_exceeded_initial_ttl()),
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for vendor in Vendor::ALL {
+            assert_eq!(vendor.to_string().parse::<Vendor>().unwrap(), vendor);
+        }
+        assert!("cisco".parse::<Vendor>().is_ok());
+        assert!("alcatel".parse::<Vendor>().unwrap() == Vendor::Nokia);
+        assert!("unknown-vendor".parse::<Vendor>().is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! The Internet checksum (RFC 1071) shared by IPv4, UDP, and ICMP.
+
+/// Computes the one's-complement Internet checksum over `data`.
+///
+/// The returned value is already complemented, i.e. ready to be stored
+/// in a header checksum field. A buffer whose stored checksum is valid
+/// sums (via [`raw_sum`]) to `0xffff`.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(raw_sum(data))
+}
+
+/// Computes the unfolded 32-bit one's-complement sum of `data`.
+///
+/// Odd trailing bytes are padded with a zero byte, as the RFC requires.
+pub fn raw_sum(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit one's-complement accumulator down to 16 bits.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Computes the UDP/TCP pseudo-header sum for an IPv4 flow.
+///
+/// `len` is the length of the transport header plus payload in bytes.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, len: u16) -> u32 {
+    raw_sum(&src) + raw_sum(&dst) + u32::from(protocol) + u32::from(len)
+}
+
+/// Verifies that `data`, containing an embedded checksum field, sums to
+/// the all-ones value required by RFC 1071.
+pub fn verify(data: &[u8]) -> bool {
+    fold(raw_sum(data)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes_is_all_ones() {
+        assert_eq!(checksum(&[0u8; 8]), 0xffff);
+    }
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(raw_sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(raw_sum(&[0xab]), 0xab00);
+    }
+
+    #[test]
+    fn verify_accepts_valid_buffer() {
+        let mut buf = [0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0,
+                       10, 0, 0, 1, 10, 0, 0, 2];
+        let c = checksum(&buf);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&buf));
+        buf[0] ^= 0x01;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual_sum() {
+        let s = pseudo_header_sum([1, 2, 3, 4], [5, 6, 7, 8], 17, 20);
+        let manual = raw_sum(&[1, 2, 3, 4, 5, 6, 7, 8, 0, 17, 0, 20]);
+        assert_eq!(s, manual);
+    }
+}

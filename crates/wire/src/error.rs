@@ -1,0 +1,33 @@
+//! Error type shared by every codec in this crate.
+
+use core::fmt;
+
+/// Errors raised while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is too short to contain the claimed structure.
+    Truncated,
+    /// A field holds a value the codec cannot represent
+    /// (e.g. a label above 2^20 - 1, an IHL below 5).
+    Malformed,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A version field does not match the expected protocol version.
+    BadVersion,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::Malformed => write!(f, "malformed field"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadVersion => write!(f, "unexpected protocol version"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used by all parsing entry points.
+pub type WireResult<T> = Result<T, WireError>;

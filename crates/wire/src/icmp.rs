@@ -1,0 +1,515 @@
+//! ICMP messages (RFC 792) with multi-part extensions (RFC 4884) and
+//! the MPLS Label Stack object (RFC 4950).
+//!
+//! RFC 4950 is the mechanism that makes MPLS tunnels *explicit* to
+//! traceroute: when an LSE TTL expires, a compliant LSR quotes the
+//! entire received label stack in an extension object appended to the
+//! ICMP time-exceeded message. AReST consumes exactly that quotation.
+//!
+//! Layout of an extended time-exceeded message:
+//!
+//! ```text
+//! type(11) code(0) checksum
+//! unused(1 byte) length(1 byte, 32-bit words of original datagram) unused(2)
+//! original datagram (padded to length*4 bytes, >= 128 when extended)
+//! extension header: version(2)<<4 | reserved, reserved, checksum
+//!   object: length, class(1 = MPLS LS), ctype(1 = incoming stack)
+//!     LSEs ...
+//! ```
+
+use crate::checksum;
+use crate::error::{WireError, WireResult};
+use crate::mpls::LabelStack;
+
+/// ICMP header length (type, code, checksum, 4 rest-of-header bytes).
+pub const HEADER_LEN: usize = 8;
+
+/// RFC 4884: when an extension is present the original datagram part
+/// is padded to at least 128 bytes.
+pub const ORIGINAL_DATAGRAM_MIN_LEN: usize = 128;
+
+/// RFC 4884 extension version.
+pub const EXTENSION_VERSION: u8 = 2;
+
+/// RFC 4950 class number for the MPLS Label Stack object.
+pub const MPLS_CLASS: u8 = 1;
+
+/// RFC 4950 c-type for "incoming MPLS label stack".
+pub const MPLS_CTYPE_INCOMING: u8 = 1;
+
+/// ICMP message types used by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo Reply (0).
+    EchoReply,
+    /// Destination Unreachable (3).
+    DestUnreachable,
+    /// Echo Request (8).
+    EchoRequest,
+    /// Time Exceeded (11).
+    TimeExceeded,
+    /// Any other type, kept verbatim.
+    Other(u8),
+}
+
+impl From<u8> for IcmpType {
+    fn from(value: u8) -> IcmpType {
+        match value {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+impl From<IcmpType> for u8 {
+    fn from(value: IcmpType) -> u8 {
+        match value {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(other) => other,
+        }
+    }
+}
+
+/// The RFC 4950 MPLS Label Stack extension object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MplsExtension {
+    /// The label stack quoted from the packet whose TTL expired,
+    /// top entry first.
+    pub stack: LabelStack,
+}
+
+impl MplsExtension {
+    /// Wire length: extension header (4) + object header (4) + LSEs.
+    pub fn wire_len(&self) -> usize {
+        4 + 4 + self.stack.wire_len()
+    }
+
+    /// Emits the extension structure (header + MPLS object) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> WireResult<()> {
+        let len = self.wire_len();
+        if buf.len() < len {
+            return Err(WireError::Truncated);
+        }
+        buf[0] = EXTENSION_VERSION << 4;
+        buf[1] = 0;
+        buf[2] = 0;
+        buf[3] = 0;
+        let obj_len = u16::try_from(4 + self.stack.wire_len()).map_err(|_| WireError::Malformed)?;
+        buf[4..6].copy_from_slice(&obj_len.to_be_bytes());
+        buf[6] = MPLS_CLASS;
+        buf[7] = MPLS_CTYPE_INCOMING;
+        self.stack.emit(&mut buf[8..len])?;
+        let c = checksum::checksum(&buf[..len]);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses an extension structure, returning the first MPLS Label
+    /// Stack object found (other object classes are skipped).
+    pub fn parse(buf: &[u8]) -> WireResult<Option<MplsExtension>> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] >> 4 != EXTENSION_VERSION {
+            return Err(WireError::BadVersion);
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        let mut offset = 4;
+        while offset + 4 <= buf.len() {
+            let obj_len = usize::from(u16::from_be_bytes([buf[offset], buf[offset + 1]]));
+            let class = buf[offset + 2];
+            let ctype = buf[offset + 3];
+            if obj_len < 4 || offset + obj_len > buf.len() {
+                return Err(WireError::Malformed);
+            }
+            if class == MPLS_CLASS && ctype == MPLS_CTYPE_INCOMING {
+                let stack = LabelStack::parse(&buf[offset + 4..offset + obj_len])?;
+                return Ok(Some(MplsExtension { stack }));
+            }
+            offset += obj_len;
+        }
+        Ok(None)
+    }
+}
+
+/// A decoded ICMP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request carrying an identifier and sequence number.
+    EchoRequest {
+        /// Identifier, usually the prober's session id.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+    },
+    /// Echo reply mirroring the request's identifier and sequence.
+    EchoReply {
+        /// Identifier echoed back.
+        ident: u16,
+        /// Sequence echoed back.
+        seq: u16,
+    },
+    /// Time exceeded (TTL expiry in transit), quoting the offending
+    /// datagram and, for RFC 4950 routers, the incoming label stack.
+    TimeExceeded {
+        /// The quoted original datagram (IPv4 header + leading payload).
+        original: Vec<u8>,
+        /// The RFC 4950 MPLS extension, if the router emitted one.
+        extension: Option<MplsExtension>,
+    },
+    /// Destination unreachable with the given code (3 = port
+    /// unreachable, the signal that a UDP probe reached its target).
+    DestUnreachable {
+        /// The unreachable code.
+        code: u8,
+        /// The quoted original datagram.
+        original: Vec<u8>,
+        /// The RFC 4950 MPLS extension, if present.
+        extension: Option<MplsExtension>,
+    },
+}
+
+impl IcmpMessage {
+    /// The ICMP type of this message.
+    pub fn icmp_type(&self) -> IcmpType {
+        match self {
+            IcmpMessage::EchoRequest { .. } => IcmpType::EchoRequest,
+            IcmpMessage::EchoReply { .. } => IcmpType::EchoReply,
+            IcmpMessage::TimeExceeded { .. } => IcmpType::TimeExceeded,
+            IcmpMessage::DestUnreachable { .. } => IcmpType::DestUnreachable,
+        }
+    }
+
+    /// The quoted MPLS extension, for error messages that carry one.
+    pub fn mpls_extension(&self) -> Option<&MplsExtension> {
+        match self {
+            IcmpMessage::TimeExceeded { extension, .. }
+            | IcmpMessage::DestUnreachable { extension, .. } => extension.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The quoted original datagram, for error messages.
+    pub fn original_datagram(&self) -> Option<&[u8]> {
+        match self {
+            IcmpMessage::TimeExceeded { original, .. }
+            | IcmpMessage::DestUnreachable { original, .. } => Some(original),
+            _ => None,
+        }
+    }
+
+    /// Emitted wire length in bytes.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            IcmpMessage::EchoRequest { .. } | IcmpMessage::EchoReply { .. } => HEADER_LEN,
+            IcmpMessage::TimeExceeded { original, extension }
+            | IcmpMessage::DestUnreachable { original, extension, .. } => {
+                let quoted = match extension {
+                    Some(_) => original.len().max(ORIGINAL_DATAGRAM_MIN_LEN).div_ceil(4) * 4,
+                    None => original.len(),
+                };
+                HEADER_LEN
+                    + quoted
+                    + extension.as_ref().map_or(0, MplsExtension::wire_len)
+            }
+        }
+    }
+
+    /// Emits the message (with checksum) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> WireResult<()> {
+        let total = self.buffer_len();
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let buf = &mut buf[..total];
+        buf.fill(0);
+        buf[0] = u8::from(self.icmp_type());
+        match self {
+            IcmpMessage::EchoRequest { ident, seq } | IcmpMessage::EchoReply { ident, seq } => {
+                buf[4..6].copy_from_slice(&ident.to_be_bytes());
+                buf[6..8].copy_from_slice(&seq.to_be_bytes());
+            }
+            IcmpMessage::TimeExceeded { original, extension }
+            | IcmpMessage::DestUnreachable { original, extension, .. } => {
+                if let IcmpMessage::DestUnreachable { code, .. } = self {
+                    buf[1] = *code;
+                }
+                let quoted_len = match extension {
+                    Some(_) => original.len().max(ORIGINAL_DATAGRAM_MIN_LEN).div_ceil(4) * 4,
+                    None => original.len(),
+                };
+                buf[HEADER_LEN..HEADER_LEN + original.len()].copy_from_slice(original);
+                if let Some(ext) = extension {
+                    // RFC 4884: the length field counts 32-bit words of
+                    // the padded original datagram. For time-exceeded it
+                    // lives in the second rest-of-header byte.
+                    let words = u8::try_from(quoted_len / 4).map_err(|_| WireError::Malformed)?;
+                    buf[5] = words;
+                    ext.emit(&mut buf[HEADER_LEN + quoted_len..])?;
+                }
+            }
+        }
+        let c = checksum::checksum(buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        Ok(())
+    }
+
+    /// Returns the wire encoding as an owned vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        self.emit(&mut buf).expect("buffer sized by buffer_len");
+        buf
+    }
+
+    /// Parses an ICMP message, verifying its checksum.
+    pub fn parse(buf: &[u8]) -> WireResult<IcmpMessage> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        let icmp_type = IcmpType::from(buf[0]);
+        let code = buf[1];
+        match icmp_type {
+            IcmpType::EchoRequest | IcmpType::EchoReply => {
+                let ident = u16::from_be_bytes([buf[4], buf[5]]);
+                let seq = u16::from_be_bytes([buf[6], buf[7]]);
+                Ok(match icmp_type {
+                    IcmpType::EchoRequest => IcmpMessage::EchoRequest { ident, seq },
+                    _ => IcmpMessage::EchoReply { ident, seq },
+                })
+            }
+            IcmpType::TimeExceeded | IcmpType::DestUnreachable => {
+                let length_words = usize::from(buf[5]);
+                let (original, extension) = if length_words > 0 {
+                    // RFC 4884 multi-part message.
+                    let quoted_len = length_words * 4;
+                    if HEADER_LEN + quoted_len > buf.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let original = buf[HEADER_LEN..HEADER_LEN + quoted_len].to_vec();
+                    let ext = MplsExtension::parse(&buf[HEADER_LEN + quoted_len..])?;
+                    (original, ext)
+                } else {
+                    (buf[HEADER_LEN..].to_vec(), None)
+                };
+                Ok(match icmp_type {
+                    IcmpType::TimeExceeded => IcmpMessage::TimeExceeded { original, extension },
+                    _ => IcmpMessage::DestUnreachable { code, original, extension },
+                })
+            }
+            IcmpType::Other(_) => Err(WireError::Malformed),
+        }
+    }
+}
+
+/// A thin checked view exposing type/code/checksum of a raw buffer.
+#[derive(Debug, Clone)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wraps a buffer, validating the minimum length.
+    pub fn new_checked(buffer: T) -> WireResult<IcmpPacket<T>> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(IcmpPacket { buffer })
+    }
+
+    /// The message type.
+    pub fn icmp_type(&self) -> IcmpType {
+        IcmpType::from(self.buffer.as_ref()[0])
+    }
+
+    /// The message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Whether the stored checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpls::Label;
+    use proptest::prelude::*;
+
+    fn stack(labels: &[u32]) -> LabelStack {
+        let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l).unwrap()).collect();
+        LabelStack::from_labels(&labels, 1)
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let msg = IcmpMessage::EchoRequest { ident: 77, seq: 4242 };
+        assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+        let msg = IcmpMessage::EchoReply { ident: 1, seq: 2 };
+        assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn time_exceeded_without_extension() {
+        let original = vec![0xaa; 28];
+        let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: None };
+        let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed.original_datagram().unwrap(), &original[..]);
+        assert!(parsed.mpls_extension().is_none());
+    }
+
+    #[test]
+    fn time_exceeded_with_rfc4950_extension() {
+        let original = vec![0x45; 28];
+        let ext = MplsExtension { stack: stack(&[16_005, 24_001]) };
+        let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: Some(ext.clone()) };
+        let bytes = msg.to_bytes();
+        let parsed = IcmpMessage::parse(&bytes).unwrap();
+        // The quoted datagram is padded to 128 bytes per RFC 4884.
+        let quoted = parsed.original_datagram().unwrap();
+        assert_eq!(quoted.len(), ORIGINAL_DATAGRAM_MIN_LEN);
+        assert_eq!(&quoted[..original.len()], &original[..]);
+        assert_eq!(parsed.mpls_extension().unwrap(), &ext);
+    }
+
+    #[test]
+    fn dest_unreachable_round_trip() {
+        let msg = IcmpMessage::DestUnreachable {
+            code: 3,
+            original: vec![1; 28],
+            extension: Some(MplsExtension { stack: stack(&[30_000]) }),
+        };
+        let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg_with_padded_original(msg.clone()));
+        match parsed {
+            IcmpMessage::DestUnreachable { code, .. } => assert_eq!(code, 3),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    /// Emitting pads the original datagram; mirror that for equality checks.
+    fn msg_with_padded_original(msg: IcmpMessage) -> IcmpMessage {
+        match msg {
+            IcmpMessage::TimeExceeded { mut original, extension } => {
+                if extension.is_some() {
+                    original.resize(ORIGINAL_DATAGRAM_MIN_LEN, 0);
+                }
+                IcmpMessage::TimeExceeded { original, extension }
+            }
+            IcmpMessage::DestUnreachable { code, mut original, extension } => {
+                if extension.is_some() {
+                    original.resize(ORIGINAL_DATAGRAM_MIN_LEN, 0);
+                }
+                IcmpMessage::DestUnreachable { code, original, extension }
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = IcmpMessage::EchoReply { ident: 5, seq: 6 }.to_bytes();
+        bytes[4] ^= 0xff;
+        assert_eq!(IcmpMessage::parse(&bytes).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn corrupted_extension_checksum_is_rejected() {
+        let ext = MplsExtension { stack: stack(&[16_000]) };
+        let msg = IcmpMessage::TimeExceeded { original: vec![0; 28], extension: Some(ext) };
+        let mut bytes = msg.to_bytes();
+        let ext_start = HEADER_LEN + ORIGINAL_DATAGRAM_MIN_LEN;
+        bytes[ext_start + 8] ^= 0x01; // flip a bit inside the first LSE
+        // Fix the outer ICMP checksum so only the extension checksum fails.
+        bytes[2] = 0;
+        bytes[3] = 0;
+        let c = checksum::checksum(&bytes);
+        bytes[2..4].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(IcmpMessage::parse(&bytes).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn extension_skips_foreign_objects() {
+        // Build an extension with a non-MPLS object before the MPLS one.
+        let mpls = MplsExtension { stack: stack(&[17_005]) };
+        let mut buf = vec![0u8; 4 + 8 + mpls.wire_len() - 4];
+        buf[0] = EXTENSION_VERSION << 4;
+        // Foreign object: length 8, class 3 (interface info), ctype 1.
+        buf[4..6].copy_from_slice(&8u16.to_be_bytes());
+        buf[6] = 3;
+        buf[7] = 1;
+        // MPLS object afterwards.
+        let obj_len = 4 + mpls.stack.wire_len();
+        buf[12..14].copy_from_slice(&(obj_len as u16).to_be_bytes());
+        buf[14] = MPLS_CLASS;
+        buf[15] = MPLS_CTYPE_INCOMING;
+        mpls.stack.emit(&mut buf[16..]).unwrap();
+        let c = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(MplsExtension::parse(&buf).unwrap().unwrap(), mpls);
+    }
+
+    #[test]
+    fn extension_absent_returns_none() {
+        let mut buf = vec![0u8; 4];
+        buf[0] = EXTENSION_VERSION << 4;
+        let c = checksum::checksum(&buf);
+        buf[2..4].copy_from_slice(&c.to_be_bytes());
+        assert_eq!(MplsExtension::parse(&buf).unwrap(), None);
+    }
+
+    #[test]
+    fn extension_bad_version() {
+        let buf = [0x10, 0, 0, 0];
+        assert_eq!(MplsExtension::parse(&buf).unwrap_err(), WireError::BadVersion);
+    }
+
+    #[test]
+    fn icmp_packet_view() {
+        let bytes = IcmpMessage::EchoRequest { ident: 9, seq: 10 }.to_bytes();
+        let view = IcmpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(view.icmp_type(), IcmpType::EchoRequest);
+        assert_eq!(view.code(), 0);
+        assert!(view.verify_checksum());
+        assert!(IcmpPacket::new_checked(&bytes[..4]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_time_exceeded_round_trip(
+            original in prop::collection::vec(any::<u8>(), 20..120),
+            labels in prop::collection::vec(0u32..=crate::mpls::MAX_LABEL, 1..8),
+            with_ext: bool,
+        ) {
+            let extension = with_ext.then(|| MplsExtension { stack: stack(&labels) });
+            let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: extension.clone() };
+            let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+            match parsed {
+                IcmpMessage::TimeExceeded { original: got, extension: got_ext } => {
+                    prop_assert_eq!(&got[..original.len()], &original[..]);
+                    prop_assert_eq!(got_ext, extension);
+                }
+                _ => prop_assert!(false, "wrong variant"),
+            }
+        }
+
+        #[test]
+        fn prop_echo_round_trip(ident: u16, seq: u16) {
+            let msg = IcmpMessage::EchoRequest { ident, seq };
+            prop_assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+}

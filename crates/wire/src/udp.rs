@@ -1,0 +1,244 @@
+//! The UDP header (RFC 768) used by traceroute probes.
+//!
+//! Paris traceroute keeps the UDP source/destination ports constant for
+//! a given flow so that per-flow load balancers pin the probe path; the
+//! probe sequence number is carried in the UDP *checksum* by adjusting
+//! payload bytes. [`UdpRepr::emit_with_target_checksum`] implements
+//! exactly that trick.
+
+use crate::checksum;
+use crate::error::{WireError, WireResult};
+use std::net::Ipv4Addr;
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A read-only view over a UDP datagram buffer.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> UdpPacket<T> {
+        UdpPacket { buffer }
+    }
+
+    /// Wraps a buffer, validating the length field.
+    pub fn new_checked(buffer: T) -> WireResult<UdpPacket<T>> {
+        let packet = UdpPacket::new_unchecked(buffer);
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = usize::from(packet.len());
+        if len < HEADER_LEN || data.len() < len {
+            return Err(WireError::Truncated);
+        }
+        Ok(packet)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// The Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Whether the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize <= HEADER_LEN
+    }
+
+    /// The stored checksum.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let d = self.buffer.as_ref();
+        &d[HEADER_LEN..usize::from(self.len()).min(d.len())]
+    }
+
+    /// Verifies the checksum against the IPv4 pseudo header.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let d = self.buffer.as_ref();
+        let len = usize::from(self.len());
+        let sum = checksum::pseudo_header_sum(src.octets(), dst.octets(), 17, self.len())
+            + checksum::raw_sum(&d[..len]);
+        checksum::fold(sum) == 0xffff
+    }
+}
+
+/// An owned UDP header representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+impl UdpRepr {
+    /// Parses ports from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &UdpPacket<T>) -> UdpRepr {
+        UdpRepr { src_port: packet.src_port(), dst_port: packet.dst_port() }
+    }
+
+    /// Emits a header plus `payload` into `buf`, computing the real
+    /// checksum over the pseudo header.
+    pub fn emit(&self, buf: &mut [u8], payload: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> WireResult<()> {
+        let total = HEADER_LEN + payload.len();
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::try_from(total).map_err(|_| WireError::Malformed)?;
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&len.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]);
+        buf[HEADER_LEN..total].copy_from_slice(payload);
+        let sum = checksum::pseudo_header_sum(src.octets(), dst.octets(), 17, len)
+            + checksum::raw_sum(&buf[..total]);
+        let mut c = !checksum::fold(sum);
+        // RFC 768: a computed zero checksum is transmitted as all ones.
+        if c == 0 {
+            c = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&c.to_be_bytes());
+        Ok(())
+    }
+
+    /// Emits a header with a two-byte payload chosen so the UDP
+    /// checksum equals `target` — the Paris traceroute trick for
+    /// encoding a probe identifier without perturbing the flow tuple.
+    ///
+    /// `target` must be non-zero (zero means "no checksum" in UDP).
+    pub fn emit_with_target_checksum(
+        &self,
+        buf: &mut [u8],
+        target: u16,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> WireResult<()> {
+        if target == 0 {
+            return Err(WireError::Malformed);
+        }
+        let total = HEADER_LEN + 2;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let len = total as u16;
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&len.to_be_bytes());
+        buf[6..8].copy_from_slice(&target.to_be_bytes());
+        // Solve for the payload halfword P such that the one's
+        // complement sum over (pseudo header + header-with-target + P)
+        // equals 0xffff, i.e. the stored `target` verifies.
+        let partial = checksum::pseudo_header_sum(src.octets(), dst.octets(), 17, len)
+            + checksum::raw_sum(&buf[..HEADER_LEN]);
+        let folded = checksum::fold(partial);
+        let payload = !folded; // one's complement difference to reach 0xffff
+        buf[HEADER_LEN..total].copy_from_slice(&payload.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 1, 2, 3);
+    const DST: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 9);
+
+    #[test]
+    fn emit_verify_round_trip() {
+        let repr = UdpRepr { src_port: 33434, dst_port: 33435 };
+        let payload = [1, 2, 3, 4, 5];
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        repr.emit(&mut buf, &payload, SRC, DST).unwrap();
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(UdpRepr::parse(&packet), repr);
+        assert_eq!(packet.payload(), &payload);
+        assert!(packet.verify_checksum(SRC, DST));
+        // Note: swapping src/dst does NOT break the checksum (the
+        // pseudo-header sum is commutative); a different address does.
+        assert!(!packet.verify_checksum(Ipv4Addr::new(10, 1, 2, 4), DST));
+    }
+
+    #[test]
+    fn checked_rejects_short() {
+        assert_eq!(UdpPacket::new_checked(&[0u8; 4][..]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn checked_rejects_len_below_header() {
+        let mut buf = [0u8; 8];
+        buf[5] = 4; // length 4 < 8
+        assert_eq!(UdpPacket::new_checked(&buf[..]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn target_checksum_is_honoured() {
+        let repr = UdpRepr { src_port: 33434, dst_port: 33434 };
+        for target in [1u16, 0x1234, 0xfffe, 0xffff] {
+            let mut buf = vec![0u8; HEADER_LEN + 2];
+            repr.emit_with_target_checksum(&mut buf, target, SRC, DST).unwrap();
+            let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+            assert_eq!(packet.checksum(), target);
+            assert!(packet.verify_checksum(SRC, DST), "target {target:#x} must verify");
+        }
+    }
+
+    #[test]
+    fn target_checksum_rejects_zero() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2 };
+        let mut buf = vec![0u8; HEADER_LEN + 2];
+        assert_eq!(
+            repr.emit_with_target_checksum(&mut buf, 0, SRC, DST).unwrap_err(),
+            WireError::Malformed
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_emit_always_verifies(sport: u16, dport: u16,
+                                     payload in prop::collection::vec(any::<u8>(), 0..32),
+                                     src: [u8; 4], dst: [u8; 4]) {
+            let repr = UdpRepr { src_port: sport, dst_port: dport };
+            let (src, dst) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
+            let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+            repr.emit(&mut buf, &payload, src, dst).unwrap();
+            let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+            prop_assert!(packet.verify_checksum(src, dst));
+        }
+
+        #[test]
+        fn prop_target_checksum(target in 1u16..=u16::MAX, sport: u16, dport: u16,
+                                src: [u8; 4], dst: [u8; 4]) {
+            let repr = UdpRepr { src_port: sport, dst_port: dport };
+            let (src, dst) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
+            let mut buf = vec![0u8; HEADER_LEN + 2];
+            repr.emit_with_target_checksum(&mut buf, target, src, dst).unwrap();
+            let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+            prop_assert_eq!(packet.checksum(), target);
+            prop_assert!(packet.verify_checksum(src, dst));
+        }
+    }
+}

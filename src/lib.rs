@@ -1,0 +1,23 @@
+//! # arest-suite
+//!
+//! Umbrella crate for the AReST reproduction. It re-exports every
+//! workspace crate under a short name so examples and integration
+//! tests can reach the whole pipeline through one dependency.
+//!
+//! See `DESIGN.md` at the workspace root for the system inventory and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use arest_core as core;
+pub use arest_experiments as experiments;
+pub use arest_fingerprint as fingerprint;
+pub use arest_mapping as mapping;
+pub use arest_mpls as mpls;
+pub use arest_netgen as netgen;
+pub use arest_simnet as simnet;
+pub use arest_sr as sr;
+pub use arest_survey as survey;
+pub use arest_tnt as tnt;
+pub use arest_topo as topo;
+pub use arest_wire as wire;

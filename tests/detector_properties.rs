@@ -1,0 +1,151 @@
+//! Property-based tests on the AReST detector's invariants.
+
+use arest_suite::core::classify::{classify_areas, Area, AreaConfig};
+use arest_suite::core::detect::{detect_segments, DetectorConfig};
+use arest_suite::core::flags::Flag;
+use arest_suite::core::model::{AugmentedHop, AugmentedTrace};
+use arest_suite::fingerprint::combined::VendorEvidence;
+use arest_suite::topo::vendor::Vendor;
+use arest_suite::wire::mpls::{Label, LabelStack};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Strategy: one synthetic augmented hop.
+fn hop_strategy() -> impl Strategy<Value = AugmentedHop> {
+    (
+        any::<u32>(),                                      // address bits
+        prop::option::of(prop::collection::vec(0u32..=1_048_575, 1..4)),
+        prop::option::of(0usize..4),                       // evidence selector
+        any::<bool>(),                                     // revealed
+        prop::option::of(1u8..10),                         // qTTL
+        prop::bool::weighted(0.1),                         // silent hop
+    )
+        .prop_map(|(addr, labels, evidence, revealed, qttl, silent)| {
+            let evidence = evidence.and_then(|e| match e {
+                0 => Some(VendorEvidence::Exact(Vendor::Cisco)),
+                1 => Some(VendorEvidence::Exact(Vendor::Juniper)),
+                2 => Some(VendorEvidence::CiscoOrHuawei),
+                _ => None,
+            });
+            AugmentedHop {
+                addr: (!silent).then(|| Ipv4Addr::from(addr)),
+                stack: labels.map(|ls| {
+                    let labels: Vec<Label> =
+                        ls.into_iter().map(|l| Label::new(l).unwrap()).collect();
+                    LabelStack::from_labels(&labels, 1)
+                }),
+                evidence,
+                revealed,
+                quoted_ip_ttl: qttl,
+                is_destination: false,
+            }
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = AugmentedTrace> {
+    prop::collection::vec(hop_strategy(), 0..24).prop_map(|hops| {
+        AugmentedTrace::new("prop", Ipv4Addr::new(203, 0, 113, 1), hops)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Segments are sorted, in bounds, and non-overlapping per flag
+    /// category; the flag preconditions hold on every segment.
+    #[test]
+    fn segment_invariants(trace in trace_strategy()) {
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        let mut last_start = 0;
+        for segment in &segments {
+            prop_assert!(segment.start <= segment.end);
+            prop_assert!(segment.end < trace.hops.len());
+            prop_assert!(segment.start >= last_start || segment.start == last_start);
+            last_start = segment.start;
+
+            match segment.flag {
+                Flag::Cvr | Flag::Co => {
+                    prop_assert!(segment.hop_count() >= 2, "sequences span >= 2 hops");
+                    // Every hop in a sequence quotes a stack.
+                    for hop in &trace.hops[segment.start..=segment.end] {
+                        prop_assert!(hop.stack.is_some());
+                    }
+                    // Distinct-address rule.
+                    let mut addrs: Vec<_> = trace.hops[segment.start..=segment.end]
+                        .iter()
+                        .filter_map(|h| h.addr)
+                        .collect();
+                    addrs.sort_unstable();
+                    addrs.dedup();
+                    prop_assert!(addrs.len() >= 2);
+                }
+                Flag::Lsvr | Flag::Lso => {
+                    prop_assert_eq!(segment.hop_count(), 1);
+                    prop_assert!(trace.hops[segment.start].stack_depth() >= 2);
+                }
+                Flag::Lvr => {
+                    prop_assert_eq!(segment.hop_count(), 1);
+                    prop_assert_eq!(trace.hops[segment.start].stack_depth(), 1);
+                    prop_assert!(trace.hops[segment.start].evidence.is_some());
+                }
+            }
+        }
+    }
+
+    /// Vendor-range flags (CVR/LSVR/LVR) never fire without evidence
+    /// somewhere in the segment.
+    #[test]
+    fn vendor_flags_require_evidence(trace in trace_strategy()) {
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        for segment in segments {
+            if matches!(segment.flag, Flag::Cvr | Flag::Lsvr | Flag::Lvr) {
+                let any_evidence = trace.hops[segment.start..=segment.end]
+                    .iter()
+                    .any(|h| h.evidence.is_some());
+                prop_assert!(any_evidence, "{:?} without evidence", segment.flag);
+            }
+        }
+    }
+
+    /// Disabling suffix matching never *adds* sequence segments.
+    #[test]
+    fn suffix_ablation_is_monotone(trace in trace_strategy()) {
+        let with = detect_segments(&trace, &DetectorConfig::default());
+        let without = detect_segments(
+            &trace,
+            &DetectorConfig { suffix_matching: false, ..Default::default() },
+        );
+        let count = |segs: &[arest_suite::core::detect::DetectedSegment]| {
+            segs.iter().filter(|s| matches!(s.flag, Flag::Cvr | Flag::Co)).count()
+        };
+        prop_assert!(count(&without) <= count(&with));
+    }
+
+    /// Area classification: SR areas only exist on flagged hops, and
+    /// hops with no MPLS involvement are always IP.
+    #[test]
+    fn area_classification_is_consistent(trace in trace_strategy()) {
+        let segments = detect_segments(&trace, &DetectorConfig::default());
+        let areas = classify_areas(&trace, &segments, &AreaConfig::default());
+        prop_assert_eq!(areas.len(), trace.hops.len());
+        for (idx, (hop, area)) in trace.hops.iter().zip(&areas).enumerate() {
+            if !hop.is_mpls() {
+                prop_assert_ne!(*area, Area::Mpls, "hop {} cannot be MPLS", idx);
+            }
+            if *area == Area::Sr {
+                let in_strong_segment = segments
+                    .iter()
+                    .any(|s| s.flag.is_strong() && s.start <= idx && idx <= s.end);
+                prop_assert!(in_strong_segment, "SR area outside strong segments at {}", idx);
+            }
+        }
+    }
+
+    /// The detector is deterministic.
+    #[test]
+    fn detection_is_deterministic(trace in trace_strategy()) {
+        let a = detect_segments(&trace, &DetectorConfig::default());
+        let b = detect_segments(&trace, &DetectorConfig::default());
+        prop_assert_eq!(a, b);
+    }
+}
