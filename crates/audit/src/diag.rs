@@ -1,0 +1,275 @@
+//! Typed diagnostics: what the checkers emit and the report that
+//! collects them.
+//!
+//! Every finding is a [`Diagnostic`] — a severity, the check that
+//! produced it, and as much provenance (AS, router, label) as the
+//! check had in hand. The [`AuditReport`] aggregates findings across
+//! all checkers, sorted into a deterministic order so rendered output
+//! is stable run to run despite hash-map iteration inside checkers.
+
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_wire::mpls::Label;
+use core::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Inventory-grade information (e.g. intra-AS SRGB base spread).
+    Info,
+    /// Suspicious state that some deployments produce deliberately.
+    Warn,
+    /// Control-plane state that will misforward, loop, or blackhole.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which checker produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Check {
+    /// Two control planes installed different actions for one
+    /// incoming label on the same router.
+    LfibCollision,
+    /// An LFIB action egresses through an interface that is foreign,
+    /// down, or not facing the recorded next hop.
+    BrokenNextHop,
+    /// A swap's outgoing label is absent from the next hop's LFIB.
+    DanglingSwap,
+    /// A reserved special-purpose label (0–15) bound to a non-pop
+    /// action.
+    ReservedLabel,
+    /// A router's SRGB and SRLB overlap each other.
+    BlockOverlap,
+    /// An SRGB/SRLB overlaps the dynamic label-allocation region.
+    DynamicRangeOverlap,
+    /// A SID index does not fit inside a member's SRGB.
+    SidOverflow,
+    /// Members of one AS disagree on the SRGB base.
+    SrgbMismatch,
+    /// A label-switching cycle in the LFIB graph.
+    ForwardingLoop,
+    /// A segment-list step whose top label the current router cannot
+    /// resolve.
+    UnresolvableSegment,
+    /// A segment-list walk exceeded its step budget (a label loop
+    /// reachable from an ingress push).
+    RunawayWalk,
+    /// SR and LDP both deployed but no junction stitches them.
+    InterworkingGap,
+    /// An interworking prefix the junction cannot continue across the
+    /// SR/LDP boundary.
+    MappingCoverage,
+}
+
+impl Check {
+    /// Stable kebab-case identifier used in rendered reports.
+    pub const fn id(self) -> &'static str {
+        match self {
+            Check::LfibCollision => "lfib-collision",
+            Check::BrokenNextHop => "broken-next-hop",
+            Check::DanglingSwap => "dangling-swap",
+            Check::ReservedLabel => "reserved-label",
+            Check::BlockOverlap => "block-overlap",
+            Check::DynamicRangeOverlap => "dynamic-range-overlap",
+            Check::SidOverflow => "sid-overflow",
+            Check::SrgbMismatch => "srgb-mismatch",
+            Check::ForwardingLoop => "forwarding-loop",
+            Check::UnresolvableSegment => "unresolvable-segment",
+            Check::RunawayWalk => "runaway-walk",
+            Check::InterworkingGap => "interworking-gap",
+            Check::MappingCoverage => "mapping-coverage",
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The check that produced this finding.
+    pub check: Check,
+    /// Its severity.
+    pub severity: Severity,
+    /// The AS the finding belongs to, when known.
+    pub asn: Option<AsNumber>,
+    /// The router the finding anchors to, when one is implicated.
+    pub router: Option<RouterId>,
+    /// The label involved, when one is.
+    pub label: Option<Label>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.check)?;
+        if let Some(asn) = self.asn {
+            write!(f, " {asn}")?;
+        }
+        if let Some(router) = self.router {
+            write!(f, " {router}")?;
+        }
+        if let Some(label) = self.label {
+            write!(f, " label {}", label.value())?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The aggregated outcome of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditReport {
+    /// An empty report.
+    pub fn new() -> AuditReport {
+        AuditReport::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Sorts findings into the canonical order: errors first, then by
+    /// check, AS, router, and label. Called once after all checkers
+    /// ran; rendering relies on it for stable output.
+    pub(crate) fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.check.cmp(&b.check))
+                .then_with(|| a.asn.cmp(&b.asn))
+                .then_with(|| a.router.cmp(&b.router))
+                .then_with(|| a.label.map(Label::value).cmp(&b.label.map(Label::value)))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// All findings, most severe first.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// `(errors, warns, infos)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => counts.0 += 1,
+                Severity::Warn => counts.1 += 1,
+                Severity::Info => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Findings produced by one check.
+    pub fn by_check(&self, check: Check) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.check == check)
+    }
+
+    /// Whether the audit found no error-severity problems. Warn/Info
+    /// findings (deliberate generator anomalies, inventories) do not
+    /// fail an audit.
+    pub fn is_clean(&self) -> bool {
+        self.errors().next().is_none()
+    }
+
+    /// Renders the report as an aligned text table (see
+    /// [`crate::render`]).
+    pub fn to_text(&self) -> String {
+        crate::render::render(self)
+    }
+
+    /// The report as `[severity, check, as, router, label, message]`
+    /// rows, for callers assembling their own tables.
+    pub fn rows(&self) -> Vec<[String; 6]> {
+        self.diagnostics
+            .iter()
+            .map(|d| {
+                [
+                    d.severity.to_string(),
+                    d.check.id().to_string(),
+                    d.asn.map(|a| a.to_string()).unwrap_or_default(),
+                    d.router.map(|r| r.to_string()).unwrap_or_default(),
+                    d.label.map(|l| l.value().to_string()).unwrap_or_default(),
+                    d.message.clone(),
+                ]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(check: Check, severity: Severity, label: Option<u32>) -> Diagnostic {
+        Diagnostic {
+            check,
+            severity,
+            asn: Some(AsNumber(65_001)),
+            router: Some(RouterId(4)),
+            label: label.map(|v| Label::new(v).expect("test label")),
+            message: "test".into(),
+        }
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn report_sorts_errors_first_and_counts() {
+        let mut report = AuditReport::new();
+        report.push(diag(Check::SrgbMismatch, Severity::Info, None));
+        report.push(diag(Check::DanglingSwap, Severity::Error, Some(24_001)));
+        report.push(diag(Check::ReservedLabel, Severity::Warn, Some(7)));
+        report.finish();
+        assert_eq!(report.counts(), (1, 1, 1));
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics()[0].check, Check::DanglingSwap);
+        assert_eq!(report.errors().count(), 1);
+        assert_eq!(report.by_check(Check::ReservedLabel).count(), 1);
+    }
+
+    #[test]
+    fn display_includes_provenance() {
+        let d = diag(Check::DanglingSwap, Severity::Error, Some(24_001));
+        let s = d.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("dangling-swap"), "{s}");
+        assert!(s.contains("AS65001"), "{s}");
+        assert!(s.contains("R4"), "{s}");
+        assert!(s.contains("24001"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        assert!(AuditReport::new().is_clean());
+        assert_eq!(AuditReport::new().counts(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,172 @@
+//! SR↔LDP interworking coverage (RFC 8661).
+//!
+//! When an AS runs both an SR island and a classic LDP region, all
+//! cross-domain LSPs funnel through the junction router: it mirrors
+//! LDP FECs into the SR side and (with the mapping server) SR FECs
+//! into the LDP side. Two things can go wrong at plan level:
+//!
+//! * both domains exist but no junction was designated — every
+//!   cross-domain LSP breaks at the boundary ([`Check::InterworkingGap`]);
+//! * a customer prefix the junction holds no label binding for —
+//!   traffic arriving on the "wrong" side pops its last label at the
+//!   junction and finds no onward FEC, a boundary blackhole
+//!   ([`Check::MappingCoverage`]).
+//!
+//! The checks run only when each domain has at least two members;
+//! smaller islands never label-switch across the boundary (a single
+//! member has no intra-domain LSP to stitch).
+
+use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+use arest_simnet::Network;
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_topo::prefix::Prefix;
+
+/// The slice of an AS plan the interworking checks need.
+pub(crate) struct InterworkingView<'a> {
+    /// The AS under audit.
+    pub asn: AsNumber,
+    /// SR domain members.
+    pub sr_members: &'a [RouterId],
+    /// LDP domain members.
+    pub ldp_members: &'a [RouterId],
+    /// The designated junction, if any.
+    pub junction: Option<RouterId>,
+    /// Customer prefixes and their anchor routers.
+    pub customers: &'a [(Prefix, RouterId)],
+}
+
+/// Audits one AS's SR↔LDP boundary.
+pub(crate) fn check_view(net: &Network, view: &InterworkingView<'_>, report: &mut AuditReport) {
+    if view.sr_members.len() < 2 || view.ldp_members.len() < 2 {
+        return;
+    }
+    let Some(junction) = view.junction else {
+        report.push(Diagnostic {
+            check: Check::InterworkingGap,
+            severity: Severity::Warn,
+            asn: Some(view.asn),
+            router: None,
+            label: None,
+            message: format!(
+                "SR ({} members) and LDP ({} members) both deployed but no junction stitches them",
+                view.sr_members.len(),
+                view.ldp_members.len()
+            ),
+        });
+        return;
+    };
+    for &(prefix, anchor) in view.customers {
+        if anchor == junction {
+            // Locally attached at the junction itself: delivery is an
+            // IP-plane matter, not a label stitch.
+            continue;
+        }
+        if !view.sr_members.contains(&anchor) && !view.ldp_members.contains(&anchor) {
+            // Anchored on a plain edge router outside both label
+            // domains: reached over IP, nothing to stitch.
+            continue;
+        }
+        if net.plane(junction).ftn.lookup(prefix.nth(1)).is_none() {
+            report.push(Diagnostic {
+                check: Check::MappingCoverage,
+                severity: Severity::Error,
+                asn: Some(view.asn),
+                router: Some(junction),
+                label: None,
+                message: format!(
+                    "junction holds no label binding for {prefix} (anchored at {anchor}); cross-domain traffic blackholes at the boundary"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_mpls::tables::PushInstruction;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::IfaceId;
+    use arest_topo::vendor::Vendor;
+    use arest_wire::mpls::Label;
+    use std::net::Ipv4Addr;
+
+    /// a—b—c—d: a,b in the SR island, c,d in LDP, b the junction.
+    fn line() -> (Network, [RouterId; 4], IfaceId) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_000);
+        let mk = |topo: &mut Topology, name: &str, i: u8| {
+            topo.add_router(name, asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, i))
+        };
+        let a = mk(&mut topo, "a", 1);
+        let b = mk(&mut topo, "b", 2);
+        let c = mk(&mut topo, "c", 3);
+        let d = mk(&mut topo, "d", 4);
+        for (n, (x, y)) in [(a, b), (b, c), (c, d)].into_iter().enumerate() {
+            let o = (n * 2) as u8;
+            topo.add_link(x, Ipv4Addr::new(10, 0, 0, o), y, Ipv4Addr::new(10, 0, 0, o + 1), 1);
+        }
+        let bc = topo.router(b).ifaces[1];
+        (Network::new(topo), [a, b, c, d], bc)
+    }
+
+    fn run(net: &Network, view: &InterworkingView<'_>) -> AuditReport {
+        let mut report = AuditReport::new();
+        check_view(net, view, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn missing_junction_is_a_gap() {
+        let (net, [a, b, c, d], _) = line();
+        let view = InterworkingView {
+            asn: AsNumber(65_000),
+            sr_members: &[a, b],
+            ldp_members: &[c, d],
+            junction: None,
+            customers: &[],
+        };
+        let report = run(&net, &view);
+        assert_eq!(report.by_check(Check::InterworkingGap).count(), 1, "{}", report.to_text());
+    }
+
+    #[test]
+    fn single_member_domain_needs_no_stitch() {
+        let (net, [a, b, c, d], _) = line();
+        let view = InterworkingView {
+            asn: AsNumber(65_000),
+            sr_members: &[a, b, c],
+            ldp_members: &[d],
+            junction: None,
+            customers: &[],
+        };
+        assert!(run(&net, &view).diagnostics().is_empty());
+    }
+
+    #[test]
+    fn uncovered_customer_prefix_is_an_error() {
+        let (mut net, [a, b, c, d], bc) = line();
+        let covered: Prefix = "203.0.113.0/24".parse().unwrap();
+        let uncovered: Prefix = "198.51.100.0/24".parse().unwrap();
+        net.plane_mut(b).ftn.install(
+            covered,
+            PushInstruction {
+                labels: vec![Label::new(24_100).expect("label")],
+                out_iface: bc,
+                next_router: c,
+            },
+        );
+        let view = InterworkingView {
+            asn: AsNumber(65_000),
+            sr_members: &[a, b],
+            ldp_members: &[c, d],
+            junction: Some(b),
+            customers: &[(covered, d), (uncovered, d), ("192.0.2.0/24".parse().unwrap(), b)],
+        };
+        let report = run(&net, &view);
+        let misses: Vec<_> = report.by_check(Check::MappingCoverage).collect();
+        assert_eq!(misses.len(), 1, "{}", report.to_text());
+        assert!(misses[0].message.contains("198.51.100.0/24"), "{}", misses[0].message);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-AS label-space audit over the allocation records the generator
+//! leaves behind ([`arest_netgen::builder::AsLabelRecord`]).
+//!
+//! Three escalation levels, matching how dangerous an overlap is:
+//!
+//! * **Error** — ranges that already collide: a router whose SRGB and
+//!   SRLB intersect, a configured block overlapping labels the dynamic
+//!   pool has *already handed out* (`[floor, watermark)`), or a SID
+//!   index no member SRGB can hold.
+//! * **Warn** — a configured block inside the dynamic pool's *future*
+//!   region. Real deployments do this (the generator models operators
+//!   with SRGB bases at 28,000/30,000 inside the platform range); it
+//!   works until the pool grows into the block, so it is reported but
+//!   does not fail the audit.
+//! * **Info** — members of one AS disagreeing on the SRGB base. Legal
+//!   (SIDs are indices), operationally confusing, and exactly the
+//!   cross-vendor inventory the paper's vendor-range flags feed on.
+
+use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+use arest_mpls::pool::POOL_END;
+use arest_netgen::builder::AsLabelRecord;
+use arest_sr::block::LabelBlock;
+use arest_topo::ids::{AsNumber, RouterId};
+use std::collections::BTreeMap;
+
+/// Whether `block` intersects the inclusive label range `[lo, hi]`.
+fn overlaps(block: &LabelBlock, lo: u32, hi: u32) -> bool {
+    lo <= hi && block.start() <= hi && block.end() >= lo
+}
+
+/// Audits one AS's label-space record.
+pub(crate) fn check_record(asn: AsNumber, record: &AsLabelRecord, report: &mut AuditReport) {
+    // BTreeMap for deterministic per-router iteration.
+    let srgbs: BTreeMap<RouterId, LabelBlock> =
+        record.srgbs.iter().map(|(&r, &b)| (r, b)).collect();
+    let srlbs: BTreeMap<RouterId, LabelBlock> =
+        record.srlbs.iter().map(|(&r, &b)| (r, b)).collect();
+    let mut future_overlaps: Vec<(RouterId, &'static str, LabelBlock)> = Vec::new();
+
+    let routers: BTreeMap<RouterId, ()> =
+        srgbs.keys().chain(srlbs.keys()).map(|&r| (r, ())).collect();
+    for &r in routers.keys() {
+        let srgb = srgbs.get(&r);
+        let srlb = srlbs.get(&r);
+
+        if let (Some(g), Some(l)) = (srgb, srlb) {
+            if let Some(i) = g.intersect(l) {
+                report.push(Diagnostic {
+                    check: Check::BlockOverlap,
+                    severity: Severity::Error,
+                    asn: Some(asn),
+                    router: Some(r),
+                    label: None,
+                    message: format!("SRGB {g} and SRLB {l} overlap in {i}"),
+                });
+            }
+        }
+
+        let floor = record.pool_floors.get(&r).copied();
+        let watermark = record.pool_watermarks.get(&r).copied();
+        for (kind, block) in
+            [("SRGB", srgb), ("SRLB", srlb)].into_iter().filter_map(|(k, b)| Some((k, *b?)))
+        {
+            // Labels the pool has already allocated: a live collision.
+            if let (Some(floor), Some(mark)) = (floor, watermark) {
+                if mark > floor && overlaps(&block, floor, mark - 1) {
+                    report.push(Diagnostic {
+                        check: Check::DynamicRangeOverlap,
+                        severity: Severity::Error,
+                        asn: Some(asn),
+                        router: Some(r),
+                        label: None,
+                        message: format!(
+                            "{kind} {block} overlaps labels [{floor}, {mark}) already issued by the dynamic pool"
+                        ),
+                    });
+                    continue;
+                }
+            }
+            if let Some(floor) = floor {
+                if overlaps(&block, floor, POOL_END) {
+                    future_overlaps.push((r, kind, block));
+                }
+            }
+        }
+
+        if let (Some(idx), Some(g)) = (record.max_sid_index, srgb) {
+            if g.label_for(idx).is_none() {
+                report.push(Diagnostic {
+                    check: Check::SidOverflow,
+                    severity: Severity::Error,
+                    asn: Some(asn),
+                    router: Some(r),
+                    label: None,
+                    message: format!(
+                        "highest SID index {idx} does not fit SRGB {g} ({} labels)",
+                        g.size()
+                    ),
+                });
+            }
+        }
+    }
+
+    if !future_overlaps.is_empty() {
+        let (r0, kind0, block0) = future_overlaps[0];
+        report.push(Diagnostic {
+            check: Check::DynamicRangeOverlap,
+            severity: Severity::Warn,
+            asn: Some(asn),
+            router: None,
+            label: None,
+            message: format!(
+                "{} block(s) sit inside the dynamic pool's future range (e.g. {kind0} {block0} at {r0}); collision when allocation reaches them",
+                future_overlaps.len()
+            ),
+        });
+    }
+
+    // Cross-member SRGB base inventory.
+    let mut bases: BTreeMap<u32, usize> = BTreeMap::new();
+    for block in srgbs.values() {
+        *bases.entry(block.start()).or_insert(0) += 1;
+    }
+    if bases.len() > 1 {
+        let spread: Vec<String> =
+            bases.iter().map(|(base, n)| format!("{base} ({n} routers)")).collect();
+        report.push(Diagnostic {
+            check: Check::SrgbMismatch,
+            severity: Severity::Info,
+            asn: Some(asn),
+            router: None,
+            label: None,
+            message: format!("members disagree on the SRGB base: {}", spread.join(", ")),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_sr::block::{cisco_srgb, cisco_srlb};
+
+    fn record_one(srgb: LabelBlock, srlb: Option<LabelBlock>, watermark: u32) -> AsLabelRecord {
+        let r = RouterId(0);
+        let mut record = AsLabelRecord::default();
+        record.srgbs.insert(r, srgb);
+        if let Some(block) = srlb {
+            record.srlbs.insert(r, block);
+        }
+        record.pool_floors.insert(r, 24_000);
+        record.pool_watermarks.insert(r, watermark);
+        record.max_sid_index = Some(100);
+        record
+    }
+
+    fn run(record: &AsLabelRecord) -> AuditReport {
+        let mut report = AuditReport::new();
+        check_record(AsNumber(65_001), record, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn vendor_defaults_are_clean() {
+        let report = run(&record_one(cisco_srgb(), Some(cisco_srlb()), 24_050));
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn srgb_srlb_overlap_is_an_error() {
+        // Watermark still at the floor: nothing issued yet, so the
+        // only error is the block-on-block overlap.
+        let record = record_one(
+            LabelBlock::from_range(16_000, 23_999),
+            Some(LabelBlock::from_range(20_000, 25_999)),
+            24_000,
+        );
+        let report = run(&record);
+        assert_eq!(report.by_check(Check::BlockOverlap).count(), 1, "{}", report.to_text());
+        // The SRLB also pokes into the pool's future range → one Warn.
+        assert!(report.by_check(Check::DynamicRangeOverlap).all(|d| d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn block_inside_issued_labels_is_an_error() {
+        // Pool has issued [24_000, 24_300); an SRGB based at 24_100
+        // collides today, not someday.
+        let record = record_one(LabelBlock::from_range(24_100, 32_099), None, 24_300);
+        let report = run(&record);
+        assert_eq!(
+            report
+                .by_check(Check::DynamicRangeOverlap)
+                .filter(|d| d.severity == Severity::Error)
+                .count(),
+            1,
+            "{}",
+            report.to_text()
+        );
+    }
+
+    #[test]
+    fn block_in_future_pool_range_only_warns() {
+        // The generator's base-30_000 victim profile: inside the
+        // platform range, above everything issued so far.
+        let record = record_one(LabelBlock::from_range(30_000, 37_999), None, 24_300);
+        let report = run(&record);
+        assert!(report.is_clean(), "{}", report.to_text());
+        let warns: Vec<_> = report.by_check(Check::DynamicRangeOverlap).collect();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn sid_index_beyond_srgb_is_an_error() {
+        let mut record = record_one(cisco_srgb(), None, 24_050);
+        record.max_sid_index = Some(8_000); // Cisco SRGB holds 0..=7_999
+        let report = run(&record);
+        assert_eq!(report.by_check(Check::SidOverflow).count(), 1, "{}", report.to_text());
+    }
+
+    #[test]
+    fn mixed_srgb_bases_are_inventoried() {
+        let mut record = record_one(cisco_srgb(), None, 24_050);
+        record.srgbs.insert(RouterId(1), LabelBlock::from_range(17_000, 24_999));
+        record.pool_floors.insert(RouterId(1), 24_000);
+        record.pool_watermarks.insert(RouterId(1), 24_050);
+        let report = run(&record);
+        let infos: Vec<_> = report.by_check(Check::SrgbMismatch).collect();
+        assert_eq!(infos.len(), 1, "{}", report.to_text());
+        assert!(infos[0].message.contains("16000"), "{}", infos[0].message);
+        assert!(infos[0].message.contains("17000"), "{}", infos[0].message);
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-router LFIB consistency checks.
+//!
+//! Three invariants, all local to one label-switched hop:
+//!
+//! 1. **No conflicting incoming-label entries.** The [`arest_mpls`]
+//!    tables keep later-wins merge semantics (SR over LDP, RFC 8661),
+//!    but an overwrite that *changed* the action means two control
+//!    planes claimed the same label for different behaviour — recorded
+//!    by [`arest_mpls::tables::Lfib::collisions`] and surfaced here.
+//! 2. **Egress state is real.** Every `Swap`/`PopForward` must leave
+//!    through an interface the router owns, over a link that is up,
+//!    toward the neighbour the entry names.
+//! 3. **Swapped labels land.** The outgoing label of a `Swap` must be
+//!    installed in the next hop's LFIB; otherwise the packet arrives
+//!    as garbage — a TTL-independent blackhole.
+//!
+//! Reserved special-purpose labels (0–15, RFC 3032) may appear as
+//! *incoming* entries only for pop-at-self semantics: the generator
+//! installs the Entropy Label Indicator (label 7) as `PopLocal` at
+//! RFC 6790 egresses, which is legitimate; any other action on a
+//! reserved label is flagged.
+
+use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+use arest_mpls::tables::LfibAction;
+use arest_simnet::Network;
+use arest_topo::graph::Topology;
+use arest_topo::ids::{IfaceId, RouterId};
+use arest_wire::mpls::Label;
+
+/// Highest reserved special-purpose label value (RFC 3032 / RFC 7274).
+const RESERVED_LABEL_MAX: u32 = 15;
+
+/// Runs the LFIB checks over every router in the network.
+pub(crate) fn check(net: &Network, report: &mut AuditReport) {
+    let topo = net.topo();
+    for router in topo.routers() {
+        let r = router.id;
+        let asn = Some(router.asn);
+        let plane = net.plane(r);
+
+        for &(label, old, new) in plane.lfib.collisions() {
+            report.push(Diagnostic {
+                check: Check::LfibCollision,
+                severity: Severity::Error,
+                asn,
+                router: Some(r),
+                label: Some(label),
+                message: format!(
+                    "incoming label bound twice with different actions: {old:?} overwritten by {new:?}"
+                ),
+            });
+        }
+
+        for (&label, &action) in plane.lfib.iter() {
+            match action {
+                LfibAction::Swap { out_label, out_iface, next_router } => {
+                    if egress_ok(topo, r, out_iface, next_router, Some(label), report)
+                        && net.plane(next_router).lfib.lookup(out_label).is_none()
+                    {
+                        report.push(Diagnostic {
+                            check: Check::DanglingSwap,
+                            severity: Severity::Error,
+                            asn,
+                            router: Some(r),
+                            label: Some(label),
+                            message: format!(
+                                "swap to label {} but {next_router} has no entry for it",
+                                out_label.value()
+                            ),
+                        });
+                    }
+                }
+                LfibAction::PopForward { out_iface, next_router } => {
+                    egress_ok(topo, r, out_iface, next_router, Some(label), report);
+                }
+                LfibAction::PopLocal => {}
+            }
+            if label.value() <= RESERVED_LABEL_MAX && action != LfibAction::PopLocal {
+                report.push(Diagnostic {
+                    check: Check::ReservedLabel,
+                    severity: Severity::Warn,
+                    asn,
+                    router: Some(r),
+                    label: Some(label),
+                    message: format!(
+                        "reserved special-purpose label bound to {action:?} instead of PopLocal"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Validates one egress `(out_iface, next_router)` pair, reporting a
+/// [`Check::BrokenNextHop`] error and returning `false` when broken.
+pub(crate) fn egress_ok(
+    topo: &Topology,
+    r: RouterId,
+    out_iface: IfaceId,
+    next_router: RouterId,
+    label: Option<Label>,
+    report: &mut AuditReport,
+) -> bool {
+    let asn = Some(topo.router(r).asn);
+    let mut broken = |message: String| {
+        report.push(Diagnostic {
+            check: Check::BrokenNextHop,
+            severity: Severity::Error,
+            asn,
+            router: Some(r),
+            label,
+            message,
+        });
+        false
+    };
+    if out_iface.index() >= topo.iface_count() {
+        return broken(format!("egress {out_iface} does not exist"));
+    }
+    if topo.iface(out_iface).router != r {
+        return broken(format!(
+            "egress {out_iface} belongs to {}, not this router",
+            topo.iface(out_iface).router
+        ));
+    }
+    match topo.remote_iface(out_iface) {
+        None => broken(format!("egress {out_iface} is unconnected or its link is down")),
+        Some(remote) if remote.router != next_router => broken(format!(
+            "egress {out_iface} faces {}, not the recorded next hop {next_router}",
+            remote.router
+        )),
+        Some(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::ids::AsNumber;
+    use arest_topo::vendor::Vendor;
+    use std::net::Ipv4Addr;
+
+    fn label(v: u32) -> Label {
+        Label::new(v).expect("test label")
+    }
+
+    /// a—b—c chain; returns (net, [a, b, c], [iface a→b, iface b→c]).
+    fn chain() -> (Network, [RouterId; 3], [IfaceId; 2]) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_000);
+        let a = topo.add_router("a", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 1));
+        let b = topo.add_router("b", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 2));
+        let c = topo.add_router("c", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 3));
+        topo.add_link(a, Ipv4Addr::new(10, 0, 0, 0), b, Ipv4Addr::new(10, 0, 0, 1), 1);
+        topo.add_link(b, Ipv4Addr::new(10, 0, 0, 2), c, Ipv4Addr::new(10, 0, 0, 3), 1);
+        let ab = topo.router(a).ifaces[0];
+        let bc = topo.router(b).ifaces[1];
+        (Network::new(topo), [a, b, c], [ab, bc])
+    }
+
+    fn run(net: &Network) -> AuditReport {
+        let mut report = AuditReport::new();
+        check(net, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn healthy_chain_is_clean() {
+        let (mut net, [a, b, c], [ab, bc]) = chain();
+        net.plane_mut(a).lfib.install(
+            label(24_010),
+            LfibAction::Swap { out_label: label(24_020), out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b)
+            .lfib
+            .install(label(24_020), LfibAction::PopForward { out_iface: bc, next_router: c });
+        net.plane_mut(c).lfib.install(label(7), LfibAction::PopLocal);
+        let report = run(&net);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn collision_is_an_error() {
+        let (mut net, [a, b, _], [ab, _]) = chain();
+        net.plane_mut(a).lfib.install(label(24_010), LfibAction::PopLocal);
+        net.plane_mut(a)
+            .lfib
+            .install(label(24_010), LfibAction::PopForward { out_iface: ab, next_router: b });
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::LfibCollision).count(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn dangling_swap_target_is_an_error() {
+        let (mut net, [a, b, _], [ab, _]) = chain();
+        net.plane_mut(a).lfib.install(
+            label(24_010),
+            LfibAction::Swap { out_label: label(24_099), out_iface: ab, next_router: b },
+        );
+        let report = run(&net);
+        let dangling: Vec<_> = report.by_check(Check::DanglingSwap).collect();
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].router, Some(a));
+        assert_eq!(dangling[0].label, Some(label(24_010)));
+    }
+
+    #[test]
+    fn foreign_wrong_and_missing_ifaces_are_errors() {
+        let (mut net, [a, b, c], [ab, bc]) = chain();
+        // bc belongs to b, not a.
+        net.plane_mut(a)
+            .lfib
+            .install(label(24_001), LfibAction::PopForward { out_iface: bc, next_router: b });
+        // ab faces b, not c.
+        net.plane_mut(a)
+            .lfib
+            .install(label(24_002), LfibAction::PopForward { out_iface: ab, next_router: c });
+        // Interface id out of range entirely.
+        net.plane_mut(a).lfib.install(
+            label(24_003),
+            LfibAction::PopForward { out_iface: IfaceId(999), next_router: b },
+        );
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::BrokenNextHop).count(), 3);
+    }
+
+    #[test]
+    fn down_link_is_an_error() {
+        let (mut net, [a, b, _], [ab, _]) = chain();
+        net.plane_mut(a)
+            .lfib
+            .install(label(24_001), LfibAction::PopForward { out_iface: ab, next_router: b });
+        let link = net.topo().iface(ab).link.expect("connected");
+        net.topo_mut().set_link_up(link, false);
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::BrokenNextHop).count(), 1);
+    }
+
+    #[test]
+    fn reserved_label_swap_warns_but_eli_pop_is_fine() {
+        let (mut net, [a, _, _], _) = chain();
+        // ELI installed PopLocal: the RFC 6790 egress state — no finding.
+        net.plane_mut(a).lfib.install(Label::ENTROPY_INDICATOR, LfibAction::PopLocal);
+        let report = run(&net);
+        assert!(report.is_clean());
+        assert_eq!(report.diagnostics().len(), 0);
+        // The same label swapped onward is flagged (fresh net so the
+        // reinstall doesn't also count as a collision).
+        let (mut net, [a, b, _], [ab, _]) = chain();
+        net.plane_mut(b).lfib.install(label(24_000), LfibAction::PopLocal);
+        net.plane_mut(a).lfib.install(
+            Label::ENTROPY_INDICATOR,
+            LfibAction::Swap { out_label: label(24_000), out_iface: ab, next_router: b },
+        );
+        let report = run(&net);
+        assert_eq!(report.diagnostics().len(), 1, "{}", report.to_text());
+        assert_eq!(report.by_check(Check::ReservedLabel).count(), 1);
+        assert_eq!(
+            report.by_check(Check::ReservedLabel).next().and_then(|d| d.label),
+            Some(Label::ENTROPY_INDICATOR)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Plain-text table rendering for audit reports.
+
+use crate::diag::AuditReport;
+use core::fmt::Write;
+
+const HEADERS: [&str; 6] = ["SEVERITY", "CHECK", "AS", "ROUTER", "LABEL", "DETAIL"];
+
+/// Renders a report as an aligned text table followed by a summary
+/// line. An empty report renders as the summary line alone.
+pub(crate) fn render(report: &AuditReport) -> String {
+    let (errors, warns, infos) = report.counts();
+    let summary = format!(
+        "audit: {errors} error{}, {warns} warning{}, {infos} info",
+        plural(errors),
+        plural(warns)
+    );
+    let rows = report.rows();
+    if rows.is_empty() {
+        return summary;
+    }
+
+    // Pad every column but the free-text detail to its widest cell.
+    let mut widths: [usize; 5] = [0; 5];
+    for (i, w) in widths.iter_mut().enumerate() {
+        *w = rows
+            .iter()
+            .map(|row| row[i].len())
+            .chain(core::iter::once(HEADERS[i].len()))
+            .max()
+            .unwrap_or(0);
+    }
+
+    let mut out = String::new();
+    let emit = |cells: [&str; 6], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(5) {
+            let _ = write!(out, "{cell:<width$}  ", width = widths[i]);
+        }
+        out.push_str(cells[5]);
+        out.push('\n');
+    };
+    emit(HEADERS, &mut out);
+    for row in &rows {
+        emit([&row[0], &row[1], &row[2], &row[3], &row[4], &row[5]].map(String::as_str), &mut out);
+    }
+    out.push_str(&summary);
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+
+    #[test]
+    fn empty_report_renders_summary_only() {
+        let report = AuditReport::new();
+        assert_eq!(report.to_text(), "audit: 0 errors, 0 warnings, 0 info");
+    }
+
+    #[test]
+    fn table_has_header_rows_and_summary() {
+        let mut report = AuditReport::new();
+        report.push(Diagnostic {
+            check: Check::ForwardingLoop,
+            severity: Severity::Error,
+            asn: None,
+            router: None,
+            label: None,
+            message: "loop".into(),
+        });
+        report.finish();
+        let text = report.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].starts_with("SEVERITY"), "{text}");
+        assert!(lines[1].contains("forwarding-loop"), "{text}");
+        assert_eq!(lines[2], "audit: 1 error, 0 warnings, 0 info");
+    }
+}

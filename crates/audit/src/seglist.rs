@@ -1,0 +1,339 @@
+//! Segment-list resolution: every ingress push must be walkable
+//! hop-by-hop to something that terminates it.
+//!
+//! Two kinds of pushes exist in a built network: FTN entries (LDP
+//! FECs, SR prefix/node FECs, compiled SR-TE policies, mapping-server
+//! stitches) and TI-LFA repair pushes hanging off protected
+//! interfaces. The walker simulates label processing abstractly — no
+//! packets, no TTL — tracking `(router, label stack)`:
+//!
+//! * `Swap` rewrites the top label and moves; `PopForward` pops and
+//!   moves; `PopLocal` pops in place.
+//! * An **empty stack** on an FEC walk is resolved if the current
+//!   router is the FEC's terminal (the interworking junction pops the
+//!   whole SR stack there deliberately); otherwise the walk re-enters
+//!   through the local FTN — the RFC 8661 SR↔LDP stitch — bounded by
+//!   [`MAX_REENTRIES`]. With no FTN entry either, the plain IP plane
+//!   takes over and the walk ends without judgement (transit FECs do
+//!   this at egress borders, where BGP hand-off is out of scope).
+//! * A top label the current router has **no entry for** is an
+//!   [`Check::UnresolvableSegment`] error — unless a swap produced it,
+//!   in which case the LFIB checker already reported the dangling swap
+//!   and repeating it would double-count one fault.
+//! * A walk that exceeds [`MAX_STEPS`] is a [`Check::RunawayWalk`]
+//!   error: some label loop is reachable from a real ingress push.
+
+use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+use crate::lfib::egress_ok;
+use arest_mpls::tables::{LfibAction, PushInstruction};
+use arest_simnet::Network;
+use arest_topo::ids::RouterId;
+use arest_topo::prefix::Prefix;
+use arest_wire::mpls::Label;
+
+/// Step budget per walk; generous against the deepest legitimate
+/// chains (longest intra-AS label chain in generated topologies is a
+/// few dozen hops).
+const MAX_STEPS: usize = 4_096;
+
+/// How many times one walk may fall back into an FTN after emptying
+/// its stack (SR→LDP→SR stitching uses two; more smells like a FEC
+/// ping-pong).
+const MAX_REENTRIES: usize = 4;
+
+/// Walks every FTN entry and every TI-LFA protection push in the
+/// network.
+pub(crate) fn check(net: &Network, report: &mut AuditReport) {
+    for router in net.topo().routers() {
+        let plane = net.plane(router.id);
+        for (&fec, push) in plane.ftn.iter() {
+            walk_push(net, router.id, Some(fec), push, report);
+        }
+        let mut protected: Vec<_> = plane.protection.iter().collect();
+        protected.sort_by_key(|(iface, _)| **iface);
+        for (iface, push) in protected {
+            // A repair push prepends to an unknown in-flight stack, so
+            // there is no FEC to judge termination against: the walk
+            // only has to consume the repair labels without incident.
+            let context = format!("TI-LFA repair for {iface} at {}", router.id);
+            walk(net, router.id, push, None, &context, report);
+        }
+    }
+}
+
+/// Walks one ingress push for FEC `fec` (or an FEC-less repair list)
+/// starting at `ingress`.
+pub(crate) fn walk_push(
+    net: &Network,
+    ingress: RouterId,
+    fec: Option<Prefix>,
+    push: &PushInstruction,
+    report: &mut AuditReport,
+) {
+    let context = match fec {
+        Some(p) => format!("FTN for {p} at {ingress}"),
+        None => format!("push at {ingress}"),
+    };
+    walk(net, ingress, push, fec, &context, report);
+}
+
+fn walk(
+    net: &Network,
+    ingress: RouterId,
+    push: &PushInstruction,
+    fec: Option<Prefix>,
+    context: &str,
+    report: &mut AuditReport,
+) {
+    let topo = net.topo();
+    // A representative destination inside the FEC, for terminal and
+    // FTN lookups (.nth(1) skips a /31+'s network address).
+    let dst = fec.map(|p| p.nth(1));
+    let terminal = dst.and_then(|a| net.terminal_router(a));
+
+    if !egress_ok(
+        topo,
+        ingress,
+        push.out_iface,
+        push.next_router,
+        push.labels.first().copied(),
+        report,
+    ) {
+        return;
+    }
+    let mut current = push.next_router;
+    let mut stack: Vec<Label> = push.labels.clone();
+    let mut steps = 0usize;
+    let mut reentries = 0usize;
+    let mut via_swap = false;
+
+    loop {
+        let Some(&top) = stack.first() else {
+            // Stack exhausted: resolved at the terminal, restart
+            // through the local FTN, or hand off to the IP plane.
+            if terminal == Some(current) {
+                return;
+            }
+            let reentry = dst.and_then(|a| net.plane(current).ftn.lookup(a));
+            let Some(next_push) = reentry else { return };
+            if reentries >= MAX_REENTRIES {
+                return;
+            }
+            reentries += 1;
+            if !egress_ok(
+                topo,
+                current,
+                next_push.out_iface,
+                next_push.next_router,
+                next_push.labels.first().copied(),
+                report,
+            ) {
+                return;
+            }
+            stack = next_push.labels.clone();
+            current = next_push.next_router;
+            via_swap = false;
+            continue;
+        };
+
+        steps += 1;
+        if steps > MAX_STEPS {
+            report.push(Diagnostic {
+                check: Check::RunawayWalk,
+                severity: Severity::Error,
+                asn: Some(topo.router(ingress).asn),
+                router: Some(ingress),
+                label: Some(top),
+                message: format!(
+                    "{context}: no termination after {MAX_STEPS} label operations (stuck at {current})"
+                ),
+            });
+            return;
+        }
+
+        let Some(action) = net.plane(current).lfib.lookup(top) else {
+            if !via_swap {
+                // A swap-produced miss is the dangling swap the LFIB
+                // checker reports; anything else is ours.
+                report.push(Diagnostic {
+                    check: Check::UnresolvableSegment,
+                    severity: Severity::Error,
+                    asn: Some(topo.router(current).asn),
+                    router: Some(current),
+                    label: Some(top),
+                    message: format!("{context}: {current} has no entry for label {}", top.value()),
+                });
+            }
+            return;
+        };
+        match action {
+            LfibAction::Swap { out_label, out_iface, next_router } => {
+                if !egress_ok(topo, current, out_iface, next_router, Some(top), report) {
+                    return;
+                }
+                stack[0] = out_label;
+                current = next_router;
+                via_swap = true;
+            }
+            LfibAction::PopForward { out_iface, next_router } => {
+                if !egress_ok(topo, current, out_iface, next_router, Some(top), report) {
+                    return;
+                }
+                stack.remove(0);
+                current = next_router;
+                via_swap = false;
+            }
+            LfibAction::PopLocal => {
+                stack.remove(0);
+                via_swap = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::{AsNumber, IfaceId};
+    use arest_topo::vendor::Vendor;
+    use std::net::Ipv4Addr;
+
+    fn label(v: u32) -> Label {
+        Label::new(v).expect("test label")
+    }
+
+    /// a—b—c chain; returns (net, [a, b, c], [a→b, b→c, b→a ifaces]).
+    fn chain() -> (Network, [RouterId; 3], [IfaceId; 3]) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_000);
+        let a = topo.add_router("a", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 1));
+        let b = topo.add_router("b", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 2));
+        let c = topo.add_router("c", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 3));
+        topo.add_link(a, Ipv4Addr::new(10, 0, 0, 0), b, Ipv4Addr::new(10, 0, 0, 1), 1);
+        topo.add_link(b, Ipv4Addr::new(10, 0, 0, 2), c, Ipv4Addr::new(10, 0, 0, 3), 1);
+        let ab = topo.router(a).ifaces[0];
+        let ba = topo.router(b).ifaces[0];
+        let bc = topo.router(b).ifaces[1];
+        (Network::new(topo), [a, b, c], [ab, bc, ba])
+    }
+
+    fn run(net: &Network) -> AuditReport {
+        let mut report = AuditReport::new();
+        check(net, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn resolvable_two_label_push_is_clean() {
+        let (mut net, [a, b, c], [ab, bc, _]) = chain();
+        let fec: Prefix = "10.0.255.3/32".parse().unwrap();
+        // a pushes [swap@b, service@c]; b swaps then c pops both.
+        net.plane_mut(a).ftn.install(
+            fec,
+            PushInstruction {
+                labels: vec![label(24_100), label(15_900)],
+                out_iface: ab,
+                next_router: b,
+            },
+        );
+        net.plane_mut(b)
+            .lfib
+            .install(label(24_100), LfibAction::PopForward { out_iface: bc, next_router: c });
+        net.plane_mut(c).lfib.install(label(15_900), LfibAction::PopLocal);
+        let report = run(&net);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn missing_entry_for_pushed_label_is_unresolvable() {
+        let (mut net, [a, b, _], [ab, _, _]) = chain();
+        let fec: Prefix = "10.0.255.3/32".parse().unwrap();
+        net.plane_mut(a).ftn.install(
+            fec,
+            PushInstruction { labels: vec![label(24_100)], out_iface: ab, next_router: b },
+        );
+        let report = run(&net);
+        let findings: Vec<_> = report.by_check(Check::UnresolvableSegment).collect();
+        assert_eq!(findings.len(), 1, "{}", report.to_text());
+        assert_eq!(findings[0].router, Some(b));
+        assert_eq!(findings[0].label, Some(label(24_100)));
+    }
+
+    #[test]
+    fn reachable_label_loop_is_a_runaway_walk() {
+        let (mut net, [a, b, _], [ab, _, ba]) = chain();
+        let fec: Prefix = "10.0.255.3/32".parse().unwrap();
+        net.plane_mut(a).ftn.install(
+            fec,
+            PushInstruction { labels: vec![label(24_001)], out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b).lfib.install(
+            label(24_001),
+            LfibAction::Swap { out_label: label(24_002), out_iface: ba, next_router: a },
+        );
+        net.plane_mut(a).lfib.install(
+            label(24_002),
+            LfibAction::Swap { out_label: label(24_001), out_iface: ab, next_router: b },
+        );
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::RunawayWalk).count(), 1, "{}", report.to_text());
+    }
+
+    #[test]
+    fn ftn_reentry_stitches_to_terminal() {
+        let (mut net, [a, b, c], [ab, bc, _]) = chain();
+        // FEC terminates at c's loopback; a's push pops out at b, and
+        // b's own FTN carries it the rest of the way — the SR↔LDP
+        // junction shape.
+        let fec: Prefix = "10.0.255.3/32".parse().unwrap();
+        net.plane_mut(a).ftn.install(
+            fec,
+            PushInstruction { labels: vec![label(24_100)], out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b).lfib.install(label(24_100), LfibAction::PopLocal);
+        net.plane_mut(b).ftn.install(
+            fec,
+            PushInstruction { labels: vec![label(24_200)], out_iface: bc, next_router: c },
+        );
+        net.plane_mut(c).lfib.install(label(24_200), LfibAction::PopLocal);
+        let report = run(&net);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn plain_ip_push_toward_terminal_is_clean() {
+        let (mut net, [a, b, _], [ab, _, _]) = chain();
+        // PHP'd single-hop FEC: empty label stack, next hop is the
+        // terminal itself.
+        let fec: Prefix = "10.0.255.2/32".parse().unwrap();
+        net.plane_mut(a)
+            .ftn
+            .install(fec, PushInstruction { labels: vec![], out_iface: ab, next_router: b });
+        let report = run(&net);
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.diagnostics().len(), 0);
+    }
+
+    #[test]
+    fn protection_push_is_walked_without_fec_judgement() {
+        let (mut net, [a, b, _], [ab, _, _]) = chain();
+        // Healthy repair: the repair label pops at b.
+        net.plane_mut(b).lfib.install(label(24_300), LfibAction::PopLocal);
+        net.plane_mut(a).protection.insert(
+            ab,
+            PushInstruction { labels: vec![label(24_300)], out_iface: ab, next_router: b },
+        );
+        assert!(run(&net).is_clean());
+        // Broken repair: label nobody installed.
+        net.plane_mut(a).protection.insert(
+            ab,
+            PushInstruction { labels: vec![label(24_999)], out_iface: ab, next_router: b },
+        );
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::UnresolvableSegment).count(), 1, "{}", report.to_text());
+    }
+}

@@ -1,0 +1,174 @@
+//! Forwarding-loop detection over the label-switching graph.
+//!
+//! Abstract state `(router, top label)`; the only transition is a
+//! `Swap`, which moves to `(next hop, outgoing label)`. `PopForward`
+//! and `PopLocal` leave the top-label abstraction (what happens next
+//! depends on the rest of the stack — the segment-list walker's job),
+//! and a missing entry at the successor is the dangling-swap blackhole
+//! the LFIB checker already reports. Each swap chain is therefore a
+//! functional graph: every state has at most one successor, so cycle
+//! detection is a linear walk with grey/black colouring, each state
+//! visited once across the whole network.
+
+use crate::diag::{AuditReport, Check, Diagnostic, Severity};
+use arest_mpls::tables::LfibAction;
+use arest_simnet::Network;
+use arest_topo::ids::RouterId;
+use arest_wire::mpls::Label;
+use std::collections::HashMap;
+
+type State = (RouterId, Label);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    /// On the walk currently in progress.
+    Grey,
+    /// Fully explored by an earlier walk.
+    Black,
+}
+
+/// Detects label-switching cycles across every LFIB in the network.
+pub(crate) fn check(net: &Network, report: &mut AuditReport) {
+    let mut color: HashMap<State, Color> = HashMap::new();
+    for router in net.topo().routers() {
+        let labels: Vec<Label> = net.plane(router.id).lfib.iter().map(|(&l, _)| l).collect();
+        for label in labels {
+            trace_chain((router.id, label), net, &mut color, report);
+        }
+    }
+}
+
+/// The unique swap successor of a state, if it has one with an
+/// installed entry on the far side.
+fn successor(net: &Network, (router, label): State) -> Option<State> {
+    match net.plane(router).lfib.lookup(label)? {
+        LfibAction::Swap { out_label, next_router, .. } => {
+            net.plane(next_router).lfib.lookup(out_label).map(|_| (next_router, out_label))
+        }
+        LfibAction::PopForward { .. } | LfibAction::PopLocal => None,
+    }
+}
+
+fn trace_chain(
+    start: State,
+    net: &Network,
+    color: &mut HashMap<State, Color>,
+    report: &mut AuditReport,
+) {
+    let mut path: Vec<State> = Vec::new();
+    let mut cursor = Some(start);
+    while let Some(state) = cursor {
+        match color.get(&state) {
+            Some(Color::Black) => break,
+            Some(Color::Grey) => {
+                // The chain re-entered itself: everything in `path`
+                // from the first occurrence of `state` is the cycle.
+                let entry = path.iter().position(|&s| s == state).unwrap_or(0);
+                let cycle = &path[entry..];
+                let hops: Vec<String> =
+                    cycle.iter().map(|(r, l)| format!("{r}:{}", l.value())).collect();
+                report.push(Diagnostic {
+                    check: Check::ForwardingLoop,
+                    severity: Severity::Error,
+                    asn: Some(net.topo().router(state.0).asn),
+                    router: Some(state.0),
+                    label: Some(state.1),
+                    message: format!(
+                        "label-switching loop of {} hops: {}",
+                        cycle.len(),
+                        hops.join(" -> ")
+                    ),
+                });
+                break;
+            }
+            None => {
+                color.insert(state, Color::Grey);
+                path.push(state);
+                cursor = successor(net, state);
+            }
+        }
+    }
+    for state in path {
+        color.insert(state, Color::Black);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::{AsNumber, IfaceId};
+    use arest_topo::vendor::Vendor;
+    use std::net::Ipv4Addr;
+
+    fn label(v: u32) -> Label {
+        Label::new(v).expect("test label")
+    }
+
+    fn pair() -> (Network, RouterId, RouterId, IfaceId, IfaceId) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_000);
+        let a = topo.add_router("a", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 1));
+        let b = topo.add_router("b", asn, Vendor::Cisco, Ipv4Addr::new(10, 0, 255, 2));
+        topo.add_link(a, Ipv4Addr::new(10, 0, 0, 0), b, Ipv4Addr::new(10, 0, 0, 1), 1);
+        let ab = topo.router(a).ifaces[0];
+        let ba = topo.router(b).ifaces[0];
+        (Network::new(topo), a, b, ab, ba)
+    }
+
+    fn run(net: &Network) -> AuditReport {
+        let mut report = AuditReport::new();
+        check(net, &mut report);
+        report.finish();
+        report
+    }
+
+    #[test]
+    fn two_router_swap_cycle_reported_once() {
+        let (mut net, a, b, ab, ba) = pair();
+        net.plane_mut(a).lfib.install(
+            label(24_001),
+            LfibAction::Swap { out_label: label(24_002), out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b).lfib.install(
+            label(24_002),
+            LfibAction::Swap { out_label: label(24_001), out_iface: ba, next_router: a },
+        );
+        let report = run(&net);
+        let loops: Vec<_> = report.by_check(Check::ForwardingLoop).collect();
+        assert_eq!(loops.len(), 1, "{}", report.to_text());
+        assert!(loops[0].message.contains("2 hops"), "{}", loops[0].message);
+    }
+
+    #[test]
+    fn chain_into_cycle_still_one_finding() {
+        let (mut net, a, b, ab, ba) = pair();
+        // Entry chain: 24_000 at a feeds the 24_001/24_002 cycle.
+        net.plane_mut(a).lfib.install(
+            label(24_000),
+            LfibAction::Swap { out_label: label(24_002), out_iface: ab, next_router: b },
+        );
+        net.plane_mut(a).lfib.install(
+            label(24_001),
+            LfibAction::Swap { out_label: label(24_002), out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b).lfib.install(
+            label(24_002),
+            LfibAction::Swap { out_label: label(24_001), out_iface: ba, next_router: a },
+        );
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::ForwardingLoop).count(), 1);
+    }
+
+    #[test]
+    fn acyclic_chains_and_pops_are_clean() {
+        let (mut net, a, b, ab, _) = pair();
+        net.plane_mut(a).lfib.install(
+            label(24_001),
+            LfibAction::Swap { out_label: label(24_002), out_iface: ab, next_router: b },
+        );
+        net.plane_mut(b).lfib.install(label(24_002), LfibAction::PopLocal);
+        let report = run(&net);
+        assert_eq!(report.by_check(Check::ForwardingLoop).count(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Static-audit benchmark: the full `audit_internet` pass (LFIB
+//! consistency, forwarding-loop walk, segment-list walks, label-space
+//! and interworking checks) over a generated Internet — the cost the
+//! `audit` experiment pays before the data plane runs.
+
+use arest_audit::audit_internet;
+use arest_netgen::internet::{generate, GenConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_audit(c: &mut Criterion) {
+    let internet = generate(&GenConfig::tiny());
+    c.bench_function("audit_internet_tiny", |b| {
+        b.iter(|| audit_internet(black_box(&internet)));
+    });
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ fn bench_detector(c: &mut Criterion) {
         let trace = mixed_trace(hops);
         group.throughput(Throughput::Elements(hops as u64));
         group.bench_function(format!("{hops}_hops"), |b| {
-            b.iter(|| detect_segments(black_box(&trace), &config))
+            b.iter(|| detect_segments(black_box(&trace), &config));
         });
     }
     group.finish();
@@ -56,14 +56,14 @@ fn bench_detector(c: &mut Criterion) {
         (0..64u32).map(|i| hop(i, &[600_000 + i * 7, 700_000], false)).collect();
     let lso_trace = AugmentedTrace::new("bench", Ipv4Addr::new(203, 0, 113, 1), lso);
     c.bench_function("detect_segments_all_lso_64", |b| {
-        b.iter(|| detect_segments(black_box(&lso_trace), &config))
+        b.iter(|| detect_segments(black_box(&lso_trace), &config));
     });
 }
 
 fn bench_baseline(c: &mut Criterion) {
     let trace = mixed_trace(64);
     c.bench_function("baseline_marechal_64_hops", |b| {
-        b.iter(|| detect_baseline(black_box(&trace)))
+        b.iter(|| detect_baseline(black_box(&trace)));
     });
 }
 
@@ -71,7 +71,7 @@ fn bench_detector_variants(c: &mut Criterion) {
     let trace = mixed_trace(64);
     let no_suffix = DetectorConfig { suffix_matching: false, ..Default::default() };
     c.bench_function("detect_segments_no_suffix_64", |b| {
-        b.iter(|| detect_segments(black_box(&trace), &no_suffix))
+        b.iter(|| detect_segments(black_box(&trace), &no_suffix));
     });
 }
 

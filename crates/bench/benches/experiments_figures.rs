@@ -16,7 +16,7 @@ fn bench_figures(c: &mut Criterion) {
         "fig15", "fig16", "fig17",
     ] {
         group.bench_function(format!("bench_{id}"), |b| {
-            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"));
         });
     }
     group.finish();
@@ -25,7 +25,7 @@ fn bench_figures(c: &mut Criterion) {
     heavy.sample_size(10);
     for id in ["headline", "ablation", "longitudinal"] {
         heavy.bench_function(format!("bench_{id}"), |b| {
-            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"));
         });
     }
     heavy.finish();

@@ -12,7 +12,7 @@ fn bench_tables(c: &mut Criterion) {
     group.sample_size(20);
     for id in ["table1", "table2_fig5", "table3", "table5"] {
         group.bench_function(format!("bench_{id}"), |b| {
-            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"))
+            b.iter(|| run_experiment(black_box(id), dataset).expect("known id"));
         });
     }
     group.finish();

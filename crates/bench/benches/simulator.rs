@@ -127,7 +127,7 @@ fn bench_full_trace(c: &mut Criterion) {
                 black_box(dst),
                 &config,
             )
-        })
+        });
     });
 }
 
@@ -135,7 +135,9 @@ fn bench_internet_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("internet_generation");
     group.sample_size(10);
     group.bench_function("scale_0.01_4vps", |b| {
-        b.iter(|| generate(black_box(&GenConfig { scale: 0.01, seed: 1, vp_count: 4, sr_adoption: 1.0 })))
+        b.iter(|| {
+            generate(black_box(&GenConfig { scale: 0.01, seed: 1, vp_count: 4, sr_adoption: 1.0 }))
+        });
     });
     group.finish();
 }

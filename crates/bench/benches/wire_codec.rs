@@ -9,21 +9,20 @@ use std::hint::black_box;
 use std::net::Ipv4Addr;
 
 fn stack(depth: usize) -> LabelStack {
-    let labels: Vec<Label> =
-        (0..depth).map(|i| Label::new(16_000 + i as u32).unwrap()).collect();
+    let labels: Vec<Label> = (0..depth).map(|i| Label::new(16_000 + i as u32).unwrap()).collect();
     LabelStack::from_labels(&labels, 64)
 }
 
 fn bench_lse_stack(c: &mut Criterion) {
     let mut group = c.benchmark_group("lse_stack");
     for depth in [1usize, 2, 5, 10] {
-        let bytes = stack(depth).to_bytes();
+        let bytes = stack(depth).to_bytes().unwrap();
         group.bench_function(format!("parse_depth_{depth}"), |b| {
-            b.iter(|| LabelStack::parse(black_box(&bytes)).unwrap())
+            b.iter(|| LabelStack::parse(black_box(&bytes)).unwrap());
         });
         let s = stack(depth);
         group.bench_function(format!("emit_depth_{depth}"), |b| {
-            b.iter(|| black_box(&s).to_bytes())
+            b.iter(|| black_box(&s).to_bytes().unwrap());
         });
     }
     group.finish();
@@ -45,14 +44,14 @@ fn bench_ipv4(c: &mut Criterion) {
             let packet = Ipv4Packet::new_checked(black_box(&buf[..])).unwrap();
             assert!(packet.verify_checksum());
             Ipv4Repr::parse(&packet).unwrap()
-        })
+        });
     });
     c.bench_function("ipv4_emit", |b| {
         b.iter_batched(
             || vec![0u8; repr.buffer_len()],
             |mut buf| repr.emit(black_box(&mut buf)).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -61,12 +60,12 @@ fn bench_icmp(c: &mut Criterion) {
         original: vec![0x45; 28],
         extension: Some(MplsExtension { stack: stack(3) }),
     };
-    let bytes = msg.to_bytes();
+    let bytes = msg.to_bytes().unwrap();
     c.bench_function("icmp_te_parse_with_rfc4950", |b| {
-        b.iter(|| IcmpMessage::parse(black_box(&bytes)).unwrap())
+        b.iter(|| IcmpMessage::parse(black_box(&bytes)).unwrap());
     });
     c.bench_function("icmp_te_emit_with_rfc4950", |b| {
-        b.iter(|| black_box(&msg).to_bytes())
+        b.iter(|| black_box(&msg).to_bytes().unwrap());
     });
 }
 

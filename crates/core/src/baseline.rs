@@ -55,10 +55,9 @@ mod tests {
     fn hop(n: u8, label: Option<u32>, evidence: Option<VendorEvidence>) -> AugmentedHop {
         let addr = Ipv4Addr::new(10, 0, 3, n);
         let mut h = match label {
-            Some(l) => AugmentedHop::labeled(
-                addr,
-                LabelStack::from_labels(&[Label::new(l).unwrap()], 1),
-            ),
+            Some(l) => {
+                AugmentedHop::labeled(addr, LabelStack::from_labels(&[Label::new(l).unwrap()], 1))
+            }
             None => AugmentedHop::ip(addr),
         };
         h.evidence = evidence;

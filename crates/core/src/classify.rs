@@ -22,15 +22,13 @@ pub enum Area {
 }
 
 /// Characterization configuration.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct AreaConfig {
     /// Whether LSO-flagged segments count as SR. The paper's
     /// conservative default is `false` (§6.3: "segments flagged by
     /// LSO will therefore be excluded from further analysis").
     pub include_lso: bool,
 }
-
 
 /// Assigns an area to every hop of the trace, given its detected
 /// segments.
@@ -39,11 +37,8 @@ pub fn classify_areas(
     segments: &[DetectedSegment],
     config: &AreaConfig,
 ) -> Vec<Area> {
-    let mut areas: Vec<Area> = trace
-        .hops
-        .iter()
-        .map(|h| if h.is_mpls() { Area::Mpls } else { Area::Ip })
-        .collect();
+    let mut areas: Vec<Area> =
+        trace.hops.iter().map(|h| if h.is_mpls() { Area::Mpls } else { Area::Ip }).collect();
     for segment in segments {
         if !segment.flag.is_strong() && !config.include_lso {
             continue;
@@ -81,10 +76,8 @@ mod tests {
 
     #[test]
     fn strong_segments_become_sr_areas() {
-        let areas = classify(
-            vec![hop(1, &[]), hop(2, &[17_000]), hop(3, &[17_000]), hop(4, &[])],
-            false,
-        );
+        let areas =
+            classify(vec![hop(1, &[]), hop(2, &[17_000]), hop(3, &[17_000]), hop(4, &[])], false);
         assert_eq!(areas, vec![Area::Ip, Area::Sr, Area::Sr, Area::Ip]);
     }
 

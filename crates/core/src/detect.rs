@@ -31,11 +31,7 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> DetectorConfig {
-        DetectorConfig {
-            suffix_matching: true,
-            min_sequence_len: 2,
-            ignore_entropy_labels: true,
-        }
+        DetectorConfig { suffix_matching: true, min_sequence_len: 2, ignore_entropy_labels: true }
     }
 }
 
@@ -122,12 +118,18 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
             // CVR needs at least one hop whose fingerprint maps its
             // own active label into a vendor SR range.
             let vendor_confirmed = (i..=j).any(|k| {
-                hops[k].evidence.is_some_and(|e| {
-                    hops[k].top_label().is_some_and(|l| label_in_sr_range(e, l))
-                })
+                hops[k]
+                    .evidence
+                    .is_some_and(|e| hops[k].top_label().is_some_and(|l| label_in_sr_range(e, l)))
             });
             let flag = if vendor_confirmed { Flag::Cvr } else { Flag::Co };
-            segments.push(DetectedSegment { flag, start: i, end: j, label: first_label, suffix_based });
+            segments.push(DetectedSegment {
+                flag,
+                start: i,
+                end: j,
+                label: first_label,
+                suffix_based,
+            });
             for claimed_slot in claimed.iter_mut().take(j + 1).skip(i) {
                 *claimed_slot = true;
             }
@@ -148,8 +150,7 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
             // The visible stack is nothing but an entropy pair.
             continue;
         }
-        let in_range =
-            hop.evidence.is_some_and(|e| label_in_sr_range(e, label));
+        let in_range = hop.evidence.is_some_and(|e| label_in_sr_range(e, label));
         let flag = if depth >= 2 {
             if in_range {
                 Some(Flag::Lsvr)
@@ -164,7 +165,13 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
             None
         };
         if let Some(flag) = flag {
-            segments.push(DetectedSegment { flag, start: idx, end: idx, label, suffix_based: false });
+            segments.push(DetectedSegment {
+                flag,
+                start: idx,
+                end: idx,
+                label,
+                suffix_based: false,
+            });
         }
     }
 
@@ -229,11 +236,7 @@ mod tests {
     fn fig6_gray_path_raises_co() {
         // 17,005 across P4..P6, nobody fingerprinted: CO even though
         // the label value happens to sit inside Cisco's SRGB.
-        let segments = detect(vec![
-            hop(4, &[17_005]),
-            hop(5, &[17_005]),
-            hop(6, &[17_005]),
-        ]);
+        let segments = detect(vec![hop(4, &[17_005]), hop(5, &[17_005]), hop(6, &[17_005])]);
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].flag, Flag::Co);
     }
@@ -253,10 +256,8 @@ mod tests {
 
     #[test]
     fn fig6_blue_path_raises_lvr() {
-        let segments = detect(vec![with_evidence(
-            hop(9, &[16_105]),
-            VendorEvidence::Exact(Vendor::Cisco),
-        )]);
+        let segments =
+            detect(vec![with_evidence(hop(9, &[16_105]), VendorEvidence::Exact(Vendor::Cisco))]);
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].flag, Flag::Lvr);
     }
@@ -360,11 +361,11 @@ mod tests {
     #[test]
     fn mixed_trace_yields_multiple_segments_in_order() {
         let segments = detect(vec![
-            hop(1, &[]),                       // IP
-            hop(2, &[17_005]),                 // CO (with next)
+            hop(1, &[]),       // IP
+            hop(2, &[17_005]), // CO (with next)
             hop(3, &[17_005]),
-            hop(4, &[]),                       // IP
-            hop(5, &[600_000, 700_000]),       // LSO
+            hop(4, &[]),                                                     // IP
+            hop(5, &[600_000, 700_000]),                                     // LSO
             with_evidence(hop(6, &[16_009]), VendorEvidence::CiscoOrHuawei), // LVR
         ]);
         let flags: Vec<Flag> = segments.iter().map(|s| s.flag).collect();

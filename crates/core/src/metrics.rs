@@ -87,10 +87,7 @@ impl Validation {
 /// The oracle answers "is this interface address part of an SR-MPLS
 /// deployment?". Interface-level negatives are computed over MPLS
 /// hops only (IP hops say nothing about SR-vs-LDP classification).
-pub fn validate<F>(
-    results: &[(AugmentedTrace, Vec<DetectedSegment>)],
-    oracle: F,
-) -> Validation
+pub fn validate<F>(results: &[(AugmentedTrace, Vec<DetectedSegment>)], oracle: F) -> Validation
 where
     F: Fn(Ipv4Addr) -> bool,
 {
@@ -111,10 +108,8 @@ where
         for segment in segments {
             let counts = validation.per_flag.get_mut(&segment.flag).expect("all flags present");
             counts.segments += 1;
-            let addrs: Vec<Ipv4Addr> = trace.hops[segment.start..=segment.end]
-                .iter()
-                .filter_map(|h| h.addr)
-                .collect();
+            let addrs: Vec<Ipv4Addr> =
+                trace.hops[segment.start..=segment.end].iter().filter_map(|h| h.addr).collect();
             flagged_ifaces.extend(&addrs);
             if addrs.iter().all(|&a| oracle(a)) {
                 counts.true_positive += 1;
@@ -218,10 +213,6 @@ mod tests {
     fn ip_hops_do_not_enter_negative_counts() {
         let results = vec![run(vec![hop(1, &[])])];
         let v = validate(&results, |_| true);
-        assert_eq!(
-            v.iface_true_negative + v.iface_false_negative,
-            0,
-            "IP hops are out of scope"
-        );
+        assert_eq!(v.iface_true_negative + v.iface_false_negative, 0, "IP hops are out of scope");
     }
 }

@@ -38,7 +38,7 @@ fn main() {
         }
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        ids = ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string).collect();
     }
 
     eprintln!(
@@ -74,10 +74,7 @@ fn main() {
     }
 }
 
-fn expect_value<T: std::str::FromStr>(
-    iter: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> T {
+fn expect_value<T: std::str::FromStr>(iter: &mut impl Iterator<Item = String>, flag: &str) -> T {
     iter.next()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))

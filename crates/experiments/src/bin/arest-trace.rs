@@ -72,7 +72,8 @@ fn main() {
 
     for dst in targets {
         if mda {
-            let trace = multipath_trace(&internet.net, vp.gateway, vp.addr, dst, &MdaConfig::default());
+            let trace =
+                multipath_trace(&internet.net, vp.gateway, vp.addr, dst, &MdaConfig::default());
             println!("MDA toward {dst} (max width {}):", trace.max_width());
             for level in &trace.levels {
                 let branches: Vec<String> = level
@@ -80,7 +81,11 @@ fn main() {
                     .iter()
                     .map(|(addr, flows)| format!("{addr} ({} flows)", flows.len()))
                     .collect();
-                println!("  {:>2}  {}", level.ttl, if branches.is_empty() { "*".into() } else { branches.join("  |  ") });
+                println!(
+                    "  {:>2}  {}",
+                    level.ttl,
+                    if branches.is_empty() { "*".into() } else { branches.join("  |  ") }
+                );
             }
             println!();
             continue;

@@ -23,17 +23,17 @@ pub fn fig01_publications() -> Report {
             count /= 4; // partial year: collected March 31st, 2025
         }
         last = last.max(count);
-        table.row([
-            year.to_string(),
-            count.to_string(),
-            bar(f64::from(count) / 520.0, 40),
-        ]);
+        table.row([year.to_string(), count.to_string(), bar(f64::from(count) / 520.0, 40)]);
     }
     let body = format!(
         "{}\nShape check: monotone growth 2014-2024 (peak {last}), partial-year dip in 2025.\n",
         table.to_text()
     );
-    Report { id: "fig1", title: "Fig. 1 — SR publications per year (synthetic bibliometric model)".into(), body }
+    Report {
+        id: "fig1",
+        title: "Fig. 1 — SR publications per year (synthetic bibliometric model)".into(),
+        body,
+    }
 }
 
 /// Table 1 — default vendor SRGB/SRLB label ranges.
@@ -91,11 +91,7 @@ pub fn fig05_survey() -> Report {
         pct(1.0 - survey.srlb_default_share()),
     );
 
-    Report {
-        id: "table2_fig5",
-        title: "Table 2 / Fig. 5 — operator survey results".into(),
-        body,
-    }
+    Report { id: "table2_fig5", title: "Table 2 / Fig. 5 — operator survey results".into(), body }
 }
 
 /// Fig. 7 — MPLS LSE stack-size evolution, 2015–2025.
@@ -144,7 +140,9 @@ mod tests {
     #[test]
     fn table1_lists_all_six_ranges() {
         let report = table1_vendor_ranges();
-        for needle in ["16000-23999", "15000-15999", "16000-47999", "900000-965535", "100000-116383"] {
+        for needle in
+            ["16000-23999", "15000-15999", "16000-47999", "900000-965535", "100000-116383"]
+        {
             assert!(report.body.contains(needle), "missing {needle}");
         }
     }

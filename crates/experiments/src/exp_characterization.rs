@@ -14,7 +14,14 @@ use std::net::Ipv4Addr;
 pub fn fig10_deployment(dataset: &Dataset) -> Report {
     let area_cfg = AreaConfig::default(); // strong flags only (§6.3)
     let mut table = Table::new([
-        "AS", "traces", "SR hit", "MPLS hit", "IP hit", "SR ifaces", "MPLS ifaces", "IP ifaces",
+        "AS",
+        "traces",
+        "SR hit",
+        "MPLS hit",
+        "IP hit",
+        "SR ifaces",
+        "MPLS ifaces",
+        "IP ifaces",
     ]);
     let mut outliers: Vec<(u8, f64)> = Vec::new();
     for result in dataset.analyzed() {
@@ -114,11 +121,7 @@ pub fn fig11_interworking_modes(dataset: &Dataset) -> Report {
     );
     let mut table = Table::new(["mode", "tunnels", "share of hybrids"]);
     for (mode, count) in &modes {
-        table.row([
-            mode.to_string(),
-            count.to_string(),
-            pct(*count as f64 / hybrid.max(1) as f64),
-        ]);
+        table.row([mode.to_string(), count.to_string(), pct(*count as f64 / hybrid.max(1) as f64)]);
     }
     body.push_str(&table.to_text());
     let _ = writeln!(

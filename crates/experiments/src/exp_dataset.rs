@@ -16,7 +16,16 @@ use std::net::Ipv4Addr;
 /// discovered, confirmation source, exclusion status.
 pub fn table5_dataset(dataset: &Dataset) -> Report {
     let mut table = Table::new([
-        "AS", "ASN", "name", "type", "targets", "traces", "IPs found", "Cisco", "survey", "kept",
+        "AS",
+        "ASN",
+        "name",
+        "type",
+        "targets",
+        "traces",
+        "IPs found",
+        "Cisco",
+        "survey",
+        "kept",
     ]);
     let mut kept = 0usize;
     for result in &dataset.results {
@@ -52,7 +61,13 @@ pub fn table5_dataset(dataset: &Dataset) -> Report {
 /// one explicit tunnel.
 pub fn fig13_tunnel_types(dataset: &Dataset) -> Report {
     let mut table = Table::new([
-        "AS", "tunnels", "explicit", "implicit", "opaque", "invisible", "paths w/ explicit",
+        "AS",
+        "tunnels",
+        "explicit",
+        "implicit",
+        "opaque",
+        "invisible",
+        "paths w/ explicit",
     ]);
     let mut explicit_total = 0usize;
     let mut tunnels_total = 0usize;
@@ -83,9 +98,7 @@ pub fn fig13_tunnel_types(dataset: &Dataset) -> Report {
             stub_explicit += explicit;
             stub_tunnels += total;
         }
-        let share = |t: TunnelType| {
-            pct(counts.get(&t).copied().unwrap_or(0) as f64 / total as f64)
-        };
+        let share = |t: TunnelType| pct(counts.get(&t).copied().unwrap_or(0) as f64 / total as f64);
         table.row([
             format!("#{}", result.id),
             total.to_string(),
@@ -109,16 +122,8 @@ pub fn fig13_tunnel_types(dataset: &Dataset) -> Report {
 
 /// Fig. 14 — fingerprint source shares (TTL vs SNMPv3).
 pub fn fig14_fingerprint_sources(dataset: &Dataset) -> Report {
-    let ttl = dataset
-        .fingerprints
-        .values()
-        .filter(|(_, s)| *s == FingerprintSource::Ttl)
-        .count();
-    let snmp = dataset
-        .fingerprints
-        .values()
-        .filter(|(_, s)| *s == FingerprintSource::Snmp)
-        .count();
+    let ttl = dataset.fingerprints.values().filter(|(_, s)| *s == FingerprintSource::Ttl).count();
+    let snmp = dataset.fingerprints.values().filter(|(_, s)| *s == FingerprintSource::Snmp).count();
     let total = ttl + snmp;
     let mut table = Table::new(["method", "identified addrs", "share", ""]);
     table.row([
@@ -143,7 +148,7 @@ pub fn fig14_fingerprint_sources(dataset: &Dataset) -> Report {
 pub fn fig15_vendor_heatmap(dataset: &Dataset) -> Report {
     let vendors = [Vendor::Cisco, Vendor::Juniper, Vendor::Huawei, Vendor::Nokia, Vendor::Linux];
     let mut headers: Vec<String> = vec!["AS".into()];
-    headers.extend(vendors.iter().map(|v| v.to_string()));
+    headers.extend(vendors.iter().map(std::string::ToString::to_string));
     headers.push("Arista".into());
     let mut table = Table::new(headers);
     let mut arista_seen = 0usize;
@@ -159,11 +164,7 @@ pub fn fig15_vendor_heatmap(dataset: &Dataset) -> Report {
         }
         arista_seen += counts.get(&Vendor::Arista).copied().unwrap_or(0);
         let mut row = vec![format!("#{}", result.id)];
-        row.extend(
-            vendors
-                .iter()
-                .map(|v| counts.get(v).copied().unwrap_or(0).to_string()),
-        );
+        row.extend(vendors.iter().map(|v| counts.get(v).copied().unwrap_or(0).to_string()));
         row.push(counts.get(&Vendor::Arista).copied().unwrap_or(0).to_string());
         table.row(row);
     }
@@ -193,8 +194,7 @@ pub fn fig16_label_ranges(dataset: &Dataset) -> Report {
                 if let Some(stack) = &hop.stack {
                     for lse in stack.entries() {
                         let v = lse.label.value();
-                        if let Some(i) =
-                            BUCKETS.iter().position(|(lo, hi, _)| v >= *lo && v <= *hi)
+                        if let Some(i) = BUCKETS.iter().position(|(lo, hi, _)| v >= *lo && v <= *hi)
                         {
                             counts[i] += 1;
                         }
@@ -209,8 +209,7 @@ pub fn fig16_label_ranges(dataset: &Dataset) -> Report {
         let share = count as f64 / total.max(1) as f64;
         table.row([label.to_string(), count.to_string(), pct(share), bar(share, 30)]);
     }
-    let low_share =
-        (counts[0] + counts[1] + counts[2]) as f64 / total.max(1) as f64;
+    let low_share = (counts[0] + counts[1] + counts[2]) as f64 / total.max(1) as f64;
     let mut body = table.to_text();
     let _ = writeln!(
         body,
@@ -225,11 +224,8 @@ pub fn fig16_label_ranges(dataset: &Dataset) -> Report {
 pub fn fig17_vp_cdf(dataset: &Dataset) -> Report {
     let mut vp_names: Vec<&String> = dataset.per_vp_discovered.keys().collect();
     vp_names.sort();
-    let all: HashSet<Ipv4Addr> = dataset
-        .per_vp_discovered
-        .values()
-        .flat_map(|s| s.iter().copied())
-        .collect();
+    let all: HashSet<Ipv4Addr> =
+        dataset.per_vp_discovered.values().flat_map(|s| s.iter().copied()).collect();
     let mut seen: HashSet<Ipv4Addr> = HashSet::new();
     let mut table = Table::new(["VPs", "unique hops", "coverage", ""]);
     let mut first_vp_share = 0.0;

@@ -32,8 +32,7 @@ fn confirmation_tag(id: u8) -> &'static str {
 /// Fig. 8 — proportion of SR segments flagged by each detection flag,
 /// per analyzed AS.
 pub fn fig08_flags_per_as(dataset: &Dataset) -> Report {
-    let mut table =
-        Table::new(["AS", "src", "segs", "CVR", "CO", "LSVR", "LVR", "LSO"]);
+    let mut table = Table::new(["AS", "src", "segs", "CVR", "CO", "LSVR", "LVR", "LSO"]);
     let mut suffix_total = 0usize;
     let mut segments_total = 0usize;
     let mut flag_totals = [0usize; 5];
@@ -93,9 +92,7 @@ pub fn fig08_flags_per_as(dataset: &Dataset) -> Report {
 /// traditional-MPLS / LSO contexts.
 pub fn fig09_stack_sizes(dataset: &Dataset) -> Report {
     // Per AS: depth histograms in the two contexts.
-    let mut table = Table::new([
-        "AS", "src", "SR hops", "SR >=2", "trad hops", "trad >=2",
-    ]);
+    let mut table = Table::new(["AS", "src", "SR hops", "SR >=2", "trad hops", "trad >=2"]);
     let mut sr_multi_sum = 0.0;
     let mut trad_multi_sum = 0.0;
     let mut rows = 0usize;

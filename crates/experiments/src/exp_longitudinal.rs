@@ -23,13 +23,16 @@ pub const EPOCHS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
 /// shape; each epoch builds its own (smaller) dataset.
 pub fn longitudinal_adoption(base: &Dataset) -> Report {
     let mut table = Table::new([
-        "adoption", "SR ifaces (truth)", "detected ASes", "detected claimants", "precision", "",
+        "adoption",
+        "SR ifaces (truth)",
+        "detected ASes",
+        "detected claimants",
+        "precision",
+        "",
     ]);
     for &adoption in &EPOCHS {
-        let mut config = PipelineConfig {
-            targets_per_as: base.config.targets_per_as.min(16),
-            ..base.config
-        };
+        let mut config =
+            PipelineConfig { targets_per_as: base.config.targets_per_as.min(16), ..base.config };
         config.gen.vp_count = base.config.gen.vp_count.min(6);
         config.gen.scale = base.config.gen.scale.min(0.02);
         config.gen.sr_adoption = adoption;
@@ -43,7 +46,7 @@ pub fn longitudinal_adoption(base: &Dataset) -> Report {
             let strong = result.all_segments().any(|s| s.flag.is_strong());
             if strong {
                 detected += 1;
-                if by_id(result.id).is_some_and(|e| e.claims_sr()) {
+                if by_id(result.id).is_some_and(arest_netgen::AsProfile::claims_sr) {
                     detected_claimants += 1;
                 }
             }
@@ -53,8 +56,7 @@ pub fn longitudinal_adoption(base: &Dataset) -> Report {
                 detections.push((trace.clone(), strong_only));
             }
         }
-        let validation =
-            validate(&detections, |a| dataset.internet.ground_truth.is_sr(a));
+        let validation = validate(&detections, |a| dataset.internet.ground_truth.is_sr(a));
         let analyzed = dataset.analyzed().count().max(1);
         table.row([
             format!("{:.0}%", adoption * 100.0),

@@ -50,11 +50,7 @@ pub fn fig06_flags_walkthrough() -> Report {
             vec![hop(7, &[20_000, 37_000], Some(Vendor::Cisco)), hop(8, &[345_129], None)],
             Flag::Lsvr,
         ),
-        (
-            "blue: P9(Cisco) quotes 16,105",
-            vec![hop(9, &[16_105], Some(Vendor::Cisco))],
-            Flag::Lvr,
-        ),
+        ("blue: P9(Cisco) quotes 16,105", vec![hop(9, &[16_105], Some(Vendor::Cisco))], Flag::Lvr),
         (
             "orange: P10 quotes [345,100; 345,200]",
             vec![hop(10, &[345_100, 345_200], None)],
@@ -95,7 +91,14 @@ pub fn table3_ground_truth(dataset: &Dataset) -> Report {
     for flag in Flag::ALL {
         let counts = validation.per_flag[&flag];
         if counts.segments == 0 {
-            table.row([flag.to_string(), "0".into(), "0%".into(), "-".into(), "-".into(), "-".into()]);
+            table.row([
+                flag.to_string(),
+                "0".into(),
+                "0%".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         } else {
             table.row([
                 flag.to_string(),
@@ -142,8 +145,7 @@ pub fn headline_detection(dataset: &Dataset) -> Report {
         claimed += 1;
         let strong = result.all_segments().filter(|s| s.flag.is_strong()).count();
         let any = result.all_segments().count();
-        let base: usize =
-            result.augmented.iter().map(|t| detect_baseline(t).len()).sum();
+        let base: usize = result.augmented.iter().map(|t| detect_baseline(t).len()).sum();
         if any > 0 {
             detected += 1;
         }
@@ -179,7 +181,11 @@ pub fn headline_detection(dataset: &Dataset) -> Report {
         pct(baseline_detected as f64 / claimed.max(1) as f64),
     );
     let _ = writeln!(body, "Paper shape: AReST 75% of 20 claimants, baseline strictly lower.");
-    Report { id: "headline", title: "§6.2 — detection headline and baseline comparison".into(), body }
+    Report {
+        id: "headline",
+        title: "§6.2 — detection headline and baseline comparison".into(),
+        body,
+    }
 }
 
 /// Flag ablations over the design choices DESIGN.md calls out.

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exp_audit;
 pub mod exp_background;
 pub mod exp_characterization;
 pub mod exp_dataset;
@@ -33,11 +34,30 @@ pub mod render;
 pub use pipeline::{AsResult, Dataset, PipelineConfig};
 pub use render::{Report, Table};
 
-/// Every experiment id, in paper order (plus the future-work sweep).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "fig1", "table1", "table2_fig5", "fig6", "fig7", "table3", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17", "headline",
-    "ablation", "longitudinal",
+/// Every experiment id, in paper order (plus the future-work sweep
+/// and the substrate audit).
+pub const ALL_EXPERIMENTS: [&str; 21] = [
+    "fig1",
+    "table1",
+    "table2_fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table5",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "headline",
+    "ablation",
+    "longitudinal",
+    "audit",
 ];
 
 /// Runs one experiment by id against a built dataset.
@@ -63,6 +83,7 @@ pub fn run_experiment(id: &str, dataset: &Dataset) -> Option<Report> {
         "headline" => exp_validation::headline_detection(dataset),
         "ablation" => exp_validation::ablation_flags(dataset),
         "longitudinal" => exp_longitudinal::longitudinal_adoption(dataset),
+        "audit" => exp_audit::audit_substrate(dataset),
         _ => return None,
     };
     Some(report)

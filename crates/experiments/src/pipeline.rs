@@ -8,9 +8,7 @@
 
 use arest_core::detect::{detect_segments, DetectedSegment, DetectorConfig};
 use arest_core::model::{AugmentedHop, AugmentedTrace};
-use arest_fingerprint::combined::{
-    fingerprint_addresses, FingerprintSource, VendorEvidence,
-};
+use arest_fingerprint::combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
 use arest_fingerprint::snmp::SnmpDataset;
 use arest_mapping::alias::{AliasResolver, IpIdOracle};
 use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
@@ -125,17 +123,10 @@ impl Dataset {
         let vps: Vec<VantagePoint> = internet
             .vps
             .iter()
-            .map(|vp| VantagePoint {
-                name: vp.name.clone(),
-                addr: vp.addr,
-                gateway: vp.gateway,
-            })
+            .map(|vp| VantagePoint { name: vp.name.clone(), addr: vp.addr, gateway: vp.gateway })
             .collect();
 
-        let anax = AnaximanderConfig {
-            targets_per_prefix: 2,
-            max_targets: config.targets_per_as,
-        };
+        let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
         let campaign_cfg = CampaignConfig::default();
 
         // ---- Probing: one campaign per AS of interest ----
@@ -227,10 +218,7 @@ impl Dataset {
                     if let Some(addr) = hop.addr {
                         if annotator.annotate(addr) == Some(plan.asn) {
                             result.discovered.insert(addr);
-                            per_vp_discovered
-                                .entry(trace.vp.clone())
-                                .or_default()
-                                .insert(addr);
+                            per_vp_discovered.entry(trace.vp.clone()).or_default().insert(addr);
                         }
                     }
                 }
@@ -261,9 +249,9 @@ impl Dataset {
 
     /// Results for the ASes the paper's ≥100-address rule keeps.
     pub fn analyzed(&self) -> impl Iterator<Item = &AsResult> {
-        self.results
-            .iter()
-            .filter(|r| arest_netgen::catalog::by_id(r.id).is_some_and(|e| e.analyzed()))
+        self.results.iter().filter(|r| {
+            arest_netgen::catalog::by_id(r.id).is_some_and(arest_netgen::AsProfile::analyzed)
+        })
     }
 }
 
@@ -340,16 +328,10 @@ mod tests {
     #[test]
     fn fingerprints_cover_some_hops_with_snmp_and_ttl() {
         let ds = quick_dataset();
-        let snmp = ds
-            .fingerprints
-            .values()
-            .filter(|(_, src)| *src == FingerprintSource::Snmp)
-            .count();
-        let ttl = ds
-            .fingerprints
-            .values()
-            .filter(|(_, src)| *src == FingerprintSource::Ttl)
-            .count();
+        let snmp =
+            ds.fingerprints.values().filter(|(_, src)| *src == FingerprintSource::Snmp).count();
+        let ttl =
+            ds.fingerprints.values().filter(|(_, src)| *src == FingerprintSource::Ttl).count();
         assert!(ttl > 0, "TTL fingerprinting found nothing");
         assert!(ttl > snmp, "TTL should dominate as in the paper (88%/12%)");
     }

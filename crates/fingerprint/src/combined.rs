@@ -111,8 +111,7 @@ mod tests {
                 1,
             );
         }
-        let loopbacks: Vec<Ipv4Addr> =
-            routers.iter().map(|&r| topo.router(r).loopback).collect();
+        let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
         let mut net = Network::new(topo);
         // Static routes down the chain to every loopback.
         let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
@@ -135,13 +134,9 @@ mod tests {
         let (net, lo) = testbed();
         let src = Ipv4Addr::new(192, 0, 2, 9);
         // Pretend traceroute observed TE replies from all three.
-        let te: HashMap<Ipv4Addr, u8> =
-            lo.iter().map(|&a| (a, 250)).collect();
+        let te: HashMap<Ipv4Addr, u8> = lo.iter().map(|&a| (a, 250)).collect();
         let got = fingerprint_addresses(&net, RouterId(0), src, &lo, &te, &SnmpDataset::new());
-        assert_eq!(
-            got.get(&lo[0]),
-            Some(&(VendorEvidence::CiscoOrHuawei, FingerprintSource::Ttl))
-        );
+        assert_eq!(got.get(&lo[0]), Some(&(VendorEvidence::CiscoOrHuawei, FingerprintSource::Ttl)));
         assert_eq!(got.get(&lo[1]), None, "Juniper TTL class carries no range evidence");
         assert_eq!(
             got.get(&lo[2]),
@@ -175,8 +170,14 @@ mod tests {
     fn no_te_observation_means_no_ttl_fingerprint() {
         let (net, lo) = testbed();
         let src = Ipv4Addr::new(192, 0, 2, 9);
-        let got =
-            fingerprint_addresses(&net, RouterId(0), src, &lo, &HashMap::new(), &SnmpDataset::new());
+        let got = fingerprint_addresses(
+            &net,
+            RouterId(0),
+            src,
+            &lo,
+            &HashMap::new(),
+            &SnmpDataset::new(),
+        );
         assert!(got.is_empty(), "the signature needs both components");
     }
 

@@ -129,6 +129,9 @@ mod tests {
 
     #[test]
     fn unusual_signature_is_other() {
-        assert_eq!(ttl_class(TtlSignature { echo_reply: 128, time_exceeded: 255 }), TtlClass::Other);
+        assert_eq!(
+            ttl_class(TtlSignature { echo_reply: 128, time_exceeded: 255 }),
+            TtlClass::Other
+        );
     }
 }

@@ -82,7 +82,8 @@ impl AliasResolver {
             }
             for i in 0..pool.len() {
                 for j in i + 1..pool.len() {
-                    let key = if pool[i] < pool[j] { (pool[i], pool[j]) } else { (pool[j], pool[i]) };
+                    let key =
+                        if pool[i] < pool[j] { (pool[i], pool[j]) } else { (pool[j], pool[i]) };
                     if key.0 != key.1 && seen.insert(key) {
                         self.candidates.push(key);
                     }
@@ -127,12 +128,13 @@ impl AliasResolver {
         // Union–find over the addresses appearing in candidates.
         let mut index: HashMap<Ipv4Addr, usize> = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
-        let id_of = |addr: Ipv4Addr, parent: &mut Vec<usize>, index: &mut HashMap<Ipv4Addr, usize>| {
-            *index.entry(addr).or_insert_with(|| {
-                parent.push(parent.len());
-                parent.len() - 1
-            })
-        };
+        let id_of =
+            |addr: Ipv4Addr, parent: &mut Vec<usize>, index: &mut HashMap<Ipv4Addr, usize>| {
+                *index.entry(addr).or_insert_with(|| {
+                    parent.push(parent.len());
+                    parent.len() - 1
+                })
+            };
         fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];

@@ -66,7 +66,7 @@ fn prune(prefixes: impl Iterator<Item = Prefix>) -> Vec<Prefix> {
     sorted.sort();
     sorted.dedup();
     // Sort by prefix length so coverers come first.
-    sorted.sort_by_key(|p| p.len());
+    sorted.sort_by_key(arest_topo::Prefix::len);
     let mut kept: Vec<Prefix> = Vec::new();
     for prefix in sorted {
         if !kept.iter().any(|k| k.covers(&prefix)) {
@@ -143,9 +143,7 @@ mod tests {
 
     #[test]
     fn max_targets_caps_the_list() {
-        let view: BgpView = (0..20)
-            .map(|i| route(&format!("10.{i}.0.0/16"), &[300]))
-            .collect();
+        let view: BgpView = (0..20).map(|i| route(&format!("10.{i}.0.0/16"), &[300])).collect();
         let targets = build_target_list(
             &view,
             AsNumber(300),

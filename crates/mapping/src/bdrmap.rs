@@ -70,7 +70,11 @@ impl AsAnnotator {
     /// the span that fail to annotate (silent or unknown) are kept —
     /// they sit between two hops of the AS, so bdrmapIT would assign
     /// them inward too.
-    pub fn intra_as_span(&self, addrs: &[Option<Ipv4Addr>], asn: AsNumber) -> Option<(usize, usize)> {
+    pub fn intra_as_span(
+        &self,
+        addrs: &[Option<Ipv4Addr>],
+        asn: AsNumber,
+    ) -> Option<(usize, usize)> {
         let mut first = None;
         let mut last = None;
         for (idx, addr) in addrs.iter().enumerate() {
@@ -137,11 +141,11 @@ mod tests {
     fn intra_as_span_finds_the_window() {
         let a = annotator();
         let addrs = vec![
-            Some(Ipv4Addr::new(192, 0, 2, 1)),  // outside
-            Some(Ipv4Addr::new(10, 2, 0, 1)),   // AS200
-            None,                                // silent, inside
-            Some(Ipv4Addr::new(10, 2, 0, 9)),   // AS200
-            Some(Ipv4Addr::new(10, 1, 0, 1)),   // AS100
+            Some(Ipv4Addr::new(192, 0, 2, 1)), // outside
+            Some(Ipv4Addr::new(10, 2, 0, 1)),  // AS200
+            None,                              // silent, inside
+            Some(Ipv4Addr::new(10, 2, 0, 9)),  // AS200
+            Some(Ipv4Addr::new(10, 1, 0, 1)),  // AS100
         ];
         assert_eq!(a.intra_as_span(&addrs, AsNumber(200)), Some((1, 3)));
         assert_eq!(a.intra_as_span(&addrs, AsNumber(100)), Some((4, 4)));

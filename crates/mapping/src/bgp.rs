@@ -66,9 +66,7 @@ impl BgpView {
 
     /// Prefixes whose path transits `asn` without originating there.
     pub fn transiting(&self, asn: AsNumber) -> impl Iterator<Item = &BgpRoute> + '_ {
-        self.routes
-            .iter()
-            .filter(move |r| r.origin != asn && r.path.contains(&asn))
+        self.routes.iter().filter(move |r| r.origin != asn && r.path.contains(&asn))
     }
 }
 

@@ -84,9 +84,7 @@ impl LdpDomain {
                 let label = if r == fec.egress && php {
                     None // implicit NULL
                 } else {
-                    let pool = pools
-                        .get_mut(&r)
-                        .unwrap_or_else(|| panic!("no label pool for {r}"));
+                    let pool = pools.get_mut(&r).unwrap_or_else(|| panic!("no label pool for {r}"));
                     Some(pool.allocate().expect("label pool exhausted"))
                 };
                 labels.insert(r, label);
@@ -115,11 +113,7 @@ impl LdpDomain {
                 domain.lfibs.get_mut(&r).unwrap().install(own, action);
                 domain.ftns.get_mut(&r).unwrap().install(
                     fec.prefix,
-                    PushInstruction {
-                        labels: down.into_iter().collect(),
-                        out_iface,
-                        next_router,
-                    },
+                    PushInstruction { labels: down.into_iter().collect(), out_iface, next_router },
                 );
             }
         }
@@ -189,23 +183,15 @@ mod tests {
     }
 
     fn pools(routers: &[RouterId]) -> HashMap<RouterId, DynamicLabelPool> {
-        routers
-            .iter()
-            .map(|&r| (r, DynamicLabelPool::classic(1000 + u64::from(r.0))))
-            .collect()
+        routers.iter().map(|&r| (r, DynamicLabelPool::classic(1000 + u64::from(r.0)))).collect()
     }
 
     #[test]
     fn php_chain_swaps_then_pops() {
         let (topo, r, prefix) = chain();
         let mut pools = pools(&r);
-        let domain = LdpDomain::build(
-            &topo,
-            &r,
-            &[LdpFec { prefix, egress: r[3] }],
-            &mut pools,
-            true,
-        );
+        let domain =
+            LdpDomain::build(&topo, &r, &[LdpFec { prefix, egress: r[3] }], &mut pools, true);
 
         // Egress advertises implicit NULL.
         assert_eq!(domain.binding(r[3], prefix), Some(None));
@@ -243,13 +229,8 @@ mod tests {
     fn no_php_egress_pops_locally() {
         let (topo, r, prefix) = chain();
         let mut pools = pools(&r);
-        let domain = LdpDomain::build(
-            &topo,
-            &r,
-            &[LdpFec { prefix, egress: r[3] }],
-            &mut pools,
-            false,
-        );
+        let domain =
+            LdpDomain::build(&topo, &r, &[LdpFec { prefix, egress: r[3] }], &mut pools, false);
         let l3 = domain.binding(r[3], prefix).unwrap().unwrap();
         assert_eq!(domain.lfib(r[3]).unwrap().lookup(l3), Some(LfibAction::PopLocal));
         // Penultimate hop now swaps to the egress label instead of popping.
@@ -274,10 +255,7 @@ mod tests {
         let domain = LdpDomain::build(
             &topo,
             &r,
-            &[
-                LdpFec { prefix, egress: r[3] },
-                LdpFec { prefix: prefix2, egress: r[3] },
-            ],
+            &[LdpFec { prefix, egress: r[3] }, LdpFec { prefix: prefix2, egress: r[3] }],
             &mut pools,
             true,
         );
@@ -293,13 +271,8 @@ mod tests {
         let (topo, r, prefix) = chain();
         let outsider = RouterId(99);
         let mut pools = pools(&r);
-        let domain = LdpDomain::build(
-            &topo,
-            &r,
-            &[LdpFec { prefix, egress: outsider }],
-            &mut pools,
-            true,
-        );
+        let domain =
+            LdpDomain::build(&topo, &r, &[LdpFec { prefix, egress: outsider }], &mut pools, true);
         assert!(domain.binding(r[0], prefix).is_none());
         assert!(domain.ftn(r[0]).unwrap().is_empty());
     }
@@ -308,16 +281,16 @@ mod tests {
     fn partitioned_member_gets_no_binding() {
         let (mut topo, mut r, prefix) = chain();
         // Add an isolated member with no links.
-        let lonely = topo.add_router("lonely", AsNumber(65_010), Vendor::Cisco, Ipv4Addr::new(10, 255, 2, 9));
+        let lonely = topo.add_router(
+            "lonely",
+            AsNumber(65_010),
+            Vendor::Cisco,
+            Ipv4Addr::new(10, 255, 2, 9),
+        );
         r.push(lonely);
         let mut pools = pools(&r);
-        let domain = LdpDomain::build(
-            &topo,
-            &r,
-            &[LdpFec { prefix, egress: r[3] }],
-            &mut pools,
-            true,
-        );
+        let domain =
+            LdpDomain::build(&topo, &r, &[LdpFec { prefix, egress: r[3] }], &mut pools, true);
         assert!(domain.binding(lonely, prefix).is_none());
         assert!(domain.lfib(lonely).unwrap().is_empty());
     }

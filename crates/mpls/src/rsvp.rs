@@ -101,7 +101,7 @@ pub fn signal_tunnel(
     for &hop in tunnel.path[1..tunnel.path.len() - 1].iter().rev() {
         let label = pools
             .get_mut(&hop)
-            .and_then(|p| p.allocate())
+            .and_then(super::pool::DynamicLabelPool::allocate)
             .ok_or(RsvpError::NoLabel(hop))?;
         labels.insert(hop, Some(label));
         allocated.push((hop, label));
@@ -119,10 +119,9 @@ pub fn signal_tunnel(
                 out_iface: egress_ifaces[idx],
                 next_router: downstream,
             },
-            None => LfibAction::PopForward {
-                out_iface: egress_ifaces[idx],
-                next_router: downstream,
-            },
+            None => {
+                LfibAction::PopForward { out_iface: egress_ifaces[idx], next_router: downstream }
+            }
         };
         lfibs.entry(hop).or_default().install(own, action);
     }

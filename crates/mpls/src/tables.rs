@@ -42,6 +42,7 @@ pub enum LfibAction {
 #[derive(Debug, Clone, Default)]
 pub struct Lfib {
     entries: HashMap<Label, LfibAction>,
+    collisions: Vec<(Label, LfibAction, LfibAction)>,
 }
 
 impl Lfib {
@@ -51,8 +52,22 @@ impl Lfib {
     }
 
     /// Installs an entry; returns the previous action when overwritten.
+    ///
+    /// Later installs win (the merge semantics control planes rely on),
+    /// but an overwrite with a *different* action is remembered as a
+    /// collision: two control planes claimed the same incoming label
+    /// for different forwarding behaviour, which `arest-audit` reports
+    /// as an error. Reinstalling an identical action is not a
+    /// collision — egress PopLocal entries (ELI, service SIDs) are
+    /// legitimately installed once per FEC.
     pub fn install(&mut self, in_label: Label, action: LfibAction) -> Option<LfibAction> {
-        self.entries.insert(in_label, action)
+        let previous = self.entries.insert(in_label, action);
+        if let Some(old) = previous {
+            if old != action {
+                self.collisions.push((in_label, old, action));
+            }
+        }
+        previous
     }
 
     /// Looks up the action for an incoming label.
@@ -73,6 +88,12 @@ impl Lfib {
     /// Iterates over `(in_label, action)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &LfibAction)> {
         self.entries.iter()
+    }
+
+    /// Every overwrite that changed behaviour, as
+    /// `(label, previous action, winning action)` in install order.
+    pub fn collisions(&self) -> &[(Label, LfibAction, LfibAction)] {
+        &self.collisions
     }
 }
 
@@ -153,6 +174,25 @@ mod tests {
         let pop = LfibAction::PopLocal;
         assert_eq!(lfib.install(label(16_005), pop), Some(swap));
         assert_eq!(lfib.len(), 1);
+    }
+
+    #[test]
+    fn collisions_record_conflicting_overwrites_only() {
+        let mut lfib = Lfib::new();
+        let pop = LfibAction::PopLocal;
+        lfib.install(label(24_001), pop);
+        lfib.install(label(24_001), pop); // identical reinstall: benign
+        assert!(lfib.collisions().is_empty());
+
+        let swap = LfibAction::Swap {
+            out_label: label(24_009),
+            out_iface: IfaceId(1),
+            next_router: RouterId(3),
+        };
+        lfib.install(label(24_001), swap);
+        assert_eq!(lfib.collisions(), &[(label(24_001), pop, swap)]);
+        // Later-wins semantics are unchanged.
+        assert_eq!(lfib.lookup(label(24_001)), Some(swap));
     }
 
     #[test]

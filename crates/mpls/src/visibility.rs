@@ -24,14 +24,11 @@ pub struct TunnelVisibility {
 
 impl TunnelVisibility {
     /// Fully visible configuration: propagate + RFC 4950.
-    pub const EXPLICIT: TunnelVisibility =
-        TunnelVisibility { ttl_propagate: true, rfc4950: true };
+    pub const EXPLICIT: TunnelVisibility = TunnelVisibility { ttl_propagate: true, rfc4950: true };
     /// Propagating but not quoting: hops appear as plain IP.
-    pub const IMPLICIT: TunnelVisibility =
-        TunnelVisibility { ttl_propagate: true, rfc4950: false };
+    pub const IMPLICIT: TunnelVisibility = TunnelVisibility { ttl_propagate: true, rfc4950: false };
     /// Quoting but not propagating: only the ending hop is seen.
-    pub const OPAQUE: TunnelVisibility =
-        TunnelVisibility { ttl_propagate: false, rfc4950: true };
+    pub const OPAQUE: TunnelVisibility = TunnelVisibility { ttl_propagate: false, rfc4950: true };
     /// Neither: the tunnel is entirely hidden.
     pub const INVISIBLE: TunnelVisibility =
         TunnelVisibility { ttl_propagate: false, rfc4950: false };

@@ -97,18 +97,15 @@ pub fn plan_as(
         let third = (c / 127) as u8;
         assert!(third < 255, "link address space exhausted in AS#{id}");
         let fourth = ((c % 127) * 2) as u8;
-        (
-            Ipv4Addr::new(10, id, third, fourth),
-            Ipv4Addr::new(10, id, third, fourth + 1),
-        )
+        (Ipv4Addr::new(10, id, third, fourth), Ipv4Addr::new(10, id, third, fourth + 1))
     };
     let mut linked: HashSet<(RouterId, RouterId)> = HashSet::new();
     let add_link = |topo: &mut Topology,
-                        a: RouterId,
-                        b: RouterId,
-                        rng: &mut StdRng,
-                        counter: &mut u32,
-                        linked: &mut HashSet<(RouterId, RouterId)>| {
+                    a: RouterId,
+                    b: RouterId,
+                    rng: &mut StdRng,
+                    counter: &mut u32,
+                    linked: &mut HashSet<(RouterId, RouterId)>| {
         let key = (a.min(b), a.max(b));
         if a == b || !linked.insert(key) {
             return;
@@ -188,11 +185,9 @@ pub fn plan_as(
         .map(|k| {
             let draw: f64 = rng.random_range(0.0..1.0);
             let anchor = if draw < 0.88 {
-                pick_tail(&sr_members, k)
-                    .or_else(|| pick_tail(&ldp_members, k))
+                pick_tail(&sr_members, k).or_else(|| pick_tail(&ldp_members, k))
             } else if draw < 0.94 {
-                pick_tail(&ldp_members, k)
-                    .or_else(|| pick_tail(&sr_members, k))
+                pick_tail(&ldp_members, k).or_else(|| pick_tail(&sr_members, k))
             } else {
                 None
             }
@@ -228,7 +223,7 @@ fn draw_vendor(mix: &[(Vendor, f64)], rng: &mut StdRng) -> Vendor {
         }
         draw -= weight;
     }
-    mix.last().map(|(v, _)| *v).unwrap_or(Vendor::Cisco)
+    mix.last().map_or(Vendor::Cisco, |(v, _)| *v)
 }
 
 fn bfs_order(topo: &Topology, start: RouterId, asn: AsNumber) -> Vec<RouterId> {
@@ -266,9 +261,7 @@ fn grow_from(
             if order.len() >= limit {
                 break;
             }
-            if topo.router(remote).asn == asn
-                && !excluded.contains(&remote)
-                && seen.insert(remote)
+            if topo.router(remote).asn == asn && !excluded.contains(&remote) && seen.insert(remote)
             {
                 order.push(remote);
                 queue.push_back(remote);
@@ -276,6 +269,28 @@ fn grow_from(
         }
     }
     order
+}
+
+/// Label-allocation facts recorded at deploy time for `arest-audit`.
+///
+/// The assembled [`arest_simnet::Network`] keeps only compiled
+/// LFIB/FTN tables; the SRGB/SRLB configuration and the dynamic-pool
+/// state that produced them are gone by the time an auditor looks.
+/// This record preserves exactly what the label-space checks need.
+#[derive(Debug, Clone, Default)]
+pub struct AsLabelRecord {
+    /// Per SR member, its configured SRGB.
+    pub srgbs: HashMap<RouterId, LabelBlock>,
+    /// Per SR member with a separate local block, its SRLB.
+    pub srlbs: HashMap<RouterId, LabelBlock>,
+    /// Per router, the floor of its dynamic label pool.
+    pub pool_floors: HashMap<RouterId, u32>,
+    /// Per router, the pool watermark after deployment — the lowest
+    /// label a future dynamic allocation could return, so
+    /// `[floor, watermark)` bounds every label actually handed out.
+    pub pool_watermarks: HashMap<RouterId, u32>,
+    /// Highest SID index advertised in the SR domain, when one exists.
+    pub max_sid_index: Option<u32>,
 }
 
 /// What phase 2 reports back for ground truth and bookkeeping.
@@ -290,6 +305,8 @@ pub struct DeployedAs {
     pub sr_prefixes: Vec<Prefix>,
     /// Customer prefixes anchored at LDP-only routers.
     pub ldp_prefixes: Vec<Prefix>,
+    /// Label-allocation facts for the static audit.
+    pub label_audit: AsLabelRecord,
 }
 
 /// Phase 2: compile and install this AS's planes into the network.
@@ -328,6 +345,7 @@ pub fn deploy_as(
 
     // Label pools.
     let sr_exists = plan.sr_members.len() >= 2;
+    let mut label_record = AsLabelRecord::default();
     let mut pools: HashMap<RouterId, DynamicLabelPool> = plan
         .routers
         .iter()
@@ -336,21 +354,14 @@ pub fn deploy_as(
             // Dynamic label regions are vendor-specific: Juniper
             // allocates from ~300k, Nokia SR OS from ~524k — the
             // source of the sparse high-label tail in Fig. 16.
-            let pool = match net.topo().router(r).vendor {
-                Vendor::Juniper => DynamicLabelPool::new(
-                    299_776,
-                    arest_wire::mpls::MAX_LABEL,
-                    pool_seed,
-                ),
-                Vendor::Nokia => DynamicLabelPool::new(
-                    524_288,
-                    arest_wire::mpls::MAX_LABEL,
-                    pool_seed,
-                ),
-                _ if sr_exists => DynamicLabelPool::sr_aware(pool_seed),
-                _ => DynamicLabelPool::classic(pool_seed),
+            let floor = match net.topo().router(r).vendor {
+                Vendor::Juniper => 299_776,
+                Vendor::Nokia => 524_288,
+                _ if sr_exists => arest_mpls::pool::SR_AWARE_POOL_START,
+                _ => arest_mpls::pool::DEFAULT_POOL_START,
             };
-            (r, pool)
+            label_record.pool_floors.insert(r, floor);
+            (r, DynamicLabelPool::new(floor, arest_mpls::pool::POOL_END, pool_seed))
         })
         .collect();
 
@@ -505,9 +516,8 @@ pub fn deploy_as(
         // deviation behind the paper's rare (~0.01 %) suffix-based
         // sequence matches (§6.2). Bases stay multiples of 1,000 so
         // the SID index survives as the decimal suffix.
-        if plan.sr_members.len() >= 5
-            && profile.srgb_base == 16_000
-            && plan.entry.id == 29 // China Telecom models the multi-vendor case
+        if plan.sr_members.len() >= 5 && profile.srgb_base == 16_000 && plan.entry.id == 29
+        // China Telecom models the multi-vendor case
         {
             let victim = plan.sr_members[plan.sr_members.len() / 2];
             let has_srlb = net.topo().router(victim).vendor != Vendor::Juniper;
@@ -551,6 +561,20 @@ pub fn deploy_as(
             }
         }
 
+        for (&r, cfg) in &configs {
+            label_record.srgbs.insert(r, cfg.srgb);
+            if let Some(block) = cfg.srlb {
+                label_record.srlbs.insert(r, block);
+            }
+        }
+        // Highest index advertised anywhere in the domain: the last
+        // extra SID when any exist, else the last automatic node SID.
+        label_record.max_sid_index = Some(if next_index > 2_000 {
+            next_index - 1
+        } else {
+            100 + plan.sr_members.len() as u32 - 1
+        });
+
         let spec = SrDomainSpec {
             members: plan.sr_members.clone(),
             configs,
@@ -562,12 +586,8 @@ pub fn deploy_as(
         let domain = SrDomain::build(net.topo(), &spec, &mut pools);
 
         // TE policies and service SIDs at the SR borders.
-        let sr_borders: Vec<RouterId> = plan
-            .borders
-            .iter()
-            .copied()
-            .filter(|b| sr_set.contains(b))
-            .collect();
+        let sr_borders: Vec<RouterId> =
+            plan.borders.iter().copied().filter(|b| sr_set.contains(b)).collect();
         let mut policy_installs: Vec<(RouterId, Prefix, PushInstruction)> = Vec::new();
         let mut service_installs: Vec<(RouterId, arest_wire::mpls::Label)> = Vec::new();
         for (fec_idx, &(prefix, egress)) in sr_customer_fecs.iter().enumerate() {
@@ -647,7 +667,10 @@ pub fn deploy_as(
     }
 
     // Ground truth.
-    let mut deployed = DeployedAs::default();
+    for (&r, pool) in &pools {
+        label_record.pool_watermarks.insert(r, pool.watermark());
+    }
+    let mut deployed = DeployedAs { label_audit: label_record, ..DeployedAs::default() };
     for &r in &plan.routers {
         let router = net.topo().router(r);
         let addrs: Vec<Ipv4Addr> = std::iter::once(router.loopback)

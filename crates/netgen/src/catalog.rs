@@ -82,66 +82,546 @@ use Confirmation::{Cisco, None as NoConf, Survey};
 
 /// The full Table 5, in identifier order.
 pub const CATALOG: [AsProfile; 60] = [
-    AsProfile { id: 1, asn: 46467, name: "Dish Network", astype: Stub, traces_sent: 2, ips_discovered: 1, confirmation: Cisco },
-    AsProfile { id: 2, asn: 29447, name: "Iliad Italy", astype: Stub, traces_sent: 5_888, ips_discovered: 166, confirmation: Cisco },
-    AsProfile { id: 3, asn: 9605, name: "NTT Docomo", astype: Stub, traces_sent: 10_034, ips_discovered: 245, confirmation: Cisco },
-    AsProfile { id: 4, asn: 63802, name: "Flets", astype: Stub, traces_sent: 512, ips_discovered: 4, confirmation: Cisco },
-    AsProfile { id: 5, asn: 2506, name: "NTT West", astype: Stub, traces_sent: 837, ips_discovered: 18, confirmation: Cisco },
-    AsProfile { id: 6, asn: 654, name: "OVH", astype: Stub, traces_sent: 0, ips_discovered: 0, confirmation: NoConf },
-    AsProfile { id: 7, asn: 5432, name: "Proximus", astype: Stub, traces_sent: 15_392, ips_discovered: 677, confirmation: NoConf },
-    AsProfile { id: 8, asn: 400843, name: "Audacy", astype: Stub, traces_sent: 1, ips_discovered: 0, confirmation: Cisco },
-    AsProfile { id: 9, asn: 400322, name: "NGtTel", astype: Stub, traces_sent: 15, ips_discovered: 0, confirmation: Cisco },
-    AsProfile { id: 10, asn: 399827, name: "2pifi", astype: Stub, traces_sent: 12, ips_discovered: 4, confirmation: Cisco },
-    AsProfile { id: 11, asn: 398872, name: "Big WiFi", astype: Stub, traces_sent: 6, ips_discovered: 2, confirmation: Cisco },
-    AsProfile { id: 12, asn: 8835, name: "Binkbroadband", astype: Stub, traces_sent: 0, ips_discovered: 0, confirmation: Survey },
-    AsProfile { id: 13, asn: 45102, name: "Alibaba", astype: Content, traces_sent: 14_520, ips_discovered: 1_813, confirmation: Cisco },
-    AsProfile { id: 14, asn: 15169, name: "Google", astype: Content, traces_sent: 35_262, ips_discovered: 19_427, confirmation: NoConf },
-    AsProfile { id: 15, asn: 8075, name: "Microsoft", astype: Content, traces_sent: 256_419, ips_discovered: 6_365, confirmation: Cisco },
-    AsProfile { id: 16, asn: 138384, name: "Rakuten", astype: Content, traces_sent: 1_659, ips_discovered: 154, confirmation: Cisco },
-    AsProfile { id: 17, asn: 17676, name: "Softbank", astype: Content, traces_sent: 147_605, ips_discovered: 21_873, confirmation: NoConf },
-    AsProfile { id: 18, asn: 30149, name: "Goldman Sachs", astype: Content, traces_sent: 19, ips_discovered: 10, confirmation: Cisco },
-    AsProfile { id: 19, asn: 16509, name: "Amazon", astype: Content, traces_sent: 635_599, ips_discovered: 25_520, confirmation: NoConf },
-    AsProfile { id: 20, asn: 14061, name: "Digital Ocean", astype: Content, traces_sent: 11_743, ips_discovered: 3_579, confirmation: NoConf },
-    AsProfile { id: 21, asn: 5667, name: "Meta", astype: Content, traces_sent: 0, ips_discovered: 0, confirmation: NoConf },
-    AsProfile { id: 22, asn: 43515, name: "YouTube", astype: Content, traces_sent: 120, ips_discovered: 65, confirmation: NoConf },
-    AsProfile { id: 23, asn: 138699, name: "Tiktok", astype: Content, traces_sent: 14, ips_discovered: 28, confirmation: NoConf },
-    AsProfile { id: 24, asn: 32787, name: "Akamai", astype: Content, traces_sent: 4_274, ips_discovered: 6_988, confirmation: NoConf },
-    AsProfile { id: 25, asn: 13335, name: "Cloudflare", astype: Content, traces_sent: 10_494, ips_discovered: 32_735, confirmation: NoConf },
-    AsProfile { id: 26, asn: 12322, name: "Free", astype: Transit, traces_sent: 42_964, ips_discovered: 2_024, confirmation: Cisco },
-    AsProfile { id: 27, asn: 5410, name: "Bouygues", astype: Transit, traces_sent: 27_771, ips_discovered: 1_048, confirmation: Cisco },
-    AsProfile { id: 28, asn: 577, name: "Bell Canada", astype: Transit, traces_sent: 29_832, ips_discovered: 3_748, confirmation: Cisco },
-    AsProfile { id: 29, asn: 23764, name: "China Telecom", astype: Transit, traces_sent: 11_115, ips_discovered: 3_374, confirmation: Cisco },
-    AsProfile { id: 30, asn: 8220, name: "Colt", astype: Transit, traces_sent: 243_811, ips_discovered: 7_282, confirmation: Cisco },
-    AsProfile { id: 31, asn: 2516, name: "KDDI", astype: Transit, traces_sent: 89_365, ips_discovered: 12_994, confirmation: Cisco },
-    AsProfile { id: 32, asn: 38631, name: "Line", astype: Transit, traces_sent: 423, ips_discovered: 12, confirmation: Cisco },
-    AsProfile { id: 33, asn: 64049, name: "Reliance Jio", astype: Transit, traces_sent: 7_014, ips_discovered: 2_905, confirmation: Cisco },
-    AsProfile { id: 34, asn: 132203, name: "Tencent", astype: Transit, traces_sent: 7_943, ips_discovered: 2_922, confirmation: NoConf },
-    AsProfile { id: 35, asn: 7018, name: "AT&T", astype: Transit, traces_sent: 649_359, ips_discovered: 44_929, confirmation: NoConf },
-    AsProfile { id: 36, asn: 3257, name: "GTT Comm.", astype: Transit, traces_sent: 489_738, ips_discovered: 234_639, confirmation: NoConf },
-    AsProfile { id: 37, asn: 6453, name: "Tata Comm.", astype: Transit, traces_sent: 275_874, ips_discovered: 92_854, confirmation: NoConf },
-    AsProfile { id: 38, asn: 6762, name: "Telecom Italia", astype: Transit, traces_sent: 290_678, ips_discovered: 32_313, confirmation: NoConf },
-    AsProfile { id: 39, asn: 7473, name: "Singtel", astype: Transit, traces_sent: 9_549, ips_discovered: 5_206, confirmation: NoConf },
-    AsProfile { id: 40, asn: 6939, name: "Hurricane El.", astype: Transit, traces_sent: 652_399, ips_discovered: 192_324, confirmation: NoConf },
-    AsProfile { id: 41, asn: 9002, name: "RETN", astype: Transit, traces_sent: 526_697, ips_discovered: 27_270, confirmation: NoConf },
-    AsProfile { id: 42, asn: 2828, name: "Verizon", astype: Transit, traces_sent: 26_030, ips_discovered: 570, confirmation: NoConf },
-    AsProfile { id: 43, asn: 7922, name: "Comcast", astype: Transit, traces_sent: 272_360, ips_discovered: 40_382, confirmation: NoConf },
-    AsProfile { id: 44, asn: 11232, name: "Midco-Net", astype: Transit, traces_sent: 3_153, ips_discovered: 1_071, confirmation: Survey },
-    AsProfile { id: 45, asn: 13855, name: "CFU-NET", astype: Transit, traces_sent: 143, ips_discovered: 72, confirmation: Survey },
-    AsProfile { id: 46, asn: 293, name: "ESnet", astype: Transit, traces_sent: 277_155, ips_discovered: 307, confirmation: Survey },
-    AsProfile { id: 47, asn: 31034, name: "Aruba", astype: Transit, traces_sent: 1_186, ips_discovered: 346, confirmation: Survey },
-    AsProfile { id: 48, asn: 31631, name: "Elevate", astype: Transit, traces_sent: 73, ips_discovered: 64, confirmation: Survey },
-    AsProfile { id: 49, asn: 32440, name: "Loni", astype: Transit, traces_sent: 401, ips_discovered: 70, confirmation: Survey },
-    AsProfile { id: 50, asn: 33362, name: "Wiktel", astype: Transit, traces_sent: 117, ips_discovered: 39, confirmation: Survey },
-    AsProfile { id: 51, asn: 44092, name: "Halservice", astype: Transit, traces_sent: 140, ips_discovered: 86, confirmation: Survey },
-    AsProfile { id: 52, asn: 7794, name: "Execulink", astype: Transit, traces_sent: 599, ips_discovered: 141, confirmation: Survey },
-    AsProfile { id: 53, asn: 3320, name: "Deutsche Telekom", astype: Tier1, traces_sent: 370_152, ips_discovered: 65_995, confirmation: Cisco },
-    AsProfile { id: 54, asn: 2914, name: "NTT Comm.", astype: Tier1, traces_sent: 504_001, ips_discovered: 209_589, confirmation: Cisco },
-    AsProfile { id: 55, asn: 5511, name: "Orange", astype: Tier1, traces_sent: 51_979, ips_discovered: 21_376, confirmation: Cisco },
-    AsProfile { id: 56, asn: 4637, name: "Telstra", astype: Tier1, traces_sent: 62_075, ips_discovered: 18_010, confirmation: NoConf },
-    AsProfile { id: 57, asn: 1273, name: "Vodafone", astype: Tier1, traces_sent: 24_308, ips_discovered: 8_248, confirmation: Cisco },
-    AsProfile { id: 58, asn: 1299, name: "Arelion", astype: Tier1, traces_sent: 615_851, ips_discovered: 339_007, confirmation: NoConf },
-    AsProfile { id: 59, asn: 174, name: "Cogent", astype: Tier1, traces_sent: 539_127, ips_discovered: 217_700, confirmation: NoConf },
-    AsProfile { id: 60, asn: 3356, name: "Level3", astype: Tier1, traces_sent: 468_812, ips_discovered: 174_373, confirmation: NoConf },
+    AsProfile {
+        id: 1,
+        asn: 46467,
+        name: "Dish Network",
+        astype: Stub,
+        traces_sent: 2,
+        ips_discovered: 1,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 2,
+        asn: 29447,
+        name: "Iliad Italy",
+        astype: Stub,
+        traces_sent: 5_888,
+        ips_discovered: 166,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 3,
+        asn: 9605,
+        name: "NTT Docomo",
+        astype: Stub,
+        traces_sent: 10_034,
+        ips_discovered: 245,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 4,
+        asn: 63802,
+        name: "Flets",
+        astype: Stub,
+        traces_sent: 512,
+        ips_discovered: 4,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 5,
+        asn: 2506,
+        name: "NTT West",
+        astype: Stub,
+        traces_sent: 837,
+        ips_discovered: 18,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 6,
+        asn: 654,
+        name: "OVH",
+        astype: Stub,
+        traces_sent: 0,
+        ips_discovered: 0,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 7,
+        asn: 5432,
+        name: "Proximus",
+        astype: Stub,
+        traces_sent: 15_392,
+        ips_discovered: 677,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 8,
+        asn: 400843,
+        name: "Audacy",
+        astype: Stub,
+        traces_sent: 1,
+        ips_discovered: 0,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 9,
+        asn: 400322,
+        name: "NGtTel",
+        astype: Stub,
+        traces_sent: 15,
+        ips_discovered: 0,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 10,
+        asn: 399827,
+        name: "2pifi",
+        astype: Stub,
+        traces_sent: 12,
+        ips_discovered: 4,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 11,
+        asn: 398872,
+        name: "Big WiFi",
+        astype: Stub,
+        traces_sent: 6,
+        ips_discovered: 2,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 12,
+        asn: 8835,
+        name: "Binkbroadband",
+        astype: Stub,
+        traces_sent: 0,
+        ips_discovered: 0,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 13,
+        asn: 45102,
+        name: "Alibaba",
+        astype: Content,
+        traces_sent: 14_520,
+        ips_discovered: 1_813,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 14,
+        asn: 15169,
+        name: "Google",
+        astype: Content,
+        traces_sent: 35_262,
+        ips_discovered: 19_427,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 15,
+        asn: 8075,
+        name: "Microsoft",
+        astype: Content,
+        traces_sent: 256_419,
+        ips_discovered: 6_365,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 16,
+        asn: 138384,
+        name: "Rakuten",
+        astype: Content,
+        traces_sent: 1_659,
+        ips_discovered: 154,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 17,
+        asn: 17676,
+        name: "Softbank",
+        astype: Content,
+        traces_sent: 147_605,
+        ips_discovered: 21_873,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 18,
+        asn: 30149,
+        name: "Goldman Sachs",
+        astype: Content,
+        traces_sent: 19,
+        ips_discovered: 10,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 19,
+        asn: 16509,
+        name: "Amazon",
+        astype: Content,
+        traces_sent: 635_599,
+        ips_discovered: 25_520,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 20,
+        asn: 14061,
+        name: "Digital Ocean",
+        astype: Content,
+        traces_sent: 11_743,
+        ips_discovered: 3_579,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 21,
+        asn: 5667,
+        name: "Meta",
+        astype: Content,
+        traces_sent: 0,
+        ips_discovered: 0,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 22,
+        asn: 43515,
+        name: "YouTube",
+        astype: Content,
+        traces_sent: 120,
+        ips_discovered: 65,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 23,
+        asn: 138699,
+        name: "Tiktok",
+        astype: Content,
+        traces_sent: 14,
+        ips_discovered: 28,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 24,
+        asn: 32787,
+        name: "Akamai",
+        astype: Content,
+        traces_sent: 4_274,
+        ips_discovered: 6_988,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 25,
+        asn: 13335,
+        name: "Cloudflare",
+        astype: Content,
+        traces_sent: 10_494,
+        ips_discovered: 32_735,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 26,
+        asn: 12322,
+        name: "Free",
+        astype: Transit,
+        traces_sent: 42_964,
+        ips_discovered: 2_024,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 27,
+        asn: 5410,
+        name: "Bouygues",
+        astype: Transit,
+        traces_sent: 27_771,
+        ips_discovered: 1_048,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 28,
+        asn: 577,
+        name: "Bell Canada",
+        astype: Transit,
+        traces_sent: 29_832,
+        ips_discovered: 3_748,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 29,
+        asn: 23764,
+        name: "China Telecom",
+        astype: Transit,
+        traces_sent: 11_115,
+        ips_discovered: 3_374,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 30,
+        asn: 8220,
+        name: "Colt",
+        astype: Transit,
+        traces_sent: 243_811,
+        ips_discovered: 7_282,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 31,
+        asn: 2516,
+        name: "KDDI",
+        astype: Transit,
+        traces_sent: 89_365,
+        ips_discovered: 12_994,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 32,
+        asn: 38631,
+        name: "Line",
+        astype: Transit,
+        traces_sent: 423,
+        ips_discovered: 12,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 33,
+        asn: 64049,
+        name: "Reliance Jio",
+        astype: Transit,
+        traces_sent: 7_014,
+        ips_discovered: 2_905,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 34,
+        asn: 132203,
+        name: "Tencent",
+        astype: Transit,
+        traces_sent: 7_943,
+        ips_discovered: 2_922,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 35,
+        asn: 7018,
+        name: "AT&T",
+        astype: Transit,
+        traces_sent: 649_359,
+        ips_discovered: 44_929,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 36,
+        asn: 3257,
+        name: "GTT Comm.",
+        astype: Transit,
+        traces_sent: 489_738,
+        ips_discovered: 234_639,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 37,
+        asn: 6453,
+        name: "Tata Comm.",
+        astype: Transit,
+        traces_sent: 275_874,
+        ips_discovered: 92_854,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 38,
+        asn: 6762,
+        name: "Telecom Italia",
+        astype: Transit,
+        traces_sent: 290_678,
+        ips_discovered: 32_313,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 39,
+        asn: 7473,
+        name: "Singtel",
+        astype: Transit,
+        traces_sent: 9_549,
+        ips_discovered: 5_206,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 40,
+        asn: 6939,
+        name: "Hurricane El.",
+        astype: Transit,
+        traces_sent: 652_399,
+        ips_discovered: 192_324,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 41,
+        asn: 9002,
+        name: "RETN",
+        astype: Transit,
+        traces_sent: 526_697,
+        ips_discovered: 27_270,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 42,
+        asn: 2828,
+        name: "Verizon",
+        astype: Transit,
+        traces_sent: 26_030,
+        ips_discovered: 570,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 43,
+        asn: 7922,
+        name: "Comcast",
+        astype: Transit,
+        traces_sent: 272_360,
+        ips_discovered: 40_382,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 44,
+        asn: 11232,
+        name: "Midco-Net",
+        astype: Transit,
+        traces_sent: 3_153,
+        ips_discovered: 1_071,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 45,
+        asn: 13855,
+        name: "CFU-NET",
+        astype: Transit,
+        traces_sent: 143,
+        ips_discovered: 72,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 46,
+        asn: 293,
+        name: "ESnet",
+        astype: Transit,
+        traces_sent: 277_155,
+        ips_discovered: 307,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 47,
+        asn: 31034,
+        name: "Aruba",
+        astype: Transit,
+        traces_sent: 1_186,
+        ips_discovered: 346,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 48,
+        asn: 31631,
+        name: "Elevate",
+        astype: Transit,
+        traces_sent: 73,
+        ips_discovered: 64,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 49,
+        asn: 32440,
+        name: "Loni",
+        astype: Transit,
+        traces_sent: 401,
+        ips_discovered: 70,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 50,
+        asn: 33362,
+        name: "Wiktel",
+        astype: Transit,
+        traces_sent: 117,
+        ips_discovered: 39,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 51,
+        asn: 44092,
+        name: "Halservice",
+        astype: Transit,
+        traces_sent: 140,
+        ips_discovered: 86,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 52,
+        asn: 7794,
+        name: "Execulink",
+        astype: Transit,
+        traces_sent: 599,
+        ips_discovered: 141,
+        confirmation: Survey,
+    },
+    AsProfile {
+        id: 53,
+        asn: 3320,
+        name: "Deutsche Telekom",
+        astype: Tier1,
+        traces_sent: 370_152,
+        ips_discovered: 65_995,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 54,
+        asn: 2914,
+        name: "NTT Comm.",
+        astype: Tier1,
+        traces_sent: 504_001,
+        ips_discovered: 209_589,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 55,
+        asn: 5511,
+        name: "Orange",
+        astype: Tier1,
+        traces_sent: 51_979,
+        ips_discovered: 21_376,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 56,
+        asn: 4637,
+        name: "Telstra",
+        astype: Tier1,
+        traces_sent: 62_075,
+        ips_discovered: 18_010,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 57,
+        asn: 1273,
+        name: "Vodafone",
+        astype: Tier1,
+        traces_sent: 24_308,
+        ips_discovered: 8_248,
+        confirmation: Cisco,
+    },
+    AsProfile {
+        id: 58,
+        asn: 1299,
+        name: "Arelion",
+        astype: Tier1,
+        traces_sent: 615_851,
+        ips_discovered: 339_007,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 59,
+        asn: 174,
+        name: "Cogent",
+        astype: Tier1,
+        traces_sent: 539_127,
+        ips_discovered: 217_700,
+        confirmation: NoConf,
+    },
+    AsProfile {
+        id: 60,
+        asn: 3356,
+        name: "Level3",
+        astype: Tier1,
+        traces_sent: 468_812,
+        ips_discovered: 174_373,
+        confirmation: NoConf,
+    },
 ];
 
 /// Looks a profile up by paper identifier.
@@ -191,8 +671,7 @@ mod tests {
 
     #[test]
     fn exclusion_rule_drops_exactly_the_19_paper_ases() {
-        let excluded: Vec<u8> =
-            CATALOG.iter().filter(|p| !p.analyzed()).map(|p| p.id).collect();
+        let excluded: Vec<u8> = CATALOG.iter().filter(|p| !p.analyzed()).map(|p| p.id).collect();
         assert_eq!(
             excluded,
             vec![1, 4, 5, 6, 8, 9, 10, 11, 12, 18, 21, 22, 23, 32, 45, 48, 49, 50, 51],
@@ -205,8 +684,7 @@ mod tests {
     fn analyzed_claimants_number_20() {
         // §6.2: "the 20 analyzed ASes that have claimed to deploy
         // Segment Routing".
-        let claimed_analyzed =
-            CATALOG.iter().filter(|p| p.analyzed() && p.claims_sr()).count();
+        let claimed_analyzed = CATALOG.iter().filter(|p| p.analyzed() && p.claims_sr()).count();
         assert_eq!(claimed_analyzed, 20);
     }
 

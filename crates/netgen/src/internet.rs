@@ -8,7 +8,7 @@
 //! for bdrmapIT-style annotation, and the ground-truth record the
 //! validation experiments read.
 
-use crate::builder::{deploy_as, plan_as, AsPlan};
+use crate::builder::{deploy_as, plan_as, AsLabelRecord, AsPlan};
 use crate::catalog::{AsType, CATALOG};
 use crate::profile::profile_for;
 use arest_simnet::plane::Route;
@@ -93,14 +93,12 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// The oracle AReST's validation uses: is this interface SR?
     pub fn is_sr(&self, addr: Ipv4Addr) -> bool {
-        self.sr_addresses.contains(&addr)
-            || self.sr_prefixes.iter().any(|p| p.contains(addr))
+        self.sr_addresses.contains(&addr) || self.sr_prefixes.iter().any(|p| p.contains(addr))
     }
 
     /// Whether the address belongs to a classic-MPLS deployment.
     pub fn is_ldp(&self, addr: Ipv4Addr) -> bool {
-        self.ldp_addresses.contains(&addr)
-            || self.ldp_prefixes.iter().any(|p| p.contains(addr))
+        self.ldp_addresses.contains(&addr) || self.ldp_prefixes.iter().any(|p| p.contains(addr))
     }
 }
 
@@ -119,6 +117,8 @@ pub struct Internet {
     pub ownership: Vec<(Prefix, AsNumber)>,
     /// The validation oracle.
     pub ground_truth: GroundTruth,
+    /// Per-AS label-allocation records for `arest-audit`.
+    pub label_records: HashMap<AsNumber, AsLabelRecord>,
 }
 
 impl Internet {
@@ -210,8 +210,9 @@ pub fn generate(config: &GenConfig) -> Internet {
                 continue;
             }
             let provider = &plans[pi];
-            let p_border = provider.borders
-                [(hash2(customer.entry.asn.into(), 20 + k as u64) as usize) % provider.borders.len()];
+            let p_border = provider.borders[(hash2(customer.entry.asn.into(), 20 + k as u64)
+                as usize)
+                % provider.borders.len()];
             let c_border = customer.borders[0];
             let (addr_p, addr_c) = transit_alloc.next();
             topo.add_link(p_border, addr_p, c_border, addr_c, 1);
@@ -259,9 +260,11 @@ pub fn generate(config: &GenConfig) -> Internet {
     // ---- Phase 2: planes ----
     let mut net = Network::new(topo);
     let mut ground_truth = GroundTruth::default();
+    let mut label_records = HashMap::new();
     for (ai, plan) in plans.iter().enumerate() {
         let fecs = transit_fecs.get(&ai).cloned().unwrap_or_default();
         let deployed = deploy_as(&mut net, plan, &fecs, config.seed);
+        label_records.insert(plan.asn, deployed.label_audit);
         ground_truth.sr_addresses.extend(deployed.sr_addresses);
         ground_truth.ldp_addresses.extend(deployed.ldp_addresses);
         ground_truth.sr_prefixes.extend(deployed.sr_prefixes);
@@ -321,10 +324,8 @@ pub fn generate(config: &GenConfig) -> Internet {
                 }
                 None => (direct, direct),
             };
-            let gateway_plane = |next: RouterId| Route {
-                out_iface: iface_to[&next],
-                next_router: next,
-            };
+            let gateway_plane =
+                |next: RouterId| Route { out_iface: iface_to[&next], next_router: next };
             let infra_route = gateway_plane(infra_next);
             let customer_route = gateway_plane(customer_next);
             net.plane_mut(gateway).install_route(plan.infra_block, infra_route);
@@ -379,7 +380,7 @@ pub fn generate(config: &GenConfig) -> Internet {
         }
     }
 
-    Internet { net, plans, vps, routes, ownership, ground_truth }
+    Internet { net, plans, vps, routes, ownership, ground_truth, label_records }
 }
 
 #[cfg(test)]
@@ -490,11 +491,7 @@ mod tests {
     #[test]
     fn bgp_view_has_transit_paths() {
         let internet = tiny();
-        let with_transit = internet
-            .routes
-            .iter()
-            .filter(|r| r.path.len() >= 3)
-            .count();
+        let with_transit = internet.routes.iter().filter(|r| r.path.len() >= 3).count();
         assert!(with_transit > 10, "expected provider paths, got {with_transit}");
     }
 }

@@ -67,9 +67,10 @@ pub fn generate_archive(platform: Platform, seed: u64) -> Vec<QuarterSample> {
             if (year == 2015 && month != 12) || (year == 2025 && month > 3) {
                 continue;
             }
-            let progress = (f64::from(year) + f64::from(month) / 12.0 - 2015.9)
-                / (2025.25 - 2015.9);
-            let share = start_share + (end_share - start_share) * progress.clamp(0.0, 1.0)
+            let progress =
+                (f64::from(year) + f64::from(month) / 12.0 - 2015.9) / (2025.25 - 2015.9);
+            let share = start_share
+                + (end_share - start_share) * progress.clamp(0.0, 1.0)
                 + rng.random_range(-0.01..0.01);
             let traces: u64 = match platform {
                 Platform::Caida => 60_000,

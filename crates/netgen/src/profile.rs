@@ -161,13 +161,13 @@ pub fn profile_for(entry: &AsProfile, scale: f64, adoption: f64) -> DeploymentPr
         _ => (0.88, 0.92),
     };
     match entry.id {
-        2 | 3 | 16 => p_rfc4950 = 0.0,           // no explicit tunnels at all
+        2 | 3 | 16 => p_rfc4950 = 0.0, // no explicit tunnels at all
         44 => {
-            p_propagate = 0.25;                   // Midco: ~5 % explicit paths
+            p_propagate = 0.25; // Midco: ~5 % explicit paths
             p_rfc4950 = 0.25;
         }
         46 => {
-            p_propagate = 1.0;                    // ESnet: fully explicit
+            p_propagate = 1.0; // ESnet: fully explicit
             p_rfc4950 = 1.0;
         }
         // The implied hidden deployers carry vendor-range flags in the
@@ -193,7 +193,7 @@ pub fn profile_for(entry: &AsProfile, scale: f64, adoption: f64) -> DeploymentPr
     match entry.id {
         31 | 38 | 40 | 55 => snmp_rate = 0.35, // the CVR/LSVR/LVR contributors
         46 => {
-            echo_rate = 0.0;                    // ESnet answers nothing
+            echo_rate = 0.0; // ESnet answers nothing
             snmp_rate = 0.0;
         }
         _ => {}
@@ -364,9 +364,10 @@ mod tests {
 
     #[test]
     fn unconfirmed_stubs_never_deploy_sr() {
-        for entry in CATALOG.iter().filter(|e| {
-            e.astype == AsType::Stub && e.confirmation == Confirmation::None
-        }) {
+        for entry in CATALOG
+            .iter()
+            .filter(|e| e.astype == AsType::Stub && e.confirmation == Confirmation::None)
+        {
             assert_eq!(profile_for(entry, SCALE, 1.0).sr_share, 0.0, "#{}", entry.id);
         }
     }

@@ -1,0 +1,52 @@
+//! Audit-after-build gate: whatever the generator wires up — LDP
+//! chains, SR domains, TE policies, interworking stitches — must pass
+//! `arest-audit`'s static analysis with zero errors.
+//!
+//! Lives as an integration test (not a unit test) so the `Internet`
+//! type audited is the same lib instance `arest-audit` links against;
+//! a unit test would compile `arest-netgen` a second time and the
+//! dev-dependency cycle would see two distinct `Internet` types.
+
+use arest_netgen::internet::{generate, GenConfig};
+
+#[test]
+fn generated_internet_is_audit_clean() {
+    let internet = generate(&GenConfig::tiny());
+    let report = arest_audit::audit_internet(&internet);
+    // Warnings are expected — the generator deliberately parks some
+    // SRGBs inside the platform label range — but nothing may rise to
+    // error severity.
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
+fn audit_flags_a_sabotaged_link() {
+    // Downing a transit link invalidates every LFIB entry that
+    // egresses over it: the audit must notice the broken next hops.
+    let mut internet = generate(&GenConfig::tiny());
+    let sabotaged = {
+        let topo = internet.net.topo();
+        let mut links = (0..topo.link_count())
+            .map(|i| arest_topo::ids::LinkId(u32::try_from(i).expect("fits")));
+        links
+            .find(|&l| {
+                let link = topo.link(l);
+                let owner = topo.iface(link.endpoints[0]).router;
+                // A link some LFIB actually uses: cheapest proxy is
+                // "owner has at least one LFIB entry".
+                internet.net.plane(owner).lfib.iter().any(|(_, action)| {
+                    matches!(
+                        action,
+                        arest_mpls::tables::LfibAction::Swap { out_iface, .. }
+                        | arest_mpls::tables::LfibAction::PopForward { out_iface, .. }
+                        if topo.iface(*out_iface).link == Some(l)
+                    )
+                })
+            })
+            .expect("some link carries label traffic")
+    };
+    internet.net.topo_mut().set_link_up(sabotaged, false);
+    let report = arest_audit::audit_internet(&internet);
+    assert!(!report.is_clean(), "downed link must break the audit");
+    assert!(report.by_check(arest_audit::Check::BrokenNextHop).count() > 0, "{}", report.to_text());
+}

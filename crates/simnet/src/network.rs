@@ -116,16 +116,14 @@ impl Network {
         for _ in 0..MAX_VISITS {
             let plane = &self.planes[current.index()];
             let reply_src = incoming_iface
-                .map(|i| self.topo.iface(i).addr)
-                .unwrap_or(self.topo.router(current).loopback);
+                .map_or(self.topo.router(current).loopback, |i| self.topo.iface(i).addr);
 
             if !pkt.stack.is_empty() {
                 // ---- MPLS visit ----
                 // RFC 4950 quotes the stack of the packet *as received
                 // by this router*: when a PopLocal loops back here with
                 // a shorter stack, the quote still shows what arrived.
-                let received =
-                    received_labeled.take().unwrap_or_else(|| pkt.stack.clone());
+                let received = received_labeled.take().unwrap_or_else(|| pkt.stack.clone());
                 let ttl = pkt.stack.decrement_ttl().expect("stack checked non-empty");
                 if ttl == 0 {
                     return self.time_exceeded(current, reply_src, &pkt, Some(received), hops);
@@ -135,9 +133,11 @@ impl Network {
                     None => return ProbeReply::Silent(DropReason::NoLabelEntry),
                     Some(LfibAction::Swap { out_label, out_iface, next_router }) => {
                         pkt.stack.swap(out_label);
-                        match self.hop(out_iface).map(|r| (r, next_router)).or_else(|| {
-                            self.try_repair(current, out_iface, &mut pkt)
-                        }) {
+                        match self
+                            .hop(out_iface)
+                            .map(|r| (r, next_router))
+                            .or_else(|| self.try_repair(current, out_iface, &mut pkt))
+                        {
                             Some((remote, next)) => {
                                 incoming_iface = Some(remote);
                                 current = next;
@@ -150,9 +150,11 @@ impl Network {
                     Some(LfibAction::PopForward { out_iface, next_router }) => {
                         let popped = pkt.stack.pop().expect("non-empty");
                         merge_ttl_down(&mut pkt, popped.ttl);
-                        match self.hop(out_iface).map(|r| (r, next_router)).or_else(|| {
-                            self.try_repair(current, out_iface, &mut pkt)
-                        }) {
+                        match self
+                            .hop(out_iface)
+                            .map(|r| (r, next_router))
+                            .or_else(|| self.try_repair(current, out_iface, &mut pkt))
+                        {
                             Some((remote, next)) => {
                                 incoming_iface = Some(remote);
                                 current = next;
@@ -176,11 +178,7 @@ impl Network {
             // ---- IP visit ----
             // Delivery check precedes the TTL decrement: a destination
             // host consumes the packet rather than forwarding it.
-            if self
-                .topo
-                .router_by_any_addr(pkt.ip.dst_addr)
-                .is_some_and(|r| r.id == current)
-            {
+            if self.topo.router_by_any_addr(pkt.ip.dst_addr).is_some_and(|r| r.id == current) {
                 // The probed address belongs to this router itself: it
                 // answers directly, quoting any received label stack.
                 return self.deliver(current, &pkt, received_labeled.as_ref(), hops);
@@ -224,9 +222,11 @@ impl Network {
                         pkt.stack.push(label, lse_ttl);
                     }
                 }
-                match self.hop(push.out_iface).map(|r| (r, push.next_router)).or_else(|| {
-                    self.try_repair(current, push.out_iface, &mut pkt)
-                }) {
+                match self
+                    .hop(push.out_iface)
+                    .map(|r| (r, push.next_router))
+                    .or_else(|| self.try_repair(current, push.out_iface, &mut pkt))
+                {
                     Some((remote, next)) => {
                         incoming_iface = Some(remote);
                         current = next;
@@ -328,7 +328,7 @@ impl Network {
     ) -> Option<(IfaceId, RouterId)> {
         let repair = self.planes[current.index()].protection.get(&out_iface)?;
         let remote = self.hop(repair.out_iface)?;
-        let lse_ttl = pkt.stack.top().map(|l| l.ttl).unwrap_or(pkt.ip.ttl);
+        let lse_ttl = pkt.stack.top().map_or(pkt.ip.ttl, |l| l.ttl);
         for &label in repair.labels.iter().rev() {
             pkt.stack.push(label, lse_ttl);
         }
@@ -348,16 +348,17 @@ impl Network {
             return ProbeReply::Silent(DropReason::IcmpDisabled);
         }
         let extension = match received_stack {
-            Some(stack) if plane.rfc4950 && !stack.is_empty() => {
-                Some(MplsExtension { stack })
-            }
+            Some(stack) if plane.rfc4950 && !stack.is_empty() => Some(MplsExtension { stack }),
             _ => None,
         };
         let msg = IcmpMessage::TimeExceeded { original: pkt.quoted_datagram(), extension };
+        let Ok(raw) = msg.to_bytes() else {
+            return ProbeReply::Silent(DropReason::ReplyUnencodable);
+        };
         let vendor = self.topo.router(router).vendor;
         ProbeReply::TimeExceeded {
             from: reply_src,
-            raw: msg.to_bytes(),
+            raw,
             reply_ttl: vendor.time_exceeded_initial_ttl().saturating_sub(hops),
             forward_hops: hops,
         }
@@ -388,9 +389,12 @@ impl Network {
                     original: pkt.quoted_datagram(),
                     extension,
                 };
+                let Ok(raw) = msg.to_bytes() else {
+                    return ProbeReply::Silent(DropReason::ReplyUnencodable);
+                };
                 ProbeReply::DestUnreachable {
                     from: pkt.ip.dst_addr,
-                    raw: msg.to_bytes(),
+                    raw,
                     reply_ttl: vendor.time_exceeded_initial_ttl().saturating_sub(hops),
                     forward_hops: hops,
                 }
@@ -416,12 +420,9 @@ fn flow_hash(spec: &ProbeSpec) -> u64 {
         TransportPayload::Echo { ident, .. } => (ident, 0),
     };
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for chunk in [
-        u64::from(u32::from(spec.src)),
-        u64::from(u32::from(spec.dst)),
-        u64::from(a),
-        u64::from(b),
-    ] {
+    for chunk in
+        [u64::from(u32::from(spec.src)), u64::from(u32::from(spec.dst)), u64::from(a), u64::from(b)]
+    {
         h ^= chunk;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -471,12 +472,7 @@ mod tests {
         let asn = AsNumber(65_100);
         let routers: Vec<RouterId> = (0..n)
             .map(|i| {
-                topo.add_router(
-                    format!("r{i}"),
-                    asn,
-                    Vendor::Cisco,
-                    ip(10, 255, 10, (i + 1) as u8),
-                )
+                topo.add_router(format!("r{i}"), asn, Vendor::Cisco, ip(10, 255, 10, (i + 1) as u8))
             })
             .collect();
         for i in 0..n - 1 {
@@ -494,20 +490,16 @@ mod tests {
     /// Installs plain IP routes along the chain toward every loopback.
     fn install_ip_routes(net: &mut Network, routers: &[RouterId]) {
         let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), routers);
-        let loopbacks: Vec<(RouterId, Ipv4Addr)> = routers
-            .iter()
-            .map(|&r| (r, net.topo().router(r).loopback))
-            .collect();
+        let loopbacks: Vec<(RouterId, Ipv4Addr)> =
+            routers.iter().map(|&r| (r, net.topo().router(r).loopback)).collect();
         for &from in routers {
             for &(to, lo) in &loopbacks {
                 if from == to {
                     continue;
                 }
                 if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
-                    net.plane_mut(from).install_route(
-                        Prefix::host(lo),
-                        Route { out_iface, next_router },
-                    );
+                    net.plane_mut(from)
+                        .install_route(Prefix::host(lo), Route { out_iface, next_router });
                 }
             }
         }
@@ -818,14 +810,7 @@ mod tests {
         let mut topo = Topology::new();
         let asn = AsNumber(65_101);
         let r: Vec<RouterId> = (0..4)
-            .map(|i| {
-                topo.add_router(
-                    format!("d{i}"),
-                    asn,
-                    Vendor::Cisco,
-                    ip(10, 254, 2, i + 1),
-                )
-            })
+            .map(|i| topo.add_router(format!("d{i}"), asn, Vendor::Cisco, ip(10, 254, 2, i + 1)))
             .collect();
         for (k, (a, b)) in [(0usize, 1usize), (0, 2), (1, 3), (2, 3)].iter().enumerate() {
             topo.add_link(
@@ -902,14 +887,10 @@ mod tests {
         let mut net = Network::new(topo);
         let if0 = net.topo().adjacencies(r[0]).next().unwrap().1;
         let if1 = net.topo().adjacencies(r[1]).next().unwrap().1;
-        net.plane_mut(r[0]).install_route(
-            Prefix::DEFAULT,
-            Route { out_iface: if0, next_router: r[1] },
-        );
-        net.plane_mut(r[1]).install_route(
-            Prefix::DEFAULT,
-            Route { out_iface: if1, next_router: r[0] },
-        );
+        net.plane_mut(r[0])
+            .install_route(Prefix::DEFAULT, Route { out_iface: if0, next_router: r[1] });
+        net.plane_mut(r[1])
+            .install_route(Prefix::DEFAULT, Route { out_iface: if1, next_router: r[0] });
         let reply = net.probe(&ProbeSpec {
             entry: r[0],
             src: ip(192, 0, 2, 1),
@@ -971,14 +952,7 @@ mod tests {
         let mut topo = Topology::new();
         let asn = AsNumber(65_102);
         let r: Vec<RouterId> = (0..4)
-            .map(|i| {
-                topo.add_router(
-                    format!("q{i}"),
-                    asn,
-                    Vendor::Cisco,
-                    ip(10, 254, 3, i + 1),
-                )
-            })
+            .map(|i| topo.add_router(format!("q{i}"), asn, Vendor::Cisco, ip(10, 254, 3, i + 1)))
             .collect();
         let mut protected_link = None;
         for (k, (a, b)) in [(0usize, 1usize), (1, 2), (0, 3), (3, 2)].iter().enumerate() {
@@ -999,10 +973,13 @@ mod tests {
             configs: r
                 .iter()
                 .map(|&x| {
-                    (x, arest_sr::domain::SrNodeConfig {
-                        srgb: cisco_srgb(),
-                        srlb: Some(cisco_srlb()),
-                    })
+                    (
+                        x,
+                        arest_sr::domain::SrNodeConfig {
+                            srgb: cisco_srgb(),
+                            srlb: Some(cisco_srlb()),
+                        },
+                    )
                 })
                 .collect(),
             extra_prefix_sids: vec![arest_sr::sid::PrefixSidSpec {

@@ -58,8 +58,9 @@ impl SimPacket {
             }
             TransportPayload::Echo { ident, seq } => {
                 let echo = arest_wire::icmp::IcmpMessage::EchoRequest { ident, seq };
-                let bytes = echo.to_bytes();
-                buf[20..28].copy_from_slice(&bytes[..8]);
+                if let Ok(bytes) = echo.to_bytes() {
+                    buf[20..28].copy_from_slice(&bytes[..8]);
+                }
             }
         }
         buf.truncate(28);
@@ -122,6 +123,9 @@ pub enum DropReason {
     TargetSilent,
     /// The forwarding loop exceeded its hop budget (a routing loop).
     HopBudgetExhausted,
+    /// The replying router could not encode its ICMP error (a quoted
+    /// stack carried a field outside its wire representation).
+    ReplyUnencodable,
 }
 
 /// The outcome of one probe.

@@ -181,8 +181,7 @@ impl VendorSrRanges {
 
     /// Whether `label` falls in any of this vendor's default SR ranges.
     pub fn covers(&self, label: Label) -> bool {
-        self.srgb.is_some_and(|b| b.contains(label))
-            || self.srlb.is_some_and(|b| b.contains(label))
+        self.srgb.is_some_and(|b| b.contains(label)) || self.srlb.is_some_and(|b| b.contains(label))
     }
 }
 

@@ -380,10 +380,8 @@ pub(crate) mod tests {
                 1,
             );
         }
-        let mut configs: HashMap<RouterId, SrNodeConfig> = routers
-            .iter()
-            .map(|&r| (r, SrNodeConfig { srgb: cisco_srgb(), srlb: None }))
-            .collect();
+        let mut configs: HashMap<RouterId, SrNodeConfig> =
+            routers.iter().map(|&r| (r, SrNodeConfig { srgb: cisco_srgb(), srlb: None })).collect();
         configs.insert(
             routers[2],
             SrNodeConfig { srgb: LabelBlock::from_range(13_000, 20_999), srlb: None },
@@ -396,10 +394,8 @@ pub(crate) mod tests {
             install_node_ftn: true,
             node_sid_base: 5,
         };
-        let mut pools: HashMap<RouterId, DynamicLabelPool> = routers
-            .iter()
-            .map(|&r| (r, DynamicLabelPool::sr_aware(u64::from(r.0))))
-            .collect();
+        let mut pools: HashMap<RouterId, DynamicLabelPool> =
+            routers.iter().map(|&r| (r, DynamicLabelPool::sr_aware(u64::from(r.0)))).collect();
         let domain = SrDomain::build(&topo, &spec, &mut pools);
 
         // Node SID of R3 has index 8. R1 sees 16,008; R2 sees 13,008.
@@ -420,15 +416,11 @@ pub(crate) mod tests {
     fn adjacency_sids_come_from_srlb() {
         let (topo, r, domain) = chain_domain(false);
         // R1 has two adjacencies (to R0 and R2): SRLB labels 15,000/15,001.
-        let ifaces: Vec<IfaceId> = topo
-            .adjacencies(r[1])
-            .map(|(_, local_if, _, _, _)| local_if)
-            .collect();
+        let ifaces: Vec<IfaceId> =
+            topo.adjacencies(r[1]).map(|(_, local_if, _, _, _)| local_if).collect();
         assert_eq!(ifaces.len(), 2);
-        let labels: Vec<u32> = ifaces
-            .iter()
-            .map(|&i| domain.adj_sid(r[1], i).unwrap().value())
-            .collect();
+        let labels: Vec<u32> =
+            ifaces.iter().map(|&i| domain.adj_sid(r[1], i).unwrap().value()).collect();
         assert_eq!(labels, vec![15_000, 15_001]);
         // The adjacency SID pops and forces the specific interface.
         match domain.lfib(r[1]).unwrap().lookup(Label::new(15_000).unwrap()).unwrap() {

@@ -62,11 +62,8 @@ mod tests {
 
     #[test]
     fn mapping_server_assigns_sequential_indexes() {
-        let sids = mapping_server_sids(
-            &[p("203.0.113.0/24"), p("198.51.100.0/24")],
-            RouterId(7),
-            500,
-        );
+        let sids =
+            mapping_server_sids(&[p("203.0.113.0/24"), p("198.51.100.0/24")], RouterId(7), 500);
         assert_eq!(sids.len(), 2);
         assert_eq!(sids[0].index, SidIndex(500));
         assert_eq!(sids[1].index, SidIndex(501));

@@ -88,7 +88,11 @@ impl SrPolicy {
 
     /// Compiles this policy into the push instruction the headend
     /// installs for its FEC.
-    pub fn compile(&self, topo: &Topology, domain: &SrDomain) -> Result<PushInstruction, PolicyError> {
+    pub fn compile(
+        &self,
+        topo: &Topology,
+        domain: &SrDomain,
+    ) -> Result<PushInstruction, PolicyError> {
         let mut labels: Vec<Label> = Vec::new();
         let mut first_hop: Option<(IfaceId, RouterId)> = None;
         let mut current = self.headend;
@@ -99,8 +103,7 @@ impl SrPolicy {
                     if target == current {
                         continue; // a no-op segment
                     }
-                    let index =
-                        domain.node_sid(target).ok_or(PolicyError::NotMember(target))?;
+                    let index = domain.node_sid(target).ok_or(PolicyError::NotMember(target))?;
                     let (iface, neighbour) = domain
                         .spf()
                         .next_hop(current, target)
@@ -123,18 +126,15 @@ impl SrPolicy {
                     if owner != current {
                         return Err(PolicyError::AdjacencyNotOwned { owner, at: current });
                     }
-                    let remote = topo
-                        .remote_iface(out_iface)
-                        .ok_or(PolicyError::NoAdjacencySid)?
-                        .router;
+                    let remote =
+                        topo.remote_iface(out_iface).ok_or(PolicyError::NoAdjacencySid)?.router;
                     if owner == self.headend && first_hop.is_none() {
                         // The headend resolves its own adjacency SID
                         // locally: no label, just the forced egress.
                         first_hop = Some((out_iface, remote));
                     } else {
-                        let label = domain
-                            .adj_sid(owner, out_iface)
-                            .ok_or(PolicyError::NoAdjacencySid)?;
+                        let label =
+                            domain.adj_sid(owner, out_iface).ok_or(PolicyError::NoAdjacencySid)?;
                         labels.push(label);
                     }
                     current = remote;
@@ -306,11 +306,8 @@ mod tests {
         let (topo, r, domain) = fig3();
         let policy = SrPolicy::new(r[0], "198.51.100.0/24".parse().unwrap(), vec![]);
         assert_eq!(policy.compile(&topo, &domain).unwrap_err(), PolicyError::Empty);
-        let noop = SrPolicy::new(
-            r[0],
-            "198.51.100.0/24".parse().unwrap(),
-            vec![Segment::Node(r[0])],
-        );
+        let noop =
+            SrPolicy::new(r[0], "198.51.100.0/24".parse().unwrap(), vec![Segment::Node(r[0])]);
         assert_eq!(noop.compile(&topo, &domain).unwrap_err(), PolicyError::Empty);
     }
 
@@ -332,11 +329,8 @@ mod tests {
     fn service_sids_ride_the_stack_bottom() {
         let (topo, r, domain) = fig3();
         let service = Label::new(15_900).unwrap();
-        let mut policy = SrPolicy::new(
-            r[0],
-            "198.51.100.0/24".parse().unwrap(),
-            vec![Segment::Node(r[7])],
-        );
+        let mut policy =
+            SrPolicy::new(r[0], "198.51.100.0/24".parse().unwrap(), vec![Segment::Node(r[7])]);
         policy.service_sids.push(service);
         let push = policy.compile(&topo, &domain).unwrap();
         assert_eq!(push.labels.len(), 2);

@@ -70,12 +70,8 @@ pub fn compute_tilfa(topo: &Topology, domain: &SrDomain) -> TilfaTable {
             }
             // The post-convergence view: shortest paths without the
             // protected link.
-            let tree = SpfTree::compute_avoiding(
-                topo,
-                plr,
-                |r| member_set.contains(&r),
-                Some(link),
-            );
+            let tree =
+                SpfTree::compute_avoiding(topo, plr, |r| member_set.contains(&r), Some(link));
             let Some(path) = tree.path(neighbour) else {
                 continue; // cut edge: unprotectable
             };

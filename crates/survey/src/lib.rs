@@ -163,8 +163,7 @@ impl Survey {
         VENDOR_OPTIONS
             .iter()
             .map(|(vendor, _)| {
-                let count =
-                    self.respondents.iter().filter(|r| r.vendors.contains(vendor)).count();
+                let count = self.respondents.iter().filter(|r| r.vendors.contains(vendor)).count();
                 (*vendor, count as f64 / self.len() as f64)
             })
             .collect()
@@ -175,8 +174,7 @@ impl Survey {
         Usage::SHARES
             .iter()
             .map(|(usage, _)| {
-                let count =
-                    self.respondents.iter().filter(|r| r.usages.contains(usage)).count();
+                let count = self.respondents.iter().filter(|r| r.usages.contains(usage)).count();
                 (*usage, count as f64 / self.len() as f64)
             })
             .collect()

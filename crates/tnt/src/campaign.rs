@@ -64,11 +64,21 @@ pub fn run_campaign(
                         .map(|dst| {
                             if config.reveal {
                                 trace_with_revelation(
-                                    net, &vp.name, vp.gateway, vp.addr, dst, &config.trace,
+                                    net,
+                                    &vp.name,
+                                    vp.gateway,
+                                    vp.addr,
+                                    dst,
+                                    &config.trace,
                                 )
                             } else {
                                 crate::tracer::trace_route(
-                                    net, &vp.name, vp.gateway, vp.addr, dst, &config.trace,
+                                    net,
+                                    &vp.name,
+                                    vp.gateway,
+                                    vp.addr,
+                                    dst,
+                                    &config.trace,
                                 )
                             }
                         })
@@ -77,10 +87,15 @@ pub fn run_campaign(
             })
             .collect();
         for handle in handles {
-            per_vp.push(handle.join().expect("campaign worker panicked"));
+            // Surface a worker panic with its original payload instead
+            // of wrapping it in a second, less informative one.
+            match handle.join() {
+                Ok(traces) => per_vp.push(traces),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     })
-    .expect("campaign scope");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
     per_vp.into_iter().flatten().collect()
 }
 

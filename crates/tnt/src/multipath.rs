@@ -102,11 +102,7 @@ pub fn multipath_trace(
                 src,
                 dst,
                 ttl,
-                transport: TransportPayload::Udp {
-                    src_port,
-                    dst_port: 33_434,
-                    ident: 1 + offset,
-                },
+                transport: TransportPayload::Udp { src_port, dst_port: 33_434, ident: 1 + offset },
             };
             match net.probe(&spec) {
                 ProbeReply::TimeExceeded { from, .. } => {
@@ -170,9 +166,7 @@ mod tests {
         let mut topo = Topology::new();
         let asn = AsNumber(65_103);
         let r: Vec<RouterId> = (0..4)
-            .map(|i| {
-                topo.add_router(format!("m{i}"), asn, Vendor::Cisco, ip(10, 253, 1, i + 1))
-            })
+            .map(|i| topo.add_router(format!("m{i}"), asn, Vendor::Cisco, ip(10, 253, 1, i + 1)))
             .collect();
         for (k, (a, b)) in [(0usize, 1usize), (0, 2), (1, 3), (2, 3)].iter().enumerate() {
             topo.add_link(
@@ -193,8 +187,7 @@ mod tests {
     #[test]
     fn mda_discovers_both_diamond_branches() {
         let (net, r, dst) = diamond();
-        let trace =
-            multipath_trace(&net, r[0], ip(192, 0, 2, 1), dst, &MdaConfig::default());
+        let trace = multipath_trace(&net, r[0], ip(192, 0, 2, 1), dst, &MdaConfig::default());
         assert!(!trace.is_single_path());
         assert_eq!(trace.max_width(), 2, "{trace:?}");
         // The middle level holds both branch routers' interfaces.
@@ -212,9 +205,7 @@ mod tests {
         let mut topo = Topology::new();
         let asn = AsNumber(65_104);
         let r: Vec<RouterId> = (0..3)
-            .map(|i| {
-                topo.add_router(format!("n{i}"), asn, Vendor::Cisco, ip(10, 253, 2, i + 1))
-            })
+            .map(|i| topo.add_router(format!("n{i}"), asn, Vendor::Cisco, ip(10, 253, 2, i + 1)))
             .collect();
         for i in 0..2u8 {
             topo.add_link(
@@ -236,8 +227,7 @@ mod tests {
     #[test]
     fn primary_flow_extraction_is_a_connected_hop_list() {
         let (net, r, dst) = diamond();
-        let trace =
-            multipath_trace(&net, r[0], ip(192, 0, 2, 1), dst, &MdaConfig::default());
+        let trace = multipath_trace(&net, r[0], ip(192, 0, 2, 1), dst, &MdaConfig::default());
         let hops = primary_flow_hops(&trace);
         assert_eq!(hops.len(), trace.levels.len());
         assert!(hops.iter().all(|h| h.addr.is_some()), "the base flow answers everywhere");

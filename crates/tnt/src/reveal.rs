@@ -100,10 +100,9 @@ pub fn trace_with_revelation(
             .hops
             .iter()
             .filter(|h| {
-                h.responded()
-                    && !h.is_destination
+                !h.is_destination
                     && h.addr != Some(ending_hop_addr)
-                    && !known.contains(&h.addr.expect("responded"))
+                    && h.addr.is_some_and(|a| !known.contains(&a))
             })
             .map(|h| Hop {
                 ttl: trace.hops[idx].ttl,

@@ -115,13 +115,7 @@ fn synth_rtt(forward_hops: u8, ident: u16) -> u32 {
     u32::from(forward_hops) * 800 + u32::from(ident % 397)
 }
 
-fn hop_from_reply(
-    reply: &ProbeReply,
-    ttl: u8,
-    ident: u16,
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-) -> Hop {
+fn hop_from_reply(reply: &ProbeReply, ttl: u8, ident: u16, src: Ipv4Addr, dst: Ipv4Addr) -> Hop {
     let (from, raw, reply_ttl, forward_hops, is_destination) = match reply {
         ProbeReply::TimeExceeded { from, raw, reply_ttl, forward_hops } => {
             (*from, Some(raw.as_slice()), *reply_ttl, *forward_hops, false)
@@ -211,7 +205,12 @@ mod tests {
         let mut quoted = vec![0u8; 28];
         repr.emit(&mut quoted).unwrap();
         assert!(!quote_matches(&quoted, 7, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(9, 9, 9, 9)));
-        assert!(!quote_matches(&quoted[..20], 7, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)));
+        assert!(!quote_matches(
+            &quoted[..20],
+            7,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2)
+        ));
     }
 
     #[test]

@@ -84,7 +84,8 @@ impl Topology {
         loopback: Ipv4Addr,
     ) -> RouterId {
         assert!(
-            !self.loopback_index.contains_key(&loopback) && !self.addr_index.contains_key(&loopback),
+            !self.loopback_index.contains_key(&loopback)
+                && !self.addr_index.contains_key(&loopback),
             "duplicate loopback {loopback}"
         );
         let id = RouterId(self.routers.len() as u32);

@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn iter_yields_all_entries() {
         let entries = vec![(p("10.0.0.0/8"), 1), (p("10.1.0.0/16"), 2), (p("0.0.0.0/0"), 3)];
-        let map: PrefixMap<i32> = entries.iter().cloned().collect();
+        let map: PrefixMap<i32> = entries.iter().copied().collect();
         assert_eq!(map.len(), 3);
         let mut got: Vec<_> = map.iter().map(|(p, v)| (*p, *v)).collect();
         got.sort();

@@ -71,11 +71,8 @@ impl SpfTree {
                     continue;
                 }
                 let nd = d.saturating_add(cost);
-                let first_hops_via_u = if u == source {
-                    vec![(local_if, v)]
-                } else {
-                    next[&u].clone()
-                };
+                let first_hops_via_u =
+                    if u == source { vec![(local_if, v)] } else { next[&u].clone() };
                 match dist.get(&v) {
                     None => {
                         dist.insert(v, nd);
@@ -181,10 +178,8 @@ impl DomainSpf {
     /// domain restricted to exactly that set.
     pub fn for_members(topo: &Topology, members: &[RouterId]) -> DomainSpf {
         let set: std::collections::HashSet<RouterId> = members.iter().copied().collect();
-        let trees = members
-            .iter()
-            .map(|&r| (r, SpfTree::compute(topo, r, |x| set.contains(&x))))
-            .collect();
+        let trees =
+            members.iter().map(|&r| (r, SpfTree::compute(topo, r, |x| set.contains(&x)))).collect();
         DomainSpf { trees }
     }
 
@@ -232,12 +227,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                topo.add_router(
-                    *name,
-                    asn,
-                    Vendor::Cisco,
-                    Ipv4Addr::new(10, 255, 1, (i + 1) as u8),
-                )
+                topo.add_router(*name, asn, Vendor::Cisco, Ipv4Addr::new(10, 255, 1, (i + 1) as u8))
             })
             .collect();
         let mut nth = 0u8;
@@ -269,7 +259,7 @@ mod tests {
         // A=0 B=1 C=2 D=2 E=3 F=3 G=4 H=5
         let expect = [0u32, 1, 2, 2, 3, 3, 4, 5];
         for (i, want) in expect.iter().enumerate() {
-            assert_eq!(tree.distance(r[i]), Some(*want), "distance to {}", i);
+            assert_eq!(tree.distance(r[i]), Some(*want), "distance to {i}");
         }
     }
 

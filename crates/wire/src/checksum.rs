@@ -69,8 +69,10 @@ mod tests {
 
     #[test]
     fn verify_accepts_valid_buffer() {
-        let mut buf = [0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0,
-                       10, 0, 0, 1, 10, 0, 0, 2];
+        let mut buf = [
+            0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&buf);
         buf[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&buf));

@@ -216,9 +216,7 @@ impl IcmpMessage {
                     Some(_) => original.len().max(ORIGINAL_DATAGRAM_MIN_LEN).div_ceil(4) * 4,
                     None => original.len(),
                 };
-                HEADER_LEN
-                    + quoted
-                    + extension.as_ref().map_or(0, MplsExtension::wire_len)
+                HEADER_LEN + quoted + extension.as_ref().map_or(0, MplsExtension::wire_len)
             }
         }
     }
@@ -262,11 +260,13 @@ impl IcmpMessage {
         Ok(())
     }
 
-    /// Returns the wire encoding as an owned vector.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Returns the wire encoding as an owned vector. Fails like
+    /// [`IcmpMessage::emit`] when a quoted datagram or extension
+    /// cannot be encoded.
+    pub fn to_bytes(&self) -> WireResult<Vec<u8>> {
         let mut buf = vec![0u8; self.buffer_len()];
-        self.emit(&mut buf).expect("buffer sized by buffer_len");
-        buf
+        self.emit(&mut buf)?;
+        Ok(buf)
     }
 
     /// Parses an ICMP message, verifying its checksum.
@@ -357,16 +357,16 @@ mod tests {
     #[test]
     fn echo_round_trip() {
         let msg = IcmpMessage::EchoRequest { ident: 77, seq: 4242 };
-        assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+        assert_eq!(IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap(), msg);
         let msg = IcmpMessage::EchoReply { ident: 1, seq: 2 };
-        assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+        assert_eq!(IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap(), msg);
     }
 
     #[test]
     fn time_exceeded_without_extension() {
         let original = vec![0xaa; 28];
         let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: None };
-        let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+        let parsed = IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap();
         assert_eq!(parsed.original_datagram().unwrap(), &original[..]);
         assert!(parsed.mpls_extension().is_none());
     }
@@ -375,8 +375,9 @@ mod tests {
     fn time_exceeded_with_rfc4950_extension() {
         let original = vec![0x45; 28];
         let ext = MplsExtension { stack: stack(&[16_005, 24_001]) };
-        let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: Some(ext.clone()) };
-        let bytes = msg.to_bytes();
+        let msg =
+            IcmpMessage::TimeExceeded { original: original.clone(), extension: Some(ext.clone()) };
+        let bytes = msg.to_bytes().unwrap();
         let parsed = IcmpMessage::parse(&bytes).unwrap();
         // The quoted datagram is padded to 128 bytes per RFC 4884.
         let quoted = parsed.original_datagram().unwrap();
@@ -392,7 +393,7 @@ mod tests {
             original: vec![1; 28],
             extension: Some(MplsExtension { stack: stack(&[30_000]) }),
         };
-        let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+        let parsed = IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap();
         assert_eq!(parsed, msg_with_padded_original(msg.clone()));
         match parsed {
             IcmpMessage::DestUnreachable { code, .. } => assert_eq!(code, 3),
@@ -421,7 +422,7 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_is_rejected() {
-        let mut bytes = IcmpMessage::EchoReply { ident: 5, seq: 6 }.to_bytes();
+        let mut bytes = IcmpMessage::EchoReply { ident: 5, seq: 6 }.to_bytes().unwrap();
         bytes[4] ^= 0xff;
         assert_eq!(IcmpMessage::parse(&bytes).unwrap_err(), WireError::BadChecksum);
     }
@@ -430,10 +431,10 @@ mod tests {
     fn corrupted_extension_checksum_is_rejected() {
         let ext = MplsExtension { stack: stack(&[16_000]) };
         let msg = IcmpMessage::TimeExceeded { original: vec![0; 28], extension: Some(ext) };
-        let mut bytes = msg.to_bytes();
+        let mut bytes = msg.to_bytes().unwrap();
         let ext_start = HEADER_LEN + ORIGINAL_DATAGRAM_MIN_LEN;
         bytes[ext_start + 8] ^= 0x01; // flip a bit inside the first LSE
-        // Fix the outer ICMP checksum so only the extension checksum fails.
+                                      // Fix the outer ICMP checksum so only the extension checksum fails.
         bytes[2] = 0;
         bytes[3] = 0;
         let c = checksum::checksum(&bytes);
@@ -479,7 +480,7 @@ mod tests {
 
     #[test]
     fn icmp_packet_view() {
-        let bytes = IcmpMessage::EchoRequest { ident: 9, seq: 10 }.to_bytes();
+        let bytes = IcmpMessage::EchoRequest { ident: 9, seq: 10 }.to_bytes().unwrap();
         let view = IcmpPacket::new_checked(&bytes[..]).unwrap();
         assert_eq!(view.icmp_type(), IcmpType::EchoRequest);
         assert_eq!(view.code(), 0);
@@ -496,7 +497,7 @@ mod tests {
         ) {
             let extension = with_ext.then(|| MplsExtension { stack: stack(&labels) });
             let msg = IcmpMessage::TimeExceeded { original: original.clone(), extension: extension.clone() };
-            let parsed = IcmpMessage::parse(&msg.to_bytes()).unwrap();
+            let parsed = IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap();
             match parsed {
                 IcmpMessage::TimeExceeded { original: got, extension: got_ext } => {
                     prop_assert_eq!(&got[..original.len()], &original[..]);
@@ -509,7 +510,7 @@ mod tests {
         #[test]
         fn prop_echo_round_trip(ident: u16, seq: u16) {
             let msg = IcmpMessage::EchoRequest { ident, seq };
-            prop_assert_eq!(IcmpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+            prop_assert_eq!(IcmpMessage::parse(&msg.to_bytes().unwrap()).unwrap(), msg);
         }
     }
 }

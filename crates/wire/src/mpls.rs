@@ -25,7 +25,7 @@
 //! assert_eq!(stack.depth(), 3);
 //!
 //! // Wire round trip, bottom-of-stack bit on the last entry only.
-//! let bytes = stack.to_bytes();
+//! let bytes = stack.to_bytes().unwrap();
 //! assert_eq!(LabelStack::parse(&bytes).unwrap(), stack);
 //!
 //! // Pop the active segment, as router D does on receipt.
@@ -196,17 +196,25 @@ impl Lse {
         Ok(())
     }
 
-    /// Returns the 4-byte wire encoding.
-    pub fn to_bytes(&self) -> [u8; LSE_LEN] {
+    /// Returns the 4-byte wire encoding. Fails like [`Lse::emit`]
+    /// when the traffic-class field exceeds its 3 bits.
+    pub fn to_bytes(&self) -> WireResult<[u8; LSE_LEN]> {
         let mut buf = [0u8; LSE_LEN];
-        self.emit(&mut buf).expect("4-byte buffer is large enough");
-        buf
+        self.emit(&mut buf)?;
+        Ok(buf)
     }
 }
 
 impl fmt::Display for Lse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}{}[ttl={}]", self.label, self.tc, if self.bottom { "*" } else { "" }, self.ttl)
+        write!(
+            f,
+            "{}/{}{}[ttl={}]",
+            self.label,
+            self.tc,
+            if self.bottom { "*" } else { "" },
+            self.ttl
+        )
     }
 }
 
@@ -231,12 +239,7 @@ impl LabelStack {
     pub fn from_labels(labels: &[Label], ttl: u8) -> LabelStack {
         let mut stack = LabelStack::new();
         for (i, &label) in labels.iter().enumerate() {
-            stack.entries.push(Lse {
-                label,
-                tc: 0,
-                bottom: i + 1 == labels.len(),
-                ttl,
-            });
+            stack.entries.push(Lse { label, tc: 0, bottom: i + 1 == labels.len(), ttl });
         }
         stack
     }
@@ -344,11 +347,12 @@ impl LabelStack {
         Ok(())
     }
 
-    /// Returns the wire encoding as an owned vector.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Returns the wire encoding as an owned vector. Fails like
+    /// [`LabelStack::emit`] when an entry cannot be encoded.
+    pub fn to_bytes(&self) -> WireResult<Vec<u8>> {
         let mut buf = vec![0u8; self.wire_len()];
-        self.emit(&mut buf).expect("buffer sized by wire_len");
-        buf
+        self.emit(&mut buf)?;
+        Ok(buf)
     }
 }
 
@@ -402,7 +406,7 @@ mod tests {
     #[test]
     fn lse_round_trip() {
         let lse = Lse { label: Label::new(16_005).unwrap(), tc: 5, bottom: true, ttl: 253 };
-        let bytes = lse.to_bytes();
+        let bytes = lse.to_bytes().unwrap();
         assert_eq!(Lse::parse(&bytes).unwrap(), lse);
     }
 
@@ -410,7 +414,7 @@ mod tests {
     fn lse_wire_layout_matches_rfc3032() {
         // label=1 (occupies top 20 bits), tc=0, s=1, ttl=255
         let lse = Lse { label: Label::ROUTER_ALERT, tc: 0, bottom: true, ttl: 255 };
-        assert_eq!(lse.to_bytes(), [0x00, 0x00, 0x11, 0xff]);
+        assert_eq!(lse.to_bytes().unwrap(), [0x00, 0x00, 0x11, 0xff]);
     }
 
     #[test]
@@ -463,7 +467,7 @@ mod tests {
             &[Label::new(20_000).unwrap(), Label::new(37_000).unwrap()],
             255,
         );
-        let mut bytes = stack.to_bytes();
+        let mut bytes = stack.to_bytes().unwrap();
         // Append garbage after the bottom entry; parsing must ignore it.
         bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
         let parsed = LabelStack::parse(&bytes).unwrap();
@@ -473,22 +477,20 @@ mod tests {
     #[test]
     fn stack_parse_missing_bottom_is_truncated() {
         let lse = Lse { label: Label::GAL, tc: 0, bottom: false, ttl: 9 };
-        assert_eq!(LabelStack::parse(&lse.to_bytes()), Err(WireError::Truncated));
+        assert_eq!(LabelStack::parse(&lse.to_bytes().unwrap()), Err(WireError::Truncated));
     }
 
     #[test]
     fn empty_stack_emits_nothing() {
         let stack = LabelStack::new();
         assert_eq!(stack.wire_len(), 0);
-        assert!(stack.to_bytes().is_empty());
+        assert!(stack.to_bytes().unwrap().is_empty());
     }
 
     #[test]
     fn display_formats() {
-        let stack = LabelStack::from_labels(
-            &[Label::new(104).unwrap(), Label::new(3_001).unwrap()],
-            255,
-        );
+        let stack =
+            LabelStack::from_labels(&[Label::new(104).unwrap(), Label::new(3_001).unwrap()], 255);
         assert_eq!(format!("{stack}"), "[104|3001]");
         assert_eq!(format!("{}", stack.entries()[1]), "3001/0*[ttl=255]");
     }
@@ -497,14 +499,14 @@ mod tests {
         #[test]
         fn prop_lse_round_trip(label in 0u32..=MAX_LABEL, tc in 0u8..8, bottom: bool, ttl: u8) {
             let lse = Lse { label: Label::new(label).unwrap(), tc, bottom, ttl };
-            prop_assert_eq!(Lse::parse(&lse.to_bytes()).unwrap(), lse);
+            prop_assert_eq!(Lse::parse(&lse.to_bytes().unwrap()).unwrap(), lse);
         }
 
         #[test]
         fn prop_stack_round_trip(labels in prop::collection::vec(0u32..=MAX_LABEL, 1..10), ttl: u8) {
             let labels: Vec<Label> = labels.into_iter().map(|l| Label::new(l).unwrap()).collect();
             let stack = LabelStack::from_labels(&labels, ttl);
-            let parsed = LabelStack::parse(&stack.to_bytes()).unwrap();
+            let parsed = LabelStack::parse(&stack.to_bytes().unwrap()).unwrap();
             prop_assert_eq!(parsed, stack);
         }
 

@@ -101,7 +101,13 @@ impl UdpRepr {
 
     /// Emits a header plus `payload` into `buf`, computing the real
     /// checksum over the pseudo header.
-    pub fn emit(&self, buf: &mut [u8], payload: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> WireResult<()> {
+    pub fn emit(
+        &self,
+        buf: &mut [u8],
+        payload: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> WireResult<()> {
         let total = HEADER_LEN + payload.len();
         if buf.len() < total {
             return Err(WireError::Truncated);

@@ -84,11 +84,7 @@ fn converge(topo: Topology, routers: &[RouterId], customer: Prefix) -> Network {
             .iter()
             .map(|&r| (r, SrNodeConfig { srgb: cisco_srgb(), srlb: Some(cisco_srlb()) }))
             .collect(),
-        extra_prefix_sids: vec![PrefixSidSpec {
-            prefix: customer,
-            egress,
-            index: SidIndex(2_042),
-        }],
+        extra_prefix_sids: vec![PrefixSidSpec { prefix: customer, egress, index: SidIndex(2_042) }],
         php: false,
         node_sid_base: 100,
         install_node_ftn: true,
@@ -109,7 +105,8 @@ fn converge(topo: Topology, routers: &[RouterId], customer: Prefix) -> Network {
 }
 
 fn trace_and_detect(net: &Network, gw: RouterId, dst: Ipv4Addr, label: &str) -> Vec<Ipv4Addr> {
-    let trace = trace_route(net, "frr", gw, Ipv4Addr::new(192, 0, 2, 1), dst, &TraceConfig::default());
+    let trace =
+        trace_route(net, "frr", gw, Ipv4Addr::new(192, 0, 2, 1), dst, &TraceConfig::default());
     println!("{label}:");
     for hop in &trace.hops {
         let addr = hop.addr.map_or("*".into(), |a| a.to_string());
@@ -134,7 +131,10 @@ fn trace_and_detect(net: &Network, gw: RouterId, dst: Ipv4Addr, label: &str) -> 
     );
     let segments = detect_segments(&augmented, &DetectorConfig::default());
     for segment in &segments {
-        println!("  → AReST: {} on label {} over hops {}..={}", segment.flag, segment.label, segment.start, segment.end);
+        println!(
+            "  → AReST: {} on label {} over hops {}..={}",
+            segment.flag, segment.label, segment.start, segment.end
+        );
     }
     assert!(
         segments.iter().any(|s| s.flag.is_strong()),

@@ -52,7 +52,10 @@ fn main() {
     println!("SR tunnels: {total}  (full-SR {full_sr}, interworking {hybrids})");
     println!("\ninterworking modes:");
     for (mode, count) in &modes {
-        println!("  {mode:<12} {count:>6}  ({:.1}%)", 100.0 * *count as f64 / hybrids.max(1) as f64);
+        println!(
+            "  {mode:<12} {count:>6}  ({:.1}%)",
+            100.0 * *count as f64 / hybrids.max(1) as f64
+        );
     }
 
     let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;

@@ -89,10 +89,7 @@ fn main() {
     println!("traceroute to 203.0.113.42:");
     for hop in &trace.hops {
         let addr = hop.addr.map_or("*".to_string(), |a| a.to_string());
-        let stack = hop
-            .stack
-            .as_ref()
-            .map_or(String::new(), |s| format!("  MPLS {s}"));
+        let stack = hop.stack.as_ref().map_or(String::new(), |s| format!("  MPLS {s}"));
         println!("  {:>2}  {addr:<15}{stack}", hop.ttl);
     }
 
@@ -128,9 +125,6 @@ fn main() {
     let areas = classify_areas(&augmented, &segments, &AreaConfig::default());
     println!("\nper-hop areas: {areas:?}");
 
-    assert!(
-        segments.iter().any(|s| s.flag.is_strong()),
-        "the SR tunnel must be detected"
-    );
+    assert!(segments.iter().any(|s| s.flag.is_strong()), "the SR tunnel must be detected");
     println!("\nSegment Routing revealed without any vendor fingerprint — the CO flag at work.");
 }

@@ -34,7 +34,12 @@ fn main() {
             echo_reply: vendor.echo_reply_initial_ttl(),
             time_exceeded: vendor.time_exceeded_initial_ttl(),
         };
-        println!("  {vendor:<10} ({:>3}, {:>3}) → {:?}", sig.echo_reply, sig.time_exceeded, ttl_class(sig));
+        println!(
+            "  {vendor:<10} ({:>3}, {:>3}) → {:?}",
+            sig.echo_reply,
+            sig.time_exceeded,
+            ttl_class(sig)
+        );
     }
     assert_eq!(
         ttl_class(TtlSignature { echo_reply: 255, time_exceeded: 255 }),
@@ -68,5 +73,7 @@ fn main() {
         FingerprintSource::Snmp,
         FingerprintSource::Ttl
     );
-    println!("no Arista in SNMP + shared Cisco/Huawei TTLs → vendor-range flags stay conservative.");
+    println!(
+        "no Arista in SNMP + shared Cisco/Huawei TTLs → vendor-range flags stay conservative."
+    );
 }

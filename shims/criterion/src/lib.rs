@@ -1,0 +1,202 @@
+//! Offline shim for the subset of `criterion` 0.7 used by the bench
+//! crate: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally minimal — a warm-up, a timed run, and
+//! a mean ns/iter line on stdout. The point is that `cargo bench`
+//! builds and runs offline and hot paths stay exercised, not that the
+//! numbers carry criterion's rigour.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batches are sized in `iter_batched`; only a hint upstream, and
+/// only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches.
+    SmallInput,
+    /// Large per-iteration inputs; small batches.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher { mean_ns: 0.0, measure_for }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is
+    /// spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a handful of calls to fault in caches and lazies.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measure_for && iters >= 10 {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if spent >= self.measure_for && iters >= 10 {
+                break;
+            }
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares the throughput of each iteration for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upstream tunes the sample count; the shim's time-budget driver
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: the suite regenerates every paper table, and
+        // CI just needs the paths exercised.
+        Criterion { measure_for: Duration::from_millis(60) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.measure_for);
+        f(&mut bencher);
+        let mean_ns = bencher.mean_ns;
+        match throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!("bench: {label:<60} {mean_ns:>12.1} ns/iter {per_sec:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!("bench: {label:<60} {mean_ns:>12.1} ns/iter {per_sec:>14.0} B/s");
+            }
+            _ => println!("bench: {label:<60} {mean_ns:>12.1} ns/iter"),
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions, matching
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the named groups, matching
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

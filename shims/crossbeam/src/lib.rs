@@ -1,0 +1,92 @@
+//! Offline shim for the `crossbeam::thread::scope` API used by the
+//! probing campaign, implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63, which post-dates crossbeam's scoped
+//! threads). Source-compatible with the call shape
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... }).expect(..)`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A scope handle passed to the closure and to every spawned
+    /// thread (crossbeam passes the scope as the closure argument so
+    /// workers can themselves spawn).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker; `Err` carries its panic payload.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the
+        /// scope (crossbeam convention) so it can spawn further work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed data can be shared with
+    /// spawned threads; all workers are joined before returning.
+    ///
+    /// `std::thread::scope` re-panics if a spawned thread panicked and
+    /// was not joined, so unlike crossbeam this never returns `Err` —
+    /// the `Result` wrapper is kept purely for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = super::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner")
+            });
+            h.join().expect("outer") * 2
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

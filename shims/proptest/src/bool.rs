@@ -1,0 +1,23 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "weighted: p={p} out of [0, 1]");
+    Weighted { p }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_f64() < self.p
+    }
+}

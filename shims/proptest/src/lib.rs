@@ -1,0 +1,201 @@
+//! Offline shim for the subset of `proptest` 1.x used by this workspace.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors a small property-testing harness that is source-compatible
+//! with the `proptest!` blocks written against the real crate:
+//! typed parameters (`x: u16`), strategy parameters (`xs in expr`),
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, ranges as
+//! strategies, `any::<T>()`, tuples of strategies, `Just`,
+//! `prop_oneof!`, `prop::collection::vec`, `prop::option::of`,
+//! `prop::bool::weighted`, `.prop_map(..)`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: generation is driven by a deterministic
+//! SplitMix64 stream (fixed base seed, so failures reproduce across
+//! runs) and there is **no shrinking** — a failing case reports the
+//! assertion message and case number as-is.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Convenience re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Top-level test macro: expands each property into a `#[test]` fn
+/// that samples its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body! { ($config) ($body) [] [] $($params)* }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // Terminal: all parameters munched into pattern + strategy lists.
+    (($config:expr) ($body:block) [$(($pat:ident))*] [$(($strat:expr))*]) => {{
+        #[allow(unused_imports)]
+        use $crate::strategy::Strategy as _;
+        let mut __runner = $crate::test_runner::TestRunner::new($config);
+        let __strategy = ($($strat,)*);
+        let __outcome = __runner.run(&__strategy, |($($pat,)*)| {
+            $body
+            Ok(())
+        });
+        if let Err(__failure) = __outcome {
+            panic!("{}", __failure);
+        }
+    }};
+    // `name in strategy, ...`
+    (($config:expr) ($body:block) [$($pats:tt)*] [$($strats:tt)*]
+     $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($config) ($body) [$($pats)* ($name)] [$($strats)* ($strat)] $($rest)*
+        }
+    };
+    // `name in strategy` (final parameter)
+    (($config:expr) ($body:block) [$($pats:tt)*] [$($strats:tt)*]
+     $name:ident in $strat:expr) => {
+        $crate::__proptest_body! {
+            ($config) ($body) [$($pats)* ($name)] [$($strats)* ($strat)]
+        }
+    };
+    // `name: Type, ...` — sugar for `name in any::<Type>()`
+    (($config:expr) ($body:block) [$($pats:tt)*] [$($strats:tt)*]
+     $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($config) ($body)
+            [$($pats)* ($name)] [$($strats)* ($crate::arbitrary::any::<$ty>())]
+            $($rest)*
+        }
+    };
+    // `name: Type` (final parameter)
+    (($config:expr) ($body:block) [$($pats:tt)*] [$($strats:tt)*]
+     $name:ident : $ty:ty) => {
+        $crate::__proptest_body! {
+            ($config) ($body)
+            [$($pats)* ($name)] [$($strats)* ($crate::arbitrary::any::<$ty>())]
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", *l, *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)*), *l, *r),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", *l, *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: both `{:?}`", format!($($fmt)*), *l),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

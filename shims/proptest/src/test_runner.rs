@@ -1,0 +1,146 @@
+//! Case runner: deterministic RNG, config, and case-level errors.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Deterministic SplitMix64 stream feeding value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Run configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the run errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128, max_global_rejects: 4096 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases with the default reject cap.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed; the case is discarded.
+    Reject(String),
+    /// A `prop_assert*` failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Terminal run failure, rendered by the `proptest!` harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestError {
+    message: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives a strategy through `config.cases` cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+/// Fixed base seed: failures reproduce run-to-run (no shrinking here,
+/// so reproducibility is the whole debugging story).
+const BASE_SEED: u64 = 0xa4e5_7a11_d1a6_0515;
+
+impl TestRunner {
+    /// Creates a runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::new(BASE_SEED) }
+    }
+
+    /// Runs `test` on `config.cases` generated values, retrying
+    /// rejected cases (up to the global cap) without counting them.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(TestError {
+                            message: format!(
+                                "property rejected too many inputs \
+                                 ({rejects} rejections over {case} accepted cases)"
+                            ),
+                        });
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(TestError {
+                        message: format!("property falsified on case {case}: {msg}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -13,12 +13,12 @@ use std::net::Ipv4Addr;
 /// Strategy: one synthetic augmented hop.
 fn hop_strategy() -> impl Strategy<Value = AugmentedHop> {
     (
-        any::<u32>(),                                      // address bits
+        any::<u32>(), // address bits
         prop::option::of(prop::collection::vec(0u32..=1_048_575, 1..4)),
-        prop::option::of(0usize..4),                       // evidence selector
-        any::<bool>(),                                     // revealed
-        prop::option::of(1u8..10),                         // qTTL
-        prop::bool::weighted(0.1),                         // silent hop
+        prop::option::of(0usize..4), // evidence selector
+        any::<bool>(),               // revealed
+        prop::option::of(1u8..10),   // qTTL
+        prop::bool::weighted(0.1),   // silent hop
     )
         .prop_map(|(addr, labels, evidence, revealed, qttl, silent)| {
             let evidence = evidence.and_then(|e| match e {
@@ -43,9 +43,8 @@ fn hop_strategy() -> impl Strategy<Value = AugmentedHop> {
 }
 
 fn trace_strategy() -> impl Strategy<Value = AugmentedTrace> {
-    prop::collection::vec(hop_strategy(), 0..24).prop_map(|hops| {
-        AugmentedTrace::new("prop", Ipv4Addr::new(203, 0, 113, 1), hops)
-    })
+    prop::collection::vec(hop_strategy(), 0..24)
+        .prop_map(|hops| AugmentedTrace::new("prop", Ipv4Addr::new(203, 0, 113, 1), hops))
 }
 
 proptest! {

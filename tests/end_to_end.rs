@@ -66,10 +66,7 @@ fn detection_headline_shape_holds() {
     }
     assert!(claimed >= 15, "most claimants stay analyzed at small scale");
     let rate = detected as f64 / claimed as f64;
-    assert!(
-        (0.5..=1.0).contains(&rate),
-        "detection rate {rate} out of the paper's ballpark (75%)"
-    );
+    assert!((0.5..=1.0).contains(&rate), "detection rate {rate} out of the paper's ballpark (75%)");
 }
 
 #[test]

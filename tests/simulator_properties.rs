@@ -28,7 +28,12 @@ enum Plane {
 
 /// Builds a chain of `n` routers with the requested control plane for
 /// the customer prefix anchored at the last router.
-fn build(n: usize, plane: Plane, propagate: bool, rfc4950: bool) -> (Network, Vec<RouterId>, Ipv4Addr) {
+fn build(
+    n: usize,
+    plane: Plane,
+    propagate: bool,
+    rfc4950: bool,
+) -> (Network, Vec<RouterId>, Ipv4Addr) {
     let mut topo = Topology::new();
     let asn = AsNumber(64_900);
     let routers: Vec<RouterId> = (0..n)
@@ -53,10 +58,8 @@ fn build(n: usize, plane: Plane, propagate: bool, rfc4950: bool) -> (Network, Ve
     let customer: Prefix = "100.200.0.0/24".parse().unwrap();
     let egress = *routers.last().unwrap();
     let members: Vec<RouterId> = routers[1..].to_vec();
-    let mut pools: HashMap<RouterId, DynamicLabelPool> = members
-        .iter()
-        .map(|&r| (r, DynamicLabelPool::sr_aware(u64::from(r.0) * 31 + 1)))
-        .collect();
+    let mut pools: HashMap<RouterId, DynamicLabelPool> =
+        members.iter().map(|&r| (r, DynamicLabelPool::sr_aware(u64::from(r.0) * 31 + 1))).collect();
 
     let tables = match plane {
         Plane::Ip => None,

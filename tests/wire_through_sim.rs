@@ -22,12 +22,7 @@ fn ldp_testbed() -> (Network, Vec<RouterId>, Ipv4Addr) {
     let asn = AsNumber(65_050);
     let routers: Vec<RouterId> = (0..5)
         .map(|i| {
-            topo.add_router(
-                format!("w{i}"),
-                asn,
-                Vendor::Cisco,
-                Ipv4Addr::new(10, 50, 255, i + 1),
-            )
+            topo.add_router(format!("w{i}"), asn, Vendor::Cisco, Ipv4Addr::new(10, 50, 255, i + 1))
         })
         .collect();
     for i in 0..4u8 {
@@ -82,10 +77,7 @@ fn every_reply_parses_and_checksums() {
         let view = IcmpPacket::new_checked(raw).expect("minimum length");
         assert!(view.verify_checksum(), "ttl {ttl}: ICMP checksum");
         let msg = IcmpMessage::parse(raw).expect("full parse");
-        assert!(matches!(
-            msg.icmp_type(),
-            IcmpType::TimeExceeded | IcmpType::DestUnreachable
-        ));
+        assert!(matches!(msg.icmp_type(), IcmpType::TimeExceeded | IcmpType::DestUnreachable));
     }
 }
 
@@ -115,11 +107,7 @@ fn rfc4884_padding_and_extension_structure() {
     let msg = IcmpMessage::parse(raw).unwrap();
     let ext = msg.mpls_extension().expect("RFC 4950 object");
     assert!(ext.stack.depth() >= 1);
-    assert_eq!(
-        msg.original_datagram().unwrap().len(),
-        ORIGINAL_DATAGRAM_MIN_LEN,
-        "padded quote"
-    );
+    assert_eq!(msg.original_datagram().unwrap().len(), ORIGINAL_DATAGRAM_MIN_LEN, "padded quote");
     // Byte 5 of the ICMP header is the RFC 4884 length in words.
     assert_eq!(usize::from(raw[5]) * 4, ORIGINAL_DATAGRAM_MIN_LEN);
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run from anywhere inside the repository;
+# everything must pass before a change is mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> all checks passed"
