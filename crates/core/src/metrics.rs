@@ -87,8 +87,12 @@ impl Validation {
 /// The oracle answers "is this interface address part of an SR-MPLS
 /// deployment?". Interface-level negatives are computed over MPLS
 /// hops only (IP hops say nothing about SR-vs-LDP classification).
-pub fn validate<F>(results: &[(AugmentedTrace, Vec<DetectedSegment>)], oracle: F) -> Validation
+///
+/// Takes borrowed `(trace, segments)` pairs — e.g. the iterator
+/// `AsResult::detections` yields — so validation never clones traces.
+pub fn validate<'a, I, F>(results: I, oracle: F) -> Validation
 where
+    I: IntoIterator<Item = (&'a AugmentedTrace, &'a [DetectedSegment])>,
     F: Fn(Ipv4Addr) -> bool,
 {
     let mut validation = Validation::default();
@@ -160,6 +164,12 @@ mod tests {
         (trace, segments)
     }
 
+    fn borrowed(
+        results: &[(AugmentedTrace, Vec<DetectedSegment>)],
+    ) -> impl Iterator<Item = (&AugmentedTrace, &[DetectedSegment])> {
+        results.iter().map(|(t, s)| (t, s.as_slice()))
+    }
+
     #[test]
     fn perfect_ground_truth_like_esnet() {
         // CO sequence + LSO stack, everything truly SR: the Table 3
@@ -168,7 +178,7 @@ mod tests {
             run(vec![hop(1, &[17_000]), hop(2, &[17_000]), hop(3, &[17_000])]),
             run(vec![hop(4, &[400_000, 500_000])]),
         ];
-        let v = validate(&results, |_| true);
+        let v = validate(borrowed(&results), |_| true);
         assert_eq!(v.per_flag[&Flag::Co].segments, 1);
         assert_eq!(v.per_flag[&Flag::Co].precision(), Some(1.0));
         assert_eq!(v.per_flag[&Flag::Lso].segments, 1);
@@ -183,7 +193,7 @@ mod tests {
     fn false_positive_segment_is_counted() {
         let results = vec![run(vec![hop(1, &[17_000]), hop(2, &[17_000])])];
         // Oracle says nothing is SR: the CO segment is a false positive.
-        let v = validate(&results, |_| false);
+        let v = validate(borrowed(&results), |_| false);
         assert_eq!(v.per_flag[&Flag::Co].false_positive, 1);
         assert_eq!(v.per_flag[&Flag::Co].precision(), Some(0.0));
         assert_eq!(v.iface_false_positive, 2);
@@ -194,7 +204,7 @@ mod tests {
     fn missed_sr_interfaces_are_false_negatives() {
         // A lone unmapped label (no flag possible) on a truly-SR hop.
         let results = vec![run(vec![hop(1, &[345_000])])];
-        let v = validate(&results, |_| true);
+        let v = validate(borrowed(&results), |_| true);
         assert_eq!(v.total_segments(), 0);
         assert_eq!(v.iface_false_negative, 1);
         assert_eq!(v.iface_recall(), Some(0.0));
@@ -204,7 +214,7 @@ mod tests {
     #[test]
     fn non_sr_mpls_left_unflagged_is_true_negative() {
         let results = vec![run(vec![hop(1, &[345_000])])];
-        let v = validate(&results, |_| false);
+        let v = validate(borrowed(&results), |_| false);
         assert_eq!(v.iface_true_negative, 1);
         assert_eq!(v.iface_false_negative, 0);
     }
@@ -212,7 +222,7 @@ mod tests {
     #[test]
     fn ip_hops_do_not_enter_negative_counts() {
         let results = vec![run(vec![hop(1, &[])])];
-        let v = validate(&results, |_| true);
+        let v = validate(borrowed(&results), |_| true);
         assert_eq!(v.iface_true_negative + v.iface_false_negative, 0, "IP hops are out of scope");
     }
 }

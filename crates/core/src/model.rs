@@ -10,6 +10,7 @@
 use arest_fingerprint::combined::VendorEvidence;
 use arest_wire::mpls::{Label, LabelStack};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// One augmented hop.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,7 +19,9 @@ pub struct AugmentedHop {
     pub addr: Option<Ipv4Addr>,
     /// The quoted MPLS label stack, top first, when the hop exposed
     /// one (explicit tunnels everywhere; opaque tunnels at the EH).
-    pub stack: Option<LabelStack>,
+    /// Shared (`Arc`) with the raw trace it was augmented from, so
+    /// augmentation never deep-clones stacks.
+    pub stack: Option<Arc<LabelStack>>,
     /// Vendor knowledge from fingerprinting, when available.
     pub evidence: Option<VendorEvidence>,
     /// Whether TNT inserted this hop via hidden-tunnel revelation
@@ -45,8 +48,8 @@ impl AugmentedHop {
     }
 
     /// A hop quoting a label stack.
-    pub fn labeled(addr: Ipv4Addr, stack: LabelStack) -> AugmentedHop {
-        AugmentedHop { stack: Some(stack), ..AugmentedHop::ip(addr) }
+    pub fn labeled(addr: Ipv4Addr, stack: impl Into<Arc<LabelStack>>) -> AugmentedHop {
+        AugmentedHop { stack: Some(stack.into()), ..AugmentedHop::ip(addr) }
     }
 
     /// The top (active) label of the quoted stack, if any.
@@ -56,7 +59,7 @@ impl AugmentedHop {
 
     /// Depth of the quoted stack (0 when none).
     pub fn stack_depth(&self) -> usize {
-        self.stack.as_ref().map_or(0, LabelStack::depth)
+        self.stack.as_ref().map_or(0, |s| s.depth())
     }
 
     /// Whether the hop shows MPLS involvement of any kind (quoted
@@ -70,8 +73,9 @@ impl AugmentedHop {
 /// (bdrmapIT-style annotation happens upstream).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AugmentedTrace {
-    /// Vantage point name (provenance).
-    pub vp: String,
+    /// Vantage point name (provenance), interned as in
+    /// `arest_tnt::trace::Trace`.
+    pub vp: Arc<str>,
     /// Probe destination.
     pub dst: Ipv4Addr,
     /// Hops in path order. The probing source router is *not* part of
@@ -81,7 +85,7 @@ pub struct AugmentedTrace {
 
 impl AugmentedTrace {
     /// Creates a trace.
-    pub fn new(vp: impl Into<String>, dst: Ipv4Addr, hops: Vec<AugmentedHop>) -> AugmentedTrace {
+    pub fn new(vp: impl Into<Arc<str>>, dst: Ipv4Addr, hops: Vec<AugmentedHop>) -> AugmentedTrace {
         AugmentedTrace { vp: vp.into(), dst, hops }
     }
 

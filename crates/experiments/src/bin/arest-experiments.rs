@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! arest-experiments [options] <experiment ids… | all>
+//! arest-experiments [options] bench-pipeline
 //!
 //! options:
 //!   --quick          tiny Internet (unit-test scale)
@@ -9,10 +10,15 @@
 //!   --vps <n>        vantage points (default 50)
 //!   --targets <n>    Anaximander target cap per AS (default 48)
 //!   --seed <n>       generator seed (default 2025)
+//!   --workers <n>    worker threads (default: AREST_WORKERS / cores)
 //!   --out <dir>      also write each report to <dir>/<id>.txt
 //! ```
+//!
+//! `bench-pipeline` times every pipeline stage at one worker and at
+//! `--workers` (or the machine's parallelism), then writes
+//! `BENCH_pipeline.json` with per-stage seconds and the speedup.
 
-use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_experiments::pipeline::{BuildStats, Dataset, PipelineConfig};
 use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
 use std::io::Write as _;
 use std::time::Instant;
@@ -31,11 +37,16 @@ fn main() {
             "--vps" => config.gen.vp_count = expect_value(&mut iter, "--vps"),
             "--targets" => config.targets_per_as = expect_value(&mut iter, "--targets"),
             "--seed" => config.gen.seed = expect_value(&mut iter, "--seed"),
+            "--workers" => config.workers = Some(expect_value(&mut iter, "--workers")),
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
         }
+    }
+    if ids.iter().any(|i| i == "bench-pipeline") {
+        bench_pipeline(config);
+        return;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string).collect();
@@ -74,6 +85,65 @@ fn main() {
     }
 }
 
+/// Builds the same dataset at one worker and at the requested worker
+/// count, printing per-stage timings and writing `BENCH_pipeline.json`.
+fn bench_pipeline(config: PipelineConfig) {
+    let parallel_workers = config.workers.unwrap_or_else(arest_tnt::pool::worker_count).max(1);
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut runs: Vec<BuildStats> = Vec::new();
+    for workers in [1, parallel_workers] {
+        let run_config = PipelineConfig { workers: Some(workers), ..config };
+        eprintln!(
+            "bench-pipeline: building (scale {}, {} VPs, seed {}) with {workers} worker(s)…",
+            run_config.gen.scale, run_config.gen.vp_count, run_config.gen.seed
+        );
+        let (dataset, stats) = Dataset::build_with_stats(run_config);
+        eprintln!(
+            "  total {:.2}s ({} raw traces)",
+            stats.total.as_secs_f64(),
+            dataset.raw_trace_count
+        );
+        for (name, duration) in stats.timings.stages() {
+            eprintln!("    {name:<12}{:.3}s", duration.as_secs_f64());
+        }
+        runs.push(stats);
+        if workers == parallel_workers && parallel_workers == 1 {
+            break; // nothing to compare against
+        }
+    }
+
+    let speedup = match runs.as_slice() {
+        [serial, parallel, ..] => {
+            serial.total.as_secs_f64() / parallel.total.as_secs_f64().max(f64::EPSILON)
+        }
+        _ => 1.0,
+    };
+    eprintln!(
+        "speedup at {parallel_workers} worker(s): {speedup:.2}x (host has {available} core(s))"
+    );
+
+    // Hand-rolled JSON, like the rest of the suite (no serde).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, stats) in runs.iter().enumerate() {
+        json.push_str(&format!("    {{\"workers\": {}, \"stages\": {{", stats.workers));
+        for (j, (name, duration)) in stats.timings.stages().iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("\"{name}\": {:.6}", duration.as_secs_f64()));
+        }
+        json.push_str(&format!("}}, \"total_seconds\": {:.6}}}", stats.total.as_secs_f64()));
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    eprintln!("wrote BENCH_pipeline.json");
+}
+
 fn expect_value<T: std::str::FromStr>(iter: &mut impl Iterator<Item = String>, flag: &str) -> T {
     iter.next()
         .and_then(|v| v.parse().ok())
@@ -86,7 +156,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
-         [--out DIR] <ids…|all>\nexperiments: {}",
+         [--workers N] [--out DIR] <ids…|all|bench-pipeline>\nexperiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

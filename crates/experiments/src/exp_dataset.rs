@@ -222,7 +222,7 @@ pub fn fig16_label_ranges(dataset: &Dataset) -> Report {
 
 /// Fig. 17 — cumulative unique hops as vantage points are added.
 pub fn fig17_vp_cdf(dataset: &Dataset) -> Report {
-    let mut vp_names: Vec<&String> = dataset.per_vp_discovered.keys().collect();
+    let mut vp_names: Vec<&std::sync::Arc<str>> = dataset.per_vp_discovered.keys().collect();
     vp_names.sort();
     let all: HashSet<Ipv4Addr> =
         dataset.per_vp_discovered.values().flat_map(|s| s.iter().copied()).collect();

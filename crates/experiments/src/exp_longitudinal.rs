@@ -53,10 +53,12 @@ pub fn longitudinal_adoption(base: &Dataset) -> Report {
             for (trace, segments) in result.augmented.iter().zip(&result.segments) {
                 let strong_only: Vec<_> =
                     segments.iter().filter(|s| s.flag.is_strong()).cloned().collect();
-                detections.push((trace.clone(), strong_only));
+                detections.push((trace, strong_only));
             }
         }
-        let validation = validate(&detections, |a| dataset.internet.ground_truth.is_sr(a));
+        let validation = validate(detections.iter().map(|(t, s)| (*t, s.as_slice())), |a| {
+            dataset.internet.ground_truth.is_sr(a)
+        });
         let analyzed = dataset.analyzed().count().max(1);
         table.row([
             format!("{:.0}%", adoption * 100.0),

@@ -84,7 +84,7 @@ pub fn fig06_flags_walkthrough() -> Report {
 pub fn table3_ground_truth(dataset: &Dataset) -> Report {
     let esnet = dataset.result(46).expect("ESnet present");
     let truth = &dataset.internet.ground_truth;
-    let validation = validate(&esnet.detections(), |addr| truth.is_sr(addr));
+    let validation = validate(esnet.detections(), |addr| truth.is_sr(addr));
 
     let total = validation.total_segments().max(1);
     let mut table = Table::new(["flag", "raw", "%", "TP", "FP", "FN"]);
@@ -218,10 +218,11 @@ pub fn ablation_flags(dataset: &Dataset) -> Report {
                 if !include_lso {
                     segments.retain(|s| s.flag.is_strong());
                 }
-                detections.push((trace.clone(), segments));
+                detections.push((trace, segments));
             }
         }
-        let validation = validate(&detections, |addr| truth.is_sr(addr));
+        let validation =
+            validate(detections.iter().map(|(t, s)| (*t, s.as_slice())), |addr| truth.is_sr(addr));
         table.row([
             name.to_string(),
             validation.total_segments().to_string(),

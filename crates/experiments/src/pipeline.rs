@@ -5,6 +5,26 @@
 //! SNMPv3 + TTL fingerprinting, MIDAR/APPLE alias resolution feeding
 //! bdrmapIT-style AS restriction, and finally AReST detection over
 //! the augmented intra-AS traces.
+//!
+//! ## Parallel execution model
+//!
+//! Every stage fans out over the shared work-stealing pool
+//! (`arest_tnt::pool`), sized by [`PipelineConfig::workers`] (or the
+//! `AREST_WORKERS` environment variable / available cores when
+//! unset):
+//!
+//! * **probe** — `(AS, VP)` work units across *all* campaigns at
+//!   once, so the 60 ASes no longer serialize behind each other;
+//! * **fingerprint** — the address list is sorted and chunked into
+//!   per-worker batches (per-address results are independent);
+//! * **alias** — per-AS candidate generation runs on the pool, the
+//!   union–find resolution stays serial;
+//! * **annotate/detect** — each raw trace is a work unit running
+//!   restrict→augment→detect.
+//!
+//! Merges are deterministic (submission order), so a parallel build
+//! is result-identical to a single-worker one — the regression tests
+//! at the bottom of this file compare the two directly.
 
 use arest_core::detect::{detect_segments, DetectedSegment, DetectorConfig};
 use arest_core::model::{AugmentedHop, AugmentedTrace};
@@ -15,11 +35,14 @@ use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
 use arest_mapping::bdrmap::AsAnnotator;
 use arest_mapping::bgp::{BgpRoute, BgpView};
 use arest_netgen::internet::{generate, GenConfig, Internet};
-use arest_tnt::campaign::{run_campaign, CampaignConfig, VantagePoint};
+use arest_tnt::campaign::{run_campaigns, CampaignConfig, VantagePoint};
+use arest_tnt::pool;
 use arest_tnt::trace::Trace;
 use arest_topo::ids::AsNumber;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +55,10 @@ pub struct PipelineConfig {
     pub alias_paths_per_as: usize,
     /// AReST detector settings.
     pub detector: DetectorConfig,
+    /// Worker threads for the parallel stages; `None` defers to
+    /// `AREST_WORKERS` / the machine's available parallelism
+    /// (`arest_tnt::pool::worker_count`).
+    pub workers: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -41,6 +68,7 @@ impl Default for PipelineConfig {
             targets_per_as: 48,
             alias_paths_per_as: 12,
             detector: DetectorConfig::default(),
+            workers: None,
         }
     }
 }
@@ -53,12 +81,13 @@ impl PipelineConfig {
             targets_per_as: 8,
             alias_paths_per_as: 4,
             detector: DetectorConfig::default(),
+            workers: None,
         }
     }
 }
 
 /// Everything the pipeline produced for one AS.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsResult {
     /// The paper identifier (1–60).
     pub id: u8,
@@ -77,16 +106,55 @@ pub struct AsResult {
 }
 
 impl AsResult {
-    /// All `(trace, segments)` pairs, the shape `arest-core`'s
-    /// validation consumes.
-    pub fn detections(&self) -> Vec<(AugmentedTrace, Vec<DetectedSegment>)> {
-        self.augmented.iter().cloned().zip(self.segments.iter().cloned()).collect()
+    /// All `(trace, segments)` pairs, borrowed — the shape
+    /// `arest_core::metrics::validate` consumes. Nothing is cloned.
+    pub fn detections(&self) -> impl Iterator<Item = (&AugmentedTrace, &[DetectedSegment])> {
+        self.augmented.iter().zip(self.segments.iter().map(Vec::as_slice))
     }
 
     /// All detected segments, flattened.
     pub fn all_segments(&self) -> impl Iterator<Item = &DetectedSegment> {
         self.segments.iter().flatten()
     }
+}
+
+/// Wall-clock duration of each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Internet generation + BGP view + Anaximander target lists.
+    pub generate: Duration,
+    /// The TNT campaigns ((AS, VP) work units).
+    pub probe: Duration,
+    /// SNMPv3 harvest + TTL fingerprinting.
+    pub fingerprint: Duration,
+    /// Alias candidate generation + MIDAR resolution.
+    pub alias: Duration,
+    /// AS annotation, restriction, augmentation, and detection.
+    pub detect: Duration,
+}
+
+impl StageTimings {
+    /// `(name, duration)` pairs in pipeline order.
+    pub fn stages(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("generate", self.generate),
+            ("probe", self.probe),
+            ("fingerprint", self.fingerprint),
+            ("alias", self.alias),
+            ("detect", self.detect),
+        ]
+    }
+}
+
+/// How a [`Dataset::build_with_stats`] run went.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildStats {
+    /// Worker threads the parallel stages ran on.
+    pub workers: usize,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// End-to-end build time.
+    pub total: Duration,
 }
 
 /// The full pipeline output.
@@ -103,17 +171,37 @@ pub struct Dataset {
     /// The harvested SNMPv3 dataset.
     pub snmp: SnmpDataset,
     /// Distinct in-AS addresses seen per VP name (drives Fig. 17).
-    pub per_vp_discovered: HashMap<String, HashSet<Ipv4Addr>>,
+    pub per_vp_discovered: HashMap<Arc<str>, HashSet<Ipv4Addr>>,
     /// Total traces collected before restriction.
     pub raw_trace_count: usize,
+}
+
+/// A restricted trace after the per-trace pipeline tail (one work
+/// unit's output).
+struct ProcessedTrace {
+    restricted: Trace,
+    augmented: AugmentedTrace,
+    segments: Vec<DetectedSegment>,
+    /// Addresses annotated to the AS, in hop order (may repeat).
+    discovered: Vec<Ipv4Addr>,
 }
 
 impl Dataset {
     /// Runs the whole pipeline.
     pub fn build(config: PipelineConfig) -> Dataset {
+        Dataset::build_with_stats(config).0
+    }
+
+    /// Runs the whole pipeline and reports per-stage timings.
+    pub fn build_with_stats(config: PipelineConfig) -> (Dataset, BuildStats) {
+        let build_started = Instant::now();
+        let workers = config.workers.unwrap_or_else(pool::worker_count);
+        let mut timings = StageTimings::default();
+
+        // ---- Generation: Internet, BGP view, target lists ----
+        let stage = Instant::now();
         let internet = generate(&config.gen);
 
-        // BGP view for Anaximander.
         let view: BgpView = internet
             .routes
             .iter()
@@ -123,31 +211,33 @@ impl Dataset {
         let vps: Vec<VantagePoint> = internet
             .vps
             .iter()
-            .map(|vp| VantagePoint { name: vp.name.clone(), addr: vp.addr, gateway: vp.gateway })
+            .map(|vp| VantagePoint {
+                name: Arc::from(vp.name.as_str()),
+                addr: vp.addr,
+                gateway: vp.gateway,
+            })
             .collect();
 
         let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
-        let campaign_cfg = CampaignConfig::default();
+        let plans: Vec<_> = internet.plans.iter().collect();
+        let target_lists: Vec<Vec<Ipv4Addr>> =
+            pool::run_indexed(plans, workers, &|_, plan| build_target_list(&view, plan.asn, &anax));
+        timings.generate = stage.elapsed();
 
-        // ---- Probing: one campaign per AS of interest ----
-        let mut raw_per_as: Vec<(usize, Vec<Trace>)> = Vec::new();
-        let mut raw_trace_count = 0;
-        for plan in &internet.plans {
-            let targets = build_target_list(&view, plan.asn, &anax);
-            if targets.is_empty() {
-                raw_per_as.push((0, Vec::new()));
-                continue;
-            }
-            let traces = run_campaign(&internet.net, &vps, &targets, &campaign_cfg);
-            raw_trace_count += traces.len();
-            raw_per_as.push((targets.len(), traces));
-        }
+        // ---- Probing: all campaigns as one batch of (AS, VP) units ----
+        let stage = Instant::now();
+        let campaign_cfg = CampaignConfig::default();
+        let raw_per_as: Vec<Vec<Trace>> =
+            run_campaigns(&internet.net, &vps, &target_lists, &campaign_cfg, workers);
+        let raw_trace_count = raw_per_as.iter().map(Vec::len).sum();
+        timings.probe = stage.elapsed();
 
         // ---- Fingerprinting ----
+        let stage = Instant::now();
         let snmp = SnmpDataset::harvest(&internet.net);
         let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
         let mut all_addrs: HashSet<Ipv4Addr> = HashSet::new();
-        for (_, traces) in &raw_per_as {
+        for traces in &raw_per_as {
             for trace in traces {
                 for hop in &trace.hops {
                     if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
@@ -157,81 +247,106 @@ impl Dataset {
                 }
             }
         }
-        let addr_list: Vec<Ipv4Addr> = all_addrs.iter().copied().collect();
-        let fingerprints = fingerprint_addresses(
-            &internet.net,
-            vps[0].gateway,
-            vps[0].addr,
-            &addr_list,
-            &te_ttls,
-            &snmp,
-        );
+        // Sorted for a deterministic batch split; each address is
+        // fingerprinted independently, so merging the disjoint batch
+        // maps is order-free.
+        let mut addr_list: Vec<Ipv4Addr> = all_addrs.into_iter().collect();
+        addr_list.sort_unstable();
+        let batch_len = addr_list.len().div_ceil(workers.max(1)).max(1);
+        let batches: Vec<&[Ipv4Addr]> = addr_list.chunks(batch_len).collect();
+        let batch_maps = pool::run_indexed(batches, workers, &|_, batch| {
+            fingerprint_addresses(
+                &internet.net,
+                vps[0].gateway,
+                vps[0].addr,
+                batch,
+                &te_ttls,
+                &snmp,
+            )
+        });
+        let mut fingerprints = HashMap::with_capacity(addr_list.len());
+        for map in batch_maps {
+            fingerprints.extend(map);
+        }
+        timings.fingerprint = stage.elapsed();
 
         // ---- Alias resolution (feeds the annotator) ----
+        let stage = Instant::now();
         let oracle = IpIdOracle::new(&internet.net);
-        let mut resolver = AliasResolver::new();
-        for (_, traces) in &raw_per_as {
+        let trace_groups: Vec<&Vec<Trace>> = raw_per_as.iter().collect();
+        let per_as_candidates = pool::run_indexed(trace_groups, workers, &|_, traces| {
             let paths: Vec<Vec<Ipv4Addr>> = traces
                 .iter()
                 .take(config.alias_paths_per_as)
                 .map(|t| t.responding_addrs().collect())
                 .collect();
-            resolver.add_candidates_from_paths(&paths);
+            AliasResolver::candidates_from_paths(&paths)
+        });
+        let mut resolver = AliasResolver::new();
+        for pairs in per_as_candidates {
+            resolver.add_candidates(pairs);
         }
         let clusters = resolver.resolve(&oracle, 5);
+        timings.alias = stage.elapsed();
 
-        // ---- AS annotation and restriction ----
+        // ---- AS annotation, restriction, and detection ----
+        let stage = Instant::now();
         let mut annotator = AsAnnotator::new(internet.ownership.iter().copied());
         annotator.attach_aliases(clusters);
 
-        let mut per_vp_discovered: HashMap<String, HashSet<Ipv4Addr>> = HashMap::new();
-        let mut results = Vec::with_capacity(60);
-        for (plan, (targets_probed, traces)) in internet.plans.iter().zip(&raw_per_as) {
-            let mut result = AsResult {
+        let plan_asns: Vec<AsNumber> = internet.plans.iter().map(|p| p.asn).collect();
+        // One work unit per raw trace; traces are *moved* into their
+        // unit, so restriction reuses the hop vector in place instead
+        // of copying spans out of it.
+        let units: Vec<(usize, Trace)> = raw_per_as
+            .into_iter()
+            .enumerate()
+            .flat_map(|(as_idx, traces)| traces.into_iter().map(move |trace| (as_idx, trace)))
+            .collect();
+        let processed = pool::run_indexed(units, workers, &|_, (as_idx, trace)| {
+            let outcome = process_trace(
+                trace,
+                &annotator,
+                plan_asns[as_idx],
+                &fingerprints,
+                &config.detector,
+            );
+            (as_idx, outcome)
+        });
+
+        let mut per_vp_discovered: HashMap<Arc<str>, HashSet<Ipv4Addr>> = HashMap::new();
+        let mut results: Vec<AsResult> = internet
+            .plans
+            .iter()
+            .zip(&target_lists)
+            .map(|(plan, targets)| AsResult {
                 id: plan.entry.id,
                 asn: plan.asn,
-                targets_probed: *targets_probed,
+                targets_probed: targets.len(),
                 restricted: Vec::new(),
                 augmented: Vec::new(),
                 segments: Vec::new(),
                 discovered: HashSet::new(),
-            };
-            for trace in traces {
-                let addrs: Vec<Option<Ipv4Addr>> = trace.hops.iter().map(|h| h.addr).collect();
-                let Some((first, last)) = annotator.intra_as_span(&addrs, plan.asn) else {
-                    continue;
-                };
-                // Collapse consecutive hops answering from the same
-                // address (the no-PHP "extra hop" artifact): standard
-                // traceroute post-processing, keeping the first reply
-                // (it carries the fuller RFC 4950 quote).
-                let mut hops = trace.hops[first..=last].to_vec();
-                hops.dedup_by(|b, a| a.addr.is_some() && a.addr == b.addr);
-                let restricted = Trace {
-                    vp: trace.vp.clone(),
-                    src: trace.src,
-                    dst: trace.dst,
-                    hops,
-                    reached: trace.reached,
-                };
-                for hop in &restricted.hops {
-                    if let Some(addr) = hop.addr {
-                        if annotator.annotate(addr) == Some(plan.asn) {
-                            result.discovered.insert(addr);
-                            per_vp_discovered.entry(trace.vp.clone()).or_default().insert(addr);
-                        }
-                    }
-                }
-                let augmented = augment(&restricted, &fingerprints);
-                let segments = detect_segments(&augmented, &config.detector);
-                result.restricted.push(restricted);
-                result.augmented.push(augmented);
-                result.segments.push(segments);
+            })
+            .collect();
+        // Units were submitted AS-major in trace order and come back
+        // in that same order, so this merge reproduces the sequential
+        // catalog layout exactly.
+        for (as_idx, outcome) in processed {
+            let Some(trace) = outcome else { continue };
+            let result = &mut results[as_idx];
+            let vp_set = per_vp_discovered.entry(trace.restricted.vp.clone()).or_default();
+            for addr in trace.discovered {
+                result.discovered.insert(addr);
+                vp_set.insert(addr);
             }
-            results.push(result);
+            result.restricted.push(trace.restricted);
+            result.augmented.push(trace.augmented);
+            result.segments.push(trace.segments);
         }
+        timings.detect = stage.elapsed();
 
-        Dataset {
+        let dataset = Dataset {
             internet,
             config,
             results,
@@ -239,7 +354,9 @@ impl Dataset {
             snmp,
             per_vp_discovered,
             raw_trace_count,
-        }
+        };
+        let stats = BuildStats { workers, timings, total: build_started.elapsed() };
+        (dataset, stats)
     }
 
     /// The result for paper identifier `id`.
@@ -255,8 +372,43 @@ impl Dataset {
     }
 }
 
+/// The per-trace pipeline tail: restrict to the intra-AS span,
+/// collapse the no-PHP extra-hop artifact, augment with fingerprints,
+/// and run the detector. Consumes the trace (hops are restricted in
+/// place — no span copy).
+fn process_trace(
+    trace: Trace,
+    annotator: &AsAnnotator,
+    asn: AsNumber,
+    fingerprints: &HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
+    detector: &DetectorConfig,
+) -> Option<ProcessedTrace> {
+    let (first, last) = annotator.intra_as_span(trace.hops.iter().map(|h| h.addr), asn)?;
+    let Trace { vp, src, dst, mut hops, reached } = trace;
+    hops.truncate(last + 1);
+    hops.drain(..first);
+    // Collapse consecutive hops answering from the same address (the
+    // no-PHP "extra hop" artifact): standard traceroute
+    // post-processing, keeping the first reply (it carries the fuller
+    // RFC 4950 quote).
+    hops.dedup_by(|b, a| a.addr.is_some() && a.addr == b.addr);
+    let mut discovered = Vec::new();
+    for hop in &hops {
+        if let Some(addr) = hop.addr {
+            if annotator.annotate(addr) == Some(asn) {
+                discovered.push(addr);
+            }
+        }
+    }
+    let restricted = Trace { vp, src, dst, hops, reached };
+    let augmented = augment(&restricted, fingerprints);
+    let segments = detect_segments(&augmented, detector);
+    Some(ProcessedTrace { restricted, augmented, segments, discovered })
+}
+
 /// Converts a restricted TNT trace into AReST's input form, attaching
-/// fingerprint evidence per hop.
+/// fingerprint evidence per hop. Label stacks and the VP name are
+/// shared with the input trace (`Arc`), not cloned.
 pub fn augment(
     trace: &Trace,
     fingerprints: &HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
@@ -318,7 +470,7 @@ mod tests {
     fn esnet_has_perfect_precision_against_ground_truth() {
         let ds = quick_dataset();
         let esnet = ds.result(46).unwrap();
-        let validation = arest_core::metrics::validate(&esnet.detections(), |addr| {
+        let validation = arest_core::metrics::validate(esnet.detections(), |addr| {
             ds.internet.ground_truth.is_sr(addr)
         });
         assert!(validation.total_segments() > 0);
@@ -340,5 +492,67 @@ mod tests {
     fn per_vp_discovery_covers_every_vp() {
         let ds = quick_dataset();
         assert_eq!(ds.per_vp_discovered.len(), ds.internet.vps.len());
+    }
+
+    /// Asserts two builds of the same config are result-identical:
+    /// same per-AS probe volume, trace sets, discovered addresses,
+    /// flag multisets, and per-VP discovery — the determinism
+    /// guarantee of the parallel scheduler.
+    fn assert_result_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.raw_trace_count, b.raw_trace_count, "raw trace count");
+        assert_eq!(a.results.len(), b.results.len());
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.targets_probed, rb.targets_probed, "AS#{} targets", ra.id);
+            assert_eq!(ra.discovered, rb.discovered, "AS#{} discovered set", ra.id);
+            let flags = |r: &AsResult| {
+                let mut flags: Vec<Flag> = r.all_segments().map(|s| s.flag).collect();
+                flags.sort_unstable();
+                flags
+            };
+            assert_eq!(flags(ra), flags(rb), "AS#{} flag multiset", ra.id);
+            assert_eq!(ra, rb, "AS#{} full result", ra.id);
+        }
+        assert_eq!(a.per_vp_discovered, b.per_vp_discovered, "per-VP discovery");
+        assert_eq!(a.fingerprints, b.fingerprints, "fingerprint map");
+    }
+
+    #[test]
+    fn parallel_build_matches_single_worker_quick_config() {
+        let mut config = PipelineConfig::quick();
+        config.workers = Some(1);
+        let serial = Dataset::build(config);
+        config.workers = Some(4);
+        let parallel = Dataset::build(config);
+        assert_result_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn parallel_build_matches_single_worker_default_shape() {
+        // The default config at a trimmed generator scale: default
+        // detector, default per-AS target cap, fewer VPs so the
+        // double build stays test-sized. Checked in depth on the
+        // largest AS (#58, Arelion).
+        let mut config = PipelineConfig::default();
+        config.gen.scale = 0.02;
+        config.gen.vp_count = 6;
+        config.workers = Some(1);
+        let serial = Dataset::build(config);
+        config.workers = Some(4);
+        let parallel = Dataset::build(config);
+        assert_result_identical(&serial, &parallel);
+        let arelion = (serial.result(58).unwrap(), parallel.result(58).unwrap());
+        assert!(!arelion.0.restricted.is_empty());
+        assert_eq!(arelion.0.restricted, arelion.1.restricted);
+        assert_eq!(arelion.0.augmented, arelion.1.augmented);
+        assert_eq!(arelion.0.segments, arelion.1.segments);
+    }
+
+    #[test]
+    fn build_with_stats_reports_stage_timings() {
+        let (_, stats) = Dataset::build_with_stats(PipelineConfig::quick());
+        assert!(stats.workers >= 1);
+        let staged: Duration = stats.timings.stages().iter().map(|(_, d)| *d).sum();
+        assert!(staged <= stats.total, "stages are disjoint slices of the build");
+        assert!(stats.timings.probe > Duration::ZERO, "probing cannot be instantaneous");
     }
 }

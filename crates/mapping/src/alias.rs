@@ -63,7 +63,11 @@ impl AliasResolver {
     /// at the same position (±1) across traces from the same vantage
     /// point — their path-length estimates agree, so they *could* sit
     /// on one router.
-    pub fn add_candidates_from_paths(&mut self, paths: &[Vec<Ipv4Addr>]) {
+    ///
+    /// A pure function (no resolver state) so per-AS candidate sets
+    /// can be computed on worker threads and merged afterwards with
+    /// [`AliasResolver::add_candidates`].
+    pub fn candidates_from_paths(paths: &[Vec<Ipv4Addr>]) -> Vec<(Ipv4Addr, Ipv4Addr)> {
         let mut by_position: HashMap<usize, Vec<Ipv4Addr>> = HashMap::new();
         for path in paths {
             for (pos, &addr) in path.iter().enumerate() {
@@ -73,6 +77,7 @@ impl AliasResolver {
                 }
             }
         }
+        let mut candidates = Vec::new();
         let mut seen: std::collections::HashSet<(Ipv4Addr, Ipv4Addr)> = Default::default();
         for (&pos, bucket) in &by_position {
             // Same position, and one off.
@@ -85,11 +90,22 @@ impl AliasResolver {
                     let key =
                         if pool[i] < pool[j] { (pool[i], pool[j]) } else { (pool[j], pool[i]) };
                     if key.0 != key.1 && seen.insert(key) {
-                        self.candidates.push(key);
+                        candidates.push(key);
                     }
                 }
             }
         }
+        candidates
+    }
+
+    /// Queues the candidates of [`AliasResolver::candidates_from_paths`].
+    pub fn add_candidates_from_paths(&mut self, paths: &[Vec<Ipv4Addr>]) {
+        self.add_candidates(Self::candidates_from_paths(paths));
+    }
+
+    /// Queues pre-computed candidate pairs.
+    pub fn add_candidates(&mut self, pairs: impl IntoIterator<Item = (Ipv4Addr, Ipv4Addr)>) {
+        self.candidates.extend(pairs);
     }
 
     /// Adds one explicit candidate pair.

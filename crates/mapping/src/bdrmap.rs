@@ -66,20 +66,23 @@ impl AsAnnotator {
     /// The contiguous span of `addrs` (a trace's responding hops)
     /// annotated to `asn`: `(first, last)` indices, inclusive.
     ///
+    /// Takes any iterator of per-hop addresses (e.g. mapping a hop
+    /// slice directly), so callers need not materialize an address
+    /// vector per trace.
+    ///
     /// Returns `None` when the trace never enters the AS. Hops inside
     /// the span that fail to annotate (silent or unknown) are kept —
     /// they sit between two hops of the AS, so bdrmapIT would assign
     /// them inward too.
-    pub fn intra_as_span(
-        &self,
-        addrs: &[Option<Ipv4Addr>],
-        asn: AsNumber,
-    ) -> Option<(usize, usize)> {
+    pub fn intra_as_span<I>(&self, addrs: I, asn: AsNumber) -> Option<(usize, usize)>
+    where
+        I: IntoIterator<Item = Option<Ipv4Addr>>,
+    {
         let mut first = None;
         let mut last = None;
-        for (idx, addr) in addrs.iter().enumerate() {
+        for (idx, addr) in addrs.into_iter().enumerate() {
             if let Some(addr) = addr {
-                if self.annotate(*addr) == Some(asn) {
+                if self.annotate(addr) == Some(asn) {
                     if first.is_none() {
                         first = Some(idx);
                     }
@@ -147,8 +150,8 @@ mod tests {
             Some(Ipv4Addr::new(10, 2, 0, 9)),  // AS200
             Some(Ipv4Addr::new(10, 1, 0, 1)),  // AS100
         ];
-        assert_eq!(a.intra_as_span(&addrs, AsNumber(200)), Some((1, 3)));
-        assert_eq!(a.intra_as_span(&addrs, AsNumber(100)), Some((4, 4)));
-        assert_eq!(a.intra_as_span(&addrs, AsNumber(999)), None);
+        assert_eq!(a.intra_as_span(addrs.iter().copied(), AsNumber(200)), Some((1, 3)));
+        assert_eq!(a.intra_as_span(addrs.iter().copied(), AsNumber(100)), Some((4, 4)));
+        assert_eq!(a.intra_as_span(addrs, AsNumber(999)), None);
     }
 }

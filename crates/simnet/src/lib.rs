@@ -36,3 +36,21 @@ pub mod plane;
 pub use network::Network;
 pub use packet::{DropReason, ProbeReply, ProbeSpec, SimPacket, TransportPayload};
 pub use plane::{Route, RouterPlane};
+
+/// Thread-safety audit: the measurement pipeline shares one
+/// `&Network` across its worker pool, so `Network` (and everything it
+/// owns — topology, per-router planes, IGP state) must stay `Send`
+/// and `Sync`. This is a compile-time assertion: adding a field with
+/// interior mutability (`Cell`, `Rc`, …) breaks the build here rather
+/// than racing in a campaign.
+#[cfg(test)]
+mod thread_safety {
+    const fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn network_is_shareable_across_workers() {
+        assert_send_sync::<super::Network>();
+        assert_send_sync::<super::RouterPlane>();
+        assert_send_sync::<super::ProbeReply>();
+    }
+}

@@ -2,23 +2,30 @@
 //!
 //! The paper probes each target list from 50 geographically spread
 //! VPs, shuffling targets per VP (§5). This module reproduces that
-//! schedule: every VP traces the same targets in a VP-specific order,
-//! in parallel (one thread per VP, as the network is immutable during
-//! a campaign).
+//! schedule as `(AS, VP)` work units: every AS campaign contributes
+//! one unit per vantage point, and all units of all campaigns are fed
+//! through the shared work-stealing pool ([`crate::pool`]) so a
+//! 60-AS build saturates the machine instead of serializing AS after
+//! AS. The merge is deterministic — traces come back grouped by AS,
+//! VP-major within an AS — so the result is identical at any worker
+//! count.
 
+use crate::pool;
 use crate::reveal::trace_with_revelation;
 use crate::trace::Trace;
 use crate::tracer::TraceConfig;
 use arest_simnet::Network;
 use arest_topo::ids::RouterId;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// A measurement vantage point: a host address and the router its
 /// probes enter the network through.
 #[derive(Debug, Clone)]
 pub struct VantagePoint {
-    /// Human-readable name (e.g. "VM12-paris").
-    pub name: String,
+    /// Human-readable name (e.g. "VM12-paris"), interned so every
+    /// trace of a campaign shares the same allocation.
+    pub name: Arc<str>,
     /// The VP's source address.
     pub addr: Ipv4Addr,
     /// The first router that processes the VP's probes.
@@ -41,7 +48,33 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Runs the campaign: every VP traces every target, with the target
+/// One `(AS, VP)` work unit: a vantage point traces one AS's target
+/// list in its VP-specific order.
+fn trace_unit(
+    net: &Network,
+    vp: &VantagePoint,
+    targets: &[Ipv4Addr],
+    config: &CampaignConfig,
+) -> Vec<Trace> {
+    let mut order: Vec<Ipv4Addr> = targets.to_vec();
+    shuffle_for_vp(&mut order, vp.addr);
+    order
+        .into_iter()
+        .map(|dst| {
+            let mut trace = if config.reveal {
+                trace_with_revelation(net, &vp.name, vp.gateway, vp.addr, dst, &config.trace)
+            } else {
+                crate::tracer::trace_route(net, &vp.name, vp.gateway, vp.addr, dst, &config.trace)
+            };
+            // Intern the VP name: one shared allocation per VP instead
+            // of one string per trace.
+            trace.vp = Arc::clone(&vp.name);
+            trace
+        })
+        .collect()
+}
+
+/// Runs one campaign: every VP traces every target, with the target
 /// order shuffled per VP (deterministically) to avoid looking like an
 /// attack, exactly as §5 describes. Returns all traces, grouped by VP
 /// in VP order.
@@ -51,56 +84,49 @@ pub fn run_campaign(
     targets: &[Ipv4Addr],
     config: &CampaignConfig,
 ) -> Vec<Trace> {
-    let mut per_vp: Vec<Vec<Trace>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = vps
-            .iter()
-            .map(|vp| {
-                scope.spawn(move |_| {
-                    let mut order: Vec<Ipv4Addr> = targets.to_vec();
-                    shuffle_for_vp(&mut order, vp.addr);
-                    order
-                        .into_iter()
-                        .map(|dst| {
-                            if config.reveal {
-                                trace_with_revelation(
-                                    net,
-                                    &vp.name,
-                                    vp.gateway,
-                                    vp.addr,
-                                    dst,
-                                    &config.trace,
-                                )
-                            } else {
-                                crate::tracer::trace_route(
-                                    net,
-                                    &vp.name,
-                                    vp.gateway,
-                                    vp.addr,
-                                    dst,
-                                    &config.trace,
-                                )
-                            }
-                        })
-                        .collect::<Vec<Trace>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            // Surface a worker panic with its original payload instead
-            // of wrapping it in a second, less informative one.
-            match handle.join() {
-                Ok(traces) => per_vp.push(traces),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    })
-    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-    per_vp.into_iter().flatten().collect()
+    let lists = [targets.to_vec()];
+    run_campaigns(net, vps, &lists, config, pool::worker_count()).pop().unwrap_or_default()
 }
 
-/// Deterministic per-VP Fisher–Yates shuffle keyed on the VP address.
-fn shuffle_for_vp(targets: &mut [Ipv4Addr], vp_addr: Ipv4Addr) {
+/// Runs many campaigns (one target list per AS) as a single batch of
+/// `(AS, VP)` work units over a pool of `workers` threads.
+///
+/// Returns one trace vector per target list, each grouped by VP in VP
+/// order — element `i` is exactly what `run_campaign` would return
+/// for `target_lists[i]`, regardless of worker count.
+pub fn run_campaigns(
+    net: &Network,
+    vps: &[VantagePoint],
+    target_lists: &[Vec<Ipv4Addr>],
+    config: &CampaignConfig,
+    workers: usize,
+) -> Vec<Vec<Trace>> {
+    let units: Vec<(usize, &VantagePoint, &[Ipv4Addr])> = target_lists
+        .iter()
+        .enumerate()
+        .filter(|(_, targets)| !targets.is_empty())
+        .flat_map(|(as_idx, targets)| vps.iter().map(move |vp| (as_idx, vp, targets.as_slice())))
+        .collect();
+
+    let per_unit = pool::run_indexed(units, workers, &|_, (as_idx, vp, targets)| {
+        (as_idx, trace_unit(net, vp, targets, config))
+    });
+
+    let mut out: Vec<Vec<Trace>> = Vec::with_capacity(target_lists.len());
+    out.resize_with(target_lists.len(), Vec::new);
+    // Units are ordered AS-major, VP-minor, and `run_indexed` merges
+    // in unit order, so extending per AS reproduces the sequential
+    // concatenation exactly.
+    for (as_idx, traces) in per_unit {
+        out[as_idx].extend(traces);
+    }
+    out
+}
+
+/// Deterministic per-VP Fisher–Yates shuffle keyed on the VP address
+/// (xorshift64*). Every VP visits the same target set in its own,
+/// reproducible order.
+pub fn shuffle_for_vp(targets: &mut [Ipv4Addr], vp_addr: Ipv4Addr) {
     let mut state = u64::from(u32::from(vp_addr)) | 1;
     let mut next = move || {
         // xorshift64*
@@ -119,20 +145,144 @@ fn shuffle_for_vp(targets: &mut [Ipv4Addr], vp_addr: Ipv4Addr) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arest_simnet::plane::Route;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::AsNumber;
+    use arest_topo::prefix::Prefix;
+    use arest_topo::vendor::Vendor;
+
+    fn base_targets() -> Vec<Ipv4Addr> {
+        (1..=16u8).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect()
+    }
 
     #[test]
-    fn shuffle_is_deterministic_and_vp_specific() {
-        let base: Vec<Ipv4Addr> = (1..=16u8).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect();
+    fn shuffle_is_deterministic_per_vp() {
+        let base = base_targets();
         let mut a = base.clone();
-        let mut b = base.clone();
-        let mut c = base.clone();
+        let mut b = base;
         shuffle_for_vp(&mut a, Ipv4Addr::new(192, 0, 2, 1));
         shuffle_for_vp(&mut b, Ipv4Addr::new(192, 0, 2, 1));
-        shuffle_for_vp(&mut c, Ipv4Addr::new(192, 0, 2, 2));
         assert_eq!(a, b, "same VP → same order");
-        assert_ne!(a, c, "different VP → different order");
-        let mut sorted = a.clone();
-        sorted.sort();
-        assert_eq!(sorted, base, "shuffle is a permutation");
+    }
+
+    #[test]
+    fn shuffle_differs_between_vps() {
+        let base = base_targets();
+        let mut a = base.clone();
+        let mut b = base;
+        shuffle_for_vp(&mut a, Ipv4Addr::new(192, 0, 2, 1));
+        shuffle_for_vp(&mut b, Ipv4Addr::new(192, 0, 2, 2));
+        assert_ne!(a, b, "different VP → different order");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let base = base_targets();
+        for vp in [Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(203, 0, 113, 7)] {
+            let mut shuffled = base.clone();
+            shuffle_for_vp(&mut shuffled, vp);
+            let mut sorted = shuffled;
+            sorted.sort();
+            assert_eq!(sorted, base, "no dropped or duplicated targets for {vp}");
+        }
+    }
+
+    /// A three-router chain with routes to every loopback, plus two
+    /// VPs entering at either end.
+    fn testbed() -> (Network, Vec<VantagePoint>, Vec<Ipv4Addr>) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_100);
+        let routers: Vec<RouterId> = (0..3u8)
+            .map(|i| {
+                topo.add_router(
+                    format!("c{i}"),
+                    asn,
+                    Vendor::Cisco,
+                    Ipv4Addr::new(10, 255, 10, i + 1),
+                )
+            })
+            .collect();
+        for i in 0..2u8 {
+            topo.add_link(
+                routers[i as usize],
+                Ipv4Addr::new(10, 10, i, 1),
+                routers[i as usize + 1],
+                Ipv4Addr::new(10, 10, i, 2),
+                1,
+            );
+        }
+        let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
+        let mut net = Network::new(topo);
+        let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
+        for &from in &routers {
+            for (&to, &lo) in routers.iter().zip(&loopbacks) {
+                if from == to {
+                    continue;
+                }
+                if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                    net.plane_mut(from)
+                        .install_route(Prefix::host(lo), Route { out_iface, next_router });
+                }
+            }
+        }
+        let vps = vec![
+            VantagePoint {
+                name: Arc::from("vp-a"),
+                addr: Ipv4Addr::new(192, 0, 2, 1),
+                gateway: routers[0],
+            },
+            VantagePoint {
+                name: Arc::from("vp-b"),
+                addr: Ipv4Addr::new(192, 0, 2, 2),
+                gateway: routers[2],
+            },
+        ];
+        (net, vps, loopbacks)
+    }
+
+    #[test]
+    fn campaigns_are_identical_at_any_worker_count() {
+        let (net, vps, loopbacks) = testbed();
+        let lists = vec![loopbacks.clone(), loopbacks[..2].to_vec()];
+        let config = CampaignConfig::default();
+        let serial = run_campaigns(&net, &vps, &lists, &config, 1);
+        for workers in [2, 4] {
+            let parallel = run_campaigns(&net, &vps, &lists, &config, workers);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].len(), vps.len() * loopbacks.len());
+    }
+
+    #[test]
+    fn run_campaign_matches_batched_equivalent() {
+        let (net, vps, loopbacks) = testbed();
+        let config = CampaignConfig::default();
+        let single = run_campaign(&net, &vps, &loopbacks, &config);
+        let lists = vec![loopbacks];
+        let batched = run_campaigns(&net, &vps, &lists, &config, 3);
+        assert_eq!(batched[0], single);
+    }
+
+    #[test]
+    fn traces_share_one_interned_vp_name_per_vp() {
+        let (net, vps, loopbacks) = testbed();
+        let traces = run_campaign(&net, &vps, &loopbacks, &CampaignConfig::default());
+        for trace in &traces {
+            let vp = vps.iter().find(|vp| vp.name == trace.vp).expect("known VP");
+            assert!(
+                Arc::ptr_eq(&trace.vp, &vp.name),
+                "trace VP names must be interned, not per-trace copies"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_target_lists_yield_empty_campaigns() {
+        let (net, vps, loopbacks) = testbed();
+        let lists = vec![Vec::new(), loopbacks];
+        let out = run_campaigns(&net, &vps, &lists, &CampaignConfig::default(), 2);
+        assert!(out[0].is_empty());
+        assert!(!out[1].is_empty());
     }
 }

@@ -21,21 +21,25 @@
 //!   explicit / implicit / opaque / invisible taxonomy.
 //! * [`multipath`] — MDA-style ECMP enumeration: vary the flow per
 //!   TTL to expose the branch diversity Paris-style probing pins.
-//! * [`campaign`] — the multi-vantage-point measurement driver
-//!   (parallel over VPs with crossbeam).
+//! * [`campaign`] — the multi-vantage-point measurement driver,
+//!   scheduled as `(AS, VP)` work units over the shared pool.
+//! * [`pool`] — the work-stealing worker pool every parallel pipeline
+//!   stage runs on, with a deterministic in-order merge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod multipath;
+pub mod pool;
 pub mod reveal;
 pub mod trace;
 pub mod tracer;
 pub mod tunnels;
 
-pub use campaign::{run_campaign, CampaignConfig, VantagePoint};
+pub use campaign::{run_campaign, run_campaigns, CampaignConfig, VantagePoint};
 pub use multipath::{multipath_trace, MdaConfig, MultipathTrace};
+pub use pool::{run_indexed, worker_count};
 pub use trace::{Hop, Trace};
 pub use tracer::{ping, trace_route, TraceConfig};
 pub use tunnels::{classify_tunnels, TunnelObservation};

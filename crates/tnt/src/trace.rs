@@ -2,6 +2,7 @@
 
 use arest_wire::mpls::LabelStack;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// One hop of a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,7 +15,9 @@ pub struct Hop {
     /// Round-trip time in microseconds, when a reply arrived.
     pub rtt_us: Option<u32>,
     /// The MPLS label stack quoted via RFC 4950, top entry first.
-    pub stack: Option<LabelStack>,
+    /// Shared (`Arc`) so restriction and augmentation reference one
+    /// allocation instead of deep-cloning per pipeline stage.
+    pub stack: Option<Arc<LabelStack>>,
     /// The TTL of the quoted IP header inside the ICMP error (the
     /// "qTTL"); values above 1 betray ttl-propagating tunnels.
     pub quoted_ip_ttl: Option<u8>,
@@ -50,15 +53,17 @@ impl Hop {
 
     /// Depth of the quoted label stack (0 when none was quoted).
     pub fn stack_depth(&self) -> usize {
-        self.stack.as_ref().map_or(0, LabelStack::depth)
+        self.stack.as_ref().map_or(0, |s| s.depth())
     }
 }
 
 /// A complete augmented trace from one vantage point to one target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
-    /// Name of the vantage point that ran the trace.
-    pub vp: String,
+    /// Name of the vantage point that ran the trace. Interned
+    /// (`Arc<str>`): every trace of a campaign shares one allocation
+    /// per VP.
+    pub vp: Arc<str>,
     /// Probe source address.
     pub src: Ipv4Addr,
     /// Probe destination address.
@@ -118,7 +123,7 @@ mod tests {
             ttl: 2,
             addr: Some(Ipv4Addr::new(10, 0, 0, 1)),
             rtt_us: Some(1200),
-            stack: Some(stack(&[16_005, 24_001])),
+            stack: Some(Arc::new(stack(&[16_005, 24_001]))),
             quoted_ip_ttl: Some(1),
             reply_ip_ttl: Some(253),
             revealed: false,

@@ -8,6 +8,7 @@ use arest_wire::icmp::IcmpMessage;
 use arest_wire::ipv4::Ipv4Packet;
 use arest_wire::udp::UdpPacket;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Traceroute configuration.
 #[derive(Debug, Clone, Copy)]
@@ -70,7 +71,7 @@ pub fn trace_route(
         }
     }
 
-    Trace { vp: vp_name.to_string(), src, dst, hops, reached }
+    Trace { vp: Arc::from(vp_name), src, dst, hops, reached }
 }
 
 /// Sends one ICMP echo request (used by TTL fingerprinting) and
@@ -153,7 +154,7 @@ fn hop_from_reply(reply: &ProbeReply, ttl: u8, ident: u16, src: Ipv4Addr, dst: I
                     hop.quoted_ip_ttl = Some(ip.ttl());
                 }
                 if let Some(ext) = msg.mpls_extension() {
-                    hop.stack = Some(ext.stack.clone());
+                    hop.stack = Some(Arc::new(ext.stack.clone()));
                 }
             }
             Err(_) => return Hop::silent(ttl),

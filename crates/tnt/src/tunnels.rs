@@ -174,7 +174,10 @@ mod tests {
 
     fn lse_hop(ttl: u8, label: u32, lse_ttl: u8) -> Hop {
         let mut h = hop(ttl);
-        h.stack = Some(LabelStack::from_labels(&[Label::new(label).unwrap()], lse_ttl));
+        h.stack = Some(std::sync::Arc::new(LabelStack::from_labels(
+            &[Label::new(label).unwrap()],
+            lse_ttl,
+        )));
         h
     }
 

@@ -30,7 +30,7 @@ fn main() {
     );
 
     let truth = &dataset.internet.ground_truth;
-    let validation = validate(&esnet.detections(), |addr| truth.is_sr(addr));
+    let validation = validate(esnet.detections(), |addr| truth.is_sr(addr));
 
     println!("\nTable 3 — validation on AS#46:");
     println!("{:<6}{:>8}{:>9}{:>9}{:>9}", "flag", "raw", "share", "TP", "FP");

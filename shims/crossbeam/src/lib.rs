@@ -1,10 +1,150 @@
-//! Offline shim for the `crossbeam::thread::scope` API used by the
-//! probing campaign, implemented on top of `std::thread::scope`
-//! (stable since Rust 1.63, which post-dates crossbeam's scoped
-//! threads). Source-compatible with the call shape
-//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... }).expect(..)`.
+//! Offline shim for the crossbeam APIs the workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads, implemented on top of
+//!   `std::thread::scope` (stable since Rust 1.63, which post-dates
+//!   crossbeam's scoped threads). Source-compatible with the call
+//!   shape `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... })`.
+//! * [`channel::unbounded`] — a multi-producer multi-consumer FIFO
+//!   channel (mutex + condvar) with crossbeam's disconnect semantics:
+//!   `recv` drains remaining messages after the last sender drops,
+//!   then reports disconnection.
 
 #![forbid(unsafe_code)]
+
+/// MPMC channels, mirroring the `crossbeam::channel` subset the
+/// work-stealing pipeline needs (`unbounded`, clonable ends,
+/// disconnect detection).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloning adds a producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloning adds a consumer (every message is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// `send` failed because every receiver was dropped; carries the
+    /// undeliverable message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// `recv` failed because the channel is empty and every sender
+    /// was dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only when all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared.queue.lock().expect("channel lock").push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last producer gone: wake every blocked receiver so
+                // it can observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is
+        /// empty but still connected. Returns `Err` once the channel
+        /// is empty *and* every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// A blocking iterator over messages, ending on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {
@@ -75,6 +215,48 @@ mod tests {
         })
         .expect("scope");
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn channel_is_fifo_and_disconnects() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5u32 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        let drained: Vec<u32> = rx.iter().collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4], "FIFO order, drained past disconnect");
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn channel_send_fails_without_receivers() {
+        let (tx, rx) = super::channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7u8), Err(super::channel::SendError(7)));
+    }
+
+    #[test]
+    fn channel_delivers_each_message_once_across_consumers() {
+        let (tx, rx) = super::channel::unbounded();
+        let n = 100u64;
+        let consumed: Vec<u64> = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| rx.iter().collect::<Vec<u64>>())
+                })
+                .collect();
+            for i in 0..n {
+                tx.send(i).expect("send");
+            }
+            drop(tx);
+            handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("scope");
+        let mut sorted = consumed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<u64>>(), "every message exactly once");
     }
 
     #[test]

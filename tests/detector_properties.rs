@@ -32,7 +32,7 @@ fn hop_strategy() -> impl Strategy<Value = AugmentedHop> {
                 stack: labels.map(|ls| {
                     let labels: Vec<Label> =
                         ls.into_iter().map(|l| Label::new(l).unwrap()).collect();
-                    LabelStack::from_labels(&labels, 1)
+                    std::sync::Arc::new(LabelStack::from_labels(&labels, 1))
                 }),
                 evidence,
                 revealed,

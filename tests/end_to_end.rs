@@ -36,7 +36,7 @@ fn esnet_validation_reproduces_table3() {
     let ds = dataset();
     let esnet = ds.result(46).unwrap();
     let truth = &ds.internet.ground_truth;
-    let validation = validate(&esnet.detections(), |a| truth.is_sr(a));
+    let validation = validate(esnet.detections(), |a| truth.is_sr(a));
     assert!(validation.total_segments() > 0, "ESnet must show segments");
     assert_eq!(validation.iface_false_positive, 0, "0% FP (Table 3)");
     assert_eq!(validation.iface_false_negative, 0, "0% FN (Table 3)");

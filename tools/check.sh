@@ -16,4 +16,8 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> bench-pipeline smoke run (timings informational, not gated)"
+cargo run --release -p arest-experiments --bin arest-experiments -- --quick bench-pipeline
+test -s BENCH_pipeline.json
+
 echo "==> all checks passed"
