@@ -17,7 +17,14 @@ use std::panic;
 /// variable when set (clamped to at least 1), otherwise the machine's
 /// available parallelism.
 pub fn worker_count() -> usize {
-    if let Ok(raw) = std::env::var("AREST_WORKERS") {
+    worker_count_from(std::env::var("AREST_WORKERS").ok().as_deref())
+}
+
+/// [`worker_count`] with the `AREST_WORKERS` value injected, so tests
+/// can exercise the parse paths without mutating the process
+/// environment (which races other tests in the same binary).
+fn worker_count_from(override_raw: Option<&str>) -> usize {
+    if let Some(raw) = override_raw {
         if let Ok(n) = raw.trim().parse::<usize>() {
             return n.max(1);
         }
@@ -144,16 +151,10 @@ mod tests {
 
     #[test]
     fn worker_count_honors_env_override() {
-        // `AREST_WORKERS` is read at call time; exercise the parse
-        // paths through a temporary override. Serial within this test.
-        let saved = std::env::var("AREST_WORKERS").ok();
-        std::env::set_var("AREST_WORKERS", "3");
-        assert_eq!(worker_count(), 3);
-        std::env::set_var("AREST_WORKERS", "0");
-        assert_eq!(worker_count(), 1, "clamped to at least one worker");
-        match saved {
-            Some(v) => std::env::set_var("AREST_WORKERS", v),
-            None => std::env::remove_var("AREST_WORKERS"),
-        }
+        assert_eq!(worker_count_from(Some("3")), 3);
+        assert_eq!(worker_count_from(Some(" 5 ")), 5, "whitespace trimmed");
+        assert_eq!(worker_count_from(Some("0")), 1, "clamped to at least one worker");
+        assert!(worker_count_from(Some("nonsense")) >= 1, "bad value falls back");
+        assert!(worker_count_from(None) >= 1, "unset falls back to hardware");
     }
 }

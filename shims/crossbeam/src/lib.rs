@@ -16,14 +16,22 @@
 /// disconnect detection).
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
+    /// Everything the condvar predicate depends on lives under one
+    /// mutex: a receiver's senders-gone check and the last sender's
+    /// decrement are serialized, so the disconnect notification can
+    /// never fire in the window between a receiver observing a live
+    /// sender and blocking (the classic lost-wakeup race).
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
+        state: Mutex<State<T>>,
         ready: Condvar,
-        senders: AtomicUsize,
-        receivers: AtomicUsize,
     }
 
     /// The sending half; cloning adds a producer.
@@ -50,21 +58,24 @@ pub mod channel {
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
             ready: Condvar::new(),
-            senders: AtomicUsize::new(1),
-            receivers: AtomicUsize::new(1),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
 
     impl<T> Sender<T> {
         /// Enqueues a message; fails only when all receivers are gone.
+        /// The check and the push happen under one lock, so a send
+        /// racing the final receiver drop reports `SendError` rather
+        /// than silently queueing to an unreachable channel.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            if state.receivers == 0 {
                 return Err(SendError(value));
             }
-            self.shared.queue.lock().expect("channel lock").push_back(value);
+            state.queue.push_back(value);
+            drop(state);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -72,16 +83,22 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            self.shared.state.lock().expect("channel lock").senders += 1;
             Sender { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
                 // Last producer gone: wake every blocked receiver so
-                // it can observe the disconnect.
+                // it can observe the disconnect. The decrement was
+                // serialized with recv's predicate check by the state
+                // mutex, so no receiver can block after missing this.
                 self.shared.ready.notify_all();
             }
         }
@@ -92,15 +109,15 @@ pub mod channel {
         /// empty but still connected. Returns `Err` once the channel
         /// is empty *and* every sender has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self.shared.queue.lock().expect("channel lock");
+            let mut state = self.shared.state.lock().expect("channel lock");
             loop {
-                if let Some(value) = queue.pop_front() {
+                if let Some(value) = state.queue.pop_front() {
                     return Ok(value);
                 }
-                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                if state.senders == 0 {
                     return Err(RecvError);
                 }
-                queue = self.shared.ready.wait(queue).expect("channel lock");
+                state = self.shared.ready.wait(state).expect("channel lock");
             }
         }
 
@@ -112,14 +129,14 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
-            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            self.shared.state.lock().expect("channel lock").receivers += 1;
             Receiver { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            self.shared.state.lock().expect("channel lock").receivers -= 1;
         }
     }
 
@@ -257,6 +274,30 @@ mod tests {
         let mut sorted = consumed;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..n).collect::<Vec<u64>>(), "every message exactly once");
+    }
+
+    #[test]
+    fn sender_drop_wakes_blocked_receivers() {
+        // Regression for a lost-wakeup race: the last sender dropping
+        // concurrently with receivers entering `recv` must never leave
+        // a receiver blocked forever. Many short rounds to give the
+        // race a window; each round must terminate with a disconnect.
+        for _ in 0..200 {
+            let (tx, rx) = super::channel::unbounded::<u8>();
+            super::thread::scope(|s| {
+                let waiters: Vec<_> = (0..2)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move |_| rx.recv())
+                    })
+                    .collect();
+                drop(tx);
+                for h in waiters {
+                    assert_eq!(h.join().expect("worker"), Err(super::channel::RecvError));
+                }
+            })
+            .expect("scope");
+        }
     }
 
     #[test]
