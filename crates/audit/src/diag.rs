@@ -196,8 +196,8 @@ impl AuditReport {
         self.errors().next().is_none()
     }
 
-    /// Renders the report as an aligned text table (see
-    /// [`crate::render`]).
+    /// Renders the report as an aligned text table: one row per
+    /// diagnostic, ordered by severity then check.
     pub fn to_text(&self) -> String {
         crate::render::render(self)
     }

@@ -40,6 +40,9 @@
 //! assert!(report.is_clean(), "{}", report.to_text());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod diag;
 mod interworking;
 mod labelspace;
@@ -61,6 +64,7 @@ pub fn audit_network(net: &Network) -> AuditReport {
     let mut report = AuditReport::new();
     network_checks(net, &mut report);
     report.finish();
+    record_obs(&report);
     report
 }
 
@@ -86,7 +90,22 @@ pub fn audit_internet(internet: &Internet) -> AuditReport {
         interworking::check_view(&internet.net, &view, &mut report);
     }
     report.finish();
+    record_obs(&report);
     report
+}
+
+/// Accounts one finished audit against the global `arest-obs`
+/// registry. Audits are cold (once per run), so inline registration
+/// is fine.
+fn record_obs(report: &AuditReport) {
+    let registry = arest_obs::global();
+    if registry.is_enabled() {
+        let (errors, warnings, infos) = report.counts();
+        registry.counter("audit.runs").inc();
+        registry.counter("audit.errors").add(errors as u64);
+        registry.counter("audit.warnings").add(warnings as u64);
+        registry.counter("audit.infos").add(infos as u64);
+    }
 }
 
 fn network_checks(net: &Network, report: &mut AuditReport) {

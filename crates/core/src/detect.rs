@@ -8,7 +8,46 @@
 use crate::flags::Flag;
 use crate::model::{AugmentedHop, AugmentedTrace};
 use crate::ranges::label_in_sr_range;
+use arest_obs::Counter;
 use arest_wire::mpls::Label;
+use std::sync::LazyLock;
+
+/// Cached handles into the global `arest-obs` registry: traces walked
+/// and per-flag segment detections (free when observability is off).
+struct ObsMetrics {
+    /// `core.detect.traces` — traces run through the detector.
+    traces: Counter,
+    /// `core.detect.segments` — segments detected across all flags.
+    segments: Counter,
+    /// `core.detect.flag.{cvr,co,lsvr,lvr,lso}`, indexed by
+    /// [`flag_slot`].
+    flags: [Counter; 5],
+}
+
+static OBS: LazyLock<ObsMetrics> = LazyLock::new(|| {
+    let registry = arest_obs::global();
+    ObsMetrics {
+        traces: registry.counter("core.detect.traces"),
+        segments: registry.counter("core.detect.segments"),
+        flags: [
+            registry.counter("core.detect.flag.cvr"),
+            registry.counter("core.detect.flag.co"),
+            registry.counter("core.detect.flag.lsvr"),
+            registry.counter("core.detect.flag.lvr"),
+            registry.counter("core.detect.flag.lso"),
+        ],
+    }
+});
+
+fn flag_slot(flag: Flag) -> usize {
+    match flag {
+        Flag::Cvr => 0,
+        Flag::Co => 1,
+        Flag::Lsvr => 2,
+        Flag::Lvr => 3,
+        Flag::Lso => 4,
+    }
+}
 
 /// Detector knobs. The defaults follow the paper; the alternatives
 /// exist for the ablation experiments.
@@ -176,6 +215,12 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
     }
 
     segments.sort_by_key(|s| (s.start, s.end));
+    let obs = &*OBS;
+    obs.traces.inc();
+    obs.segments.add(segments.len() as u64);
+    for segment in &segments {
+        obs.flags[flag_slot(segment.flag)].inc();
+    }
     segments
 }
 

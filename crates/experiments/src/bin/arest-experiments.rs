@@ -12,11 +12,19 @@
 //!   --seed <n>       generator seed (default 2025)
 //!   --workers <n>    worker threads (default: AREST_WORKERS / cores)
 //!   --out <dir>      also write each report to <dir>/<id>.txt
+//!   --obs            enable observability (same as AREST_OBS=1)
 //! ```
 //!
 //! `bench-pipeline` times every pipeline stage at one worker and at
 //! `--workers` (or the machine's parallelism), then writes
-//! `BENCH_pipeline.json` with per-stage seconds and the speedup.
+//! `BENCH_pipeline.json` with per-stage seconds, the speedup, and the
+//! host core count (a single-core host gets an explicit caveat).
+//!
+//! With observability on (`--obs` or `AREST_OBS=1`), every mode —
+//! explicit ids, `all`, and `bench-pipeline` — additionally writes the
+//! final metrics snapshot as `RUN_REPORT.txt` / `RUN_REPORT.csv` into
+//! `--out` (or the working directory). Metrics never alter experiment
+//! output: reports are byte-identical with observability on or off.
 
 use arest_experiments::pipeline::{BuildStats, Dataset, PipelineConfig};
 use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
@@ -39,6 +47,7 @@ fn main() {
             "--seed" => config.gen.seed = expect_value(&mut iter, "--seed"),
             "--workers" => config.workers = Some(expect_value(&mut iter, "--workers")),
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
+            "--obs" => arest_obs::global().set_enabled(true),
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
@@ -46,6 +55,7 @@ fn main() {
     }
     if ids.iter().any(|i| i == "bench-pipeline") {
         bench_pipeline(config);
+        write_run_report(out_dir.as_deref());
         return;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -83,6 +93,26 @@ fn main() {
             None => eprintln!("unknown experiment id: {id} (see --help)"),
         }
     }
+    write_run_report(out_dir.as_deref());
+}
+
+/// Writes the final `RUN_REPORT.txt` / `RUN_REPORT.csv` metrics
+/// artifacts when observability is on (`--obs` / `AREST_OBS=1`);
+/// otherwise a silent no-op, so default runs stay artifact-free.
+fn write_run_report(out_dir: Option<&str>) {
+    let registry = arest_obs::global();
+    if !registry.is_enabled() {
+        return;
+    }
+    let snapshot = registry.snapshot();
+    let dir = out_dir.unwrap_or(".");
+    let txt_path = format!("{dir}/RUN_REPORT.txt");
+    let csv_path = format!("{dir}/RUN_REPORT.csv");
+    std::fs::write(&txt_path, arest_experiments::run_report::to_text(&snapshot))
+        .expect("write RUN_REPORT.txt");
+    std::fs::write(&csv_path, arest_experiments::run_report::to_csv(&snapshot))
+        .expect("write RUN_REPORT.csv");
+    eprintln!("wrote {txt_path} and {csv_path}");
 }
 
 /// Builds the same dataset at one worker and at the requested worker
@@ -125,7 +155,14 @@ fn bench_pipeline(config: PipelineConfig) {
 
     // Hand-rolled JSON, like the rest of the suite (no serde).
     let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {available},\n"));
     json.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    if available == 1 {
+        json.push_str(
+            "  \"caveat\": \"single-core host: workers time-share one core, so the speedup \
+             measures scheduling overhead, not parallel scaling\",\n",
+        );
+    }
     json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, stats) in runs.iter().enumerate() {
@@ -156,7 +193,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
-         [--workers N] [--out DIR] <ids…|all|bench-pipeline>\nexperiments: {}",
+         [--workers N] [--out DIR] [--obs] <ids…|all|bench-pipeline>\nexperiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -30,6 +30,7 @@ pub mod exp_longitudinal;
 pub mod exp_validation;
 pub mod pipeline;
 pub mod render;
+pub mod run_report;
 
 pub use pipeline::{AsResult, Dataset, PipelineConfig};
 pub use render::{Report, Table};

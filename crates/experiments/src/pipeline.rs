@@ -356,6 +356,20 @@ impl Dataset {
             raw_trace_count,
         };
         let stats = BuildStats { workers, timings, total: build_started.elapsed() };
+        // Publish stage wall-clock and volume into the global
+        // observability registry (rendered into RUN_REPORT). Cold —
+        // once per build — so inline registration is fine.
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+            for (name, duration) in stats.timings.stages() {
+                registry.histogram(&format!("pipeline.stage.{name}.us")).record(us(duration));
+            }
+            registry.histogram("pipeline.total.us").record(us(stats.total));
+            registry.counter("pipeline.builds").inc();
+            registry.counter("pipeline.raw_traces").add(dataset.raw_trace_count as u64);
+            registry.gauge("pipeline.workers").set(workers as i64);
+        }
         (dataset, stats)
     }
 

@@ -1,0 +1,125 @@
+//! `RUN_REPORT` rendering: turns a captured [`arest_obs::Snapshot`]
+//! into the text and CSV artifacts the experiment runner writes.
+//!
+//! Metric names follow the suite-wide `crate.subsystem.metric` scheme
+//! (durations end in `.us`), and [`Snapshot`] keeps them in `BTreeMap`s,
+//! so both renderings are deterministic and group related metrics by
+//! their dotted prefix without any extra sorting here.
+
+use crate::render::Table;
+use arest_obs::Snapshot;
+use core::fmt::Write as _;
+
+/// Renders the snapshot as an aligned text report: one table per
+/// metric kind (counters, gauges, histograms), skipping kinds with no
+/// registered metrics.
+pub fn to_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "RUN_REPORT: arest-obs metrics snapshot");
+    let _ = writeln!(out, "{}", "=".repeat(38));
+
+    if !snap.counters.is_empty() {
+        let mut table = Table::new(["counter", "value"]);
+        for (name, value) in &snap.counters {
+            table.row([name.clone(), value.to_string()]);
+        }
+        let _ = write!(out, "\ncounters\n--------\n{}", table.to_text());
+    }
+    if !snap.gauges.is_empty() {
+        let mut table = Table::new(["gauge", "level"]);
+        for (name, level) in &snap.gauges {
+            table.row([name.clone(), level.to_string()]);
+        }
+        let _ = write!(out, "\ngauges\n------\n{}", table.to_text());
+    }
+    if !snap.histograms.is_empty() {
+        let mut table = Table::new(["histogram", "count", "sum", "mean", "p50", "p99"]);
+        for (name, hist) in &snap.histograms {
+            table.row([
+                name.clone(),
+                hist.count.to_string(),
+                hist.sum.to_string(),
+                format!("{:.1}", hist.mean()),
+                hist.quantile(0.5).to_string(),
+                hist.quantile(0.99).to_string(),
+            ]);
+        }
+        let _ = write!(out, "\nhistograms (quantiles are log2-bucket upper bounds)\n");
+        let _ =
+            write!(out, "---------------------------------------------------\n{}", table.to_text());
+    }
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        out.push_str("\n(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Renders the snapshot as one flat CSV with a `kind` discriminator.
+/// Counter/gauge rows fill only `value`; histogram rows fill the
+/// aggregate columns and leave `value` empty.
+pub fn to_csv(snap: &Snapshot) -> String {
+    let mut table = Table::new(["kind", "name", "value", "count", "sum", "mean", "p50", "p99"]);
+    for (name, value) in &snap.counters {
+        table.row([String::from("counter"), name.clone(), value.to_string()]);
+    }
+    for (name, level) in &snap.gauges {
+        table.row([String::from("gauge"), name.clone(), level.to_string()]);
+    }
+    for (name, hist) in &snap.histograms {
+        table.row([
+            String::from("histogram"),
+            name.clone(),
+            String::new(),
+            hist.count.to_string(),
+            hist.sum.to_string(),
+            format!("{:.1}", hist.mean()),
+            hist.quantile(0.5).to_string(),
+            hist.quantile(0.99).to_string(),
+        ]);
+    }
+    table.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_obs::Registry;
+
+    fn sample() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("simnet.probes").add(42);
+        registry.gauge("tnt.pool.queue_depth").set(-3);
+        let h = registry.histogram("pipeline.stage.probe.us");
+        h.record(100);
+        h.record(900);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn text_report_lists_every_metric_kind() {
+        let text = to_text(&sample());
+        assert!(text.contains("counters"), "{text}");
+        assert!(text.contains("simnet.probes"));
+        assert!(text.contains("42"));
+        assert!(text.contains("tnt.pool.queue_depth"));
+        assert!(text.contains("-3"));
+        assert!(text.contains("pipeline.stage.probe.us"));
+        assert!(text.contains("500.0"), "mean of 100 and 900: {text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = to_text(&Snapshot::default());
+        assert!(text.contains("(no metrics recorded)"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_metric_plus_header() {
+        let csv = to_csv(&sample());
+        assert_eq!(csv.lines().count(), 4, "{csv}");
+        assert!(csv.starts_with("kind,name,value,count,sum,mean,p50,p99\n"));
+        assert!(csv.contains("counter,simnet.probes,42"));
+        assert!(csv.contains("gauge,tnt.pool.queue_depth,-3"));
+        assert!(csv.contains("histogram,pipeline.stage.probe.us,,2,1000,500.0,128,1024"));
+    }
+}

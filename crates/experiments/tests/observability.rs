@@ -1,0 +1,50 @@
+//! Observability must never perturb results: rendering every
+//! experiment with `AREST_OBS` off and on has to produce byte-identical
+//! reports, while the enabled run actually accumulates metrics.
+//!
+//! Single test on purpose: it toggles the process-global registry, so
+//! it must not share this binary with other tests that read it.
+
+use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
+
+fn render_all() -> Vec<String> {
+    let dataset = Dataset::build(PipelineConfig::quick());
+    ALL_EXPERIMENTS
+        .iter()
+        .map(|id| run_experiment(id, &dataset).expect("known experiment id").render())
+        .collect()
+}
+
+#[test]
+fn experiment_outputs_are_byte_identical_with_observability_on_and_off() {
+    let registry = arest_obs::global();
+
+    // Pin the disabled state (the harness may export AREST_OBS) and
+    // prove a disabled run leaves the registry untouched.
+    registry.set_enabled(false);
+    let before_off = registry.snapshot();
+    let reports_off = render_all();
+    assert!(
+        registry.snapshot().diff(&before_off).is_zero(),
+        "disabled registry must record nothing during a full build"
+    );
+
+    registry.set_enabled(true);
+    let before_on = registry.snapshot();
+    let reports_on = render_all();
+    let delta = registry.snapshot().diff(&before_on);
+    registry.set_enabled(false);
+
+    assert_eq!(reports_off, reports_on, "reports must not depend on observability");
+
+    // The enabled run must have seen the whole pipeline: probing,
+    // stage timing, and detection all leave counters behind.
+    assert!(delta.counter("simnet.probes") > 0, "probe path uncounted");
+    assert!(delta.counter("pipeline.builds") >= 1, "build uncounted");
+    assert!(delta.counter("core.detect.traces") > 0, "detection uncounted");
+    assert!(
+        delta.histogram("pipeline.stage.generate.us").is_some_and(|h| h.count >= 1),
+        "stage timings missing"
+    );
+}

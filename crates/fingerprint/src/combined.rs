@@ -8,11 +8,38 @@
 
 use crate::snmp::SnmpDataset;
 use crate::ttl::{ping_echo_ttl, ttl_class, TtlClass, TtlSignature};
+use arest_obs::Counter;
 use arest_simnet::Network;
 use arest_topo::ids::RouterId;
 use arest_topo::vendor::Vendor;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::LazyLock;
+
+/// Cached handles into the global `arest-obs` registry (free when
+/// observability is disabled).
+struct Metrics {
+    /// `fingerprint.addresses` — addresses submitted for fusion.
+    addresses: Counter,
+    /// `fingerprint.snmp_hits` — resolved exactly from the SNMPv3
+    /// dataset (takes precedence, §5).
+    snmp_hits: Counter,
+    /// `fingerprint.ttl_hits` — resolved to Cisco-or-Huawei by the TTL
+    /// signature.
+    ttl_hits: Counter,
+    /// `fingerprint.unresolved` — addresses yielding no evidence.
+    unresolved: Counter,
+}
+
+static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
+    let registry = arest_obs::global();
+    Metrics {
+        addresses: registry.counter("fingerprint.addresses"),
+        snmp_hits: registry.counter("fingerprint.snmp_hits"),
+        ttl_hits: registry.counter("fingerprint.ttl_hits"),
+        unresolved: registry.counter("fingerprint.unresolved"),
+    }
+});
 
 /// Which method produced a fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,26 +85,35 @@ pub fn fingerprint_addresses(
     te_reply_ttls: &HashMap<Ipv4Addr, u8>,
     snmp: &SnmpDataset,
 ) -> HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)> {
+    let metrics = &*METRICS;
+    metrics.addresses.add(addrs.len() as u64);
     let mut out = HashMap::new();
     for &addr in addrs {
         // SNMPv3 takes precedence.
         if let Some(vendor) = snmp.lookup(addr) {
             out.insert(addr, (VendorEvidence::Exact(vendor), FingerprintSource::Snmp));
+            metrics.snmp_hits.inc();
             continue;
         }
         // TTL signature needs both an echo reply and a TE observation.
         let Some(&te_ttl) = te_reply_ttls.get(&addr) else {
+            metrics.unresolved.inc();
             continue;
         };
         let Some(echo_ttl) = ping_echo_ttl(net, entry, src, addr) else {
+            metrics.unresolved.inc();
             continue;
         };
         let signature = TtlSignature::from_observed(echo_ttl, te_ttl);
         if ttl_class(signature) == TtlClass::CiscoOrHuawei {
             out.insert(addr, (VendorEvidence::CiscoOrHuawei, FingerprintSource::Ttl));
+            metrics.ttl_hits.inc();
+        } else {
+            // Other TTL classes carry no SR-range knowledge (no
+            // published default blocks), so they contribute no
+            // evidence.
+            metrics.unresolved.inc();
         }
-        // Other TTL classes carry no SR-range knowledge (no published
-        // default blocks), so they contribute no evidence.
     }
     out
 }

@@ -141,6 +141,10 @@ impl AliasResolver {
     /// Tests every candidate pair and clusters the aliases
     /// (union–find). Returns `address → cluster id`.
     pub fn resolve(&self, oracle: &IpIdOracle<'_>, rounds: u32) -> HashMap<Ipv4Addr, usize> {
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            registry.counter("mapping.alias.candidates").add(self.candidates.len() as u64);
+        }
         // Union–find over the addresses appearing in candidates.
         let mut index: HashMap<Ipv4Addr, usize> = HashMap::new();
         let mut parent: Vec<usize> = Vec::new();
@@ -173,13 +177,19 @@ impl AliasResolver {
                 id_of(b, &mut parent, &mut index);
             }
         }
-        index
+        let resolved: HashMap<Ipv4Addr, usize> = index
             .into_iter()
             .map(|(addr, id)| {
                 let root = find(&mut parent, id);
                 (addr, root)
             })
-            .collect()
+            .collect();
+        if registry.is_enabled() {
+            let clusters: std::collections::HashSet<usize> = resolved.values().copied().collect();
+            registry.counter("mapping.alias.addresses").add(resolved.len() as u64);
+            registry.counter("mapping.alias.clusters").add(clusters.len() as u64);
+        }
+        resolved
     }
 }
 

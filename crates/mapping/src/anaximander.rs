@@ -56,6 +56,13 @@ pub fn build_target_list(
     if config.max_targets > 0 {
         targets.truncate(config.max_targets);
     }
+    // Target-list construction is cold (once per AS), so registering
+    // against the global registry inline is fine.
+    let registry = arest_obs::global();
+    if registry.is_enabled() {
+        registry.counter("mapping.target_lists").inc();
+        registry.counter("mapping.targets").add(targets.len() as u64);
+    }
     targets
 }
 

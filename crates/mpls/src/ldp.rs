@@ -118,6 +118,13 @@ impl LdpDomain {
             }
         }
 
+        // Domain builds are cold (once per AS at generation), so
+        // registering against the global registry inline is fine.
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            registry.counter("mpls.ldp.domains").inc();
+            registry.counter("mpls.ldp.bindings").add(domain.bindings.len() as u64);
+        }
         domain
     }
 

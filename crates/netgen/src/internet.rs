@@ -163,6 +163,8 @@ impl PairAlloc {
 
 /// Generates the full synthetic Internet.
 pub fn generate(config: &GenConfig) -> Internet {
+    let registry = arest_obs::global();
+    let _timer = registry.timer("netgen.generate.us");
     let mut topo = Topology::new();
 
     // ---- Phase 1: AS topologies ----
@@ -380,6 +382,15 @@ pub fn generate(config: &GenConfig) -> Internet {
         }
     }
 
+    if registry.is_enabled() {
+        // Generation is cold (once per run), so registering here
+        // instead of caching handles in a static is fine.
+        registry.counter("netgen.internets").inc();
+        registry.counter("netgen.routers").add(net.topo().router_count() as u64);
+        registry.counter("netgen.links").add(net.topo().link_count() as u64);
+        registry.counter("netgen.vps").add(vps.len() as u64);
+        registry.counter("netgen.bgp_routes").add(routes.len() as u64);
+    }
     Internet { net, plans, vps, routes, ownership, ground_truth, label_records }
 }
 

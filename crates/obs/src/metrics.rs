@@ -1,0 +1,218 @@
+//! The three metric primitives and their shared cells.
+//!
+//! A handle ([`Counter`], [`Gauge`], [`Histogram`]) is two `Arc`s: the
+//! metric's cell and the owning registry's enabled gate. Cloning a
+//! handle is cheap and every clone observes the same cell, so
+//! instrumented code caches handles in statics and records through
+//! them from any thread.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds zero-valued samples,
+/// bucket `i` (1..=64) holds samples in `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a sample lands in: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The `[lower, upper)` value range of bucket `index` (upper bound is
+/// inclusive `u64::MAX` for the last bucket).
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 1),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), 1 << i),
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    pub(crate) value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    pub(crate) value: AtomicI64,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> HistogramCell {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A monotonically increasing counter. Increments are relaxed atomic
+/// adds; when the owning registry is disabled they are skipped
+/// entirely (one relaxed load, no write, no allocation).
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) gate: Arc<AtomicBool>,
+    pub(crate) cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level that can move both ways (queue depths, in-flight
+/// work). Same gating rules as [`Counter`].
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    pub(crate) gate: Arc<AtomicBool>,
+    pub(crate) cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram with fixed log₂-scale buckets (see [`BUCKETS`]):
+/// resolution within 2× everywhere across the full `u64` range with a
+/// constant, allocation-free footprint. Duration histograms record
+/// microseconds and end in `.us` by convention.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) gate: Arc<AtomicBool>,
+    pub(crate) cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.cell.count.fetch_add(1, Ordering::Relaxed);
+            self.cell.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.cell.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_follows_log2_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let registry = crate::Registry::new();
+        let counter = registry.counter("c");
+        let histogram = registry.histogram("h");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                let histogram = histogram.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        counter.inc();
+                        histogram.record(i % 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 80_000);
+        assert_eq!(histogram.count(), 80_000);
+        let snap = registry.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.buckets.iter().sum::<u64>(), hs.count, "buckets stay consistent");
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (1, 2));
+        assert_eq!(bucket_bounds(4), (8, 16));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        // Every bucket's lower bound maps back to that bucket, and the
+        // value just below it maps to the previous one.
+        for i in 1..BUCKETS {
+            let (lo, _) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "below bucket {i}");
+        }
+    }
+}

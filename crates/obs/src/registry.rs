@@ -1,0 +1,277 @@
+//! The metric registry and the process-wide global instance.
+
+use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::timer::ScopedTimer;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+
+/// One registered metric's shared cell.
+#[derive(Debug, Clone)]
+enum MetricCell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl MetricCell {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricCell::Counter(_) => "counter",
+            MetricCell::Gauge(_) => "gauge",
+            MetricCell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics behind one enabled/disabled gate.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a lock and may
+/// allocate; instrumented code therefore registers once (typically in
+/// a `LazyLock` static) and records through the returned handles,
+/// which are gate-checked relaxed atomics. Requesting an existing name
+/// returns a handle to the same cell; requesting an existing name as a
+/// *different* metric kind panics — that is a programming error, not a
+/// runtime condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    gate: Arc<AtomicBool>,
+    metrics: Mutex<BTreeMap<String, MetricCell>>,
+}
+
+impl Registry {
+    /// An enabled registry (the natural default for tests and direct
+    /// library use; the [`global`] registry instead starts from
+    /// `AREST_OBS`).
+    #[must_use]
+    pub fn new() -> Registry {
+        let registry = Registry::default();
+        registry.set_enabled(true);
+        registry
+    }
+
+    /// A disabled registry: handles still register, records are
+    /// skipped.
+    #[must_use]
+    pub fn disabled() -> Registry {
+        Registry::default()
+    }
+
+    /// Turns recording on or off. Handles created earlier observe the
+    /// change immediately (they share the gate).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.gate.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether records are currently being kept.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.gate.load(Ordering::Relaxed)
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = self.cell_for(name, || MetricCell::Counter(Arc::default()));
+        match cell {
+            MetricCell::Counter(cell) => Counter { gate: Arc::clone(&self.gate), cell },
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = self.cell_for(name, || MetricCell::Gauge(Arc::default()));
+        match cell {
+            MetricCell::Gauge(cell) => Gauge { gate: Arc::clone(&self.gate), cell },
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let cell = self.cell_for(name, || MetricCell::Histogram(Arc::default()));
+        match cell {
+            MetricCell::Histogram(cell) => Histogram { gate: Arc::clone(&self.gate), cell },
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Starts a scoped timer that, when dropped (or explicitly
+    /// [`ScopedTimer::stop`]ped), records the elapsed **microseconds**
+    /// into the histogram named `name` (by convention ending in
+    /// `.us`). When the registry is disabled at creation the timer is
+    /// a no-op: it never reads the clock.
+    pub fn timer(&self, name: &str) -> ScopedTimer {
+        if self.is_enabled() {
+            ScopedTimer::started(self.histogram(name))
+        } else {
+            ScopedTimer::noop()
+        }
+    }
+
+    /// Captures every registered metric's current value. Works whether
+    /// or not the registry is enabled (a disabled registry snapshots
+    /// the zeros it accumulated).
+    ///
+    /// # Panics
+    /// If the internal registration lock was poisoned by a panicking
+    /// registration on another thread.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let mut snapshot = Snapshot::default();
+        for (name, cell) in metrics.iter() {
+            match cell {
+                MetricCell::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.value.load(Ordering::Relaxed));
+                }
+                MetricCell::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.value.load(Ordering::Relaxed));
+                }
+                MetricCell::Histogram(h) => {
+                    snapshot.histograms.insert(name.clone(), HistogramSnapshot::capture(h));
+                }
+            }
+        }
+        snapshot
+    }
+
+    fn cell_for(&self, name: &str, make: impl FnOnce() -> MetricCell) -> MetricCell {
+        let mut metrics = self.metrics.lock().expect("registry lock");
+        if let Some(cell) = metrics.get(name) {
+            return cell.clone();
+        }
+        let cell = make();
+        metrics.insert(name.to_string(), cell.clone());
+        cell
+    }
+}
+
+/// The process-wide registry every AReST crate instruments itself
+/// against. It starts enabled iff the `AREST_OBS` environment variable
+/// is truthy at first use (see [`env_enabled`]); `arest-experiments`
+/// additionally flips it from its `--obs` CLI toggle.
+pub fn global() -> &'static Registry {
+    static GLOBAL: LazyLock<Registry> = LazyLock::new(|| {
+        let registry = Registry::disabled();
+        registry.set_enabled(env_enabled().unwrap_or(false));
+        registry
+    });
+    &GLOBAL
+}
+
+/// Parses the `AREST_OBS` environment variable: `1`/`true`/`yes`/`on`
+/// enable, `0`/`false`/`no`/`off` disable (case-insensitive), anything
+/// else — including an unset variable — is `None`.
+#[must_use]
+pub fn env_enabled() -> Option<bool> {
+    let raw = std::env::var("AREST_OBS").ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_cell() {
+        let registry = Registry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles share one cell");
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let registry = Registry::disabled();
+        let counter = registry.counter("c");
+        let gauge = registry.gauge("g");
+        let histogram = registry.histogram("h");
+        counter.inc();
+        gauge.set(7);
+        gauge.add(3);
+        histogram.record(42);
+        assert_eq!(counter.get(), 0);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.sum(), 0);
+    }
+
+    #[test]
+    fn enabling_takes_effect_on_existing_handles() {
+        let registry = Registry::disabled();
+        let counter = registry.counter("c");
+        counter.inc();
+        registry.set_enabled(true);
+        counter.inc();
+        registry.set_enabled(false);
+        counter.inc();
+        assert_eq!(counter.get(), 1, "only the enabled window recorded");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("same");
+        let _ = registry.gauge("same");
+    }
+
+    #[test]
+    fn disabled_timer_records_nothing() {
+        let registry = Registry::disabled();
+        {
+            let _t = registry.timer("t.us");
+        }
+        assert_eq!(registry.histogram("t.us").count(), 0);
+    }
+
+    #[test]
+    fn enabled_timer_records_one_sample() {
+        let registry = Registry::new();
+        {
+            let _t = registry.timer("t.us");
+        }
+        assert_eq!(registry.histogram("t.us").count(), 1);
+    }
+
+    #[test]
+    fn timer_stop_returns_elapsed_and_records_once() {
+        let registry = Registry::new();
+        let timer = registry.timer("s.us");
+        let elapsed = timer.stop();
+        assert!(elapsed.is_some());
+        assert_eq!(registry.histogram("s.us").count(), 1);
+
+        let noop = Registry::disabled().timer("s.us");
+        assert!(noop.stop().is_none());
+    }
+
+    #[test]
+    fn env_parsing() {
+        // `env_enabled` reads the real environment; exercise the
+        // parser through a controlled copy of its match logic being
+        // unnecessary — instead assert the unset/garbage path here
+        // (the test environment does not set AREST_OBS) and the
+        // truthy table via the CLI integration tests.
+        if std::env::var("AREST_OBS").is_err() {
+            assert_eq!(env_enabled(), None);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Point-in-time captures of a registry and deltas between them.
+
+use crate::metrics::{bucket_bounds, HistogramCell, BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// An ordered capture of every metric in a registry. `BTreeMap`s keep
+/// rendering deterministic (names sort lexicographically, which groups
+/// by crate/subsystem under the dotted naming scheme).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value, `0` when absent — so tests can
+    /// assert on deltas without first checking registration.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's level, `0` when absent.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// What happened between `baseline` and `self`: counter and
+    /// histogram values are subtracted bucket-wise (saturating, so a
+    /// fresh metric diffs against an implicit zero), gauges report the
+    /// signed level change. Metrics that exist only in `baseline` are
+    /// dropped — a registry never unregisters, so that cannot happen
+    /// for captures of one registry taken in order.
+    #[must_use]
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), v.saturating_sub(baseline.counter(name))))
+            .collect();
+        let gauges =
+            self.gauges.iter().map(|(name, &v)| (name.clone(), v - baseline.gauge(name))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.diff(baseline.histograms.get(name))))
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Whether nothing was recorded (all values zero). Useful for
+    /// asserting a disabled run left no trace.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.values().all(|&v| v == 0)
+            && self.histograms.values().all(|h| h.count == 0)
+    }
+}
+
+/// One histogram's captured state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (length [`BUCKETS`]; bucket 0 is the
+    /// zero-value bucket, bucket `i` covers `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn capture(cell: &HistogramCell) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: cell.count.load(Ordering::Relaxed),
+            sum: cell.sum.load(Ordering::Relaxed),
+            buckets: cell.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    fn diff(&self, baseline: Option<&HistogramSnapshot>) -> HistogramSnapshot {
+        let Some(base) = baseline else { return self.clone() };
+        HistogramSnapshot {
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(base.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(&a, &b)| a.saturating_sub(b))
+                .collect(),
+        }
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the `q`-quantile (0.0..=1.0): the exclusive
+    /// upper edge of the log₂ bucket holding the ⌈q·count⌉-th sample.
+    /// Bucketed, so accurate to within 2×.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate().take(BUCKETS) {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn diff_subtracts_counters_histograms_and_gauges() {
+        let registry = Registry::new();
+        let c = registry.counter("c");
+        let g = registry.gauge("g");
+        let h = registry.histogram("h");
+        c.add(5);
+        g.set(10);
+        h.record(3);
+        let before = registry.snapshot();
+
+        c.add(7);
+        g.add(-4);
+        h.record(3);
+        h.record(100);
+        let delta = registry.snapshot().diff(&before);
+
+        assert_eq!(delta.counter("c"), 7);
+        assert_eq!(delta.gauge("g"), -4);
+        let dh = delta.histogram("h").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 103);
+        assert_eq!(dh.buckets[2], 1, "one new sample in [2,4)");
+        assert_eq!(dh.buckets[7], 1, "one new sample in [64,128)");
+        assert_eq!(dh.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn diff_against_missing_baseline_metric_is_identity() {
+        let registry = Registry::new();
+        let before = registry.snapshot(); // "c" not yet registered
+        registry.counter("c").add(9);
+        let delta = registry.snapshot().diff(&before);
+        assert_eq!(delta.counter("c"), 9);
+    }
+
+    #[test]
+    fn is_zero_detects_untouched_registries() {
+        let registry = Registry::disabled();
+        registry.counter("c").inc(); // skipped: disabled
+        registry.histogram("h").record(1); // skipped
+        assert!(registry.snapshot().is_zero());
+        registry.set_enabled(true);
+        registry.counter("c").inc();
+        assert!(!registry.snapshot().is_zero());
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let registry = Registry::new();
+        let h = registry.histogram("h");
+        for v in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.quantile(0.5), 2, "median sample is 1 → bucket [1,2)");
+        assert_eq!(hs.quantile(1.0), 1024, "max sits in [512,1024)");
+        assert_eq!(hs.mean(), 100.9);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let registry = Registry::new();
+        registry.histogram("h");
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("h").unwrap().quantile(0.99), 0);
+    }
+}

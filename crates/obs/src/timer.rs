@@ -1,0 +1,47 @@
+//! Scoped stage/span timing on top of histograms.
+
+use crate::metrics::Histogram;
+use std::time::{Duration, Instant};
+
+/// Times a scope and records the elapsed **microseconds** into a
+/// histogram when dropped (or explicitly [`stop`](ScopedTimer::stop)ped).
+///
+/// Created through [`crate::Registry::timer`]. When the registry is
+/// disabled at creation the timer is inert: it holds no histogram,
+/// never calls `Instant::now()`, and its drop is a no-op — so leaving
+/// timers in place costs nothing on disabled builds.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    inner: Option<(Histogram, Instant)>,
+}
+
+impl ScopedTimer {
+    pub(crate) fn started(histogram: Histogram) -> ScopedTimer {
+        ScopedTimer { inner: Some((histogram, Instant::now())) }
+    }
+
+    pub(crate) fn noop() -> ScopedTimer {
+        ScopedTimer { inner: None }
+    }
+
+    /// Stops the timer now, recording the sample, and returns the
+    /// elapsed time — `None` for a no-op timer.
+    pub fn stop(mut self) -> Option<Duration> {
+        let (histogram, started) = self.inner.take()?;
+        let elapsed = started.elapsed();
+        histogram.record(duration_to_us(elapsed));
+        Some(elapsed)
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some((histogram, started)) = self.inner.take() {
+            histogram.record(duration_to_us(started.elapsed()));
+        }
+    }
+}
+
+fn duration_to_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}

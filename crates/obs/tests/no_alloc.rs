@@ -1,0 +1,167 @@
+//! Regression test: a **disabled** registry adds no allocations on the
+//! simnet hot path.
+//!
+//! The instrumented `Network::probe` must cost nothing when
+//! observability is off — the promise that lets the instrumentation
+//! live permanently in the forwarding engine. This test installs a
+//! counting `GlobalAlloc` (the sole `unsafe` in the workspace, hence
+//! this crate's `deny`-not-`forbid` lint level and the file-local
+//! allow below), warms up every lazy registration, and then asserts:
+//!
+//! 1. recording against disabled handles performs **zero** allocations;
+//! 2. a probe loop allocates exactly as much with observability
+//!    enabled as disabled — the handles never allocate after
+//!    registration, enabled or not.
+
+#![allow(unsafe_code)]
+
+use arest_simnet::network::Network;
+use arest_simnet::packet::{ProbeReply, ProbeSpec, TransportPayload};
+use arest_topo::graph::Topology;
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_topo::prefix::Prefix;
+use arest_topo::vendor::Vendor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation while delegating to the system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure delegation to `System`; the only addition is a relaxed
+// counter increment, which cannot violate any allocator contract.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A 4-router IP chain with host routes toward every loopback.
+fn chain_network() -> (Network, Vec<RouterId>, Ipv4Addr) {
+    let mut topo = Topology::new();
+    let asn = AsNumber(65_100);
+    let routers: Vec<RouterId> = (0..4)
+        .map(|i| {
+            topo.add_router(
+                format!("r{i}"),
+                asn,
+                Vendor::Cisco,
+                Ipv4Addr::new(10, 255, 10, (i + 1) as u8),
+            )
+        })
+        .collect();
+    for i in 0..routers.len() - 1 {
+        topo.add_link(
+            routers[i],
+            Ipv4Addr::new(10, 10, i as u8, 1),
+            routers[i + 1],
+            Ipv4Addr::new(10, 10, i as u8, 2),
+            1,
+        );
+    }
+    let target = topo.router(routers[3]).loopback;
+    let spf = arest_topo::spf::DomainSpf::for_as(&topo, asn);
+    let loopbacks: Vec<(RouterId, Ipv4Addr)> =
+        routers.iter().map(|&r| (r, topo.router(r).loopback)).collect();
+    let mut net = Network::new(topo);
+    for &from in &routers {
+        for &(to, lo) in &loopbacks {
+            if from == to {
+                continue;
+            }
+            if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                net.plane_mut(from).install_route(
+                    Prefix::host(lo),
+                    arest_simnet::plane::Route { out_iface, next_router },
+                );
+            }
+        }
+    }
+    (net, routers, target)
+}
+
+fn probe(net: &Network, entry: RouterId, dst: Ipv4Addr, ttl: u8) -> ProbeReply {
+    net.probe(&ProbeSpec {
+        entry,
+        src: Ipv4Addr::new(192, 0, 2, 1),
+        dst,
+        ttl,
+        transport: TransportPayload::Udp { src_port: 33_434, dst_port: 33_434, ident: 7 },
+    })
+}
+
+/// Runs one full pseudo-traceroute (TTL 1..=5) and returns the number
+/// of allocations it performed.
+fn allocations_per_trace(net: &Network, entry: RouterId, dst: Ipv4Addr) -> u64 {
+    let before = allocations();
+    for ttl in 1..=5u8 {
+        let _ = probe(net, entry, dst, ttl);
+    }
+    allocations() - before
+}
+
+/// One test function on purpose: the harness runs `#[test]`s in
+/// parallel, and a second thread's allocations would bleed into the
+/// counters measured here.
+#[test]
+fn disabled_observability_adds_no_allocations_to_the_probe_path() {
+    // This test binary runs in its own process; nothing else touches
+    // the global registry, and AREST_OBS is not set under `cargo test`
+    // (tools/check.sh runs the instrumented builds separately).
+    let registry = arest_obs::global();
+    registry.set_enabled(false);
+
+    let (net, routers, target) = chain_network();
+
+    // Warm-up: the first probe initialises the simnet metrics
+    // `LazyLock` (registration allocates, once per process) and any
+    // lazily-built reply buffers.
+    let _ = allocations_per_trace(&net, routers[0], target);
+
+    // 1. Disabled handles alone: strictly zero allocations.
+    let counter = registry.counter("no_alloc.test.counter");
+    let histogram = registry.histogram("no_alloc.test.histogram");
+    let gauge = registry.gauge("no_alloc.test.gauge");
+    let before = allocations();
+    for i in 0..100_000u64 {
+        counter.inc();
+        counter.add(3);
+        gauge.add(1);
+        gauge.set(-4);
+        histogram.record(i);
+        drop(registry.timer("no_alloc.test.timer.us"));
+    }
+    assert_eq!(allocations() - before, 0, "disabled metric handles must never allocate");
+
+    // 2. The probe path costs the same with observability on or off:
+    // after warm-up, recording is atomics only.
+    let disabled_cost = allocations_per_trace(&net, routers[0], target);
+    registry.set_enabled(true);
+    let _ = allocations_per_trace(&net, routers[0], target); // warm enabled paths
+    let enabled_cost = allocations_per_trace(&net, routers[0], target);
+    registry.set_enabled(false);
+    assert_eq!(disabled_cost, enabled_cost, "instrumentation must not allocate on the probe path");
+
+    // Sanity: the enabled window actually recorded probes.
+    let snap = registry.snapshot();
+    assert!(snap.counter("simnet.probes") >= 10, "snapshot: {:?}", snap.counters);
+}

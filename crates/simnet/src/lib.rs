@@ -19,6 +19,12 @@
 //! * routers with RFC 4950 quote the *received* label stack in their
 //!   time-exceeded messages.
 //!
+//! Forwarding is instrumented with `arest-obs`: every completed probe
+//! accounts itself once (`simnet.probes`, `simnet.forwarded_hops`,
+//! `simnet.ttl_expired`, and per-[`DropReason`] `simnet.drop.*`
+//! counters) against the global registry — a no-op unless `AREST_OBS`
+//! enables it.
+//!
 //! Modules:
 //! * [`plane`] — per-router forwarding state (FIB/LFIB/FTN + ICMP and
 //!   visibility configuration).
@@ -30,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod network;
+mod obs;
 pub mod packet;
 pub mod plane;
 

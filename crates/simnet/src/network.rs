@@ -100,6 +100,14 @@ impl Network {
 
     /// Injects one probe and runs it to completion.
     pub fn probe(&self, spec: &ProbeSpec) -> ProbeReply {
+        let reply = self.forward(spec);
+        crate::obs::METRICS.record(&reply);
+        reply
+    }
+
+    /// The forwarding loop proper (observability accounted by the
+    /// [`probe`](Network::probe) wrapper, once per completed probe).
+    fn forward(&self, spec: &ProbeSpec) -> ProbeReply {
         // The flow key: per-flow load balancers hash the 5-tuple. The
         // Paris design keeps it constant across a trace (ports fixed,
         // ident in the checksum), so every probe of one trace follows

@@ -197,6 +197,14 @@ impl SrDomain {
             }
         }
 
+        // Domain builds are cold (once per AS at generation), so
+        // registering against the global registry inline is fine.
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            registry.counter("sr.domains").inc();
+            registry.counter("sr.prefix_sids").add(domain.prefix_sids.len() as u64);
+            registry.counter("sr.adj_sids").add(domain.adj_sids.len() as u64);
+        }
         domain
     }
 

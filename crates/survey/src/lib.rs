@@ -140,6 +140,13 @@ impl Survey {
                 }
             })
             .collect();
+        // Survey synthesis is cold (once per experiment), so inline
+        // registration against the global registry is fine.
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            registry.counter("survey.generated").inc();
+            registry.counter("survey.respondents").add(n as u64);
+        }
         Survey { respondents }
     }
 

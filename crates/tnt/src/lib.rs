@@ -31,6 +31,7 @@
 
 pub mod campaign;
 pub mod multipath;
+mod obs;
 pub mod pool;
 pub mod reveal;
 pub mod trace;

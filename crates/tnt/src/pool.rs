@@ -50,8 +50,13 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let metrics = &*crate::obs::METRICS;
+    metrics.pool_batches.inc();
+    metrics.pool_units.add(n as u64);
     if workers <= 1 || n == 1 {
-        // Sequential fast path: no channels, no threads.
+        // Sequential fast path: no channels, no threads — the single
+        // "worker" takes every unit.
+        metrics.pool_units_per_worker.record(n as u64);
         return items.into_iter().enumerate().map(|(idx, item)| work(idx, item)).collect();
     }
 
@@ -62,6 +67,7 @@ where
     }
     // Close the work channel so workers stop when it drains.
     drop(unit_tx);
+    metrics.pool_queue_depth.add(n as i64);
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -71,11 +77,15 @@ where
                 let unit_rx = unit_rx.clone();
                 let result_tx = result_tx.clone();
                 scope.spawn(move |_| {
+                    let mut stolen = 0u64;
                     for (idx, item) in unit_rx.iter() {
+                        metrics.pool_queue_depth.add(-1);
+                        stolen += 1;
                         if result_tx.send((idx, work(idx, item))).is_err() {
                             break;
                         }
                     }
+                    metrics.pool_units_per_worker.record(stolen);
                 })
             })
             .collect();
@@ -147,6 +157,21 @@ mod tests {
             })
         });
         assert!(result.is_err(), "the worker panic must reach the caller");
+    }
+
+    #[test]
+    fn concurrent_metric_increments_from_the_pool_all_land() {
+        // Workers hammer one shared counter handle; every increment
+        // must land regardless of scheduling.
+        let registry = arest_obs::Registry::new();
+        let counter = registry.counter("test.pool.increments");
+        let items: Vec<u64> = (0..1_000).collect();
+        let out = run_indexed(items, 4, &|_, x: u64| {
+            counter.inc();
+            x
+        });
+        assert_eq!(out.len(), 1_000);
+        assert_eq!(counter.get(), 1_000);
     }
 
     #[test]

@@ -83,12 +83,15 @@ pub fn trace_with_revelation(
     if revelations.is_empty() {
         return trace;
     }
+    let metrics = &*crate::obs::METRICS;
+    metrics.reveal_triggers.add(revelations.len() as u64);
 
     let known: HashSet<Ipv4Addr> = trace.responding_addrs().collect();
 
     // Process ending hops back to front so indices stay valid while
     // splicing.
     for (idx, ending_hop_addr) in revelations.into_iter().rev() {
+        metrics.reveal_attempts.inc();
         let sub = trace_route(net, vp_name, entry, src, ending_hop_addr, config);
         if !sub.reached {
             continue;
@@ -113,6 +116,7 @@ pub fn trace_with_revelation(
                 ..h.clone()
             })
             .collect();
+        metrics.reveal_revealed_hops.add(interior.len() as u64);
         for (offset, hop) in interior.into_iter().enumerate() {
             trace.hops.insert(idx + offset, hop);
         }

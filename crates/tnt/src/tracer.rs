@@ -39,6 +39,8 @@ pub fn trace_route(
     dst: Ipv4Addr,
     config: &TraceConfig,
 ) -> Trace {
+    let metrics = &*crate::obs::METRICS;
+    metrics.traces.inc();
     let mut hops = Vec::new();
     let mut reached = false;
     let mut silent_run = 0u8;
@@ -56,6 +58,7 @@ pub fn trace_route(
                 ident,
             },
         };
+        metrics.probes.inc();
         let reply = net.probe(&spec);
         let hop = hop_from_reply(&reply, ttl, ident, src, dst);
         let responded = hop.responded();
@@ -82,6 +85,7 @@ pub fn ping(
     src: Ipv4Addr,
     dst: Ipv4Addr,
 ) -> Option<(Ipv4Addr, u8)> {
+    crate::obs::METRICS.pings.inc();
     let spec = ProbeSpec {
         entry,
         src,

@@ -177,6 +177,13 @@ impl DomainSpf {
     /// Computes an SPF tree from every router in `members`, with the
     /// domain restricted to exactly that set.
     pub fn for_members(topo: &Topology, members: &[RouterId]) -> DomainSpf {
+        // SPF recomputation is the IGP-convergence cost of the control
+        // plane — cold, so inline registration is fine.
+        let registry = arest_obs::global();
+        if registry.is_enabled() {
+            registry.counter("topo.spf.domains").inc();
+            registry.counter("topo.spf.trees").add(members.len() as u64);
+        }
         let set: std::collections::HashSet<RouterId> = members.iter().copied().collect();
         let trees =
             members.iter().map(|&r| (r, SpfTree::compute(topo, r, |x| set.contains(&x)))).collect();

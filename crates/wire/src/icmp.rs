@@ -20,6 +20,14 @@
 use crate::checksum;
 use crate::error::{WireError, WireResult};
 use crate::mpls::LabelStack;
+use std::sync::LazyLock;
+
+/// `(wire.icmp.parsed, wire.icmp.parse_errors)` — cached handles into
+/// the global `arest-obs` registry (free when observability is off).
+static PARSE_METRICS: LazyLock<(arest_obs::Counter, arest_obs::Counter)> = LazyLock::new(|| {
+    let registry = arest_obs::global();
+    (registry.counter("wire.icmp.parsed"), registry.counter("wire.icmp.parse_errors"))
+});
 
 /// ICMP header length (type, code, checksum, 4 rest-of-header bytes).
 pub const HEADER_LEN: usize = 8;
@@ -271,6 +279,16 @@ impl IcmpMessage {
 
     /// Parses an ICMP message, verifying its checksum.
     pub fn parse(buf: &[u8]) -> WireResult<IcmpMessage> {
+        let parsed = Self::parse_inner(buf);
+        let metrics = &*PARSE_METRICS;
+        metrics.0.inc();
+        if parsed.is_err() {
+            metrics.1.inc();
+        }
+        parsed
+    }
+
+    fn parse_inner(buf: &[u8]) -> WireResult<IcmpMessage> {
         if buf.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }

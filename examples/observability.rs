@@ -1,0 +1,44 @@
+//! Observability tour: switch on the global `arest-obs` registry (the
+//! programmatic equivalent of `AREST_OBS=1`), build the quick-scale
+//! measurement pipeline, and render the same RUN_REPORT the experiment
+//! runner writes — then pull a few individual counters the way tests
+//! do, via a snapshot diff.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use arest_suite::experiments::pipeline::{Dataset, PipelineConfig};
+use arest_suite::experiments::run_report;
+use arest_suite::obs;
+
+fn main() {
+    let registry = obs::global();
+    registry.set_enabled(true); // same effect as AREST_OBS=1
+    let before = registry.snapshot();
+
+    let (dataset, stats) = Dataset::build_with_stats(PipelineConfig::quick());
+    println!(
+        "quick dataset: {} raw traces over {} routers, {} worker(s), built in {:.2?}\n",
+        dataset.raw_trace_count,
+        dataset.internet.net.topo().router_count(),
+        stats.workers,
+        stats.total,
+    );
+
+    // Everything recorded since `before`, rendered exactly like the
+    // runner's RUN_REPORT.txt artifact.
+    let delta = registry.snapshot().diff(&before);
+    println!("{}", run_report::to_text(&delta));
+
+    // Individual metrics are one lookup away — the same API the
+    // regression tests assert on.
+    println!("probes sent:        {}", delta.counter("simnet.probes"));
+    println!("TTL expiries:       {}", delta.counter("simnet.ttl_expired"));
+    println!("unrouted probes:    {}", delta.counter("simnet.drop.no_route"));
+    println!("reveal triggers:    {}", delta.counter("tnt.reveal.triggers"));
+    println!("CO flag detections: {}", delta.counter("core.detect.flag.co"));
+
+    assert!(delta.counter("simnet.probes") > 0, "the pipeline must probe");
+    assert!(!delta.is_zero(), "an enabled registry must record");
+}

@@ -6,6 +6,36 @@
 //!
 //! See `DESIGN.md` at the workspace root for the system inventory and
 //! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ## The core API in 20 lines
+//!
+//! The README's detection snippet, compile-tested here: build one
+//! augmented trace (addresses + quoted label-stack evidence) and run
+//! the five-flag detector over it.
+//!
+//! ```
+//! use arest_suite::core::detect::{detect_segments, DetectorConfig};
+//! use arest_suite::core::model::{AugmentedHop, AugmentedTrace};
+//! use arest_suite::wire::mpls::{Label, LabelStack};
+//! use std::net::Ipv4Addr;
+//!
+//! // One augmented trace: addresses + quoted LSE stacks (+ optional
+//! // vendor evidence from fingerprinting).
+//! let hops = vec![
+//!     AugmentedHop::labeled(
+//!         Ipv4Addr::new(10, 0, 0, 1),
+//!         LabelStack::from_labels(&[Label::new(16_005).unwrap()], 1),
+//!     ),
+//!     AugmentedHop::labeled(
+//!         Ipv4Addr::new(10, 0, 0, 2),
+//!         LabelStack::from_labels(&[Label::new(16_005).unwrap()], 1),
+//!     ),
+//! ];
+//! let trace = AugmentedTrace::new("vp1", Ipv4Addr::new(203, 0, 113, 9), hops);
+//!
+//! let segments = detect_segments(&trace, &DetectorConfig::default());
+//! assert_eq!(segments[0].flag.to_string(), "CO"); // same label, two routers
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -16,6 +46,7 @@ pub use arest_fingerprint as fingerprint;
 pub use arest_mapping as mapping;
 pub use arest_mpls as mpls;
 pub use arest_netgen as netgen;
+pub use arest_obs as obs;
 pub use arest_simnet as simnet;
 pub use arest_sr as sr;
 pub use arest_survey as survey;

@@ -16,8 +16,17 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo doc (rustdoc warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> bench-pipeline smoke run (timings informational, not gated)"
 cargo run --release -p arest-experiments --bin arest-experiments -- --quick bench-pipeline
 test -s BENCH_pipeline.json
+
+echo "==> observability smoke run (RUN_REPORT artifacts)"
+AREST_OBS=1 cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick headline audit >/dev/null
+test -s RUN_REPORT.txt
+test -s RUN_REPORT.csv
 
 echo "==> all checks passed"
