@@ -8,8 +8,10 @@
 use crate::flags::Flag;
 use crate::model::{AugmentedHop, AugmentedTrace};
 use crate::ranges::label_in_sr_range;
-use arest_obs::Counter;
+use arest_fingerprint::combined::VendorEvidence;
+use arest_obs::{Counter, SpanContext, Tracer};
 use arest_wire::mpls::Label;
+use std::fmt::Write as _;
 use std::sync::LazyLock;
 
 /// Cached handles into the global `arest-obs` registry: traces walked
@@ -23,6 +25,9 @@ struct ObsMetrics {
     /// [`flag_slot`].
     flags: [Counter; 5],
 }
+
+/// The global registry's span tracer (inert while `AREST_OBS` is off).
+static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
 
 static OBS: LazyLock<ObsMetrics> = LazyLock::new(|| {
     let registry = arest_obs::global();
@@ -89,6 +94,73 @@ fn effective_depth(hop: &AugmentedHop, config: &DetectorConfig) -> usize {
         .unwrap_or(stack.depth())
 }
 
+/// The evidence chain behind one detection: which hop triggered it,
+/// what the detector consulted on the way, and which inputs tipped the
+/// flag decision. Every [`DetectedSegment`] carries one, so a flag can
+/// always be traced back to the probes and fingerprints that caused it
+/// (rendered into `RUN_REPORT_provenance.txt` and recorded as span
+/// fields by [`detect_segments_spanned`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Index (in `trace.hops`) of the hop that triggered the
+    /// detection: the first hop of a CVR/CO sequence, the flagged hop
+    /// itself for the per-hop stack flags.
+    pub trigger_hop: usize,
+    /// Length of the matched label run (1 for per-hop flags).
+    pub run_len: usize,
+    /// Distinct replying addresses across the segment (the ≥2
+    /// requirement that separates a sequence from a no-PHP egress
+    /// quoting itself twice).
+    pub distinct_addrs: usize,
+    /// Label-stack entries the detector examined: one top label per
+    /// sequence hop, the full visible stack for per-hop flags.
+    pub lses_consulted: usize,
+    /// Stack depth after RFC 6790 entropy-pair exclusion on the
+    /// trigger hop — the depth the LSVR/LVR/LSO split keyed on.
+    pub effective_depth: usize,
+    /// The fingerprint verdict consulted: for CVR, the verdict of the
+    /// hop whose own label confirmed a vendor SR range; for CO, the
+    /// first fingerprinted hop in the sequence (consulted but not
+    /// confirming); for per-hop flags, the hop's own verdict.
+    pub fingerprint: Option<VendorEvidence>,
+    /// Whether the consulted fingerprint mapped the active label into
+    /// its vendor's SR range (the CVR-vs-CO and LSVR/LVR-vs-LSO
+    /// discriminator).
+    pub label_in_vendor_range: bool,
+    /// Whether the sequence needed decimal-suffix matching at any
+    /// point (always `false` for per-hop flags).
+    pub suffix_matched: bool,
+}
+
+impl Provenance {
+    /// One-line evidence chain, `key=value` pairs in causal order.
+    #[must_use]
+    pub fn chain(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "trigger_hop={} run_len={} distinct_addrs={} lses_consulted={} effective_depth={}",
+            self.trigger_hop,
+            self.run_len,
+            self.distinct_addrs,
+            self.lses_consulted,
+            self.effective_depth,
+        );
+        match self.fingerprint {
+            Some(evidence) => {
+                let _ = write!(out, " fingerprint={evidence}");
+            }
+            None => out.push_str(" fingerprint=none"),
+        }
+        let _ = write!(
+            out,
+            " in_vendor_range={} suffix_matched={}",
+            self.label_in_vendor_range, self.suffix_matched
+        );
+        out
+    }
+}
+
 /// One detected SR-MPLS segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectedSegment {
@@ -104,6 +176,8 @@ pub struct DetectedSegment {
     /// Whether the sequence needed suffix-based matching at any point
     /// (always `false` for non-sequence flags).
     pub suffix_based: bool,
+    /// The evidence chain that produced this detection.
+    pub provenance: Provenance,
 }
 
 impl DetectedSegment {
@@ -115,6 +189,30 @@ impl DetectedSegment {
 
 /// Runs the detector over one trace.
 pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<DetectedSegment> {
+    detect_segments_spanned(trace, config, SpanContext::NONE)
+}
+
+/// [`detect_segments`] parented under an explicit span context: opens
+/// a `core.detect.trace` span and records one `detection` field per
+/// segment carrying its full [`Provenance`] chain.
+pub fn detect_segments_spanned(
+    trace: &AugmentedTrace,
+    config: &DetectorConfig,
+    parent: SpanContext,
+) -> Vec<DetectedSegment> {
+    let mut span = TRACER.span_with_parent("core.detect.trace", parent);
+    let segments = detect_segments_inner(trace, config);
+    if span.is_recording() {
+        span.record("dst", trace.dst);
+        span.record("segments", segments.len());
+        for segment in &segments {
+            span.record("detection", format!("{} {}", segment.flag, segment.provenance.chain()));
+        }
+    }
+    segments
+}
+
+fn detect_segments_inner(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<DetectedSegment> {
     let hops = &trace.hops;
     let mut segments = Vec::new();
     let mut claimed = vec![false; hops.len()];
@@ -156,18 +254,35 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
         if run_len >= config.min_sequence_len && distinct_addrs >= 2 {
             // CVR needs at least one hop whose fingerprint maps its
             // own active label into a vendor SR range.
-            let vendor_confirmed = (i..=j).any(|k| {
+            let confirming_hop = (i..=j).find(|&k| {
                 hops[k]
                     .evidence
                     .is_some_and(|e| hops[k].top_label().is_some_and(|l| label_in_sr_range(e, l)))
             });
-            let flag = if vendor_confirmed { Flag::Cvr } else { Flag::Co };
+            let flag = if confirming_hop.is_some() { Flag::Cvr } else { Flag::Co };
+            // The verdict consulted: the confirming hop's for CVR,
+            // otherwise the first fingerprinted hop in the sequence
+            // (evidence seen, but not range-confirming).
+            let fingerprint = confirming_hop
+                .and_then(|k| hops[k].evidence)
+                .or_else(|| hops[i..=j].iter().find_map(|h| h.evidence));
             segments.push(DetectedSegment {
                 flag,
                 start: i,
                 end: j,
                 label: first_label,
                 suffix_based,
+                provenance: Provenance {
+                    trigger_hop: i,
+                    run_len,
+                    distinct_addrs,
+                    // Sequence matching reads one top label per hop.
+                    lses_consulted: run_len,
+                    effective_depth: effective_depth(&hops[i], config),
+                    fingerprint,
+                    label_in_vendor_range: confirming_hop.is_some(),
+                    suffix_matched: suffix_based,
+                },
             });
             for claimed_slot in claimed.iter_mut().take(j + 1).skip(i) {
                 *claimed_slot = true;
@@ -210,6 +325,17 @@ pub fn detect_segments(trace: &AugmentedTrace, config: &DetectorConfig) -> Vec<D
                 end: idx,
                 label,
                 suffix_based: false,
+                provenance: Provenance {
+                    trigger_hop: idx,
+                    run_len: 1,
+                    distinct_addrs: usize::from(hop.addr.is_some()),
+                    // Per-hop flags examine the whole visible stack.
+                    lses_consulted: hop.stack.as_ref().map_or(0, |s| s.depth()),
+                    effective_depth: depth,
+                    fingerprint: hop.evidence,
+                    label_in_vendor_range: in_range,
+                    suffix_matched: false,
+                },
             });
         }
     }
@@ -442,6 +568,70 @@ mod tests {
         let segments = detect(vec![hop(1, &[600_000, 700_000, 7, 99_000])]);
         assert_eq!(segments.len(), 1);
         assert_eq!(segments[0].flag, Flag::Lso);
+    }
+
+    // ---- Provenance ----
+
+    #[test]
+    fn cvr_provenance_names_the_confirming_fingerprint() {
+        let segments = detect(vec![
+            hop(1, &[16_005]),
+            with_evidence(hop(2, &[16_005]), VendorEvidence::Exact(Vendor::Cisco)),
+            hop(3, &[16_005]),
+        ]);
+        assert_eq!(segments[0].flag, Flag::Cvr);
+        let p = &segments[0].provenance;
+        assert_eq!(p.trigger_hop, 0);
+        assert_eq!(p.run_len, 3);
+        assert_eq!(p.distinct_addrs, 3);
+        assert_eq!(p.lses_consulted, 3, "one top label per sequence hop");
+        assert_eq!(p.fingerprint, Some(VendorEvidence::Exact(Vendor::Cisco)));
+        assert!(p.label_in_vendor_range);
+        assert!(!p.suffix_matched);
+        let chain = p.chain();
+        assert!(chain.contains("trigger_hop=0"), "{chain}");
+        assert!(chain.contains("fingerprint=Cisco "), "{chain}");
+        assert!(chain.contains("in_vendor_range=true"), "{chain}");
+    }
+
+    #[test]
+    fn co_provenance_records_consulted_but_unconfirming_evidence() {
+        // Juniper evidence was consulted, but Juniper publishes no
+        // ranges → CO with the verdict preserved in the chain.
+        let segments = detect(vec![
+            hop(1, &[16_005]),
+            with_evidence(hop(2, &[16_005]), VendorEvidence::Exact(Vendor::Juniper)),
+        ]);
+        assert_eq!(segments[0].flag, Flag::Co);
+        let p = &segments[0].provenance;
+        assert_eq!(p.fingerprint, Some(VendorEvidence::Exact(Vendor::Juniper)));
+        assert!(!p.label_in_vendor_range);
+        // And with nobody fingerprinted at all:
+        let segments = detect(vec![hop(4, &[17_005]), hop(5, &[17_005])]);
+        assert_eq!(segments[0].provenance.fingerprint, None);
+        assert!(segments[0].provenance.chain().contains("fingerprint=none"));
+    }
+
+    #[test]
+    fn stack_flag_provenance_counts_the_full_visible_stack() {
+        // [sr-ish, service, ELI, EL]: 4 LSEs consulted, effective
+        // depth 2 after the entropy pair is excluded.
+        let segments = detect(vec![hop(1, &[600_000, 700_000, 7, 99_000])]);
+        assert_eq!(segments[0].flag, Flag::Lso);
+        let p = &segments[0].provenance;
+        assert_eq!(p.trigger_hop, 0);
+        assert_eq!(p.run_len, 1);
+        assert_eq!(p.lses_consulted, 4);
+        assert_eq!(p.effective_depth, 2);
+        assert_eq!(p.fingerprint, None);
+        assert!(!p.label_in_vendor_range);
+    }
+
+    #[test]
+    fn suffix_matched_sequences_say_so_in_their_chain() {
+        let segments = detect(vec![hop(1, &[16_005]), hop(2, &[13_005])]);
+        assert!(segments[0].provenance.suffix_matched);
+        assert!(segments[0].provenance.chain().contains("suffix_matched=true"));
     }
 
     #[test]

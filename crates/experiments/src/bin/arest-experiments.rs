@@ -13,6 +13,8 @@
 //!   --workers <n>    worker threads (default: AREST_WORKERS / cores)
 //!   --out <dir>      also write each report to <dir>/<id>.txt
 //!   --obs            enable observability (same as AREST_OBS=1)
+//!   --trace-out <dir> write span-trace artifacts into <dir>
+//!                    (implies --obs)
 //! ```
 //!
 //! `bench-pipeline` times every pipeline stage at one worker and at
@@ -25,6 +27,14 @@
 //! final metrics snapshot as `RUN_REPORT.txt` / `RUN_REPORT.csv` into
 //! `--out` (or the working directory). Metrics never alter experiment
 //! output: reports are byte-identical with observability on or off.
+//!
+//! `--trace-out <dir>` (which turns observability on by itself)
+//! additionally drains the span ring buffer at the end of the run and
+//! writes three artifacts into `<dir>`: `trace.json` (Chrome
+//! trace-event JSON — load in Perfetto or `chrome://tracing`),
+//! `trace.folded` (collapsed flamegraph stacks for `flamegraph.pl` /
+//! `inferno`), and `RUN_REPORT_provenance.txt` (one evidence-chain
+//! line per AReST detection).
 
 use arest_experiments::pipeline::{BuildStats, Dataset, PipelineConfig};
 use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
@@ -36,6 +46,7 @@ fn main() {
     let mut config = PipelineConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -48,14 +59,22 @@ fn main() {
             "--workers" => config.workers = Some(expect_value(&mut iter, "--workers")),
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
+            "--trace-out" => {
+                trace_out = Some(iter.next().unwrap_or_else(|| usage("--trace-out needs a dir")));
+                // Tracing rides the observability gate.
+                arest_obs::global().set_enabled(true);
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
         }
     }
     if ids.iter().any(|i| i == "bench-pipeline") {
-        bench_pipeline(config);
+        let dataset = bench_pipeline(config);
         write_run_report(out_dir.as_deref());
+        if let Some(dir) = &trace_out {
+            write_trace_artifacts(dir, &dataset);
+        }
         return;
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -94,6 +113,34 @@ fn main() {
         }
     }
     write_run_report(out_dir.as_deref());
+    if let Some(dir) = &trace_out {
+        write_trace_artifacts(dir, &dataset);
+    }
+}
+
+/// Drains the span ring buffer and writes the `--trace-out` artifacts:
+/// `trace.json` (Chrome trace events), `trace.folded` (collapsed
+/// flamegraph stacks), and `RUN_REPORT_provenance.txt` (per-detection
+/// evidence chains).
+fn write_trace_artifacts(dir: &str, dataset: &Dataset) {
+    std::fs::create_dir_all(dir).expect("create trace output dir");
+    let tracer = arest_obs::global().tracer();
+    let records = tracer.take_records();
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "note: the span ring evicted {dropped} oldest span(s); the exported tree treats \
+             spans with missing parents as roots"
+        );
+    }
+    let json_path = format!("{dir}/trace.json");
+    std::fs::write(&json_path, arest_obs::to_chrome_trace(&records)).expect("write trace.json");
+    let folded_path = format!("{dir}/trace.folded");
+    std::fs::write(&folded_path, arest_obs::to_flamegraph(&records)).expect("write trace.folded");
+    let prov_path = format!("{dir}/RUN_REPORT_provenance.txt");
+    std::fs::write(&prov_path, arest_experiments::provenance::to_text(dataset))
+        .expect("write RUN_REPORT_provenance.txt");
+    eprintln!("wrote {json_path}, {folded_path}, and {prov_path} ({} spans)", records.len());
 }
 
 /// Writes the final `RUN_REPORT.txt` / `RUN_REPORT.csv` metrics
@@ -117,11 +164,14 @@ fn write_run_report(out_dir: Option<&str>) {
 
 /// Builds the same dataset at one worker and at the requested worker
 /// count, printing per-stage timings and writing `BENCH_pipeline.json`.
-fn bench_pipeline(config: PipelineConfig) {
+/// Returns the last dataset built, so `--trace-out` can render its
+/// detection provenance.
+fn bench_pipeline(config: PipelineConfig) -> Dataset {
     let parallel_workers = config.workers.unwrap_or_else(arest_tnt::pool::worker_count).max(1);
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let mut runs: Vec<BuildStats> = Vec::new();
+    let mut last_dataset: Option<Dataset> = None;
     for workers in [1, parallel_workers] {
         let run_config = PipelineConfig { workers: Some(workers), ..config };
         eprintln!(
@@ -138,6 +188,7 @@ fn bench_pipeline(config: PipelineConfig) {
             eprintln!("    {name:<12}{:.3}s", duration.as_secs_f64());
         }
         runs.push(stats);
+        last_dataset = Some(dataset);
         if workers == parallel_workers && parallel_workers == 1 {
             break; // nothing to compare against
         }
@@ -179,6 +230,7 @@ fn bench_pipeline(config: PipelineConfig) {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     eprintln!("wrote BENCH_pipeline.json");
+    last_dataset.expect("bench-pipeline always builds at least once")
 }
 
 fn expect_value<T: std::str::FromStr>(iter: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -193,7 +245,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
-         [--workers N] [--out DIR] [--obs] <ids…|all|bench-pipeline>\nexperiments: {}",
+         [--workers N] [--out DIR] [--obs] [--trace-out DIR] <ids…|all|bench-pipeline>\n\
+         experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

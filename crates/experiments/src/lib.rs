@@ -29,6 +29,7 @@ pub mod exp_detection;
 pub mod exp_longitudinal;
 pub mod exp_validation;
 pub mod pipeline;
+pub mod provenance;
 pub mod render;
 pub mod run_report;
 

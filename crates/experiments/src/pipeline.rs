@@ -26,7 +26,7 @@
 //! is result-identical to a single-worker one — the regression tests
 //! at the bottom of this file compare the two directly.
 
-use arest_core::detect::{detect_segments, DetectedSegment, DetectorConfig};
+use arest_core::detect::{detect_segments_spanned, DetectedSegment, DetectorConfig};
 use arest_core::model::{AugmentedHop, AugmentedTrace};
 use arest_fingerprint::combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
 use arest_fingerprint::snmp::SnmpDataset;
@@ -35,14 +35,25 @@ use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
 use arest_mapping::bdrmap::AsAnnotator;
 use arest_mapping::bgp::{BgpRoute, BgpView};
 use arest_netgen::internet::{generate, GenConfig, Internet};
-use arest_tnt::campaign::{run_campaigns, CampaignConfig, VantagePoint};
+use arest_obs::{SpanContext, Tracer};
+use arest_tnt::campaign::{run_campaigns_spanned, CampaignConfig, VantagePoint};
 use arest_tnt::pool;
 use arest_tnt::trace::Trace;
 use arest_topo::ids::AsNumber;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::sync::Arc;
+use std::sync::{Arc, LazyLock};
 use std::time::{Duration, Instant};
+
+/// The global registry's span tracer (inert while `AREST_OBS` is off).
+static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
+
+/// Fingerprint batch size, in addresses. Fixed — not derived from the
+/// worker count — so the set of `pipeline.fingerprint.batch` spans
+/// (and therefore the whole span tree) is identical at any worker
+/// count. Results never depended on the split: batches are disjoint
+/// and their maps merge order-free.
+const FINGERPRINT_BATCH: usize = 256;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -193,13 +204,25 @@ impl Dataset {
     }
 
     /// Runs the whole pipeline and reports per-stage timings.
+    ///
+    /// When tracing is enabled (`AREST_OBS` / `--obs`), the build
+    /// opens a `pipeline.build` root span with one
+    /// `pipeline.stage.{generate,probe,fingerprint,alias,detect}`
+    /// child per stage; every pool work unit opens its own span
+    /// explicitly parented to its stage's [`SpanContext`], so the
+    /// reconstructed tree is identical at any worker count.
     pub fn build_with_stats(config: PipelineConfig) -> (Dataset, BuildStats) {
         let build_started = Instant::now();
         let workers = config.workers.unwrap_or_else(pool::worker_count);
         let mut timings = StageTimings::default();
+        let mut build_span = TRACER.span("pipeline.build");
+        build_span.record("workers", workers);
+        let build_ctx = build_span.context();
 
         // ---- Generation: Internet, BGP view, target lists ----
         let stage = Instant::now();
+        let stage_span = TRACER.span_with_parent("pipeline.stage.generate", build_ctx);
+        let generate_ctx = stage_span.context();
         let internet = generate(&config.gen);
 
         let view: BgpView = internet
@@ -220,20 +243,34 @@ impl Dataset {
 
         let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
         let plans: Vec<_> = internet.plans.iter().collect();
-        let target_lists: Vec<Vec<Ipv4Addr>> =
-            pool::run_indexed(plans, workers, &|_, plan| build_target_list(&view, plan.asn, &anax));
+        let target_lists: Vec<Vec<Ipv4Addr>> = pool::run_indexed(plans, workers, &|idx, plan| {
+            let mut span = TRACER.span_with_parent("pipeline.targets.unit", generate_ctx);
+            span.record("as_idx", idx);
+            build_target_list(&view, plan.asn, &anax)
+        });
+        drop(stage_span);
         timings.generate = stage.elapsed();
 
         // ---- Probing: all campaigns as one batch of (AS, VP) units ----
         let stage = Instant::now();
+        let stage_span = TRACER.span_with_parent("pipeline.stage.probe", build_ctx);
         let campaign_cfg = CampaignConfig::default();
-        let raw_per_as: Vec<Vec<Trace>> =
-            run_campaigns(&internet.net, &vps, &target_lists, &campaign_cfg, workers);
+        let raw_per_as: Vec<Vec<Trace>> = run_campaigns_spanned(
+            &internet.net,
+            &vps,
+            &target_lists,
+            &campaign_cfg,
+            workers,
+            stage_span.context(),
+        );
         let raw_trace_count = raw_per_as.iter().map(Vec::len).sum();
+        drop(stage_span);
         timings.probe = stage.elapsed();
 
         // ---- Fingerprinting ----
         let stage = Instant::now();
+        let stage_span = TRACER.span_with_parent("pipeline.stage.fingerprint", build_ctx);
+        let fingerprint_ctx = stage_span.context();
         let snmp = SnmpDataset::harvest(&internet.net);
         let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
         let mut all_addrs: HashSet<Ipv4Addr> = HashSet::new();
@@ -252,9 +289,11 @@ impl Dataset {
         // maps is order-free.
         let mut addr_list: Vec<Ipv4Addr> = all_addrs.into_iter().collect();
         addr_list.sort_unstable();
-        let batch_len = addr_list.len().div_ceil(workers.max(1)).max(1);
-        let batches: Vec<&[Ipv4Addr]> = addr_list.chunks(batch_len).collect();
-        let batch_maps = pool::run_indexed(batches, workers, &|_, batch| {
+        let batches: Vec<&[Ipv4Addr]> = addr_list.chunks(FINGERPRINT_BATCH).collect();
+        let batch_maps = pool::run_indexed(batches, workers, &|idx, batch| {
+            let mut span = TRACER.span_with_parent("pipeline.fingerprint.batch", fingerprint_ctx);
+            span.record("batch", idx);
+            span.record("addrs", batch.len());
             fingerprint_addresses(
                 &internet.net,
                 vps[0].gateway,
@@ -268,13 +307,19 @@ impl Dataset {
         for map in batch_maps {
             fingerprints.extend(map);
         }
+        drop(stage_span);
         timings.fingerprint = stage.elapsed();
 
         // ---- Alias resolution (feeds the annotator) ----
         let stage = Instant::now();
+        let stage_span = TRACER.span_with_parent("pipeline.stage.alias", build_ctx);
+        let alias_ctx = stage_span.context();
         let oracle = IpIdOracle::new(&internet.net);
         let trace_groups: Vec<&Vec<Trace>> = raw_per_as.iter().collect();
-        let per_as_candidates = pool::run_indexed(trace_groups, workers, &|_, traces| {
+        let per_as_candidates = pool::run_indexed(trace_groups, workers, &|idx, traces| {
+            let mut span = TRACER.span_with_parent("pipeline.alias.unit", alias_ctx);
+            span.record("as_idx", idx);
+            span.record("traces", traces.len());
             let paths: Vec<Vec<Ipv4Addr>> = traces
                 .iter()
                 .take(config.alias_paths_per_as)
@@ -287,10 +332,13 @@ impl Dataset {
             resolver.add_candidates(pairs);
         }
         let clusters = resolver.resolve(&oracle, 5);
+        drop(stage_span);
         timings.alias = stage.elapsed();
 
         // ---- AS annotation, restriction, and detection ----
         let stage = Instant::now();
+        let stage_span = TRACER.span_with_parent("pipeline.stage.detect", build_ctx);
+        let detect_ctx = stage_span.context();
         let mut annotator = AsAnnotator::new(internet.ownership.iter().copied());
         annotator.attach_aliases(clusters);
 
@@ -304,12 +352,16 @@ impl Dataset {
             .flat_map(|(as_idx, traces)| traces.into_iter().map(move |trace| (as_idx, trace)))
             .collect();
         let processed = pool::run_indexed(units, workers, &|_, (as_idx, trace)| {
+            let mut span = TRACER.span_with_parent("pipeline.detect.unit", detect_ctx);
+            span.record("as_idx", as_idx);
+            span.record("dst", trace.dst);
             let outcome = process_trace(
                 trace,
                 &annotator,
                 plan_asns[as_idx],
                 &fingerprints,
                 &config.detector,
+                span.context(),
             );
             (as_idx, outcome)
         });
@@ -344,6 +396,7 @@ impl Dataset {
             result.augmented.push(trace.augmented);
             result.segments.push(trace.segments);
         }
+        drop(stage_span);
         timings.detect = stage.elapsed();
 
         let dataset = Dataset {
@@ -396,6 +449,7 @@ fn process_trace(
     asn: AsNumber,
     fingerprints: &HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
     detector: &DetectorConfig,
+    parent: SpanContext,
 ) -> Option<ProcessedTrace> {
     let (first, last) = annotator.intra_as_span(trace.hops.iter().map(|h| h.addr), asn)?;
     let Trace { vp, src, dst, mut hops, reached } = trace;
@@ -416,7 +470,7 @@ fn process_trace(
     }
     let restricted = Trace { vp, src, dst, hops, reached };
     let augmented = augment(&restricted, fingerprints);
-    let segments = detect_segments(&augmented, detector);
+    let segments = detect_segments_spanned(&augmented, detector, parent);
     Some(ProcessedTrace { restricted, augmented, segments, discovered })
 }
 

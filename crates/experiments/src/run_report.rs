@@ -33,15 +33,17 @@ pub fn to_text(snap: &Snapshot) -> String {
         let _ = write!(out, "\ngauges\n------\n{}", table.to_text());
     }
     if !snap.histograms.is_empty() {
-        let mut table = Table::new(["histogram", "count", "sum", "mean", "p50", "p99"]);
+        let mut table = Table::new(["histogram", "count", "sum", "mean", "p50", "p95", "p99"]);
         for (name, hist) in &snap.histograms {
+            let (p50, p95, p99) = hist.percentiles();
             table.row([
                 name.clone(),
                 hist.count.to_string(),
                 hist.sum.to_string(),
                 format!("{:.1}", hist.mean()),
-                hist.quantile(0.5).to_string(),
-                hist.quantile(0.99).to_string(),
+                p50.to_string(),
+                p95.to_string(),
+                p99.to_string(),
             ]);
         }
         let _ = write!(out, "\nhistograms (quantiles are log2-bucket upper bounds)\n");
@@ -58,7 +60,8 @@ pub fn to_text(snap: &Snapshot) -> String {
 /// Counter/gauge rows fill only `value`; histogram rows fill the
 /// aggregate columns and leave `value` empty.
 pub fn to_csv(snap: &Snapshot) -> String {
-    let mut table = Table::new(["kind", "name", "value", "count", "sum", "mean", "p50", "p99"]);
+    let mut table =
+        Table::new(["kind", "name", "value", "count", "sum", "mean", "p50", "p95", "p99"]);
     for (name, value) in &snap.counters {
         table.row([String::from("counter"), name.clone(), value.to_string()]);
     }
@@ -66,6 +69,7 @@ pub fn to_csv(snap: &Snapshot) -> String {
         table.row([String::from("gauge"), name.clone(), level.to_string()]);
     }
     for (name, hist) in &snap.histograms {
+        let (p50, p95, p99) = hist.percentiles();
         table.row([
             String::from("histogram"),
             name.clone(),
@@ -73,8 +77,9 @@ pub fn to_csv(snap: &Snapshot) -> String {
             hist.count.to_string(),
             hist.sum.to_string(),
             format!("{:.1}", hist.mean()),
-            hist.quantile(0.5).to_string(),
-            hist.quantile(0.99).to_string(),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
         ]);
     }
     table.to_csv()
@@ -117,9 +122,34 @@ mod tests {
     fn csv_has_one_row_per_metric_plus_header() {
         let csv = to_csv(&sample());
         assert_eq!(csv.lines().count(), 4, "{csv}");
-        assert!(csv.starts_with("kind,name,value,count,sum,mean,p50,p99\n"));
+        assert!(csv.starts_with("kind,name,value,count,sum,mean,p50,p95,p99\n"));
         assert!(csv.contains("counter,simnet.probes,42"));
         assert!(csv.contains("gauge,tnt.pool.queue_depth,-3"));
-        assert!(csv.contains("histogram,pipeline.stage.probe.us,,2,1000,500.0,128,1024"));
+        assert!(csv.contains("histogram,pipeline.stage.probe.us,,2,1000,500.0,128,1024,1024"));
+    }
+
+    #[test]
+    fn reports_show_all_three_percentiles_from_exact_buckets() {
+        // Same shape as the arest-obs exact-bucket test: 50×1, 45×8,
+        // 5×100 → p50=2, p95=16, p99=128 — three *different* columns,
+        // so a renderer wiring the wrong quantile cannot pass.
+        let registry = Registry::new();
+        let h = registry.histogram("stage.us");
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..45 {
+            h.record(8);
+        }
+        for _ in 0..5 {
+            h.record(100);
+        }
+        let snap = registry.snapshot();
+        let text = to_text(&snap);
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let csv = to_csv(&snap);
+        assert!(csv.contains("histogram,stage.us,,100,910,9.1,2,16,128"), "{csv}");
     }
 }

@@ -48,7 +48,16 @@ fn runner_index_matches_all_experiments_in_both_directions() {
 fn knobs_and_artifacts_are_documented() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
     let markdown = std::fs::read_to_string(path).expect("read EXPERIMENTS.md");
-    for needle in ["AREST_OBS", "AREST_WORKERS", "RUN_REPORT", "bench-pipeline"] {
+    for needle in [
+        "AREST_OBS",
+        "AREST_WORKERS",
+        "RUN_REPORT",
+        "bench-pipeline",
+        "--trace-out",
+        "RUN_REPORT_provenance",
+        "trace.json",
+        "trace.folded",
+    ] {
         assert!(markdown.contains(needle), "EXPERIMENTS.md must document {needle}");
     }
 }

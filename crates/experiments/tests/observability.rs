@@ -19,21 +19,28 @@ fn render_all() -> Vec<String> {
 #[test]
 fn experiment_outputs_are_byte_identical_with_observability_on_and_off() {
     let registry = arest_obs::global();
+    let tracer = registry.tracer();
 
     // Pin the disabled state (the harness may export AREST_OBS) and
     // prove a disabled run leaves the registry untouched.
     registry.set_enabled(false);
+    drop(tracer.take_records()); // start from an empty span ring
     let before_off = registry.snapshot();
     let reports_off = render_all();
     assert!(
         registry.snapshot().diff(&before_off).is_zero(),
         "disabled registry must record nothing during a full build"
     );
+    assert!(
+        tracer.take_records().is_empty(),
+        "disabled tracer must record no spans during a full build"
+    );
 
     registry.set_enabled(true);
     let before_on = registry.snapshot();
     let reports_on = render_all();
     let delta = registry.snapshot().diff(&before_on);
+    let spans = tracer.take_records();
     registry.set_enabled(false);
 
     assert_eq!(reports_off, reports_on, "reports must not depend on observability");
@@ -47,4 +54,22 @@ fn experiment_outputs_are_byte_identical_with_observability_on_and_off() {
         delta.histogram("pipeline.stage.generate.us").is_some_and(|h| h.count >= 1),
         "stage timings missing"
     );
+
+    // …and the tracer must have seen it too, with cross-worker
+    // parentage intact: every campaign unit's recorded parent is a
+    // campaign span, even when a pool worker stole the unit.
+    let find = |name: &str| spans.iter().filter(|r| r.name == name).collect::<Vec<_>>();
+    // At least one root build span — experiments like `ablation` and
+    // `longitudinal` rebuild datasets internally, so there may be more.
+    assert!(!find("pipeline.build").is_empty(), "root span per build missing");
+    let campaigns = find("tnt.campaign");
+    let units = find("tnt.campaign.unit");
+    assert!(!campaigns.is_empty() && !units.is_empty(), "campaign spans missing");
+    for unit in &units {
+        assert!(
+            campaigns.iter().any(|c| c.id == unit.parent),
+            "unit span must stay parented under its (AS, VP) campaign"
+        );
+    }
+    assert!(!find("core.detect.trace").is_empty(), "detection spans missing");
 }

@@ -1,0 +1,61 @@
+//! Span-propagation determinism: the reconstructed span tree of a
+//! quick pipeline build must be *structurally* identical (same names,
+//! same parentage — timing and thread ids ignored) at one worker and
+//! at four. This is the tracing counterpart of the
+//! `parallel_build_matches_*` result-determinism tests and rides the
+//! same CI filter.
+//!
+//! Single test on purpose: it toggles the process-global registry and
+//! drains its span ring, so it must not share this binary with other
+//! tests that touch either.
+
+use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_obs::SpanTree;
+
+#[test]
+fn parallel_build_matches_span_tree_structure() {
+    let registry = arest_obs::global();
+    registry.set_enabled(true);
+    let tracer = registry.tracer();
+    drop(tracer.take_records()); // start from an empty ring
+
+    let mut config = PipelineConfig::quick();
+    config.workers = Some(1);
+    let _ = Dataset::build(config);
+    let serial = SpanTree::build(tracer.take_records());
+
+    config.workers = Some(4);
+    let _ = Dataset::build(config);
+    let parallel = SpanTree::build(tracer.take_records());
+    registry.set_enabled(false);
+
+    assert_eq!(tracer.dropped(), 0, "quick builds must fit the default span ring");
+    assert_eq!(serial.orphans, 0, "no span may lose its parent record");
+    assert_eq!(parallel.orphans, 0);
+    assert!(serial.len() > 100, "expected a real span volume, got {}", serial.len());
+    assert_eq!(serial.len(), parallel.len(), "same number of spans at any worker count");
+    assert_eq!(
+        serial.structure(),
+        parallel.structure(),
+        "span parentage and names must be identical at any worker count"
+    );
+
+    // Sanity on the shape itself: exactly one root per build, and the
+    // stolen (AS, VP) units sit under campaigns, which sit under the
+    // probe stage.
+    assert_eq!(serial.roots.len(), 1, "one pipeline.build root");
+    assert_eq!(serial.roots[0].record.name, "pipeline.build");
+    let structure = serial.structure();
+    assert!(
+        structure.contains("pipeline.stage.probe(tnt.campaign("),
+        "campaigns must nest under the probe stage"
+    );
+    assert!(
+        structure.contains("tnt.campaign.unit(tnt.trace"),
+        "traces must nest under their campaign unit"
+    );
+    assert!(
+        structure.contains("pipeline.detect.unit(core.detect.trace"),
+        "detection spans must nest under their work unit"
+    );
+}

@@ -70,6 +70,18 @@ impl VendorEvidence {
     }
 }
 
+/// Human-readable verdict, used by detection provenance chains:
+/// `Cisco` for an exact match, `Cisco|Huawei` for the ambiguous TTL
+/// signature.
+impl std::fmt::Display for VendorEvidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VendorEvidence::Exact(v) => write!(f, "{v}"),
+            VendorEvidence::CiscoOrHuawei => write!(f, "Cisco|Huawei"),
+        }
+    }
+}
+
 /// Fingerprints a set of addresses.
 ///
 /// `te_reply_ttls` carries, per address, the reply IP TTL of a
@@ -122,6 +134,14 @@ pub fn fingerprint_addresses(
 mod tests {
     use super::*;
     use arest_simnet::plane::Route;
+
+    #[test]
+    fn vendor_evidence_displays_the_verdict_provenance_uses() {
+        assert_eq!(VendorEvidence::Exact(Vendor::Cisco).to_string(), "Cisco");
+        assert_eq!(VendorEvidence::Exact(Vendor::Juniper).to_string(), "Juniper");
+        assert_eq!(VendorEvidence::CiscoOrHuawei.to_string(), "Cisco|Huawei");
+    }
+
     use arest_topo::graph::Topology;
     use arest_topo::ids::AsNumber;
     use arest_topo::prefix::Prefix;

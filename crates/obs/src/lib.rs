@@ -46,6 +46,21 @@
 //! caring what ran before. `arest-experiments` renders a snapshot into
 //! the `RUN_REPORT` artifact at the end of an `AREST_OBS=1` run.
 //!
+//! ## Tracing
+//!
+//! Alongside aggregates, each registry carries a [`Tracer`] of
+//! hierarchical [`Span`]s — name, key/value fields, parentage, and
+//! microsecond timing — finished spans landing in a sharded bounded
+//! ring buffer (drop-oldest beyond [`DEFAULT_TRACE_CAPACITY`]). Spans
+//! obey the same gate and the same no-alloc promise: a span created
+//! while the registry is disabled is inert and [`Span::record`] on it
+//! converts nothing. [`SpanContext`] is a `Copy` handle that crosses
+//! thread and work-unit boundaries, so a campaign unit stolen by
+//! another pool worker stays parented under its (AS, VP) campaign
+//! span. [`to_chrome_trace`] and [`to_flamegraph`] export drained
+//! records for Perfetto / `chrome://tracing` and flamegraph tooling;
+//! [`SpanTree`] rebuilds the hierarchy in-process.
+//!
 //! ```
 //! use arest_obs::Registry;
 //!
@@ -60,12 +75,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod export;
 mod metrics;
 mod registry;
 mod snapshot;
 mod timer;
+mod tracing;
 
+pub use export::{to_chrome_trace, to_flamegraph, SpanNode, SpanTree};
 pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{env_enabled, global, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use timer::ScopedTimer;
+pub use tracing::{
+    FieldValue, IntoFieldValue, Span, SpanContext, SpanRecord, Tracer, DEFAULT_TRACE_CAPACITY,
+    TRACE_SHARDS,
+};

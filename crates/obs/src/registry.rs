@@ -3,6 +3,7 @@
 use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 use crate::timer::ScopedTimer;
+use crate::tracing::{Tracer, TracerCore};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, LazyLock, Mutex};
@@ -34,10 +35,23 @@ impl MetricCell {
 /// returns a handle to the same cell; requesting an existing name as a
 /// *different* metric kind panics — that is a programming error, not a
 /// runtime condition.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     gate: Arc<AtomicBool>,
     metrics: Mutex<BTreeMap<String, MetricCell>>,
+    tracer: Arc<TracerCore>,
+}
+
+impl Default for Registry {
+    /// A disabled registry whose tracer shares the metric gate.
+    fn default() -> Registry {
+        let gate = Arc::new(AtomicBool::new(false));
+        Registry {
+            tracer: Arc::new(TracerCore::new(Arc::clone(&gate))),
+            gate,
+            metrics: Mutex::default(),
+        }
+    }
 }
 
 impl Registry {
@@ -117,6 +131,22 @@ impl Registry {
         } else {
             ScopedTimer::noop()
         }
+    }
+
+    /// A handle onto this registry's span [`Tracer`]. Spans share the
+    /// metric gate: while the registry is disabled, every span the
+    /// tracer hands out is inert (see [`Tracer::span`]).
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        Tracer { core: Arc::clone(&self.tracer) }
+    }
+
+    /// Re-bounds the tracer's ring buffer to roughly `total` retained
+    /// spans (split evenly across shards). Existing records beyond the
+    /// new bound are evicted oldest-first. See
+    /// [`crate::DEFAULT_TRACE_CAPACITY`] for the default.
+    pub fn set_trace_capacity(&self, total: usize) {
+        self.tracer.set_capacity(total);
     }
 
     /// Captures every registered metric's current value. Works whether

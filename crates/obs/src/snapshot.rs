@@ -133,6 +133,13 @@ impl HistogramSnapshot {
         }
         bucket_bounds(BUCKETS - 1).1
     }
+
+    /// The (p50, p95, p99) triple the report renderers show, each an
+    /// exclusive log₂-bucket upper bound (see [`Self::quantile`]).
+    #[must_use]
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +205,32 @@ mod tests {
         assert_eq!(hs.quantile(0.5), 2, "median sample is 1 → bucket [1,2)");
         assert_eq!(hs.quantile(1.0), 1024, "max sits in [512,1024)");
         assert_eq!(hs.mean(), 100.9);
+    }
+
+    #[test]
+    fn percentiles_land_in_exact_buckets() {
+        // 100 samples with known bucket placement:
+        //   50 × 1   → bucket [1,2)    (ranks  1..=50)
+        //   45 × 8   → bucket [8,16)   (ranks 51..=95)
+        //    5 × 100 → bucket [64,128) (ranks 96..=100)
+        let registry = Registry::new();
+        let h = registry.histogram("h");
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..45 {
+            h.record(8);
+        }
+        for _ in 0..5 {
+            h.record(100);
+        }
+        let snap = registry.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.count, 100);
+        let (p50, p95, p99) = hs.percentiles();
+        assert_eq!(p50, 2, "rank 50 is the last 1-sample → [1,2) upper bound");
+        assert_eq!(p95, 16, "rank 95 is the last 8-sample → [8,16) upper bound");
+        assert_eq!(p99, 128, "rank 99 is a 100-sample → [64,128) upper bound");
     }
 
     #[test]

@@ -152,6 +152,26 @@ fn disabled_observability_adds_no_allocations_to_the_probe_path() {
     }
     assert_eq!(allocations() - before, 0, "disabled metric handles must never allocate");
 
+    // 1b. Disabled spans: creation, field recording (including the
+    // String-producing conversions, which must stay lazy), child
+    // spans, context extraction, and drop — all strictly zero
+    // allocations while the gate is off.
+    let tracer = registry.tracer();
+    drop(tracer.span("no_alloc.warmup")); // warm the tracer handle path
+    let before = allocations();
+    for i in 0..100_000u64 {
+        let mut span = tracer.span("no_alloc.test.span");
+        span.record("iteration", i);
+        span.record("label", "static text");
+        span.record("flag", true);
+        let context = span.context();
+        let mut child = tracer.span_with_parent("no_alloc.test.child", context);
+        child.record("parent_active", context.is_active());
+        drop(child.child("no_alloc.test.grandchild"));
+    }
+    assert_eq!(allocations() - before, 0, "disabled spans must never allocate");
+    assert!(tracer.take_records().is_empty(), "disabled spans must record nothing");
+
     // 2. The probe path costs the same with observability on or off:
     // after warm-up, recording is atomics only.
     let disabled_cost = allocations_per_trace(&net, routers[0], target);

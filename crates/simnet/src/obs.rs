@@ -9,7 +9,7 @@
 //! built, never per visit.
 
 use crate::packet::{DropReason, ProbeReply};
-use arest_obs::Counter;
+use arest_obs::{Counter, Histogram};
 use std::sync::LazyLock;
 
 pub(crate) struct Metrics {
@@ -25,6 +25,10 @@ pub(crate) struct Metrics {
     delivered: Counter,
     /// `simnet.echo_replies` — the echo-reply subset of `delivered`.
     echo_replies: Counter,
+    /// `simnet.forward_depth` — log₂ histogram of per-answered-probe
+    /// forwarding depth (how deep each probe travelled before its
+    /// reply), the distribution behind `simnet.forwarded_hops`.
+    forward_depth: Histogram,
     /// `simnet.drop.*` — silent probes by [`DropReason`], indexed by
     /// [`drop_slot`].
     drops: [Counter; 6],
@@ -38,6 +42,7 @@ pub(crate) static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
         ttl_expired: registry.counter("simnet.ttl_expired"),
         delivered: registry.counter("simnet.delivered"),
         echo_replies: registry.counter("simnet.echo_replies"),
+        forward_depth: registry.histogram("simnet.forward_depth"),
         drops: [
             registry.counter("simnet.drop.no_route"),
             registry.counter("simnet.drop.no_label_entry"),
@@ -67,14 +72,17 @@ impl Metrics {
         match reply {
             ProbeReply::TimeExceeded { forward_hops, .. } => {
                 self.forwarded_hops.add(u64::from(*forward_hops));
+                self.forward_depth.record(u64::from(*forward_hops));
                 self.ttl_expired.inc();
             }
             ProbeReply::DestUnreachable { forward_hops, .. } => {
                 self.forwarded_hops.add(u64::from(*forward_hops));
+                self.forward_depth.record(u64::from(*forward_hops));
                 self.delivered.inc();
             }
             ProbeReply::EchoReply { forward_hops, .. } => {
                 self.forwarded_hops.add(u64::from(*forward_hops));
+                self.forward_depth.record(u64::from(*forward_hops));
                 self.delivered.inc();
                 self.echo_replies.inc();
             }

@@ -14,6 +14,7 @@ use crate::pool;
 use crate::reveal::trace_with_revelation;
 use crate::trace::Trace;
 use crate::tracer::TraceConfig;
+use arest_obs::{Span, SpanContext};
 use arest_simnet::Network;
 use arest_topo::ids::RouterId;
 use std::net::Ipv4Addr;
@@ -49,23 +50,31 @@ impl Default for CampaignConfig {
 }
 
 /// One `(AS, VP)` work unit: a vantage point traces one AS's target
-/// list in its VP-specific order.
+/// list in its VP-specific order. Each trace opens a `tnt.trace` span
+/// under `unit_span` (revelation sub-traces stay unspanned — they are
+/// internals of the one measurement, and their count varies with
+/// topology, not schedule).
 fn trace_unit(
     net: &Network,
     vp: &VantagePoint,
     targets: &[Ipv4Addr],
     config: &CampaignConfig,
+    unit_span: &Span,
 ) -> Vec<Trace> {
     let mut order: Vec<Ipv4Addr> = targets.to_vec();
     shuffle_for_vp(&mut order, vp.addr);
     order
         .into_iter()
         .map(|dst| {
+            let mut span = unit_span.child("tnt.trace");
             let mut trace = if config.reveal {
                 trace_with_revelation(net, &vp.name, vp.gateway, vp.addr, dst, &config.trace)
             } else {
                 crate::tracer::trace_route(net, &vp.name, vp.gateway, vp.addr, dst, &config.trace)
             };
+            span.record("dst", dst);
+            span.record("hops", trace.hops.len());
+            span.record("reached", trace.reached);
             // Intern the VP name: one shared allocation per VP instead
             // of one string per trace.
             trace.vp = Arc::clone(&vp.name);
@@ -101,15 +110,55 @@ pub fn run_campaigns(
     config: &CampaignConfig,
     workers: usize,
 ) -> Vec<Vec<Trace>> {
-    let units: Vec<(usize, &VantagePoint, &[Ipv4Addr])> = target_lists
+    run_campaigns_spanned(net, vps, target_lists, config, workers, SpanContext::NONE)
+}
+
+/// [`run_campaigns`] parented under an explicit span context.
+///
+/// Each non-empty target list opens a `tnt.campaign` span (child of
+/// `parent`) that stays open for the whole batch; every `(AS, VP)`
+/// unit opens a `tnt.campaign.unit` span explicitly parented to its
+/// campaign's [`SpanContext`] — the context is `Copy` and rides inside
+/// the work unit, so a unit stolen by another pool worker still lands
+/// under the right campaign in the reconstructed tree.
+pub fn run_campaigns_spanned(
+    net: &Network,
+    vps: &[VantagePoint],
+    target_lists: &[Vec<Ipv4Addr>],
+    config: &CampaignConfig,
+    workers: usize,
+    parent: SpanContext,
+) -> Vec<Vec<Trace>> {
+    let tracer = &*crate::obs::TRACER;
+    let campaign_spans: Vec<Option<Span>> = target_lists
+        .iter()
+        .enumerate()
+        .map(|(as_idx, targets)| {
+            if targets.is_empty() {
+                return None;
+            }
+            let mut span = tracer.span_with_parent("tnt.campaign", parent);
+            span.record("as_idx", as_idx);
+            span.record("targets", targets.len());
+            Some(span)
+        })
+        .collect();
+
+    let units: Vec<(usize, &VantagePoint, &[Ipv4Addr], SpanContext)> = target_lists
         .iter()
         .enumerate()
         .filter(|(_, targets)| !targets.is_empty())
-        .flat_map(|(as_idx, targets)| vps.iter().map(move |vp| (as_idx, vp, targets.as_slice())))
+        .flat_map(|(as_idx, targets)| {
+            let context = campaign_spans[as_idx].as_ref().map_or(SpanContext::NONE, Span::context);
+            vps.iter().map(move |vp| (as_idx, vp, targets.as_slice(), context))
+        })
         .collect();
 
-    let per_unit = pool::run_indexed(units, workers, &|_, (as_idx, vp, targets)| {
-        (as_idx, trace_unit(net, vp, targets, config))
+    let per_unit = pool::run_indexed(units, workers, &|_, (as_idx, vp, targets, context)| {
+        let mut unit_span = tracer.span_with_parent("tnt.campaign.unit", context);
+        unit_span.record("vp", &*vp.name);
+        unit_span.record("targets", targets.len());
+        (as_idx, trace_unit(net, vp, targets, config, &unit_span))
     });
 
     let mut out: Vec<Vec<Trace>> = Vec::with_capacity(target_lists.len());

@@ -4,8 +4,13 @@
 //! Handles register once inside the `LazyLock`; recording afterwards
 //! is gate-checked relaxed atomics, free when `AREST_OBS` is off.
 
-use arest_obs::{Counter, Gauge, Histogram};
+use arest_obs::{Counter, Gauge, Histogram, Tracer};
 use std::sync::LazyLock;
+
+/// The global registry's span tracer: campaign batches, stolen
+/// (AS, VP) units, and individual traces open spans through this
+/// handle (inert while `AREST_OBS` is off).
+pub(crate) static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
 
 pub(crate) struct Metrics {
     /// `tnt.traces` — Paris traceroutes started (revelation sub-traces

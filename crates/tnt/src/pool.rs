@@ -82,6 +82,15 @@ where
                         metrics.pool_queue_depth.add(-1);
                         stolen += 1;
                         if result_tx.send((idx, work(idx, item))).is_err() {
+                            // The result side is gone (another worker
+                            // panicked and the drain unwound). Nobody
+                            // will pull the remaining queued units, so
+                            // account for them here — the queue-depth
+                            // gauge must drain to zero on every exit
+                            // path, not just the happy one.
+                            for _ in unit_rx.try_iter() {
+                                metrics.pool_queue_depth.add(-1);
+                            }
                             break;
                         }
                     }

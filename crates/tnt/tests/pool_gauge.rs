@@ -1,0 +1,46 @@
+//! Regression test: the `tnt.pool.queue_depth` gauge drains back to
+//! zero after every `pool::run_indexed` batch.
+//!
+//! The gauge is a live level — submit adds the batch size, each
+//! dequeue subtracts one — so any asymmetry between the submit,
+//! dequeue, and disconnect paths shows up as a residue after the
+//! batch completes. This file holds a single test function in its own
+//! process on purpose: it enables the process-global registry, which
+//! would race other tests sharing the binary.
+
+use arest_tnt::pool::run_indexed;
+
+#[test]
+fn queue_depth_gauge_drains_to_zero_after_run_indexed() {
+    let registry = arest_obs::global();
+    registry.set_enabled(true);
+    let gauge = registry.gauge("tnt.pool.queue_depth");
+
+    // A mix of shapes: sequential fast path (workers=1, and a
+    // single-unit batch), small parallel batches, more workers than
+    // units, and a batch large enough for real stealing interleavings.
+    for (n, workers) in [(1usize, 4usize), (8, 1), (8, 4), (3, 8), (500, 4)] {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let out = run_indexed(items, workers, &|idx, x: u64| {
+            assert_eq!(idx as u64, x);
+            x * 2
+        });
+        assert_eq!(out.len(), n);
+        assert_eq!(
+            gauge.get(),
+            0,
+            "queue depth must drain to zero after a batch (n={n}, workers={workers})"
+        );
+    }
+
+    // Uneven unit cost exercises the steal paths harder; the gauge
+    // must still balance.
+    let out = run_indexed((0..64u64).collect(), 4, &|_, x| {
+        if x % 16 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        x
+    });
+    assert_eq!(out.len(), 64);
+    assert_eq!(gauge.get(), 0, "queue depth must drain to zero under uneven unit cost");
+}

@@ -55,6 +55,16 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// `try_recv` found no message: either the channel is momentarily
+    /// `Empty` (senders remain) or it is `Disconnected` for good.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message queued, but senders still exist.
+        Empty,
+        /// No message queued and every sender has been dropped.
+        Disconnected,
+    }
+
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -121,9 +131,30 @@ pub mod channel {
             }
         }
 
+        /// Dequeues the next message without blocking, distinguishing
+        /// a momentarily empty channel from a disconnected one.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
         /// A blocking iterator over messages, ending on disconnect.
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { receiver: self }
+        }
+
+        /// A non-blocking iterator: yields queued messages until the
+        /// channel is empty (or disconnected), then stops — it never
+        /// waits for producers.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
         }
     }
 
@@ -159,6 +190,19 @@ pub mod channel {
 
         fn into_iter(self) -> Iter<'a, T> {
             self.iter()
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
         }
     }
 }
@@ -244,6 +288,18 @@ mod tests {
         let drained: Vec<u32> = rx.iter().collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4], "FIFO order, drained past disconnect");
         assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        use super::channel::TryRecvError;
+        let (tx, rx) = super::channel::unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty), "connected but empty");
+        tx.send(1u8).expect("send");
+        tx.send(2u8).expect("send");
+        assert_eq!(rx.try_iter().collect::<Vec<u8>>(), vec![1, 2], "drains without blocking");
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

@@ -10,7 +10,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+echo "==> cargo build --release (examples included)"
+cargo build --workspace --release --examples
 cargo build --workspace --release
 
 echo "==> cargo test"
@@ -23,10 +24,16 @@ echo "==> bench-pipeline smoke run (timings informational, not gated)"
 cargo run --release -p arest-experiments --bin arest-experiments -- --quick bench-pipeline
 test -s BENCH_pipeline.json
 
-echo "==> observability smoke run (RUN_REPORT artifacts)"
+echo "==> observability smoke run (RUN_REPORT + trace artifacts)"
 AREST_OBS=1 cargo run --release -p arest-experiments --bin arest-experiments -- \
-    --quick headline audit >/dev/null
+    --quick --trace-out trace-artifacts headline audit >/dev/null
 test -s RUN_REPORT.txt
 test -s RUN_REPORT.csv
+test -s trace-artifacts/trace.json
+test -s trace-artifacts/trace.folded
+test -s trace-artifacts/RUN_REPORT_provenance.txt
+
+echo "==> tracing example smoke run"
+cargo run --release --example tracing >/dev/null
 
 echo "==> all checks passed"
