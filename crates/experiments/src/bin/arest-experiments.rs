@@ -11,16 +11,21 @@
 //!   --targets <n>    Anaximander target cap per AS (default 48)
 //!   --seed <n>       generator seed (default 2025)
 //!   --workers <n>    worker threads (default: AREST_WORKERS / cores)
+//!   --stream         print one progress row per finished AS, in
+//!                    completion order, while the catalog builds
 //!   --out <dir>      also write each report to <dir>/<id>.txt
 //!   --obs            enable observability (same as AREST_OBS=1)
 //!   --trace-out <dir> write span-trace artifacts into <dir>
 //!                    (implies --obs)
 //! ```
 //!
-//! `bench-pipeline` times every pipeline stage at one worker and at
-//! `--workers` (or the machine's parallelism), then writes
-//! `BENCH_pipeline.json` with per-stage seconds, the speedup, and the
-//! host core count (a single-core host gets an explicit caveat).
+//! `bench-pipeline` builds the dataset in **both** execution models —
+//! the staged five-barrier baseline and the streaming dataflow — at
+//! one worker and at `--workers` (or the machine's parallelism), then
+//! writes `BENCH_pipeline.json` with per-phase seconds, each run's
+//! peak resident raw-trace count, the parallel speedup, the
+//! streaming-vs-staged ratio, and the host core count (a single-core
+//! host gets an explicit caveat).
 //!
 //! With observability on (`--obs` or `AREST_OBS=1`), every mode —
 //! explicit ids, `all`, and `bench-pipeline` — additionally writes the
@@ -36,7 +41,7 @@
 //! `inferno`), and `RUN_REPORT_provenance.txt` (one evidence-chain
 //! line per AReST detection).
 
-use arest_experiments::pipeline::{BuildStats, Dataset, PipelineConfig};
+use arest_experiments::pipeline::{BuildMode, BuildStats, Dataset, PipelineConfig};
 use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
 use std::io::Write as _;
 use std::time::Instant;
@@ -47,6 +52,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut stream = false;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -57,6 +63,7 @@ fn main() {
             "--targets" => config.targets_per_as = expect_value(&mut iter, "--targets"),
             "--seed" => config.gen.seed = expect_value(&mut iter, "--seed"),
             "--workers" => config.workers = Some(expect_value(&mut iter, "--workers")),
+            "--stream" => stream = true,
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
             "--trace-out" => {
@@ -86,7 +93,25 @@ fn main() {
         config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
     );
     let started = Instant::now();
-    let dataset = Dataset::build(config);
+    let dataset = if stream {
+        // Incremental consumption: one row per finished AS, in
+        // completion order, while the rest of the catalog is still
+        // being measured.
+        let mut done = 0usize;
+        let (dataset, _) = Dataset::build_streaming(config, |result| {
+            done += 1;
+            eprintln!(
+                "  [{done:>2}] AS#{:<2} asn{}: {} intra-AS traces, {} addresses",
+                result.id,
+                result.asn.0,
+                result.restricted.len(),
+                result.discovered.len(),
+            );
+        });
+        dataset
+    } else {
+        Dataset::build(config)
+    };
     eprintln!(
         "dataset ready in {:.1}s: {} raw traces, {} routers",
         started.elapsed().as_secs_f64(),
@@ -162,47 +187,74 @@ fn write_run_report(out_dir: Option<&str>) {
     eprintln!("wrote {txt_path} and {csv_path}");
 }
 
-/// Builds the same dataset at one worker and at the requested worker
-/// count, printing per-stage timings and writing `BENCH_pipeline.json`.
+/// Builds the same dataset in both execution models (staged baseline,
+/// then streaming) at one worker and at the requested worker count,
+/// printing per-phase timings and writing `BENCH_pipeline.json`.
 /// Returns the last dataset built, so `--trace-out` can render its
 /// detection provenance.
 fn bench_pipeline(config: PipelineConfig) -> Dataset {
     let parallel_workers = config.workers.unwrap_or_else(arest_tnt::pool::worker_count).max(1);
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
+    let mut worker_counts = vec![1];
+    if parallel_workers > 1 {
+        worker_counts.push(parallel_workers);
+    }
+
     let mut runs: Vec<BuildStats> = Vec::new();
     let mut last_dataset: Option<Dataset> = None;
-    for workers in [1, parallel_workers] {
+    for &workers in &worker_counts {
         let run_config = PipelineConfig { workers: Some(workers), ..config };
-        eprintln!(
-            "bench-pipeline: building (scale {}, {} VPs, seed {}) with {workers} worker(s)…",
-            run_config.gen.scale, run_config.gen.vp_count, run_config.gen.seed
-        );
-        let (dataset, stats) = Dataset::build_with_stats(run_config);
-        eprintln!(
-            "  total {:.2}s ({} raw traces)",
-            stats.total.as_secs_f64(),
-            dataset.raw_trace_count
-        );
-        for (name, duration) in stats.timings.stages() {
-            eprintln!("    {name:<12}{:.3}s", duration.as_secs_f64());
-        }
-        runs.push(stats);
-        last_dataset = Some(dataset);
-        if workers == parallel_workers && parallel_workers == 1 {
-            break; // nothing to compare against
+        for mode in [BuildMode::Staged, BuildMode::Streaming] {
+            eprintln!(
+                "bench-pipeline: {} build (scale {}, {} VPs, seed {}) with {workers} worker(s)…",
+                mode.as_str(),
+                run_config.gen.scale,
+                run_config.gen.vp_count,
+                run_config.gen.seed
+            );
+            let (dataset, stats) = match mode {
+                BuildMode::Staged => Dataset::build_staged_with_stats(run_config),
+                BuildMode::Streaming => Dataset::build_with_stats(run_config),
+            };
+            eprintln!(
+                "  total {:.2}s ({} raw traces, peak resident {})",
+                stats.total.as_secs_f64(),
+                dataset.raw_trace_count,
+                stats.peak_resident_traces
+            );
+            for (name, duration) in stats.stages() {
+                eprintln!("    {name:<12}{:.3}s", duration.as_secs_f64());
+            }
+            runs.push(stats);
+            last_dataset = Some(dataset);
         }
     }
 
-    let speedup = match runs.as_slice() {
-        [serial, parallel, ..] => {
-            serial.total.as_secs_f64() / parallel.total.as_secs_f64().max(f64::EPSILON)
-        }
+    let total_of = |mode: BuildMode, workers: usize| {
+        runs.iter().find(|s| s.mode == mode && s.workers == workers).map(|s| s.total.as_secs_f64())
+    };
+    // Parallel scaling of the streaming dataflow itself.
+    let speedup =
+        match (total_of(BuildMode::Streaming, 1), total_of(BuildMode::Streaming, parallel_workers))
+        {
+            (Some(serial), Some(parallel)) => serial / parallel.max(f64::EPSILON),
+            _ => 1.0,
+        };
+    // The tentpole figure: staged vs streaming at the same (highest)
+    // worker count. > 1.0 means the dataflow beats the barriers.
+    let streaming_vs_staged = match (
+        total_of(BuildMode::Staged, parallel_workers),
+        total_of(BuildMode::Streaming, parallel_workers),
+    ) {
+        (Some(staged), Some(streaming)) => staged / streaming.max(f64::EPSILON),
         _ => 1.0,
     };
     eprintln!(
-        "speedup at {parallel_workers} worker(s): {speedup:.2}x (host has {available} core(s))"
+        "streaming speedup at {parallel_workers} worker(s): {speedup:.2}x \
+         (host has {available} core(s))"
     );
+    eprintln!("streaming vs staged at {parallel_workers} worker(s): {streaming_vs_staged:.2}x");
 
     // Hand-rolled JSON, like the rest of the suite (no serde).
     let mut json = String::from("{\n");
@@ -215,16 +267,25 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
         );
     }
     json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"streaming_vs_staged_speedup\": {streaming_vs_staged:.4},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, stats) in runs.iter().enumerate() {
-        json.push_str(&format!("    {{\"workers\": {}, \"stages\": {{", stats.workers));
-        for (j, (name, duration)) in stats.timings.stages().iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"mode\": \"{}\", \"stages\": {{",
+            stats.workers,
+            stats.mode.as_str()
+        ));
+        for (j, (name, duration)) in stats.stages().iter().enumerate() {
             if j > 0 {
                 json.push_str(", ");
             }
             json.push_str(&format!("\"{name}\": {:.6}", duration.as_secs_f64()));
         }
-        json.push_str(&format!("}}, \"total_seconds\": {:.6}}}", stats.total.as_secs_f64()));
+        json.push_str(&format!(
+            "}}, \"total_seconds\": {:.6}, \"peak_resident_traces\": {}}}",
+            stats.total.as_secs_f64(),
+            stats.peak_resident_traces
+        ));
         json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
@@ -245,7 +306,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
-         [--workers N] [--out DIR] [--obs] [--trace-out DIR] <ids…|all|bench-pipeline>\n\
+         [--workers N] [--stream] [--out DIR] [--obs] [--trace-out DIR] \
+         <ids…|all|bench-pipeline>\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

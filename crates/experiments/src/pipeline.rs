@@ -6,54 +6,121 @@
 //! bdrmapIT-style AS restriction, and finally AReST detection over
 //! the augmented intra-AS traces.
 //!
-//! ## Parallel execution model
+//! ## Streaming execution model
 //!
-//! Every stage fans out over the shared work-stealing pool
-//! (`arest_tnt::pool`), sized by [`PipelineConfig::workers`] (or the
-//! `AREST_WORKERS` environment variable / available cores when
-//! unset):
+//! The default build is an **AS-major streaming dataflow**. After one
+//! generation barrier (Internet + BGP view + Anaximander target
+//! lists), each AS flows probe → fingerprint → alias →
+//! annotate/detect end to end on the shared work-stealing pool
+//! ([`arest_tnt::pool::run_dynamic`]):
 //!
-//! * **probe** — `(AS, VP)` work units across *all* campaigns at
-//!   once, so the 60 ASes no longer serialize behind each other;
-//! * **fingerprint** — the address list is sorted and chunked into
-//!   per-worker batches (per-address results are independent);
-//! * **alias** — per-AS candidate generation runs on the pool, the
-//!   union–find resolution stays serial;
-//! * **annotate/detect** — each raw trace is a work unit running
-//!   restrict→augment→detect.
+//! * **probe** — one `(AS, VP)` campaign unit per vantage point; the
+//!   unit that completes an AS's last campaign injects that AS's
+//!   *tail* unit into the pool;
+//! * **tail** — fingerprints the AS's addresses through a shared,
+//!   sharded, memoizing [`FingerprintCache`] (each distinct address
+//!   is probed once per build, no matter how many ASes observe it),
+//!   resolves aliases from just this AS's paths, annotates/restricts,
+//!   runs the detector, and sends the finished [`AsResult`] into a
+//!   **bounded channel**.
 //!
-//! Merges are deterministic (submission order), so a parallel build
-//! is result-identical to a single-worker one — the regression tests
-//! at the bottom of this file compare the two directly.
+//! Admission is coupled to the channel: the next AS enters the pool
+//! only after a tail's send is accepted, so raw-trace intermediates
+//! resident at once are bounded by the admission window plus the
+//! channel capacity — not by the catalog size.
+//! [`BuildStats::peak_resident_traces`] measures the watermark.
+//!
+//! The pre-refactor **staged** build (five barriers: generate → probe
+//! → fingerprint → alias → detect) is kept as
+//! [`Dataset::build_staged`]: it is the comparison baseline for the
+//! result-identity regression tests at the bottom of this file and
+//! for the `bench-pipeline` report.
+//!
+//! ## Determinism
+//!
+//! Both modes are result-identical to each other at any worker
+//! count, by construction:
+//!
+//! * campaign units are pure functions of `(AS, VP)`; tails reassemble
+//!   them in VP order, reproducing the staged AS-major/VP-minor trace
+//!   layout;
+//! * the fingerprint cache holds its shard's write lock across the
+//!   echo probe, so probe counts — and the evidence — never depend on
+//!   which AS asks first, and the TTL signature normalizes the
+//!   time-exceeded reply TTL, so evidence is invariant to *which*
+//!   AS's observation accompanies the request;
+//! * alias resolution samples a pure IP-ID oracle, and prefix
+//!   ownership covers every generated interface address, so per-AS
+//!   cluster views annotate exactly like the staged global one;
+//! * per-AS outputs merge into the dataset in catalog order
+//!   (first-wins for the fingerprint map), independent of completion
+//!   order.
 
 use arest_core::detect::{detect_segments_spanned, DetectedSegment, DetectorConfig};
 use arest_core::model::{AugmentedHop, AugmentedTrace};
 use arest_fingerprint::combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
 use arest_fingerprint::snmp::SnmpDataset;
+use arest_fingerprint::FingerprintCache;
 use arest_mapping::alias::{AliasResolver, IpIdOracle};
 use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
 use arest_mapping::bdrmap::AsAnnotator;
 use arest_mapping::bgp::{BgpRoute, BgpView};
 use arest_netgen::internet::{generate, GenConfig, Internet};
-use arest_obs::{SpanContext, Tracer};
-use arest_tnt::campaign::{run_campaigns_spanned, CampaignConfig, VantagePoint};
-use arest_tnt::pool;
-use arest_tnt::trace::Trace;
-use arest_topo::ids::AsNumber;
+use arest_obs::{Counter, Gauge, Span, SpanContext, Tracer};
+use arest_tnt::campaign::{campaign_unit, run_campaigns_spanned, CampaignConfig, VantagePoint};
+use arest_tnt::pool::{self, Injector};
+use arest_tnt::trace::{collect_addrs, Trace};
+use arest_topo::ids::{AsNumber, RouterId};
+use crossbeam::channel;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::sync::{Arc, LazyLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
 /// The global registry's span tracer (inert while `AREST_OBS` is off).
 static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
 
-/// Fingerprint batch size, in addresses. Fixed — not derived from the
-/// worker count — so the set of `pipeline.fingerprint.batch` spans
-/// (and therefore the whole span tree) is identical at any worker
-/// count. Results never depended on the split: batches are disjoint
-/// and their maps merge order-free.
+/// Fingerprint batch size for the staged build, in addresses. Fixed —
+/// not derived from the worker count — so the set of
+/// `pipeline.fingerprint.batch` spans (and therefore the whole span
+/// tree) is identical at any worker count. Results never depended on
+/// the split: batches are disjoint and their maps merge order-free.
 const FINGERPRINT_BATCH: usize = 256;
+
+/// Capacity of the bounded channel completed ASes stream through.
+/// Small on purpose: a slow consumer back-pressures the pool instead
+/// of letting finished results (and their trace memory) pile up.
+const RESULT_CHANNEL_CAPACITY: usize = 4;
+
+/// How many ASes may be in flight at once. Enough to keep every
+/// worker busy (two per worker absorbs tail latency) and to cover the
+/// result channel, but far below the catalog size — this is what
+/// bounds resident raw traces.
+fn admission_window(workers: usize) -> usize {
+    (workers * 2).max(RESULT_CHANNEL_CAPACITY * 2)
+}
+
+/// Streaming-mode handles into the global `arest-obs` registry.
+struct StreamMetrics {
+    /// `pipeline.stream.ases` — tail units completed.
+    ases: Counter,
+    /// `pipeline.stream.peak_resident_traces` — high watermark of raw
+    /// traces alive between probe and consumption.
+    peak_resident: Gauge,
+    /// `pipeline.stream.peak_results_queued` — high watermark of
+    /// finished ASes waiting in the bounded channel.
+    peak_queued: Gauge,
+}
+
+static STREAM_METRICS: LazyLock<StreamMetrics> = LazyLock::new(|| {
+    let registry = arest_obs::global();
+    StreamMetrics {
+        ases: registry.counter("pipeline.stream.ases"),
+        peak_resident: registry.gauge("pipeline.stream.peak_resident_traces"),
+        peak_queued: registry.gauge("pipeline.stream.peak_results_queued"),
+    }
+});
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -129,32 +196,43 @@ impl AsResult {
     }
 }
 
-/// Wall-clock duration of each pipeline stage.
+/// Which execution model a build ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildMode {
+    /// Five barriers: generate → probe → fingerprint → alias → detect.
+    Staged,
+    /// Generate barrier, then AS-major streaming dataflow.
+    Streaming,
+}
+
+impl BuildMode {
+    /// The mode's lowercase name (used in spans, reports, and bench
+    /// artifacts).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BuildMode::Staged => "staged",
+            BuildMode::Streaming => "streaming",
+        }
+    }
+}
+
+/// Wall-clock duration of each pipeline phase. Staged builds fill the
+/// five barrier slots; streaming builds fill `generate` and `stream`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
     /// Internet generation + BGP view + Anaximander target lists.
     pub generate: Duration,
-    /// The TNT campaigns ((AS, VP) work units).
+    /// Staged: the TNT campaigns ((AS, VP) work units).
     pub probe: Duration,
-    /// SNMPv3 harvest + TTL fingerprinting.
+    /// Staged: SNMPv3 harvest + TTL fingerprinting.
     pub fingerprint: Duration,
-    /// Alias candidate generation + MIDAR resolution.
+    /// Staged: alias candidate generation + MIDAR resolution.
     pub alias: Duration,
-    /// AS annotation, restriction, augmentation, and detection.
+    /// Staged: AS annotation, restriction, augmentation, detection.
     pub detect: Duration,
-}
-
-impl StageTimings {
-    /// `(name, duration)` pairs in pipeline order.
-    pub fn stages(&self) -> [(&'static str, Duration); 5] {
-        [
-            ("generate", self.generate),
-            ("probe", self.probe),
-            ("fingerprint", self.fingerprint),
-            ("alias", self.alias),
-            ("detect", self.detect),
-        ]
-    }
+    /// Streaming: the whole probe→…→detect dataflow (one phase — the
+    /// barriers it replaced no longer exist as separable intervals).
+    pub stream: Duration,
 }
 
 /// How a [`Dataset::build_with_stats`] run went.
@@ -162,10 +240,37 @@ impl StageTimings {
 pub struct BuildStats {
     /// Worker threads the parallel stages ran on.
     pub workers: usize,
-    /// Per-stage wall-clock timings.
+    /// Which execution model ran.
+    pub mode: BuildMode,
+    /// Per-phase wall-clock timings.
     pub timings: StageTimings,
     /// End-to-end build time.
     pub total: Duration,
+    /// High watermark of raw traces resident at once. Staged builds
+    /// hold every trace across the barriers, so this equals
+    /// [`Dataset::raw_trace_count`]; streaming builds stay bounded by
+    /// the admission window regardless of catalog size.
+    pub peak_resident_traces: usize,
+}
+
+impl BuildStats {
+    /// `(name, duration)` pairs for the phases this mode actually ran,
+    /// in pipeline order. The names match the
+    /// `pipeline.stage.{name}` span names, so bench artifacts and
+    /// span trees can be cross-checked.
+    pub fn stages(&self) -> Vec<(&'static str, Duration)> {
+        let t = &self.timings;
+        match self.mode {
+            BuildMode::Staged => vec![
+                ("generate", t.generate),
+                ("probe", t.probe),
+                ("fingerprint", t.fingerprint),
+                ("alias", t.alias),
+                ("detect", t.detect),
+            ],
+            BuildMode::Streaming => vec![("generate", t.generate), ("stream", t.stream)],
+        }
+    }
 }
 
 /// The full pipeline output.
@@ -197,59 +302,486 @@ struct ProcessedTrace {
     discovered: Vec<Ipv4Addr>,
 }
 
+/// The generation barrier's output, shared by both build modes.
+struct Generated {
+    internet: Internet,
+    vps: Vec<VantagePoint>,
+    target_lists: Vec<Vec<Ipv4Addr>>,
+}
+
+/// Internet generation, the BGP view, and the per-AS Anaximander
+/// target lists — the one barrier both build modes start from.
+fn generate_phase(config: &PipelineConfig, workers: usize, parent: SpanContext) -> Generated {
+    let stage_span = TRACER.span_with_parent("pipeline.stage.generate", parent);
+    let generate_ctx = stage_span.context();
+    let internet = generate(&config.gen);
+
+    let view: BgpView = internet
+        .routes
+        .iter()
+        .map(|r| BgpRoute { prefix: r.prefix, origin: r.origin, path: r.path.clone() })
+        .collect();
+
+    let vps: Vec<VantagePoint> = internet
+        .vps
+        .iter()
+        .map(|vp| VantagePoint {
+            name: Arc::from(vp.name.as_str()),
+            addr: vp.addr,
+            gateway: vp.gateway,
+        })
+        .collect();
+
+    let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
+    let plans: Vec<_> = internet.plans.iter().collect();
+    let target_lists: Vec<Vec<Ipv4Addr>> = pool::run_indexed(plans, workers, &|idx, plan| {
+        let mut span = TRACER.span_with_parent("pipeline.targets.unit", generate_ctx);
+        span.record("as_idx", idx);
+        build_target_list(&view, plan.asn, &anax)
+    });
+    Generated { internet, vps, target_lists }
+}
+
+/// Publishes phase wall-clock and volume into the global
+/// observability registry (rendered into RUN_REPORT). Cold — once per
+/// build — so inline registration is fine.
+fn publish_build_metrics(stats: &BuildStats, raw_trace_count: usize) {
+    let registry = arest_obs::global();
+    if !registry.is_enabled() {
+        return;
+    }
+    let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    for (name, duration) in stats.stages() {
+        registry.histogram(&format!("pipeline.stage.{name}.us")).record(us(duration));
+    }
+    registry.histogram("pipeline.total.us").record(us(stats.total));
+    registry.counter("pipeline.builds").inc();
+    registry.counter("pipeline.raw_traces").add(raw_trace_count as u64);
+    registry.gauge("pipeline.workers").set(stats.workers as i64);
+}
+
+/// A pool work unit of the streaming dataflow.
+enum StreamUnit {
+    /// One vantage point's campaign against one AS.
+    Probe { as_idx: usize, vp_idx: usize },
+    /// The per-AS tail: fingerprint, alias, annotate/detect, send.
+    Tail { as_idx: usize },
+}
+
+/// Per-AS in-flight state: one trace slot per vantage point plus the
+/// countdown that decides which probe unit injects the tail.
+struct AsFlow {
+    /// Campaign output per VP, filled by probe units.
+    slots: Vec<Mutex<Option<Vec<Trace>>>>,
+    /// Probe units still outstanding; the 1→0 transition injects the
+    /// tail on exactly one worker.
+    remaining: AtomicUsize,
+    /// The AS's `pipeline.as.flow` span, opened at admission and
+    /// closed by the tail. Probe units parent their campaign spans to
+    /// it.
+    span: Mutex<Option<Span>>,
+}
+
+impl AsFlow {
+    fn new(vp_count: usize) -> AsFlow {
+        AsFlow {
+            slots: (0..vp_count).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(vp_count),
+            span: Mutex::new(None),
+        }
+    }
+}
+
+/// One finished AS, as sent through the bounded result channel.
+struct StreamedAs {
+    as_idx: usize,
+    result: AsResult,
+    /// This AS's slice of the fingerprint map (evidence for every
+    /// address its traces observed).
+    fingerprints: HashMap<Ipv4Addr, (VendorEvidence, FingerprintSource)>,
+    /// This AS's contribution to per-VP discovery.
+    per_vp: HashMap<Arc<str>, HashSet<Ipv4Addr>>,
+    /// Raw traces this AS held resident (for the watermark).
+    raw_traces: usize,
+}
+
+/// The shared state every streaming work unit runs against.
+struct StreamEngine<'a> {
+    net: &'a arest_simnet::Network,
+    snmp: &'a SnmpDataset,
+    vps: Vec<VantagePoint>,
+    target_lists: Vec<Vec<Ipv4Addr>>,
+    plan_ids: Vec<u8>,
+    plan_asns: Vec<AsNumber>,
+    config: PipelineConfig,
+    campaign_cfg: CampaignConfig,
+    oracle: IpIdOracle<'a>,
+    /// The base annotator (shared ownership table, no clusters); tails
+    /// derive a per-AS view with [`AsAnnotator::with_aliases`].
+    annotator: AsAnnotator,
+    cache: FingerprintCache<'a>,
+    flows: Vec<AsFlow>,
+    /// Next catalog index to admit once a result send is accepted.
+    next_as: AtomicUsize,
+    /// Raw traces currently alive (probed but not yet consumed).
+    resident: AtomicUsize,
+    /// High watermark of `resident`.
+    peak_resident: AtomicUsize,
+    /// The `pipeline.stage.stream` span every flow parents to.
+    stream_ctx: SpanContext,
+}
+
+impl StreamEngine<'_> {
+    /// Admits one AS into the dataflow: opens its flow span and
+    /// returns the units to enqueue (one probe per VP, or the bare
+    /// tail when there are no vantage points).
+    fn admit(&self, as_idx: usize) -> Vec<StreamUnit> {
+        let mut span = TRACER.span_with_parent("pipeline.as.flow", self.stream_ctx);
+        span.record("as_idx", as_idx);
+        span.record("targets", self.target_lists[as_idx].len());
+        *self.flows[as_idx].span.lock().expect("flow span lock") = Some(span);
+        if self.vps.is_empty() {
+            return vec![StreamUnit::Tail { as_idx }];
+        }
+        (0..self.vps.len()).map(|vp_idx| StreamUnit::Probe { as_idx, vp_idx }).collect()
+    }
+
+    /// Runs one `(AS, VP)` campaign; the last probe of an AS injects
+    /// its tail.
+    fn probe(&self, as_idx: usize, vp_idx: usize, injector: &Injector<'_, StreamUnit>) {
+        let flow = &self.flows[as_idx];
+        let flow_ctx = {
+            let guard = flow.span.lock().expect("flow span lock");
+            guard.as_ref().expect("probe units run after admission").context()
+        };
+        let traces = campaign_unit(
+            self.net,
+            &self.vps[vp_idx],
+            &self.target_lists[as_idx],
+            &self.campaign_cfg,
+            flow_ctx,
+        );
+        let now = self.resident.fetch_add(traces.len(), Ordering::SeqCst) + traces.len();
+        self.peak_resident.fetch_max(now, Ordering::SeqCst);
+        STREAM_METRICS.peak_resident.set_max(now as i64);
+        *flow.slots[vp_idx].lock().expect("flow slot lock") = Some(traces);
+        if flow.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            injector.push(StreamUnit::Tail { as_idx });
+        }
+    }
+
+    /// The per-AS tail: reassemble the campaigns in VP order,
+    /// fingerprint through the shared cache, resolve this AS's
+    /// aliases, annotate/restrict/detect every trace, and stream the
+    /// finished result out. An accepted send admits the next AS.
+    fn tail(
+        &self,
+        as_idx: usize,
+        injector: &Injector<'_, StreamUnit>,
+        results: &channel::Sender<StreamedAs>,
+    ) {
+        let flow = &self.flows[as_idx];
+        let flow_span = flow.span.lock().expect("flow span lock").take().expect("tail runs once");
+        let mut tail_span = TRACER.span_with_parent("pipeline.as.tail", flow_span.context());
+        tail_span.record("as_idx", as_idx);
+        let asn = self.plan_asns[as_idx];
+
+        // VP-order reassembly reproduces the staged AS-major/VP-minor
+        // trace layout exactly.
+        let mut raw: Vec<Trace> = Vec::new();
+        for slot in &flow.slots {
+            if let Some(traces) = slot.lock().expect("flow slot lock").take() {
+                raw.extend(traces);
+            }
+        }
+        let raw_count = raw.len();
+        tail_span.record("traces", raw_count);
+
+        // Fingerprint: evidence for every TTL-bearing address this
+        // AS observed, answered by the shared memoizing cache.
+        let mut fp_span = TRACER.span_with_parent("pipeline.as.fingerprint", tail_span.context());
+        let (addrs, te_ttls) = collect_addrs(&raw);
+        fp_span.record("addrs", addrs.len());
+        let mut fingerprints = HashMap::with_capacity(addrs.len());
+        for &addr in &addrs {
+            if let Some(evidence) = self.cache.evidence(addr, te_ttls[&addr], self.snmp) {
+                fingerprints.insert(addr, evidence);
+            }
+        }
+        drop(fp_span);
+
+        // Alias: this AS's paths only; the view shares the ownership
+        // table with every other AS's view.
+        let mut alias_span = TRACER.span_with_parent("pipeline.as.alias", tail_span.context());
+        let paths: Vec<Vec<Ipv4Addr>> = raw
+            .iter()
+            .take(self.config.alias_paths_per_as)
+            .map(|t| t.responding_addrs().collect())
+            .collect();
+        alias_span.record("paths", paths.len());
+        let clusters = AliasResolver::resolve_paths(&self.oracle, &paths, 5);
+        let annotator = self.annotator.with_aliases(clusters);
+        drop(alias_span);
+
+        // Annotate/restrict/detect, trace by trace.
+        let mut result = AsResult {
+            id: self.plan_ids[as_idx],
+            asn,
+            targets_probed: self.target_lists[as_idx].len(),
+            restricted: Vec::new(),
+            augmented: Vec::new(),
+            segments: Vec::new(),
+            discovered: HashSet::new(),
+        };
+        let mut per_vp: HashMap<Arc<str>, HashSet<Ipv4Addr>> = HashMap::new();
+        for trace in raw {
+            let mut span = TRACER.span_with_parent("pipeline.detect.unit", tail_span.context());
+            span.record("as_idx", as_idx);
+            span.record("dst", trace.dst);
+            let outcome = process_trace(
+                trace,
+                &annotator,
+                asn,
+                &fingerprints,
+                &self.config.detector,
+                span.context(),
+            );
+            let Some(processed) = outcome else { continue };
+            let vp_set = per_vp.entry(processed.restricted.vp.clone()).or_default();
+            for addr in processed.discovered {
+                result.discovered.insert(addr);
+                vp_set.insert(addr);
+            }
+            result.restricted.push(processed.restricted);
+            result.augmented.push(processed.augmented);
+            result.segments.push(processed.segments);
+        }
+        drop(tail_span);
+        drop(flow_span);
+        STREAM_METRICS.ases.inc();
+
+        let streamed = StreamedAs { as_idx, result, fingerprints, per_vp, raw_traces: raw_count };
+        if results.send(streamed).is_err() {
+            // The consumer is gone (it panicked and dropped the
+            // receiver). Stop admitting; the queued units drain and
+            // the pool shuts down.
+            return;
+        }
+        STREAM_METRICS.peak_queued.set_max(results.len() as i64);
+
+        // Backpressure point: only an *accepted* result opens the
+        // window for the next AS.
+        let next = self.next_as.fetch_add(1, Ordering::SeqCst);
+        if next < self.flows.len() {
+            for unit in self.admit(next) {
+                injector.push(unit);
+            }
+        }
+    }
+
+    /// Dispatches one pool unit.
+    fn run(
+        &self,
+        unit: StreamUnit,
+        injector: &Injector<'_, StreamUnit>,
+        results: &channel::Sender<StreamedAs>,
+    ) {
+        match unit {
+            StreamUnit::Probe { as_idx, vp_idx } => self.probe(as_idx, vp_idx, injector),
+            StreamUnit::Tail { as_idx } => self.tail(as_idx, injector, results),
+        }
+    }
+
+    /// The consumer took one AS off the channel; its raw traces are
+    /// no longer pipeline-resident.
+    fn note_consumed(&self, raw_traces: usize) {
+        self.resident.fetch_sub(raw_traces, Ordering::SeqCst);
+    }
+}
+
 impl Dataset {
-    /// Runs the whole pipeline.
+    /// Runs the whole pipeline (streaming dataflow).
     pub fn build(config: PipelineConfig) -> Dataset {
         Dataset::build_with_stats(config).0
     }
 
-    /// Runs the whole pipeline and reports per-stage timings.
+    /// Runs the whole pipeline (streaming dataflow) and reports
+    /// per-phase timings.
+    pub fn build_with_stats(config: PipelineConfig) -> (Dataset, BuildStats) {
+        Dataset::build_streaming(config, |_| {})
+    }
+
+    /// Runs the streaming pipeline, invoking `on_as` for each
+    /// finished [`AsResult`] **in completion order** (not catalog
+    /// order) while the rest of the catalog is still being measured.
+    /// The returned dataset is identical to a staged build's.
+    ///
+    /// The callback runs on the calling thread. It may be slow: the
+    /// bounded result channel back-pressures the pool, so a slow
+    /// consumer bounds memory instead of growing a backlog.
     ///
     /// When tracing is enabled (`AREST_OBS` / `--obs`), the build
-    /// opens a `pipeline.build` root span with one
-    /// `pipeline.stage.{generate,probe,fingerprint,alias,detect}`
-    /// child per stage; every pool work unit opens its own span
-    /// explicitly parented to its stage's [`SpanContext`], so the
-    /// reconstructed tree is identical at any worker count.
-    pub fn build_with_stats(config: PipelineConfig) -> (Dataset, BuildStats) {
+    /// opens a `pipeline.build` root with a `pipeline.stage.generate`
+    /// barrier child and a `pipeline.stage.stream` child; each AS
+    /// hangs a `pipeline.as.flow` span off the stream stage with its
+    /// campaign units and its `pipeline.as.tail` (fingerprint, alias,
+    /// detect) below, so the reconstructed tree is identical at any
+    /// worker count.
+    pub fn build_streaming(
+        config: PipelineConfig,
+        mut on_as: impl FnMut(&AsResult),
+    ) -> (Dataset, BuildStats) {
         let build_started = Instant::now();
         let workers = config.workers.unwrap_or_else(pool::worker_count);
         let mut timings = StageTimings::default();
         let mut build_span = TRACER.span("pipeline.build");
         build_span.record("workers", workers);
+        build_span.record("mode", BuildMode::Streaming.as_str());
+        let build_ctx = build_span.context();
+
+        let stage = Instant::now();
+        let generated = generate_phase(&config, workers, build_ctx);
+        timings.generate = stage.elapsed();
+        let Generated { internet, vps, target_lists } = generated;
+        let n_as = internet.plans.len();
+
+        let stage = Instant::now();
+        let stream_span = TRACER.span_with_parent("pipeline.stage.stream", build_ctx);
+        let snmp = SnmpDataset::harvest(&internet.net);
+        // The cache probes through the first VP, as the staged
+        // fingerprint pass did (the fallback entry is never used:
+        // without VPs there are no traces, hence no addresses).
+        let (fp_entry, fp_src) =
+            vps.first().map_or((RouterId(0), Ipv4Addr::UNSPECIFIED), |vp| (vp.gateway, vp.addr));
+        let window = admission_window(workers).min(n_as.max(1));
+        let engine = StreamEngine {
+            net: &internet.net,
+            snmp: &snmp,
+            vps,
+            target_lists,
+            plan_ids: internet.plans.iter().map(|p| p.entry.id).collect(),
+            plan_asns: internet.plans.iter().map(|p| p.asn).collect(),
+            config,
+            campaign_cfg: CampaignConfig::default(),
+            oracle: IpIdOracle::new(&internet.net),
+            annotator: AsAnnotator::new(internet.ownership.iter().copied()),
+            cache: FingerprintCache::new(&internet.net, fp_entry, fp_src),
+            flows: (0..n_as).map(|_| AsFlow::new(internet.vps.len())).collect(),
+            next_as: AtomicUsize::new(window),
+            resident: AtomicUsize::new(0),
+            peak_resident: AtomicUsize::new(0),
+            stream_ctx: stream_span.context(),
+        };
+
+        let mut initial: Vec<StreamUnit> = Vec::new();
+        for as_idx in 0..window.min(n_as) {
+            initial.extend(engine.admit(as_idx));
+        }
+
+        let (result_tx, result_rx) = channel::bounded::<StreamedAs>(RESULT_CHANNEL_CAPACITY);
+        let mut streamed: Vec<Option<StreamedAs>> = (0..n_as).map(|_| None).collect();
+        let engine_ref = &engine;
+        crossbeam::thread::scope(|scope| {
+            // Producer: the work-stealing pool. It owns the sender;
+            // when the last unit completes the sender drops and the
+            // consumer's iterator ends.
+            scope.spawn(move |_| {
+                pool::run_dynamic(initial, workers, &|unit, injector| {
+                    engine_ref.run(unit, injector, &result_tx);
+                });
+            });
+            // Consumer: this thread. The receiver is *moved* into the
+            // scope body so that an unwinding callback drops it —
+            // blocked producers then see a send error and drain
+            // instead of deadlocking against a full channel.
+            let result_rx = result_rx;
+            for item in result_rx.iter() {
+                engine_ref.note_consumed(item.raw_traces);
+                on_as(&item.result);
+                let slot = &mut streamed[item.as_idx];
+                debug_assert!(slot.is_none(), "one tail per AS");
+                *slot = Some(item);
+            }
+        })
+        .expect("the crossbeam shim scope is infallible");
+        drop(stream_span);
+        timings.stream = stage.elapsed();
+
+        let peak_resident_traces = engine.peak_resident.load(Ordering::SeqCst);
+        drop(engine);
+
+        // Deterministic assembly: catalog order, first-wins for the
+        // fingerprint map — identical to the staged global pass (the
+        // first AS to observe an address supplies the same first-seen
+        // time-exceeded TTL the global scan would have kept, and the
+        // evidence itself is observation-invariant).
+        let mut results: Vec<AsResult> = Vec::with_capacity(n_as);
+        let mut fingerprints = HashMap::new();
+        let mut per_vp_discovered: HashMap<Arc<str>, HashSet<Ipv4Addr>> = HashMap::new();
+        let mut raw_trace_count = 0;
+        for slot in streamed {
+            let item = slot.expect("every admitted AS streams exactly one result");
+            raw_trace_count += item.raw_traces;
+            for (addr, evidence) in item.fingerprints {
+                fingerprints.entry(addr).or_insert(evidence);
+            }
+            for (vp, addrs) in item.per_vp {
+                per_vp_discovered.entry(vp).or_default().extend(addrs);
+            }
+            results.push(item.result);
+        }
+
+        let dataset = Dataset {
+            internet,
+            config,
+            results,
+            fingerprints,
+            snmp,
+            per_vp_discovered,
+            raw_trace_count,
+        };
+        drop(build_span);
+        let stats = BuildStats {
+            workers,
+            mode: BuildMode::Streaming,
+            timings,
+            total: build_started.elapsed(),
+            peak_resident_traces,
+        };
+        publish_build_metrics(&stats, dataset.raw_trace_count);
+        (dataset, stats)
+    }
+
+    /// Runs the pre-refactor five-barrier pipeline. Kept as the
+    /// comparison baseline: the streaming build must be
+    /// result-identical to this one (regression-tested), and
+    /// `bench-pipeline` reports both.
+    pub fn build_staged(config: PipelineConfig) -> Dataset {
+        Dataset::build_staged_with_stats(config).0
+    }
+
+    /// [`Dataset::build_staged`] with per-stage timings.
+    ///
+    /// When tracing is enabled, the build opens a `pipeline.build`
+    /// root span with one
+    /// `pipeline.stage.{generate,probe,fingerprint,alias,detect}`
+    /// child per barrier; every pool work unit opens its own span
+    /// explicitly parented to its stage's [`SpanContext`], so the
+    /// reconstructed tree is identical at any worker count.
+    pub fn build_staged_with_stats(config: PipelineConfig) -> (Dataset, BuildStats) {
+        let build_started = Instant::now();
+        let workers = config.workers.unwrap_or_else(pool::worker_count);
+        let mut timings = StageTimings::default();
+        let mut build_span = TRACER.span("pipeline.build");
+        build_span.record("workers", workers);
+        build_span.record("mode", BuildMode::Staged.as_str());
         let build_ctx = build_span.context();
 
         // ---- Generation: Internet, BGP view, target lists ----
         let stage = Instant::now();
-        let stage_span = TRACER.span_with_parent("pipeline.stage.generate", build_ctx);
-        let generate_ctx = stage_span.context();
-        let internet = generate(&config.gen);
-
-        let view: BgpView = internet
-            .routes
-            .iter()
-            .map(|r| BgpRoute { prefix: r.prefix, origin: r.origin, path: r.path.clone() })
-            .collect();
-
-        let vps: Vec<VantagePoint> = internet
-            .vps
-            .iter()
-            .map(|vp| VantagePoint {
-                name: Arc::from(vp.name.as_str()),
-                addr: vp.addr,
-                gateway: vp.gateway,
-            })
-            .collect();
-
-        let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
-        let plans: Vec<_> = internet.plans.iter().collect();
-        let target_lists: Vec<Vec<Ipv4Addr>> = pool::run_indexed(plans, workers, &|idx, plan| {
-            let mut span = TRACER.span_with_parent("pipeline.targets.unit", generate_ctx);
-            span.record("as_idx", idx);
-            build_target_list(&view, plan.asn, &anax)
-        });
-        drop(stage_span);
+        let generated = generate_phase(&config, workers, build_ctx);
         timings.generate = stage.elapsed();
+        let Generated { internet, vps, target_lists } = generated;
 
         // ---- Probing: all campaigns as one batch of (AS, VP) units ----
         let stage = Instant::now();
@@ -272,23 +804,10 @@ impl Dataset {
         let stage_span = TRACER.span_with_parent("pipeline.stage.fingerprint", build_ctx);
         let fingerprint_ctx = stage_span.context();
         let snmp = SnmpDataset::harvest(&internet.net);
-        let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
-        let mut all_addrs: HashSet<Ipv4Addr> = HashSet::new();
-        for traces in &raw_per_as {
-            for trace in traces {
-                for hop in &trace.hops {
-                    if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
-                        all_addrs.insert(addr);
-                        te_ttls.entry(addr).or_insert(ttl);
-                    }
-                }
-            }
-        }
-        // Sorted for a deterministic batch split; each address is
-        // fingerprinted independently, so merging the disjoint batch
-        // maps is order-free.
-        let mut addr_list: Vec<Ipv4Addr> = all_addrs.into_iter().collect();
-        addr_list.sort_unstable();
+        // Sorted (collect_addrs sorts) for a deterministic batch
+        // split; each address is fingerprinted independently, so
+        // merging the disjoint batch maps is order-free.
+        let (addr_list, te_ttls) = collect_addrs(raw_per_as.iter().flatten());
         let batches: Vec<&[Ipv4Addr]> = addr_list.chunks(FINGERPRINT_BATCH).collect();
         let batch_maps = pool::run_indexed(batches, workers, &|idx, batch| {
             let mut span = TRACER.span_with_parent("pipeline.fingerprint.batch", fingerprint_ctx);
@@ -408,21 +927,16 @@ impl Dataset {
             per_vp_discovered,
             raw_trace_count,
         };
-        let stats = BuildStats { workers, timings, total: build_started.elapsed() };
-        // Publish stage wall-clock and volume into the global
-        // observability registry (rendered into RUN_REPORT). Cold —
-        // once per build — so inline registration is fine.
-        let registry = arest_obs::global();
-        if registry.is_enabled() {
-            let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-            for (name, duration) in stats.timings.stages() {
-                registry.histogram(&format!("pipeline.stage.{name}.us")).record(us(duration));
-            }
-            registry.histogram("pipeline.total.us").record(us(stats.total));
-            registry.counter("pipeline.builds").inc();
-            registry.counter("pipeline.raw_traces").add(dataset.raw_trace_count as u64);
-            registry.gauge("pipeline.workers").set(workers as i64);
-        }
+        drop(build_span);
+        let stats = BuildStats {
+            workers,
+            mode: BuildMode::Staged,
+            timings,
+            total: build_started.elapsed(),
+            // Every raw trace survives across the barriers.
+            peak_resident_traces: raw_trace_count,
+        };
+        publish_build_metrics(&stats, dataset.raw_trace_count);
         (dataset, stats)
     }
 
@@ -565,7 +1079,7 @@ mod tests {
     /// Asserts two builds of the same config are result-identical:
     /// same per-AS probe volume, trace sets, discovered addresses,
     /// flag multisets, and per-VP discovery — the determinism
-    /// guarantee of the parallel scheduler.
+    /// guarantee of the parallel scheduler, in both build modes.
     fn assert_result_identical(a: &Dataset, b: &Dataset) {
         assert_eq!(a.raw_trace_count, b.raw_trace_count, "raw trace count");
         assert_eq!(a.results.len(), b.results.len());
@@ -595,6 +1109,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_staged_pipeline_quick_config() {
+        // The tentpole's identity guarantee: the streaming dataflow
+        // reproduces the staged five-barrier build bit for bit, at
+        // any worker count.
+        let mut config = PipelineConfig::quick();
+        config.workers = Some(1);
+        let staged = Dataset::build_staged(config);
+        let streaming_serial = Dataset::build(config);
+        assert_result_identical(&staged, &streaming_serial);
+        config.workers = Some(4);
+        let streaming_parallel = Dataset::build(config);
+        assert_result_identical(&staged, &streaming_parallel);
+    }
+
+    #[test]
     fn parallel_build_matches_single_worker_default_shape() {
         // The default config at a trimmed generator scale: default
         // detector, default per-AS target cap, fewer VPs so the
@@ -616,11 +1145,51 @@ mod tests {
     }
 
     #[test]
+    fn streaming_callback_sees_every_as_and_residency_stays_bounded() {
+        let mut config = PipelineConfig::quick();
+        config.workers = Some(4);
+        let mut seen: Vec<u8> = Vec::new();
+        let (ds, stats) = Dataset::build_streaming(config, |result| {
+            // A deliberately slow consumer: backpressure, not a
+            // backlog, must absorb the difference in pace.
+            std::thread::sleep(Duration::from_millis(1));
+            seen.push(result.id);
+        });
+        assert_eq!(stats.mode, BuildMode::Streaming);
+        assert_eq!(seen.len(), 60, "one callback per AS");
+        let distinct: HashSet<u8> = seen.iter().copied().collect();
+        assert_eq!(distinct.len(), 60, "no AS streams twice");
+        assert!(stats.peak_resident_traces > 0);
+        assert!(
+            stats.peak_resident_traces < ds.raw_trace_count,
+            "streaming must never hold the whole catalog: peak {} vs total {}",
+            stats.peak_resident_traces,
+            ds.raw_trace_count
+        );
+    }
+
+    #[test]
     fn build_with_stats_reports_stage_timings() {
-        let (_, stats) = Dataset::build_with_stats(PipelineConfig::quick());
+        let (ds, stats) = Dataset::build_with_stats(PipelineConfig::quick());
         assert!(stats.workers >= 1);
-        let staged: Duration = stats.timings.stages().iter().map(|(_, d)| *d).sum();
-        assert!(staged <= stats.total, "stages are disjoint slices of the build");
+        assert_eq!(stats.mode, BuildMode::Streaming);
+        let phases = stats.stages();
+        assert_eq!(phases.len(), 2, "streaming runs generate + stream");
+        let summed: Duration = phases.iter().map(|(_, d)| *d).sum();
+        assert!(summed <= stats.total, "phases are disjoint slices of the build");
+        assert!(stats.timings.stream > Duration::ZERO, "the dataflow cannot be instantaneous");
+        assert!(stats.peak_resident_traces <= ds.raw_trace_count);
+    }
+
+    #[test]
+    fn staged_build_reports_five_barriers() {
+        let (ds, stats) = Dataset::build_staged_with_stats(PipelineConfig::quick());
+        assert_eq!(stats.mode, BuildMode::Staged);
+        assert_eq!(stats.stages().len(), 5);
         assert!(stats.timings.probe > Duration::ZERO, "probing cannot be instantaneous");
+        assert_eq!(
+            stats.peak_resident_traces, ds.raw_trace_count,
+            "a barrier build holds every raw trace at once"
+        );
     }
 }

@@ -56,19 +56,19 @@ fn experiment_outputs_are_byte_identical_with_observability_on_and_off() {
     );
 
     // …and the tracer must have seen it too, with cross-worker
-    // parentage intact: every campaign unit's recorded parent is a
-    // campaign span, even when a pool worker stole the unit.
+    // parentage intact: every (AS, VP) campaign unit's recorded parent
+    // is its AS's flow span, even when a pool worker stole the unit.
     let find = |name: &str| spans.iter().filter(|r| r.name == name).collect::<Vec<_>>();
     // At least one root build span — experiments like `ablation` and
     // `longitudinal` rebuild datasets internally, so there may be more.
     assert!(!find("pipeline.build").is_empty(), "root span per build missing");
-    let campaigns = find("tnt.campaign");
+    let flows = find("pipeline.as.flow");
     let units = find("tnt.campaign.unit");
-    assert!(!campaigns.is_empty() && !units.is_empty(), "campaign spans missing");
+    assert!(!flows.is_empty() && !units.is_empty(), "campaign spans missing");
     for unit in &units {
         assert!(
-            campaigns.iter().any(|c| c.id == unit.parent),
-            "unit span must stay parented under its (AS, VP) campaign"
+            flows.iter().any(|f| f.id == unit.parent),
+            "unit span must stay parented under its AS flow"
         );
     }
     assert!(!find("core.detect.trace").is_empty(), "detection spans missing");

@@ -83,8 +83,9 @@ fn trace_out_emits_valid_chrome_trace_flamegraph_and_provenance() {
 #[test]
 fn bench_stage_timings_agree_with_span_durations() {
     let dir = scratch_dir("trace-bench");
-    // `--workers 1` makes bench-pipeline build exactly once, so the
-    // span ring holds one set of pipeline.stage.* spans to compare.
+    // `--workers 1` makes bench-pipeline build exactly once per mode
+    // (staged baseline + streaming dataflow), so the span ring holds
+    // exactly the pipeline.stage.* spans of those two builds.
     let status = Command::new(env!("CARGO_BIN_EXE_arest-experiments"))
         .args(["--quick", "--workers", "1", "--trace-out"])
         .arg(&dir)
@@ -96,11 +97,34 @@ fn bench_stage_timings_agree_with_span_durations() {
 
     let bench = Json::parse(&read(&dir.join("BENCH_pipeline.json"))).expect("bench json");
     let runs = bench.get("runs").and_then(Json::as_arr).expect("runs array");
-    assert_eq!(runs.len(), 1, "one build at --workers 1");
-    let stages = match runs[0].get("stages") {
-        Some(Json::Obj(entries)) => entries,
-        other => panic!("stages object missing: {other:?}"),
-    };
+    assert_eq!(runs.len(), 2, "staged + streaming at --workers 1");
+    let mode_of = |run: &Json| run.get("mode").and_then(Json::as_str).map(str::to_owned);
+    assert_eq!(mode_of(&runs[0]).as_deref(), Some("staged"));
+    assert_eq!(mode_of(&runs[1]).as_deref(), Some("streaming"));
+    for run in runs {
+        let peak = run.get("peak_resident_traces").and_then(Json::as_f64);
+        assert!(peak.is_some_and(|p| p > 0.0), "each run reports its residency watermark");
+    }
+
+    // The stage names differ per mode (five barriers vs
+    // generate+stream), and `generate` shows up in both builds — so
+    // sum the bench seconds per stage name across runs and compare
+    // against the span durations summed the same way.
+    let mut bench_stage_us: Vec<(String, f64)> = Vec::new();
+    for run in runs {
+        let stages = match run.get("stages") {
+            Some(Json::Obj(entries)) => entries,
+            other => panic!("stages object missing: {other:?}"),
+        };
+        assert!(!stages.is_empty(), "bench must report stages");
+        for (name, seconds) in stages {
+            let us = seconds.as_f64().expect("stage seconds") * 1e6;
+            match bench_stage_us.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += us,
+                None => bench_stage_us.push((name.clone(), us)),
+            }
+        }
+    }
 
     let trace = Json::parse(&read(&dir.join("trace.json"))).expect("trace json");
     let events = trace.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
@@ -112,9 +136,7 @@ fn bench_stage_timings_agree_with_span_durations() {
             .sum()
     };
 
-    assert!(!stages.is_empty(), "bench must report stages");
-    for (name, seconds) in stages {
-        let bench_us = seconds.as_f64().expect("stage seconds") * 1e6;
+    for (name, bench_us) in &bench_stage_us {
         let from_spans = span_us(&format!("pipeline.stage.{name}"));
         assert!(from_spans > 0.0, "no pipeline.stage.{name} span recorded");
         let tolerance = (bench_us * 0.25).max(150_000.0);

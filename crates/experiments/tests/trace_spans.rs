@@ -41,19 +41,20 @@ fn parallel_build_matches_span_tree_structure() {
     );
 
     // Sanity on the shape itself: exactly one root per build, and the
-    // stolen (AS, VP) units sit under campaigns, which sit under the
-    // probe stage.
+    // streaming dataflow hangs per-AS flows under the stream stage,
+    // with the (AS, VP) campaign units and the per-AS tail below.
     assert_eq!(serial.roots.len(), 1, "one pipeline.build root");
     assert_eq!(serial.roots[0].record.name, "pipeline.build");
     let structure = serial.structure();
     assert!(
-        structure.contains("pipeline.stage.probe(tnt.campaign("),
-        "campaigns must nest under the probe stage"
+        structure.contains("pipeline.stage.stream(pipeline.as.flow("),
+        "per-AS flows must nest under the stream stage"
     );
     assert!(
         structure.contains("tnt.campaign.unit(tnt.trace"),
         "traces must nest under their campaign unit"
     );
+    assert!(structure.contains("pipeline.as.tail("), "each flow must close with its tail span");
     assert!(
         structure.contains("pipeline.detect.unit(core.detect.trace"),
         "detection spans must nest under their work unit"

@@ -1,0 +1,263 @@
+//! A shared, sharded, memoizing fingerprint cache.
+//!
+//! The staged pipeline fingerprinted every address in one global
+//! barrier pass. The streaming pipeline instead asks for evidence the
+//! moment an AS's campaign completes — many ASes, concurrently, often
+//! for the *same* address (borders are shared). This cache makes that
+//! cheap and deterministic:
+//!
+//! * **compute-once** — the expensive half of the TTL signature (the
+//!   echo-reply probe) is memoized per address; the write lock is held
+//!   across the probe, so two ASes racing on one address still probe
+//!   the network exactly once. Probe counts — and therefore every
+//!   `simnet`/`tnt` counter — stay schedule-independent.
+//! * **lock-striped** — addresses hash across 16 independent `RwLock`
+//!   shards, so unrelated misses don't serialize and hits take a
+//!   shared (read) lock only.
+//! * **pure evidence** — [`FingerprintCache::evidence`] combines the
+//!   cached echo TTL with the caller's time-exceeded observation and
+//!   the SNMPv3 dataset through the same fusion rule as
+//!   [`crate::combined::fingerprint_addresses`], so a cached answer is
+//!   identical to a freshly computed one.
+
+use crate::combined::{ttl_evidence, FingerprintSource, VendorEvidence};
+use crate::snmp::SnmpDataset;
+use crate::ttl::ping_echo_ttl;
+use arest_obs::Counter;
+use arest_simnet::Network;
+use arest_topo::ids::RouterId;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::{LazyLock, RwLock};
+
+/// Number of lock stripes. Spreads concurrent misses from different
+/// ASes across independent locks; 16 is ample for the pool's worker
+/// counts.
+const SHARDS: usize = 16;
+
+/// Cache-specific handles into the global `arest-obs` registry (the
+/// fusion outcome counters are shared with [`crate::combined`]).
+struct Metrics {
+    /// `fingerprint.cache.hits` — evidence requests answered from a
+    /// memoized echo probe.
+    hits: Counter,
+    /// `fingerprint.cache.misses` — echo probes actually sent (one
+    /// per distinct address, regardless of scheduling).
+    misses: Counter,
+}
+
+static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
+    let registry = arest_obs::global();
+    Metrics {
+        hits: registry.counter("fingerprint.cache.hits"),
+        misses: registry.counter("fingerprint.cache.misses"),
+    }
+});
+
+/// The shared fingerprint cache. Borrow it once per build (it pins the
+/// network and the probing vantage point) and hand `&FingerprintCache`
+/// to every worker.
+pub struct FingerprintCache<'net> {
+    net: &'net Network,
+    entry: RouterId,
+    src: Ipv4Addr,
+    shards: Vec<RwLock<HashMap<Ipv4Addr, Option<u8>>>>,
+}
+
+impl<'net> FingerprintCache<'net> {
+    /// Creates an empty cache probing through `entry` from `src` (the
+    /// pipeline uses its first vantage point, as the staged
+    /// fingerprint pass did).
+    pub fn new(net: &'net Network, entry: RouterId, src: Ipv4Addr) -> FingerprintCache<'net> {
+        FingerprintCache {
+            net,
+            entry,
+            src,
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, addr: Ipv4Addr) -> &RwLock<HashMap<Ipv4Addr, Option<u8>>> {
+        &self.shards[u32::from(addr) as usize % SHARDS]
+    }
+
+    /// The observed echo-reply TTL for `addr` (`None` when the address
+    /// never answers), memoized: the first request probes the network,
+    /// every later request — from any thread — reads the cached value.
+    pub fn echo_ttl(&self, addr: Ipv4Addr) -> Option<u8> {
+        let metrics = &*METRICS;
+        let shard = self.shard(addr);
+        if let Some(&ttl) = shard.read().expect("fingerprint shard lock").get(&addr) {
+            metrics.hits.inc();
+            return ttl;
+        }
+        let mut guard = shard.write().expect("fingerprint shard lock");
+        if let Some(&ttl) = guard.get(&addr) {
+            metrics.hits.inc();
+            return ttl;
+        }
+        // Probe while holding the shard's write lock: a concurrent
+        // requester for the same address blocks here instead of
+        // probing twice, keeping probe counters deterministic.
+        metrics.misses.inc();
+        let ttl = ping_echo_ttl(self.net, self.entry, self.src, addr);
+        guard.insert(addr, ttl);
+        ttl
+    }
+
+    /// Full fusion evidence for one address: SNMPv3 exactness first
+    /// (§5 precedence, no probe needed), then the TTL signature built
+    /// from the memoized echo probe and the caller's time-exceeded
+    /// reply TTL. Counts into the same `fingerprint.*` series as the
+    /// batch API.
+    pub fn evidence(
+        &self,
+        addr: Ipv4Addr,
+        te_reply_ttl: u8,
+        snmp: &SnmpDataset,
+    ) -> Option<(VendorEvidence, FingerprintSource)> {
+        let fusion = &*crate::combined::METRICS;
+        fusion.addresses.inc();
+        if let Some(vendor) = snmp.lookup(addr) {
+            fusion.snmp_hits.inc();
+            return Some((VendorEvidence::Exact(vendor), FingerprintSource::Snmp));
+        }
+        let Some(echo_ttl) = self.echo_ttl(addr) else {
+            fusion.unresolved.inc();
+            return None;
+        };
+        match ttl_evidence(echo_ttl, te_reply_ttl) {
+            Some(evidence) => {
+                fusion.ttl_hits.inc();
+                Some((evidence, FingerprintSource::Ttl))
+            }
+            None => {
+                fusion.unresolved.inc();
+                None
+            }
+        }
+    }
+
+    /// Number of addresses with a memoized echo probe (for stats and
+    /// tests; SNMPv3-resolved addresses never reach the probe step and
+    /// are not cached).
+    pub fn memoized(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("fingerprint shard lock").len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::fingerprint_addresses;
+    use arest_simnet::plane::Route;
+    use arest_topo::graph::Topology;
+    use arest_topo::ids::AsNumber;
+    use arest_topo::prefix::Prefix;
+    use arest_topo::vendor::Vendor;
+
+    /// R0(Cisco) — R1(Juniper) — R2(Huawei); probes enter at R0.
+    fn testbed() -> (Network, Vec<Ipv4Addr>) {
+        let mut topo = Topology::new();
+        let asn = AsNumber(65_310);
+        let vendors = [Vendor::Cisco, Vendor::Juniper, Vendor::Huawei];
+        let routers: Vec<RouterId> = vendors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                topo.add_router(format!("k{i}"), asn, *v, Ipv4Addr::new(10, 255, 31, (i + 1) as u8))
+            })
+            .collect();
+        for i in 0..2u8 {
+            topo.add_link(
+                routers[i as usize],
+                Ipv4Addr::new(10, 31, i, 1),
+                routers[i as usize + 1],
+                Ipv4Addr::new(10, 31, i, 2),
+                1,
+            );
+        }
+        let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
+        let mut net = Network::new(topo);
+        let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
+        for &from in &routers {
+            for (&to, &lo) in routers.iter().zip(&loopbacks) {
+                if from == to {
+                    continue;
+                }
+                if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                    net.plane_mut(from)
+                        .install_route(Prefix::host(lo), Route { out_iface, next_router });
+                }
+            }
+        }
+        (net, loopbacks)
+    }
+
+    #[test]
+    fn cache_evidence_matches_the_batch_api() {
+        let (net, lo) = testbed();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let te: HashMap<Ipv4Addr, u8> = lo.iter().map(|&a| (a, 250)).collect();
+        let mut snmp = SnmpDataset::new();
+        snmp.insert(lo[1], Vendor::Juniper);
+        let batch = fingerprint_addresses(&net, RouterId(0), src, &lo, &te, &snmp);
+        let cache = FingerprintCache::new(&net, RouterId(0), src);
+        for &addr in &lo {
+            assert_eq!(
+                cache.evidence(addr, te[&addr], &snmp),
+                batch.get(&addr).copied(),
+                "cache and batch fusion must agree on {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn echo_probe_is_memoized_per_address() {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        let first = cache.echo_ttl(lo[0]);
+        assert!(first.is_some());
+        assert_eq!(cache.memoized(), 1);
+        for _ in 0..5 {
+            assert_eq!(cache.echo_ttl(lo[0]), first);
+        }
+        assert_eq!(cache.memoized(), 1, "repeat requests must not grow the cache");
+        let snmp = SnmpDataset::new();
+        for &addr in &lo {
+            cache.evidence(addr, 250, &snmp);
+        }
+        assert_eq!(cache.memoized(), lo.len());
+    }
+
+    #[test]
+    fn snmp_hits_bypass_the_probe_cache() {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        let mut snmp = SnmpDataset::new();
+        snmp.insert(lo[2], Vendor::Huawei);
+        assert_eq!(
+            cache.evidence(lo[2], 250, &snmp),
+            Some((VendorEvidence::Exact(Vendor::Huawei), FingerprintSource::Snmp))
+        );
+        assert_eq!(cache.memoized(), 0, "SNMPv3 precedence means no probe was needed");
+    }
+
+    #[test]
+    fn concurrent_readers_agree() {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        let serial: Vec<Option<u8>> = lo.iter().map(|&a| cache.echo_ttl(a)).collect();
+        let fresh = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (&addr, &expect) in lo.iter().zip(&serial) {
+                        assert_eq!(fresh.echo_ttl(addr), expect);
+                    }
+                });
+            }
+        });
+        assert_eq!(fresh.memoized(), lo.len());
+    }
+}

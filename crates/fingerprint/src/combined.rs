@@ -17,21 +17,23 @@ use std::net::Ipv4Addr;
 use std::sync::LazyLock;
 
 /// Cached handles into the global `arest-obs` registry (free when
-/// observability is disabled).
-struct Metrics {
+/// observability is disabled). Shared with [`crate::cache`], which
+/// reproduces the same per-address fusion and must count into the
+/// same series.
+pub(crate) struct Metrics {
     /// `fingerprint.addresses` — addresses submitted for fusion.
-    addresses: Counter,
+    pub(crate) addresses: Counter,
     /// `fingerprint.snmp_hits` — resolved exactly from the SNMPv3
     /// dataset (takes precedence, §5).
-    snmp_hits: Counter,
+    pub(crate) snmp_hits: Counter,
     /// `fingerprint.ttl_hits` — resolved to Cisco-or-Huawei by the TTL
     /// signature.
-    ttl_hits: Counter,
+    pub(crate) ttl_hits: Counter,
     /// `fingerprint.unresolved` — addresses yielding no evidence.
-    unresolved: Counter,
+    pub(crate) unresolved: Counter,
 }
 
-static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
+pub(crate) static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
     let registry = arest_obs::global();
     Metrics {
         addresses: registry.counter("fingerprint.addresses"),
@@ -82,6 +84,16 @@ impl std::fmt::Display for VendorEvidence {
     }
 }
 
+/// The TTL half of the fusion rule, as a pure function of the two
+/// observed reply TTLs: `Some(CiscoOrHuawei)` for the `(255, 255)`
+/// class, `None` for every other class (no published default SRGB, so
+/// no SR-range knowledge). Shared between the batch API below and the
+/// memoizing [`crate::cache::FingerprintCache`].
+pub fn ttl_evidence(echo_reply_ttl: u8, te_reply_ttl: u8) -> Option<VendorEvidence> {
+    let signature = TtlSignature::from_observed(echo_reply_ttl, te_reply_ttl);
+    (ttl_class(signature) == TtlClass::CiscoOrHuawei).then_some(VendorEvidence::CiscoOrHuawei)
+}
+
 /// Fingerprints a set of addresses.
 ///
 /// `te_reply_ttls` carries, per address, the reply IP TTL of a
@@ -116,14 +128,10 @@ pub fn fingerprint_addresses(
             metrics.unresolved.inc();
             continue;
         };
-        let signature = TtlSignature::from_observed(echo_ttl, te_ttl);
-        if ttl_class(signature) == TtlClass::CiscoOrHuawei {
-            out.insert(addr, (VendorEvidence::CiscoOrHuawei, FingerprintSource::Ttl));
+        if let Some(evidence) = ttl_evidence(echo_ttl, te_ttl) {
+            out.insert(addr, (evidence, FingerprintSource::Ttl));
             metrics.ttl_hits.inc();
         } else {
-            // Other TTL classes carry no SR-range knowledge (no
-            // published default blocks), so they contribute no
-            // evidence.
             metrics.unresolved.inc();
         }
     }

@@ -14,14 +14,19 @@
 //!   public dataset).
 //! * [`combined`] — the fusion rule: SNMPv3 takes precedence over TTL
 //!   when both speak for the same hop.
+//! * [`cache`] — a shared, sharded, memoizing cache over the same
+//!   fusion rule: the streaming pipeline's ASes consult it on demand
+//!   and each address is probed exactly once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod combined;
 pub mod snmp;
 pub mod ttl;
 
-pub use combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
+pub use cache::FingerprintCache;
+pub use combined::{fingerprint_addresses, ttl_evidence, FingerprintSource, VendorEvidence};
 pub use snmp::SnmpDataset;
 pub use ttl::{ttl_class, TtlClass, TtlSignature};

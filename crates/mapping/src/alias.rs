@@ -138,6 +138,20 @@ impl AliasResolver {
         })
     }
 
+    /// Per-AS alias resolution in one call: APPLE candidates from this
+    /// AS's paths, MIDAR-tested and clustered. The streaming
+    /// pipeline's entry point — it runs the moment one AS's campaign
+    /// completes, without waiting for any other AS's candidates.
+    pub fn resolve_paths(
+        oracle: &IpIdOracle<'_>,
+        paths: &[Vec<Ipv4Addr>],
+        rounds: u32,
+    ) -> HashMap<Ipv4Addr, usize> {
+        let mut resolver = AliasResolver::new();
+        resolver.add_candidates_from_paths(paths);
+        resolver.resolve(oracle, rounds)
+    }
+
     /// Tests every candidate pair and clusters the aliases
     /// (union–find). Returns `address → cluster id`.
     pub fn resolve(&self, oracle: &IpIdOracle<'_>, rounds: u32) -> HashMap<Ipv4Addr, usize> {
@@ -257,6 +271,37 @@ mod tests {
         let p2 = vec![Ipv4Addr::new(1, 1, 1, 9), Ipv4Addr::new(2, 2, 2, 9)];
         resolver.add_candidates_from_paths(&[p1, p2]);
         assert!(resolver.candidate_count() >= 2);
+    }
+
+    #[test]
+    fn resolve_paths_matches_the_two_step_form() {
+        let (net, a_ifaces, others) = testbed();
+        let oracle = IpIdOracle::new(&net);
+        let paths = vec![vec![a_ifaces[0], others[0]], vec![a_ifaces[1], others[1]]];
+        let mut resolver = AliasResolver::new();
+        resolver.add_candidates_from_paths(&paths);
+        let two_step = resolver.resolve(&oracle, 8);
+        let one_call = AliasResolver::resolve_paths(&oracle, &paths, 8);
+        // Cluster ids are arbitrary (candidate order varies with hash
+        // seeding); the *partition* is what downstream majority votes
+        // consume, and it must be identical.
+        let partition = |clusters: &HashMap<Ipv4Addr, usize>| {
+            let mut groups: HashMap<usize, Vec<Ipv4Addr>> = HashMap::new();
+            for (&addr, &id) in clusters {
+                groups.entry(id).or_default().push(addr);
+            }
+            let mut sets: Vec<Vec<Ipv4Addr>> = groups
+                .into_values()
+                .map(|mut g| {
+                    g.sort_unstable();
+                    g
+                })
+                .collect();
+            sets.sort();
+            sets
+        };
+        assert_eq!(partition(&one_call), partition(&two_step));
+        assert_eq!(one_call[&a_ifaces[0]], one_call[&a_ifaces[1]], "true aliases merge");
     }
 
     #[test]

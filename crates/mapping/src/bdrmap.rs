@@ -12,11 +12,15 @@ use arest_topo::ids::AsNumber;
 use arest_topo::prefix::{Prefix, PrefixMap};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// The AS annotator.
 #[derive(Debug, Clone, Default)]
 pub struct AsAnnotator {
-    ownership: PrefixMap<AsNumber>,
+    /// Prefix ownership, `Arc`-shared: per-AS views created with
+    /// [`AsAnnotator::with_aliases`] reference one table instead of
+    /// cloning it 60 times.
+    ownership: Arc<PrefixMap<AsNumber>>,
     /// Alias cluster id per address (from [`crate::alias`]).
     clusters: HashMap<Ipv4Addr, usize>,
     /// Majority AS per cluster, derived when clusters are attached.
@@ -27,10 +31,25 @@ impl AsAnnotator {
     /// Builds an annotator from prefix-ownership entries.
     pub fn new(ownership: impl IntoIterator<Item = (Prefix, AsNumber)>) -> AsAnnotator {
         AsAnnotator {
-            ownership: ownership.into_iter().collect(),
+            ownership: Arc::new(ownership.into_iter().collect()),
             clusters: HashMap::new(),
             cluster_as: HashMap::new(),
         }
+    }
+
+    /// A view of this annotator refined by `clusters` — the per-AS
+    /// alias entry point of the streaming pipeline. The ownership
+    /// table is shared (`Arc`), not copied, so building one view per
+    /// AS costs only the cluster vote.
+    #[must_use]
+    pub fn with_aliases(&self, clusters: HashMap<Ipv4Addr, usize>) -> AsAnnotator {
+        let mut view = AsAnnotator {
+            ownership: Arc::clone(&self.ownership),
+            clusters: HashMap::new(),
+            cluster_as: HashMap::new(),
+        };
+        view.attach_aliases(clusters);
+        view
     }
 
     /// Attaches alias clusters; each cluster adopts the majority AS of
@@ -138,6 +157,20 @@ mod tests {
             (Ipv4Addr::new(192, 0, 2, 1), 3),
         ]));
         assert_eq!(a.annotate(Ipv4Addr::new(192, 0, 2, 1)), Some(AsNumber(100)));
+    }
+
+    #[test]
+    fn with_aliases_builds_an_independent_view_over_shared_ownership() {
+        let base = annotator();
+        let unknown = Ipv4Addr::new(172, 16, 0, 1);
+        let known = Ipv4Addr::new(10, 1, 2, 3);
+        let view = base.with_aliases(HashMap::from([(unknown, 7), (known, 7)]));
+        assert_eq!(view.annotate(unknown), Some(AsNumber(100)), "view sees its clusters");
+        assert_eq!(base.annotate(unknown), None, "the base annotator is untouched");
+        assert_eq!(view.annotate(known), Some(AsNumber(100)), "ownership is shared");
+        // A second view with different clusters doesn't see the first's.
+        let other = base.with_aliases(HashMap::from([(unknown, 1)]));
+        assert_eq!(other.annotate(unknown), None, "cluster without annotated members");
     }
 
     #[test]

@@ -118,6 +118,17 @@ impl Gauge {
         }
     }
 
+    /// Raises the level to `value` if it is higher — a high-watermark
+    /// update (atomic `fetch_max`). Used for peak gauges such as the
+    /// streaming result channel's maximum occupancy, where concurrent
+    /// producers race to record the deepest queue they observed.
+    #[inline]
+    pub fn set_max(&self, value: i64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.value.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// The current level.
     #[must_use]
     pub fn get(&self) -> i64 {

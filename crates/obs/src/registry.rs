@@ -228,6 +228,17 @@ mod tests {
     }
 
     #[test]
+    fn gauge_set_max_is_a_high_watermark() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("peak");
+        gauge.set_max(5);
+        gauge.set_max(3);
+        assert_eq!(gauge.get(), 5, "lower values never pull the watermark down");
+        gauge.set_max(9);
+        assert_eq!(gauge.get(), 9);
+    }
+
+    #[test]
     fn disabled_registry_records_nothing() {
         let registry = Registry::disabled();
         let counter = registry.counter("c");
@@ -236,6 +247,7 @@ mod tests {
         counter.inc();
         gauge.set(7);
         gauge.add(3);
+        gauge.set_max(11);
         histogram.record(42);
         assert_eq!(counter.get(), 0);
         assert_eq!(gauge.get(), 0);

@@ -131,13 +131,18 @@ impl Network {
                 // RFC 4950 quotes the stack of the packet *as received
                 // by this router*: when a PopLocal loops back here with
                 // a shorter stack, the quote still shows what arrived.
-                let received = received_labeled.take().unwrap_or_else(|| pkt.stack.clone());
+                // The quote is materialized only when someone will use
+                // it — imminent TTL expiry or a PopLocal — so the hot
+                // Swap/PopForward path never clones the stack.
+                let top = *pkt.stack.top().expect("stack checked non-empty");
+                let action = plane.lfib.lookup(top.label);
+                let received = (top.ttl <= 1 || matches!(action, Some(LfibAction::PopLocal)))
+                    .then(|| received_labeled.take().unwrap_or_else(|| pkt.stack.clone()));
                 let ttl = pkt.stack.decrement_ttl().expect("stack checked non-empty");
                 if ttl == 0 {
-                    return self.time_exceeded(current, reply_src, &pkt, Some(received), hops);
+                    return self.time_exceeded(current, reply_src, &pkt, received, hops);
                 }
-                let top = pkt.stack.top().expect("non-empty").label;
-                match plane.lfib.lookup(top) {
+                match action {
                     None => return ProbeReply::Silent(DropReason::NoLabelEntry),
                     Some(LfibAction::Swap { out_label, out_iface, next_router }) => {
                         pkt.stack.swap(out_label);
@@ -177,7 +182,7 @@ impl Network {
                         merge_ttl_down(&mut pkt, popped.ttl);
                         // Reprocess at this router; remember the stack
                         // we received so ICMP errors can quote it.
-                        received_labeled = Some(received);
+                        received_labeled = received;
                     }
                 }
                 continue;
@@ -189,7 +194,7 @@ impl Network {
             if self.topo.router_by_any_addr(pkt.ip.dst_addr).is_some_and(|r| r.id == current) {
                 // The probed address belongs to this router itself: it
                 // answers directly, quoting any received label stack.
-                return self.deliver(current, &pkt, received_labeled.as_ref(), hops);
+                return self.deliver(current, &pkt, received_labeled, hops);
             }
             if self.anchors.lookup(pkt.ip.dst_addr).map(|(_, r)| *r) == Some(current) {
                 // The probed address sits in a customer prefix anchored
@@ -202,18 +207,21 @@ impl Network {
                 let received_ttl = pkt.ip.ttl;
                 pkt.ip.ttl = pkt.ip.ttl.saturating_sub(1);
                 if pkt.ip.ttl == 0 {
-                    let mut quoted = pkt.clone();
-                    quoted.ip.ttl = received_ttl;
-                    return self.time_exceeded(current, reply_src, &quoted, received_labeled, hops);
+                    // Quote the packet as received: restore the TTL in
+                    // place — nothing reads the decremented copy after
+                    // this return.
+                    pkt.ip.ttl = received_ttl;
+                    return self.time_exceeded(current, reply_src, &pkt, received_labeled, hops);
                 }
                 return self.deliver(current, &pkt, None, hops + 1);
             }
             let received_ttl = pkt.ip.ttl;
             pkt.ip.ttl = pkt.ip.ttl.saturating_sub(1);
             if pkt.ip.ttl == 0 {
-                let mut quoted = pkt.clone();
-                quoted.ip.ttl = received_ttl;
-                return self.time_exceeded(current, reply_src, &quoted, received_labeled, hops);
+                // As above: restore the received TTL in place for the
+                // RFC 4950 quote instead of cloning the whole packet.
+                pkt.ip.ttl = received_ttl;
+                return self.time_exceeded(current, reply_src, &pkt, received_labeled, hops);
             }
 
             // Ingress encapsulation: FTN first (MPLS/SR preferred over
@@ -376,7 +384,7 @@ impl Network {
         &self,
         router: RouterId,
         pkt: &SimPacket,
-        received_stack: Option<&LabelStack>,
+        received_stack: Option<LabelStack>,
         hops: u8,
     ) -> ProbeReply {
         let plane = &self.planes[router.index()];
@@ -388,7 +396,7 @@ impl Network {
                 }
                 let extension = match received_stack {
                     Some(stack) if plane.rfc4950 && !stack.is_empty() => {
-                        Some(MplsExtension { stack: stack.clone() })
+                        Some(MplsExtension { stack })
                     }
                     _ => None,
                 };
@@ -735,12 +743,13 @@ mod tests {
         let (topo, r) = chain(5);
         let target = topo.router(r[4]).loopback;
         let members = vec![r[1], r[2], r[3]];
+        let configs = members
+            .iter()
+            .map(|&m| (m, SrNodeConfig { srgb: cisco_srgb(), srlb: Some(cisco_srlb()) }))
+            .collect();
         let spec = SrDomainSpec {
-            members: members.clone(),
-            configs: members
-                .iter()
-                .map(|&m| (m, SrNodeConfig { srgb: cisco_srgb(), srlb: Some(cisco_srlb()) }))
-                .collect(),
+            members,
+            configs,
             extra_prefix_sids: vec![arest_sr::sid::PrefixSidSpec {
                 prefix: Prefix::host(target),
                 egress: r[3],
@@ -930,7 +939,7 @@ mod tests {
         // Push a label toward a router with an empty LFIB.
         let (topo, r) = chain(3);
         let mut net = Network::new(topo);
-        let spf = arest_topo::spf::DomainSpf::for_as(&net.topo().clone(), AsNumber(65_100));
+        let spf = arest_topo::spf::DomainSpf::for_as(net.topo(), AsNumber(65_100));
         net.register_igp(AsNumber(65_100), spf);
         let out_iface = net.topo().adjacencies(r[0]).next().unwrap().1;
         net.plane_mut(r[0]).ftn.install(

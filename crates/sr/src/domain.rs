@@ -107,17 +107,17 @@ impl SrDomain {
         }
         prefix_sids.extend(spec.extra_prefix_sids.iter().copied());
 
-        let mut domain = SrDomain {
-            members: spec.members.clone(),
-            configs: spec.configs.clone(),
-            node_index,
-            prefix_sids: prefix_sids.clone(),
-            adj_sids: HashMap::new(),
-            lfibs: spec.members.iter().map(|&r| (r, Lfib::new())).collect(),
-            ftns: spec.members.iter().map(|&r| (r, Ftn::new())).collect(),
-            spf,
-            php: spec.php,
+        // Compile forwarding state into locals and assemble the domain
+        // once at the end — `prefix_sids` can then move in instead of
+        // being cloned (it scales with members + customer prefixes).
+        let config = |r: RouterId| -> &SrNodeConfig {
+            spec.configs.get(&r).unwrap_or_else(|| panic!("no SR config for {r}"))
         };
+        let mut lfibs: HashMap<RouterId, Lfib> =
+            spec.members.iter().map(|&r| (r, Lfib::new())).collect();
+        let mut ftns: HashMap<RouterId, Ftn> =
+            spec.members.iter().map(|&r| (r, Ftn::new())).collect();
+        let mut adj_sids = HashMap::new();
 
         // Prefix/node SIDs: install LFIB chains and ingress FTNs.
         // The first `members.len()` entries are the automatic node
@@ -129,18 +129,18 @@ impl SrDomain {
                 continue;
             }
             for &r in &spec.members {
-                let srgb_r = domain.config(r).srgb;
+                let srgb_r = config(r).srgb;
                 let Some(in_label) = srgb_r.label_for(sid.index.0) else {
                     continue; // index outside this router's SRGB
                 };
                 if r == sid.egress {
-                    domain.lfibs.get_mut(&r).unwrap().install(in_label, LfibAction::PopLocal);
+                    lfibs.get_mut(&r).unwrap().install(in_label, LfibAction::PopLocal);
                     continue;
                 }
-                let Some((out_iface, next_router)) = domain.spf.next_hop(r, sid.egress) else {
+                let Some((out_iface, next_router)) = spf.next_hop(r, sid.egress) else {
                     continue;
                 };
-                let srgb_next = domain.config(next_router).srgb;
+                let srgb_next = config(next_router).srgb;
                 let Some(out_label) = srgb_next.label_for(sid.index.0) else {
                     continue;
                 };
@@ -150,9 +150,9 @@ impl SrDomain {
                 } else {
                     LfibAction::Swap { out_label, out_iface, next_router }
                 };
-                domain.lfibs.get_mut(&r).unwrap().install(in_label, action);
+                lfibs.get_mut(&r).unwrap().install(in_label, action);
                 if want_ftn {
-                    domain.ftns.get_mut(&r).unwrap().install(
+                    ftns.get_mut(&r).unwrap().install(
                         sid.prefix,
                         PushInstruction {
                             labels: if pops_here { vec![] } else { vec![out_label] },
@@ -167,7 +167,7 @@ impl SrDomain {
         // Adjacency SIDs: one per live IGP adjacency, allocated from
         // the SRLB (sequential indexes) or the dynamic pool.
         for &r in &spec.members {
-            let srlb = domain.config(r).srlb;
+            let srlb = config(r).srlb;
             let mut next_srlb_index = 0u32;
             let adjacencies: Vec<(IfaceId, RouterId)> = topo
                 .adjacencies(r)
@@ -189,8 +189,8 @@ impl SrDomain {
                         .allocate()
                         .expect("label pool exhausted"),
                 };
-                domain.adj_sids.insert((r, local_if), label);
-                domain.lfibs.get_mut(&r).unwrap().install(
+                adj_sids.insert((r, local_if), label);
+                lfibs.get_mut(&r).unwrap().install(
                     label,
                     LfibAction::PopForward { out_iface: local_if, next_router: remote },
                 );
@@ -202,14 +202,20 @@ impl SrDomain {
         let registry = arest_obs::global();
         if registry.is_enabled() {
             registry.counter("sr.domains").inc();
-            registry.counter("sr.prefix_sids").add(domain.prefix_sids.len() as u64);
-            registry.counter("sr.adj_sids").add(domain.adj_sids.len() as u64);
+            registry.counter("sr.prefix_sids").add(prefix_sids.len() as u64);
+            registry.counter("sr.adj_sids").add(adj_sids.len() as u64);
         }
-        domain
-    }
-
-    fn config(&self, r: RouterId) -> &SrNodeConfig {
-        self.configs.get(&r).unwrap_or_else(|| panic!("no SR config for {r}"))
+        SrDomain {
+            members: spec.members.clone(),
+            configs: spec.configs.clone(),
+            node_index,
+            prefix_sids,
+            adj_sids,
+            lfibs,
+            ftns,
+            spf,
+            php: spec.php,
+        }
     }
 
     /// The domain members.

@@ -83,6 +83,28 @@ fn trace_unit(
         .collect()
 }
 
+/// Runs one `(AS, VP)` campaign unit under an explicit parent span —
+/// the public entry point the streaming pipeline schedules directly
+/// (one unit per vantage point per AS) instead of going through a
+/// whole-batch [`run_campaigns_spanned`] barrier.
+///
+/// Opens a `tnt.campaign.unit` span parented to `parent` (normally
+/// the AS's `tnt.campaign` span context, which is `Copy` and can ride
+/// inside a pool work unit) and returns the VP's traces in its
+/// shuffled target order.
+pub fn campaign_unit(
+    net: &Network,
+    vp: &VantagePoint,
+    targets: &[Ipv4Addr],
+    config: &CampaignConfig,
+    parent: SpanContext,
+) -> Vec<Trace> {
+    let mut unit_span = crate::obs::TRACER.span_with_parent("tnt.campaign.unit", parent);
+    unit_span.record("vp", &*vp.name);
+    unit_span.record("targets", targets.len());
+    trace_unit(net, vp, targets, config, &unit_span)
+}
+
 /// Runs one campaign: every VP traces every target, with the target
 /// order shuffled per VP (deterministically) to avoid looking like an
 /// attack, exactly as §5 describes. Returns all traces, grouped by VP
@@ -155,10 +177,7 @@ pub fn run_campaigns_spanned(
         .collect();
 
     let per_unit = pool::run_indexed(units, workers, &|_, (as_idx, vp, targets, context)| {
-        let mut unit_span = tracer.span_with_parent("tnt.campaign.unit", context);
-        unit_span.record("vp", &*vp.name);
-        unit_span.record("targets", targets.len());
-        (as_idx, trace_unit(net, vp, targets, config, &unit_span))
+        (as_idx, campaign_unit(net, vp, targets, config, context))
     });
 
     let mut out: Vec<Vec<Trace>> = Vec::with_capacity(target_lists.len());

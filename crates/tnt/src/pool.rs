@@ -12,6 +12,8 @@
 
 use crossbeam::channel;
 use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Worker count for parallel stages: the `AREST_WORKERS` environment
 /// variable when set (clamped to at least 1), otherwise the machine's
@@ -117,6 +119,171 @@ where
     slots.into_iter().map(|slot| slot.expect("every unit completes")).collect()
 }
 
+/// A worker's message on the dynamic pool's shared channel: either a
+/// unit of work or the shutdown sentinel cascading through the pool.
+enum Msg<T> {
+    Unit(T),
+    Done,
+}
+
+/// Handle through which a running [`run_dynamic`] work unit schedules
+/// follow-up units onto the same pool — the primitive behind the
+/// streaming pipeline, where the last `(AS, VP)` probe unit of an AS
+/// injects that AS's fingerprint→alias→detect tail.
+pub struct Injector<'a, T> {
+    tx: &'a channel::Sender<Msg<T>>,
+    pending: &'a AtomicUsize,
+}
+
+impl<T> Injector<'_, T> {
+    /// Enqueues a follow-up unit. May be called from inside `work` at
+    /// any time before that unit returns; the pool only shuts down
+    /// once every queued and running unit (injected ones included)
+    /// has completed.
+    pub fn push(&self, unit: T) {
+        let metrics = &*crate::obs::METRICS;
+        metrics.pool_units.inc();
+        metrics.pool_queue_depth.add(1);
+        // Incremented before the send — and therefore before the
+        // injecting unit's own decrement — so the pending count can
+        // never hit zero while injected work is still queued.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        assert!(self.tx.send(Msg::Unit(unit)).is_ok(), "queueing injected work");
+    }
+}
+
+/// Runs a **dynamic** batch: starts from `initial` units and lets any
+/// running unit inject follow-up units through the [`Injector`].
+/// Returns once every unit — initial and injected — has completed.
+///
+/// Unlike [`run_indexed`] there is no result merge: units communicate
+/// through whatever channels or shared state the caller closes over
+/// (the streaming pipeline sends completed ASes into a bounded
+/// channel). Scheduling is the same work-stealing pull loop; a worker
+/// panic aborts the remaining queue and is re-raised on the caller.
+pub fn run_dynamic<T, F>(initial: Vec<T>, workers: usize, work: &F)
+where
+    T: Send,
+    F: Fn(T, &Injector<'_, T>) + Sync,
+{
+    if initial.is_empty() {
+        return;
+    }
+    let metrics = &*crate::obs::METRICS;
+    metrics.pool_batches.inc();
+    metrics.pool_units.add(initial.len() as u64);
+
+    let n = initial.len();
+    let (tx, rx) = channel::unbounded::<Msg<T>>();
+    let pending = AtomicUsize::new(n);
+    for unit in initial {
+        assert!(tx.send(Msg::Unit(unit)).is_ok(), "queueing initial work units");
+    }
+    metrics.pool_queue_depth.add(n as i64);
+
+    if workers <= 1 {
+        // Sequential fast path: one in-thread pull loop. Injected
+        // units land behind the queued ones, so the loop ends exactly
+        // when no unit injected anything more.
+        let injector = Injector { tx: &tx, pending: &pending };
+        let outcome = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            while let Ok(Msg::Unit(unit)) = rx.try_recv() {
+                metrics.pool_queue_depth.add(-1);
+                work(unit, &injector);
+            }
+        }));
+        if let Err(payload) = outcome {
+            // The queue-depth gauge drains on every exit path.
+            for msg in rx.try_iter() {
+                if matches!(msg, Msg::Unit(_)) {
+                    metrics.pool_queue_depth.add(-1);
+                }
+            }
+            panic::resume_unwind(payload);
+        }
+        return;
+    }
+
+    // First panic payload observed by any worker; re-raised after the
+    // scope joins so the caller sees the original panic.
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let tx = tx.clone();
+                let pending = &pending;
+                let panicked = &panicked;
+                scope.spawn(move |_| {
+                    let injector = Injector { tx: &tx, pending };
+                    let mut stolen = 0u64;
+                    loop {
+                        match rx.recv() {
+                            Ok(Msg::Unit(unit)) => {
+                                metrics.pool_queue_depth.add(-1);
+                                stolen += 1;
+                                let outcome = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                                    work(unit, &injector);
+                                }));
+                                match outcome {
+                                    Ok(()) => {
+                                        // The 1→0 transition happens on
+                                        // exactly one worker: it starts
+                                        // the Done cascade that walks
+                                        // every other worker out of its
+                                        // recv loop.
+                                        if pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                            let _ = tx.send(Msg::Done);
+                                            break;
+                                        }
+                                    }
+                                    Err(payload) => {
+                                        let mut slot = panicked.lock().expect("panic slot lock");
+                                        if slot.is_none() {
+                                            *slot = Some(payload);
+                                        }
+                                        drop(slot);
+                                        // Abort: cascade shutdown without
+                                        // waiting for pending to drain.
+                                        let _ = tx.send(Msg::Done);
+                                        break;
+                                    }
+                                }
+                            }
+                            // Forward the sentinel so every remaining
+                            // worker sees it, then exit.
+                            Ok(Msg::Done) => {
+                                let _ = tx.send(Msg::Done);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    metrics.pool_units_per_worker.record(stolen);
+                })
+            })
+            .collect();
+        drop(tx);
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panic::resume_unwind(payload);
+            }
+        }
+    })
+    .unwrap_or_else(|payload| panic::resume_unwind(payload));
+
+    // Units abandoned by a panic shutdown still count against the
+    // queue-depth gauge: drain to zero on every exit path.
+    for msg in rx.try_iter() {
+        if matches!(msg, Msg::Unit(_)) {
+            metrics.pool_queue_depth.add(-1);
+        }
+    }
+    if let Some(payload) = panicked.into_inner().expect("panic slot lock") {
+        panic::resume_unwind(payload);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +348,49 @@ mod tests {
         });
         assert_eq!(out.len(), 1_000);
         assert_eq!(counter.get(), 1_000);
+    }
+
+    #[test]
+    fn dynamic_pool_runs_injected_follow_up_work() {
+        // Each initial unit n injects two children n-1 down to zero: a
+        // binary fan-out whose total unit count is known in advance.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let expected = |n: u64| 2u64.pow(n as u32 + 1) - 1; // units in one fan-out tree
+        for workers in [1, 4] {
+            let executed = AtomicU64::new(0);
+            run_dynamic(vec![3u64, 2], workers, &|n, injector| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                if n > 0 {
+                    injector.push(n - 1);
+                    injector.push(n - 1);
+                }
+            });
+            assert_eq!(
+                executed.load(Ordering::SeqCst),
+                expected(3) + expected(2),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_pool_with_empty_input_returns_immediately() {
+        run_dynamic(Vec::<u8>::new(), 4, &|_, _| unreachable!("no units to run"));
+    }
+
+    #[test]
+    fn dynamic_pool_propagates_worker_panics() {
+        for workers in [1, 3] {
+            let result = std::panic::catch_unwind(|| {
+                run_dynamic(vec![1u32, 2, 3, 4], workers, &|x, injector| {
+                    if x == 1 {
+                        injector.push(99);
+                    }
+                    assert_ne!(x, 99, "boom");
+                });
+            });
+            assert!(result.is_err(), "workers={workers}: the panic must reach the caller");
+        }
     }
 
     #[test]

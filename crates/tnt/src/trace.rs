@@ -1,6 +1,7 @@
 //! The augmented trace model TNT produces and AReST consumes.
 
 use arest_wire::mpls::LabelStack;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -91,6 +92,30 @@ impl Trace {
     }
 }
 
+/// Collects the fingerprintable addresses of a trace set: every hop
+/// address that came with a reply IP TTL, as a **sorted, deduplicated**
+/// list plus the **first-seen** time-exceeded reply TTL per address
+/// (trace order, hop order — the TE component of the TTL signature).
+///
+/// This is the single address-collection step shared by the staged and
+/// streaming pipelines; the sort makes any downstream split or probe
+/// order deterministic.
+pub fn collect_addrs<'a>(
+    traces: impl IntoIterator<Item = &'a Trace>,
+) -> (Vec<Ipv4Addr>, HashMap<Ipv4Addr, u8>) {
+    let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
+    for trace in traces {
+        for hop in &trace.hops {
+            if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
+                te_ttls.entry(addr).or_insert(ttl);
+            }
+        }
+    }
+    let mut addrs: Vec<Ipv4Addr> = te_ttls.keys().copied().collect();
+    addrs.sort_unstable();
+    (addrs, te_ttls)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +124,46 @@ mod tests {
     fn stack(labels: &[u32]) -> LabelStack {
         let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
         LabelStack::from_labels(&labels, 1)
+    }
+
+    #[test]
+    fn collect_addrs_sorts_dedups_and_keeps_first_seen_te_ttl() {
+        let hop = |addr: [u8; 4], reply_ttl: Option<u8>| Hop {
+            ttl: 1,
+            addr: Some(Ipv4Addr::from(addr)),
+            rtt_us: None,
+            stack: None,
+            quoted_ip_ttl: None,
+            reply_ip_ttl: reply_ttl,
+            revealed: false,
+            is_destination: false,
+        };
+        let trace = |hops: Vec<Hop>| Trace {
+            vp: "vp".into(),
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 1),
+            hops,
+            reached: true,
+        };
+        let traces = vec![
+            trace(vec![
+                hop([10, 0, 0, 9], Some(250)),
+                hop([10, 0, 0, 1], Some(61)),
+                Hop::silent(3),
+                hop([10, 0, 0, 5], None), // no reply TTL → not fingerprintable
+            ]),
+            trace(vec![
+                hop([10, 0, 0, 1], Some(59)), // repeat: first-seen TTL (61) must win
+                hop([10, 0, 0, 3], Some(252)),
+            ]),
+        ];
+        let (addrs, te) = collect_addrs(&traces);
+        let a = |last: u8| Ipv4Addr::new(10, 0, 0, last);
+        assert_eq!(addrs, vec![a(1), a(3), a(9)], "sorted, deduplicated, TTL-bearing only");
+        assert_eq!(te[&a(1)], 61, "first observation wins");
+        assert_eq!(te[&a(3)], 252);
+        assert_eq!(te[&a(9)], 250);
+        assert!(!te.contains_key(&a(5)));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   channel (mutex + condvar) with crossbeam's disconnect semantics:
 //!   `recv` drains remaining messages after the last sender drops,
 //!   then reports disconnection.
+//! * [`channel::bounded`] — the same channel with a capacity:
+//!   `send` blocks while the queue is full (backpressure) and wakes
+//!   when a receiver pops or every receiver disconnects.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +35,11 @@ pub mod channel {
     struct Shared<T> {
         state: Mutex<State<T>>,
         ready: Condvar,
+        /// Producers blocked on a full bounded queue wait here; woken
+        /// by a pop or by the last receiver disconnecting.
+        space: Condvar,
+        /// `None` for unbounded channels.
+        capacity: Option<usize>,
     }
 
     /// The sending half; cloning adds a producer.
@@ -67,9 +75,25 @@ pub mod channel {
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a bounded FIFO channel holding at most `capacity`
+    /// queued messages: `send` blocks while the queue is full, which
+    /// propagates backpressure from a slow consumer to producers.
+    /// Unlike crossbeam this shim has no zero-capacity rendezvous
+    /// mode; `capacity` must be at least 1.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "shim bounded channel needs capacity >= 1 (no rendezvous mode)");
+        new_channel(Some(capacity))
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
@@ -78,16 +102,37 @@ pub mod channel {
         /// Enqueues a message; fails only when all receivers are gone.
         /// The check and the push happen under one lock, so a send
         /// racing the final receiver drop reports `SendError` rather
-        /// than silently queueing to an unreachable channel.
+        /// than silently queueing to an unreachable channel. On a
+        /// bounded channel this blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().expect("channel lock");
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.shared.space.wait(state).expect("channel lock");
+                    }
+                    _ => break,
+                }
             }
             state.queue.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
             Ok(())
+        }
+
+        /// Number of messages currently queued. Racy by nature (the
+        /// queue may change before the caller acts on the answer);
+        /// useful for depth gauges, not for synchronization.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is momentarily empty (see [`Sender::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -122,6 +167,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().expect("channel lock");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -136,6 +183,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().expect("channel lock");
             if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -167,7 +216,15 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.state.lock().expect("channel lock").receivers -= 1;
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                // Producers blocked on a full bounded queue must wake
+                // to observe the disconnect and return `SendError`.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -354,6 +411,74 @@ mod tests {
             })
             .expect("scope");
         }
+    }
+
+    #[test]
+    fn bounded_send_blocks_at_capacity_until_a_pop_frees_space() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let sent = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            let producer = {
+                let tx = tx.clone();
+                let sent = &sent;
+                s.spawn(move |_| {
+                    for i in 0..5u32 {
+                        tx.send(i).expect("send");
+                        sent.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            };
+            // The producer can complete at most capacity sends while
+            // nothing is consuming; poll until it visibly stalls.
+            let mut stalled_at = 0;
+            for _ in 0..200 {
+                std::thread::sleep(Duration::from_millis(1));
+                stalled_at = sent.load(Ordering::SeqCst);
+                if stalled_at == 2 {
+                    break;
+                }
+            }
+            assert_eq!(stalled_at, 2, "producer must block once the queue holds `capacity`");
+            assert_eq!(tx.len(), 2, "queue sits exactly at capacity while the producer blocks");
+            // Draining unblocks it; every message arrives in order.
+            let drained: Vec<u32> = (0..5).map(|_| rx.recv().expect("recv")).collect();
+            assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+            producer.join().expect("producer");
+        })
+        .expect("scope");
+        assert!(tx.is_empty(), "fully drained");
+    }
+
+    #[test]
+    fn bounded_queue_drains_to_zero_on_disconnect() {
+        // Producers fill the queue and drop; the receiver must drain
+        // every queued message before observing the disconnect, and a
+        // producer blocked on a full queue must wake with `SendError`
+        // when the last receiver goes away.
+        let (tx, rx) = super::channel::bounded::<u32>(3);
+        for i in 0..3u32 {
+            tx.send(i).expect("send");
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<u32>>(), vec![0, 1, 2], "drains past disconnect");
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.send(0).expect("send");
+        let blocked = super::thread::scope(|s| {
+            let h = s.spawn(move |_| tx.send(1));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            drop(rx);
+            h.join().expect("producer")
+        })
+        .expect("scope");
+        assert_eq!(
+            blocked,
+            Err(super::channel::SendError(1)),
+            "receiver drop must wake a producer blocked on a full queue"
+        );
     }
 
     #[test]

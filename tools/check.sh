@@ -24,6 +24,10 @@ echo "==> bench-pipeline smoke run (timings informational, not gated)"
 cargo run --release -p arest-experiments --bin arest-experiments -- --quick bench-pipeline
 test -s BENCH_pipeline.json
 
+echo "==> streaming dataflow smoke run (--stream per-AS progress rows)"
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --stream headline >/dev/null
+
 echo "==> observability smoke run (RUN_REPORT + trace artifacts)"
 AREST_OBS=1 cargo run --release -p arest-experiments --bin arest-experiments -- \
     --quick --trace-out trace-artifacts headline audit >/dev/null
