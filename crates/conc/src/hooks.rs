@@ -1,0 +1,85 @@
+//! Integration hooks for shims that wrap `std::thread::scope`
+//! themselves (the crossbeam shim's `thread` module, which must hand
+//! workers a `'scope`-long scope for nested spawning).
+//!
+//! A shim registers each child with [`register_spawn`] *before* the
+//! real spawn, runs the child's body through [`SpawnToken::run`], and
+//! at scope exit joins cooperatively via [`join_all`] (or aborts the
+//! run via [`scope_body_panicked`]) **before** the underlying `std`
+//! scope performs its real join — otherwise that join would block on
+//! children still parked waiting for the scheduler token.
+//!
+//! Outside a model run every hook is a no-op ([`register_spawn`]
+//! returns `None`), so shim code can call them unconditionally.
+
+use std::any::Any;
+
+use crate::model::{current, Execution};
+use crate::model_thread::run_modeled;
+use std::sync::Arc;
+
+/// A child thread's registration with the active model run; created
+/// by [`register_spawn`], consumed by [`SpawnToken::run`] on the new
+/// OS thread.
+pub struct SpawnToken {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+impl std::fmt::Debug for SpawnToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpawnToken").field("tid", &self.tid).finish()
+    }
+}
+
+impl SpawnToken {
+    /// The child's model thread id — keep it for [`join_one`] /
+    /// [`join_all`].
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Runs the child body under the scheduler: visible ops gate on
+    /// the token, completion and panics are reported to the model, and
+    /// a panic is returned as `Err` rather than unwinding into the
+    /// real scope join.
+    ///
+    /// # Errors
+    /// Returns the body's panic payload if it panicked.
+    pub fn run<T>(self, f: impl FnOnce() -> T) -> std::thread::Result<T> {
+        run_modeled(self.exec, self.tid, f)
+    }
+}
+
+/// Registers a child thread with the calling thread's active model
+/// run; `None` when no run is active (spawn normally then).
+pub fn register_spawn() -> Option<SpawnToken> {
+    current().map(|(exec, parent)| {
+        let tid = exec.spawn_thread(parent);
+        SpawnToken { exec, tid }
+    })
+}
+
+/// Cooperatively joins one registered child (no-op outside a run).
+pub fn join_one(tid: usize) {
+    if let Some((exec, me)) = current() {
+        exec.join_thread(me, tid);
+    }
+}
+
+/// Cooperatively joins every listed child (no-op outside a run). Call
+/// before the wrapping `std` scope's real join.
+pub fn join_all(tids: Vec<usize>) {
+    if let Some((exec, me)) = current() {
+        exec.join_all(me, tids);
+    }
+}
+
+/// Reports that a scope body is unwinding with `payload`, aborting the
+/// run so parked children terminate before the real scope join (no-op
+/// outside a run).
+pub fn scope_body_panicked(payload: &(dyn Any + Send)) {
+    if let Some((exec, _)) = current() {
+        exec.abort_for_panic(payload);
+    }
+}

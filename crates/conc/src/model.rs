@@ -1,0 +1,861 @@
+//! The deterministic scheduler and DFS interleaving explorer.
+//!
+//! A model run executes the test body with every thread gated behind a
+//! single scheduler token: exactly one thread runs at a time, and at
+//! each *schedule point* (before every visible operation) the running
+//! thread consults the shared `Execution` state to decide who runs
+//! next. Each decision records `(chosen, options)`; the explorer
+//! backtracks over those records depth-first, so the set of explored
+//! schedules is exactly the set of decision vectors — replayable by
+//! construction.
+//!
+//! Preemption bounding follows the classic CHESS observation: almost
+//! all concurrency bugs manifest with very few preemptions. The
+//! explorer iterates the bound upward (0, 1, 2, …), so the first
+//! failing schedule found is minimal in preemption count. A *forced*
+//! switch (the running thread blocked) is free; choosing to switch
+//! away from a thread that could continue costs one preemption.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Panic payload used to unwind cooperative threads when a run aborts
+/// (deadlock detected, another thread failed, exploration finished
+/// with stragglers). Never user-visible: the panic hook suppresses it
+/// and the explorer swallows it at every join boundary.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution the current OS thread participates in, if any.
+/// `None` means the calling code runs outside a model (the primitives
+/// fall through to `std`).
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+static NEXT_OBJECT: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-unique identity for one sync object (mutex, condvar,
+/// rwlock), assigned lazily on first model-context use so that objects
+/// created outside any run cost nothing.
+#[derive(Debug, Default)]
+pub(crate) struct ObjId(OnceLock<usize>);
+
+impl ObjId {
+    pub(crate) const fn new() -> ObjId {
+        ObjId(OnceLock::new())
+    }
+
+    pub(crate) fn get(&self) -> usize {
+        *self.0.get_or_init(|| NEXT_OBJECT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// What would make a blocked thread runnable again.
+#[derive(Clone, Debug)]
+enum WaitCond {
+    /// Wants the mutex; runnable once nobody holds it.
+    MutexFree(usize),
+    /// Wants a read lock; runnable once no writer holds it.
+    RwRead(usize),
+    /// Wants the write lock; runnable once nobody holds it.
+    RwWrite(usize),
+    /// In a condvar wait queue; runnable only after a notify (which
+    /// rewrites this to [`WaitCond::MutexFree`] on the paired mutex).
+    /// `seq` orders FIFO delivery for `notify_one`.
+    CondWait { cv: usize, mutex: usize, seq: usize },
+    /// Joining one thread; runnable once it finished.
+    Join(usize),
+    /// A scope joining all its children; runnable once every listed
+    /// thread finished.
+    JoinAll(Vec<usize>),
+}
+
+#[derive(Clone, Debug)]
+enum Status {
+    Runnable,
+    Blocked(WaitCond),
+    Finished,
+}
+
+/// Reader/writer ownership of one `RwLock`.
+#[derive(Clone, Copy, Debug, Default)]
+struct RwSt {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+/// One recorded visible operation, for the failure trace.
+#[derive(Clone, Copy, Debug)]
+struct TraceStep {
+    tid: usize,
+    op: &'static str,
+    obj: Option<usize>,
+}
+
+/// One scheduling decision: index `chosen` out of `options` ordered
+/// candidates. The DFS explorer backtracks over these.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    threads: Vec<Status>,
+    /// mutex object id → holding thread.
+    mutexes: HashMap<usize, Option<usize>>,
+    rwlocks: HashMap<usize, RwSt>,
+    /// Raw object id → dense per-run label for readable traces.
+    labels: HashMap<usize, usize>,
+    current: usize,
+    abort: bool,
+    failure: Option<Failure>,
+    decisions: Vec<Decision>,
+    preemptions: usize,
+    wait_seq: usize,
+    steps: Vec<TraceStep>,
+    /// Wall-clock instant of the last recorded step, for the wedge
+    /// watchdog in [`Execution::wait_turn`].
+    last_progress: std::time::Instant,
+}
+
+impl ExecState {
+    fn label(&mut self, oid: usize) -> usize {
+        let next = self.labels.len();
+        *self.labels.entry(oid).or_insert(next)
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t, Status::Finished))
+    }
+}
+
+/// One run's shared scheduler state. Every cooperative thread holds an
+/// `Arc` to it through its thread-local (see [`current`]).
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    prefix: Vec<usize>,
+    preemption_bound: usize,
+    max_steps: usize,
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, preemption_bound: usize, max_steps: usize) -> Execution {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![Status::Runnable],
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                labels: HashMap::new(),
+                current: 0,
+                abort: false,
+                failure: None,
+                decisions: Vec::new(),
+                preemptions: 0,
+                wait_seq: 0,
+                steps: Vec::new(),
+                last_progress: std::time::Instant::now(),
+            }),
+            cv: Condvar::new(),
+            prefix,
+            preemption_bound,
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // A poisoned state lock only means another cooperative thread
+        // panicked while scheduling (it set `abort` first); the state
+        // itself stays coherent.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Blocks the calling OS thread until the scheduler token is on
+    /// `tid`. Unwinds with [`ModelAbort`] if the run aborted.
+    ///
+    /// Carries a wedge watchdog: if *no* modeled thread records a step
+    /// for several seconds, the token holder is almost certainly
+    /// blocked outside the modeled primitives — a lazy static's
+    /// one-time initialization, real I/O, an unshimmed lock — which
+    /// the scheduler cannot see or preempt. Failing loudly with that
+    /// diagnosis beats hanging the test forever.
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        const WEDGE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(ModelAbort);
+            }
+            if st.current == tid {
+                return st;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, WEDGE_TIMEOUT)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() && st.last_progress.elapsed() >= WEDGE_TIMEOUT && !st.abort {
+                self.fail(
+                    st,
+                    FailureKind::Panic(
+                        "model wedged: no modeled progress for 5s — a thread is blocked \
+                         outside the modeled primitives (one-time lazy static \
+                         initialization racing across threads, real I/O, or an unshimmed \
+                         lock). Initialize lazy statics before spawning."
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn satisfied(st: &ExecState, cond: &WaitCond) -> bool {
+        match cond {
+            WaitCond::MutexFree(m) => st.mutexes.get(m).copied().flatten().is_none(),
+            WaitCond::RwRead(o) => st.rwlocks.get(o).copied().unwrap_or_default().writer.is_none(),
+            WaitCond::RwWrite(o) => {
+                let rw = st.rwlocks.get(o).copied().unwrap_or_default();
+                rw.writer.is_none() && rw.readers == 0
+            }
+            WaitCond::CondWait { .. } => false,
+            WaitCond::Join(t) => matches!(st.threads[*t], Status::Finished),
+            WaitCond::JoinAll(ts) => ts.iter().all(|&t| matches!(st.threads[t], Status::Finished)),
+        }
+    }
+
+    fn enabled(st: &ExecState, tid: usize) -> bool {
+        match &st.threads[tid] {
+            Status::Runnable => true,
+            Status::Blocked(cond) => Self::satisfied(st, cond),
+            Status::Finished => false,
+        }
+    }
+
+    fn record(st: &mut ExecState, tid: usize, op: &'static str, raw_obj: Option<usize>) {
+        let obj = raw_obj.map(|o| st.label(o));
+        st.steps.push(TraceStep { tid, op, obj });
+        st.last_progress = std::time::Instant::now();
+    }
+
+    /// Records a step and fails the run if it blew the step budget
+    /// (livelock guard). Only called from schedule points — never from
+    /// drop paths, which must not panic.
+    fn record_checked<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+        op: &'static str,
+        raw_obj: Option<usize>,
+    ) -> MutexGuard<'a, ExecState> {
+        Self::record(&mut st, tid, op, raw_obj);
+        if st.steps.len() > self.max_steps {
+            self.fail(st, FailureKind::Livelock);
+        }
+        st
+    }
+
+    /// Picks the next thread to run and hands the token over. `tid`
+    /// must hold the token. `self_enabled` says whether the caller
+    /// could itself proceed; switching away from an enabled caller
+    /// costs one preemption. Fails the run on an empty candidate set
+    /// (deadlock) unless the caller finished and nothing is left.
+    fn reschedule<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        tid: usize,
+        self_enabled: bool,
+    ) -> MutexGuard<'a, ExecState> {
+        let mut options: Vec<usize> = Vec::new();
+        if self_enabled {
+            options.push(tid);
+        }
+        options.extend((0..st.threads.len()).filter(|&t| t != tid && Self::enabled(&st, t)));
+        if options.is_empty() {
+            if st.all_finished() {
+                // Nothing left to schedule and nothing blocked: the
+                // run is over (the last thread is exiting).
+                self.cv.notify_all();
+                return st;
+            }
+            // Every live thread is blocked and nobody can unblock it:
+            // deadlock (a lost wakeup looks exactly like this).
+            self.fail(st, FailureKind::Deadlock);
+        }
+        if self_enabled && st.preemptions >= self.preemption_bound {
+            // Budget spent: the enabled caller keeps running.
+            options.truncate(1);
+        }
+        let k = st.decisions.len();
+        let choice = if k < self.prefix.len() { self.prefix[k] } else { 0 };
+        assert!(
+            choice < options.len(),
+            "arest-conc: schedule replay diverged at decision {k} \
+             (choice {choice}, {} options) — the body is nondeterministic \
+             beyond its scheduling (uninitialized lazy static? map iteration order?)",
+            options.len()
+        );
+        st.decisions.push(Decision { chosen: choice, options: options.len() });
+        let next = options[choice];
+        if self_enabled && next != tid {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        st
+    }
+
+    /// Records the failure, aborts the run, wakes everyone, unwinds.
+    fn fail(&self, mut st: MutexGuard<'_, ExecState>, kind: FailureKind) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+                preemptions: st.preemptions,
+                trace: render_trace(&st.steps, &st.threads),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        drop(st);
+        panic::panic_any(ModelAbort);
+    }
+
+    /// A schedule point before a visible, non-blocking operation
+    /// (atomic access, condvar notify). Returns once the caller may
+    /// perform the operation.
+    pub(crate) fn op_point(&self, tid: usize, op: &'static str, obj: Option<usize>) {
+        let st = self.lock();
+        let st = self.wait_turn(st, tid);
+        let st = self.record_checked(st, tid, op, obj);
+        let st = self.reschedule(st, tid, true);
+        let st = self.wait_turn(st, tid);
+        drop(st);
+    }
+
+    /// Blocking acquisition of a model mutex.
+    pub(crate) fn acquire_mutex(&self, tid: usize, oid: usize) {
+        let st = self.lock();
+        let st = self.wait_turn(st, tid);
+        let mut st = self.record_checked(st, tid, "mutex.lock", Some(oid));
+        loop {
+            if st.mutexes.get(&oid).copied().flatten().is_none() {
+                st = self.reschedule(st, tid, true);
+                st = self.wait_turn(st, tid);
+                // Re-check: a preemption may have let someone else in.
+                if st.mutexes.get(&oid).copied().flatten().is_none() {
+                    st.mutexes.insert(oid, Some(tid));
+                    return;
+                }
+            } else {
+                st.threads[tid] = Status::Blocked(WaitCond::MutexFree(oid));
+                st = self.reschedule(st, tid, false);
+                st = self.wait_turn(st, tid);
+                st.threads[tid] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Releases a model mutex. Deliberately *not* a schedule point
+    /// (releases only enable others; see the crate docs) and
+    /// deliberately panic-free: guard drops run on unwind paths.
+    pub(crate) fn release_mutex(&self, tid: usize, oid: usize) {
+        let mut st = self.lock();
+        st.mutexes.insert(oid, None);
+        Self::record(&mut st, tid, "mutex.unlock", Some(oid));
+    }
+
+    /// Blocking acquisition of a model rwlock.
+    pub(crate) fn acquire_rw(&self, tid: usize, oid: usize, write: bool) {
+        let op = if write { "rwlock.write" } else { "rwlock.read" };
+        let cond = if write { WaitCond::RwWrite(oid) } else { WaitCond::RwRead(oid) };
+        let st = self.lock();
+        let st = self.wait_turn(st, tid);
+        let mut st = self.record_checked(st, tid, op, Some(oid));
+        loop {
+            if Self::satisfied(&st, &cond) {
+                st = self.reschedule(st, tid, true);
+                st = self.wait_turn(st, tid);
+                if Self::satisfied(&st, &cond) {
+                    let rw = st.rwlocks.entry(oid).or_default();
+                    if write {
+                        rw.writer = Some(tid);
+                    } else {
+                        rw.readers += 1;
+                    }
+                    return;
+                }
+            } else {
+                st.threads[tid] = Status::Blocked(cond.clone());
+                st = self.reschedule(st, tid, false);
+                st = self.wait_turn(st, tid);
+                st.threads[tid] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Releases a model rwlock (panic-free, no schedule point).
+    pub(crate) fn release_rw(&self, tid: usize, oid: usize, write: bool) {
+        let mut st = self.lock();
+        let rw = st.rwlocks.entry(oid).or_default();
+        if write {
+            rw.writer = None;
+        } else {
+            rw.readers = rw.readers.saturating_sub(1);
+        }
+        Self::record(
+            &mut st,
+            tid,
+            if write { "rwlock.unwrite" } else { "rwlock.unread" },
+            Some(oid),
+        );
+    }
+
+    /// Condvar wait: atomically releases the paired mutex and joins
+    /// the wait queue; returns re-holding the mutex after a notify.
+    pub(crate) fn cond_wait(&self, tid: usize, cv_oid: usize, mutex_oid: usize) {
+        let st = self.lock();
+        let st = self.wait_turn(st, tid);
+        let st = self.record_checked(st, tid, "cond.wait", Some(cv_oid));
+        // Pre-park schedule point: a notify interleaved *here* — after
+        // the caller decided to wait but before it joined the wait
+        // queue — is exactly a lost wakeup, so the explorer must be
+        // able to place one.
+        let st = self.reschedule(st, tid, true);
+        let mut st = self.wait_turn(st, tid);
+        st.mutexes.insert(mutex_oid, None);
+        let seq = st.wait_seq;
+        st.wait_seq += 1;
+        st.threads[tid] = Status::Blocked(WaitCond::CondWait { cv: cv_oid, mutex: mutex_oid, seq });
+        let mut st = self.reschedule(st, tid, false);
+        st = self.wait_turn(st, tid);
+        // Scheduled again ⇒ notified and the mutex is free: take it.
+        st.threads[tid] = Status::Runnable;
+        st.mutexes.insert(mutex_oid, Some(tid));
+        Self::record(&mut st, tid, "cond.wake", Some(cv_oid));
+    }
+
+    /// Condvar notify. The schedule point comes *first*: a notify
+    /// racing a check-then-wait is exactly the interleaving the
+    /// checker must be able to order both ways.
+    pub(crate) fn notify(&self, tid: usize, cv_oid: usize, all: bool) {
+        self.op_point(tid, if all { "cond.notify_all" } else { "cond.notify_one" }, Some(cv_oid));
+        let mut st = self.lock();
+        let mut waiters: Vec<(usize, usize, usize)> = Vec::new();
+        for (t, status) in st.threads.iter().enumerate() {
+            if let Status::Blocked(WaitCond::CondWait { cv, mutex, seq }) = status {
+                if *cv == cv_oid {
+                    waiters.push((*seq, t, *mutex));
+                }
+            }
+        }
+        waiters.sort_unstable();
+        let deliver = if all { waiters.len() } else { waiters.len().min(1) };
+        for &(_, t, mutex) in &waiters[..deliver] {
+            // Woken: now just contends for the paired mutex.
+            st.threads[t] = Status::Blocked(WaitCond::MutexFree(mutex));
+        }
+    }
+
+    /// Registers a new cooperative thread; the child starts runnable
+    /// and is first scheduled at its own first visible operation.
+    /// Spawning needs no schedule point of its own: it durably enables
+    /// the child, and the parent's next point offers the switch.
+    pub(crate) fn spawn_thread(&self, parent: usize) -> usize {
+        let st = self.lock();
+        let mut st = self.wait_turn(st, parent);
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        Self::record(&mut st, parent, "thread.spawn", None);
+        tid
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.block_on(tid, "thread.join", WaitCond::Join(target));
+    }
+
+    /// Blocks until every listed child finishes (scope exit).
+    pub(crate) fn join_all(&self, tid: usize, targets: Vec<usize>) {
+        self.block_on(tid, "scope.join", WaitCond::JoinAll(targets));
+    }
+
+    fn block_on(&self, tid: usize, op: &'static str, cond: WaitCond) {
+        let st = self.lock();
+        let st = self.wait_turn(st, tid);
+        let mut st = self.record_checked(st, tid, op, None);
+        loop {
+            if Self::satisfied(&st, &cond) {
+                st = self.reschedule(st, tid, true);
+                st = self.wait_turn(st, tid);
+                if Self::satisfied(&st, &cond) {
+                    return;
+                }
+            } else {
+                st.threads[tid] = Status::Blocked(cond.clone());
+                st = self.reschedule(st, tid, false);
+                st = self.wait_turn(st, tid);
+                st.threads[tid] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Normal completion of a cooperative thread: hand the token on.
+    pub(crate) fn thread_exit(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            st.threads[tid] = Status::Finished;
+            self.cv.notify_all();
+            return;
+        }
+        let st = self.wait_turn(st, tid);
+        let mut st = self.record_checked(st, tid, "thread.exit", None);
+        st.threads[tid] = Status::Finished;
+        let st = self.reschedule(st, tid, false);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// A cooperative thread is unwinding. [`ModelAbort`] payloads are
+    /// bookkeeping; anything else is the run's failure.
+    pub(crate) fn thread_panicked(&self, tid: usize, payload: &(dyn Any + Send)) {
+        let mut st = self.lock();
+        st.threads[tid] = Status::Finished;
+        if !payload.is::<ModelAbort>() && st.failure.is_none() {
+            Self::record(&mut st, tid, "thread.panic", None);
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic(payload_msg(payload)),
+                schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+                preemptions: st.preemptions,
+                trace: render_trace(&st.steps, &st.threads),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Aborts the run because a scope body is unwinding: cooperative
+    /// children must die before the underlying `std` scope real-joins
+    /// them. Records the payload as the failure unless it is scheduler
+    /// bookkeeping or a failure was already recorded.
+    pub(crate) fn abort_for_panic(&self, payload: &(dyn Any + Send)) {
+        let mut st = self.lock();
+        if !payload.is::<ModelAbort>() && st.failure.is_none() {
+            let cur = st.current;
+            Self::record(&mut st, cur, "scope.panic", None);
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic(payload_msg(payload)),
+                schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+                preemptions: st.preemptions,
+                trace: render_trace(&st.steps, &st.threads),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Ends the run: aborts stragglers and extracts the verdict.
+    fn finish(&self, outcome: Result<(), Box<dyn Any + Send>>) -> (Option<Failure>, Vec<Decision>) {
+        let mut st = self.lock();
+        st.abort = true;
+        self.cv.notify_all();
+        let failure = match outcome {
+            _ if st.failure.is_some() => st.failure.take(),
+            Ok(()) => None,
+            Err(payload) if payload.is::<ModelAbort>() => Some(Failure {
+                kind: FailureKind::Panic("run aborted without a recorded failure".to_string()),
+                schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+                preemptions: st.preemptions,
+                trace: render_trace(&st.steps, &st.threads),
+            }),
+            Err(payload) => Some(Failure {
+                kind: FailureKind::Panic(payload_msg(payload.as_ref())),
+                schedule: st.decisions.iter().map(|d| d.chosen).collect(),
+                preemptions: st.preemptions,
+                trace: render_trace(&st.steps, &st.threads),
+            }),
+        };
+        (failure, std::mem::take(&mut st.decisions))
+    }
+}
+
+fn payload_msg(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Renders the op trace of a failing run, one line per visible op.
+fn render_trace(steps: &[TraceStep], threads: &[Status]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let shown = steps.len().min(400);
+    if shown < steps.len() {
+        let _ = writeln!(out, "  … {} earlier steps elided …", steps.len() - shown);
+    }
+    for step in &steps[steps.len() - shown..] {
+        match step.obj {
+            Some(obj) => {
+                let _ = writeln!(out, "  t{:<2} {:<16} o{obj}", step.tid, step.op);
+            }
+            None => {
+                let _ = writeln!(out, "  t{:<2} {}", step.tid, step.op);
+            }
+        }
+    }
+    let blocked: Vec<String> = threads
+        .iter()
+        .enumerate()
+        .filter_map(|(t, s)| match s {
+            Status::Blocked(cond) => Some(format!("t{t} blocked on {cond:?}")),
+            _ => None,
+        })
+        .collect();
+    if !blocked.is_empty() {
+        let _ = writeln!(out, "  final: {}", blocked.join(", "));
+    }
+    out
+}
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread blocked with nobody left to unblock it —
+    /// a deadlock, which is also how a lost wakeup manifests.
+    Deadlock,
+    /// A modeled thread panicked (assertion failure); carries the
+    /// panic message.
+    Panic(String),
+    /// The run exceeded the per-run step budget.
+    Livelock,
+}
+
+/// A failing schedule: the decision vector to replay it and a rendered
+/// operation trace.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The decision vector that reproduces the failure — pass it to
+    /// [`Model::replay`].
+    pub schedule: Vec<usize>,
+    /// Preemptive context switches in the failing schedule. Iterative
+    /// deepening guarantees this is the minimum over all failing
+    /// schedules (when the failure came from [`Model::explore`]).
+    pub preemptions: usize,
+    /// Human-readable trace of the failing run's visible operations.
+    pub trace: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            FailureKind::Deadlock => "deadlock (or lost wakeup)".to_string(),
+            FailureKind::Panic(msg) => format!("panic: {msg}"),
+            FailureKind::Livelock => "livelock (step budget exceeded)".to_string(),
+        };
+        writeln!(f, "{kind}")?;
+        writeln!(
+            f,
+            "replayable schedule ({} preemption{}): {:?}",
+            self.preemptions,
+            if self.preemptions == 1 { "" } else { "s" },
+            self.schedule
+        )?;
+        write!(f, "trace:\n{}", self.trace)
+    }
+}
+
+/// The verdict of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of executions performed (warmup included).
+    pub runs: usize,
+    /// Whether the schedule space (up to the preemption bound) was
+    /// exhausted within the run budget.
+    pub complete: bool,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// The explorer's configuration and entry points.
+///
+/// Defaults: preemption bound 2, at most 100 000 runs, at most 20 000
+/// steps per run, warmup enabled.
+#[derive(Clone, Debug)]
+pub struct Model {
+    preemption_bound: usize,
+    max_runs: usize,
+    max_steps: usize,
+    warmup: bool,
+}
+
+impl Default for Model {
+    fn default() -> Model {
+        Model { preemption_bound: 2, max_runs: 100_000, max_steps: 20_000, warmup: true }
+    }
+}
+
+impl Model {
+    /// Sets the maximum number of preemptive context switches per
+    /// schedule. The explorer iterates bounds upward, so failures are
+    /// reported with a preemption-minimal schedule.
+    #[must_use]
+    pub fn preemptions(mut self, bound: usize) -> Model {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the total number of executions across all bounds.
+    #[must_use]
+    pub fn max_runs(mut self, runs: usize) -> Model {
+        self.max_runs = runs;
+        self
+    }
+
+    /// Caps the visible operations per run (livelock guard).
+    #[must_use]
+    pub fn max_steps(mut self, steps: usize) -> Model {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Disables the warmup run. The warmup executes the body once on
+    /// the default schedule before recording, so process-wide lazies
+    /// (metric statics, the global registry) initialize outside the
+    /// recorded decision structure; leave it on unless the body is
+    /// known to touch no lazy statics.
+    #[must_use]
+    pub fn warmup(mut self, warmup: bool) -> Model {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Explores the body's interleavings. Never panics on a finding;
+    /// the [`Report`] carries the first failure (with its replayable
+    /// schedule) or the completeness verdict.
+    pub fn explore(&self, body: impl Fn()) -> Report {
+        install_panic_hook();
+        let mut runs = 0usize;
+        if self.warmup {
+            runs += 1;
+            let (failure, _) = self.run_once(&body, &[], 0);
+            if failure.is_some() {
+                return Report { runs, complete: false, failure };
+            }
+        }
+        for bound in 0..=self.preemption_bound {
+            let mut prefix: Vec<usize> = Vec::new();
+            loop {
+                if runs >= self.max_runs {
+                    return Report { runs, complete: false, failure: None };
+                }
+                runs += 1;
+                let (failure, decisions) = self.run_once(&body, &prefix, bound);
+                if failure.is_some() {
+                    return Report { runs, complete: false, failure };
+                }
+                match backtrack(&decisions) {
+                    Some(next) => prefix = next,
+                    None => break,
+                }
+            }
+        }
+        Report { runs, complete: true, failure: None }
+    }
+
+    /// Explores and panics — printing the failure's schedule and trace
+    /// — if any schedule fails, or if the space could not be exhausted
+    /// within the run budget. Returns the (passing) report so tests
+    /// can log `runs`.
+    pub fn check(&self, body: impl Fn()) -> Report {
+        let report = self.explore(body);
+        if let Some(failure) = &report.failure {
+            panic!("model check failed after {} runs: {failure}", report.runs);
+        }
+        assert!(
+            report.complete,
+            "model check inconclusive: {} runs did not exhaust the schedule space \
+             (raise max_runs or shrink the test body)",
+            report.runs
+        );
+        report
+    }
+
+    /// Re-executes one schedule (a [`Failure::schedule`] vector) and
+    /// returns the failure it produces, if any. The preemption budget
+    /// is lifted so any recorded schedule replays faithfully.
+    pub fn replay(&self, schedule: &[usize], body: impl Fn()) -> Option<Failure> {
+        install_panic_hook();
+        let (failure, _) = self.run_once(&body, schedule, usize::MAX);
+        failure
+    }
+
+    fn run_once(
+        &self,
+        body: &impl Fn(),
+        prefix: &[usize],
+        bound: usize,
+    ) -> (Option<Failure>, Vec<Decision>) {
+        let exec = Arc::new(Execution::new(prefix.to_vec(), bound, self.max_steps));
+        set_current(Arc::clone(&exec), 0);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(body));
+        clear_current();
+        exec.finish(outcome)
+    }
+}
+
+/// Finds the deepest decision with an unexplored sibling and returns
+/// the prefix that takes it; `None` when the tree is exhausted.
+fn backtrack(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].chosen + 1 < decisions[i].options {
+            let mut prefix: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+            prefix.push(decisions[i].chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Suppresses the default panic report for [`ModelAbort`] unwinds
+/// (they are scheduler bookkeeping, not failures) while delegating
+/// everything else to the previously installed hook. Installed once
+/// per process, on first use of the explorer.
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

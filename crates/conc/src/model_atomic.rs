@@ -1,0 +1,182 @@
+//! Scheduler-visible atomics for `model-check` builds.
+//!
+//! Every access is a schedule point (see the crate docs) and executes
+//! on a real `std` atomic at `SeqCst`; the caller's `Ordering`
+//! argument is accepted for API compatibility but not modeled — the
+//! explorer enumerates interleavings under sequential consistency
+//! only.
+
+use std::sync::atomic::Ordering;
+
+use crate::model::{current, ObjId};
+
+fn point(op: &'static str, id: &ObjId) {
+    if let Some((exec, tid)) = current() {
+        exec.op_point(tid, op, Some(id.get()));
+    }
+}
+
+macro_rules! model_int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            id: ObjId,
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $prim) -> $name {
+                $name { id: ObjId::new(), inner: std::sync::atomic::$std::new(value) }
+            }
+
+            /// Loads the value (`SeqCst` inside a model run).
+            pub fn load(&self, order: Ordering) -> $prim {
+                point("atomic.load", &self.id);
+                let _ = order;
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Stores a value (`SeqCst` inside a model run).
+            pub fn store(&self, value: $prim, order: Ordering) {
+                point("atomic.store", &self.id);
+                let _ = order;
+                self.inner.store(value, Ordering::SeqCst);
+            }
+
+            /// Swaps in a value, returning the previous one.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                point("atomic.swap", &self.id);
+                let _ = order;
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                point("atomic.fetch_add", &self.id);
+                let _ = order;
+                self.inner.fetch_add(value, Ordering::SeqCst)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                point("atomic.fetch_sub", &self.id);
+                let _ = order;
+                self.inner.fetch_sub(value, Ordering::SeqCst)
+            }
+
+            /// Stores the maximum of the current and given values,
+            /// returning the previous one.
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                point("atomic.fetch_max", &self.id);
+                let _ = order;
+                self.inner.fetch_max(value, Ordering::SeqCst)
+            }
+
+            /// Stores the minimum of the current and given values,
+            /// returning the previous one.
+            pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                point("atomic.fetch_min", &self.id);
+                let _ = order;
+                self.inner.fetch_min(value, Ordering::SeqCst)
+            }
+
+            /// Stores `new` if the current value equals `current`.
+            ///
+            /// # Errors
+            /// Returns the actual value when the exchange fails.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                point("atomic.compare_exchange", &self.id);
+                let _ = (success, failure);
+                self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+model_int_atomic!(
+    /// Model-checked counterpart of `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+model_int_atomic!(
+    /// Model-checked counterpart of `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+model_int_atomic!(
+    /// Model-checked counterpart of `std::sync::atomic::AtomicI64`.
+    AtomicI64,
+    AtomicI64,
+    i64
+);
+
+/// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    id: ObjId,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(value: bool) -> AtomicBool {
+        AtomicBool { id: ObjId::new(), inner: std::sync::atomic::AtomicBool::new(value) }
+    }
+
+    /// Loads the value (`SeqCst` inside a model run).
+    pub fn load(&self, order: Ordering) -> bool {
+        point("atomic.load", &self.id);
+        let _ = order;
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    /// Stores a value (`SeqCst` inside a model run).
+    pub fn store(&self, value: bool, order: Ordering) {
+        point("atomic.store", &self.id);
+        let _ = order;
+        self.inner.store(value, Ordering::SeqCst);
+    }
+
+    /// Swaps in a value, returning the previous one.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        point("atomic.swap", &self.id);
+        let _ = order;
+        self.inner.swap(value, Ordering::SeqCst)
+    }
+
+    /// Stores `new` if the current value equals `current`.
+    ///
+    /// # Errors
+    /// Returns the actual value when the exchange fails.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        point("atomic.compare_exchange", &self.id);
+        let _ = (success, failure);
+        self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}

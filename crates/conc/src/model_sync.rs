@@ -1,0 +1,330 @@
+//! Cooperative `Mutex`, `Condvar`, and `RwLock` for `model-check`
+//! builds.
+//!
+//! Each type pairs a real `std::sync` primitive (which actually
+//! protects the data, so the types stay safe without any `unsafe`)
+//! with an [`ObjId`] registered in the active [`Execution`]'s state.
+//! When the calling thread participates in a model run, blocking is
+//! decided *cooperatively* by the scheduler — the real primitive is
+//! only ever taken uncontended. Outside a run every method falls
+//! through to the real primitive, so passthrough threads behave
+//! exactly like `std`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, LockResult, PoisonError};
+
+use crate::model::{current, Execution, ObjId};
+
+fn recover<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock; scheduler-mediated inside a model run.
+pub struct Mutex<T: ?Sized> {
+    id: ObjId,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { id: ObjId::new(), inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the calling thread (cooperatively,
+    /// inside a model run) until it is available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = current().map(|(exec, tid)| {
+            let oid = self.id.get();
+            exec.acquire_mutex(tid, oid);
+            (exec, tid, oid)
+        });
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard { inner: Some(inner), lock: self, model }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+                lock: self,
+                model,
+            })),
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking
+    /// needed: `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases cooperative ownership on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `None` only transiently, while `Condvar::wait` dismantles the
+    // guard; user code never observes it.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    model: Option<(Arc<Execution>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard dismantled")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard dismantled")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real lock first, cooperative ownership second; this path
+        // must never panic (it runs during abort unwinds).
+        drop(self.inner.take());
+        if let Some((exec, tid, oid)) = self.model.take() {
+            exec.release_mutex(tid, oid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable with FIFO, never-spurious wakeups inside a
+/// model run.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: ObjId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar { id: ObjId::new(), inner: std::sync::Condvar::new() }
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified, then
+    /// re-acquires the mutex. Atomic with respect to the release: a
+    /// notify that the scheduler orders after the release always
+    /// reaches this waiter.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        match guard.model.take() {
+            None => {
+                let inner = guard.inner.take().expect("mutex guard dismantled");
+                drop(guard);
+                match self.inner.wait(inner) {
+                    Ok(inner) => Ok(MutexGuard { inner: Some(inner), lock, model: None }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(poisoned.into_inner()),
+                        lock,
+                        model: None,
+                    })),
+                }
+            }
+            Some((exec, tid, mutex_oid)) => {
+                // Free the real lock before parking; the scheduler
+                // guarantees no cooperative contention on it.
+                drop(guard.inner.take());
+                drop(guard);
+                exec.cond_wait(tid, self.id.get(), mutex_oid);
+                // Woken, cooperatively re-owning the mutex.
+                let inner = recover(lock.inner.lock());
+                Ok(MutexGuard { inner: Some(inner), lock, model: Some((exec, tid, mutex_oid)) })
+            }
+        }
+    }
+
+    /// Wakes one waiter (the longest-waiting one, inside a model run).
+    pub fn notify_one(&self) {
+        match current() {
+            None => self.inner.notify_one(),
+            Some((exec, tid)) => exec.notify(tid, self.id.get(), false),
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match current() {
+            None => self.inner.notify_all(),
+            Some((exec, tid)) => exec.notify(tid, self.id.get(), true),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock; scheduler-mediated inside a model run.
+pub struct RwLock<T: ?Sized> {
+    id: ObjId,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { id: ObjId::new(), inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let model = current().map(|(exec, tid)| {
+            let oid = self.id.get();
+            exec.acquire_rw(tid, oid, false);
+            (exec, tid, oid)
+        });
+        match self.inner.read() {
+            Ok(inner) => Ok(RwLockReadGuard { inner: Some(inner), model }),
+            Err(poisoned) => {
+                Err(PoisonError::new(RwLockReadGuard { inner: Some(poisoned.into_inner()), model }))
+            }
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let model = current().map(|(exec, tid)| {
+            let oid = self.id.get();
+            exec.acquire_rw(tid, oid, true);
+            (exec, tid, oid)
+        });
+        match self.inner.write() {
+            Ok(inner) => Ok(RwLockWriteGuard { inner: Some(inner), model }),
+            Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: Some(poisoned.into_inner()),
+                model,
+            })),
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock guard dismantled")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, tid, oid)) = self.model.take() {
+            exec.release_rw(tid, oid, false);
+        }
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize, usize)>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock guard dismantled")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("rwlock guard dismantled")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, tid, oid)) = self.model.take() {
+            exec.release_rw(tid, oid, true);
+        }
+    }
+}

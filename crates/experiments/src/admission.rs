@@ -1,0 +1,135 @@
+//! Sliding admission control for the streaming pipeline.
+//!
+//! The streaming dataflow bounds resident memory by capping how many
+//! ASes are in flight at once. [`AdmissionWindow`] owns that cap: a
+//! fixed window over the catalog, advanced one slot per *accepted*
+//! result send (the backpressure point), so a slow consumer pauses
+//! admission instead of letting finished work pile up.
+//!
+//! The struct is deliberately free of pipeline types so its one
+//! invariant — **the in-flight count never exceeds the window bound,
+//! under any interleaving of completions** — is checked exhaustively
+//! by the `model-check` suite (`tests/model_window.rs`).
+
+use arest_conc::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size admission window over a catalog of `total` items.
+///
+/// Lifecycle: [`AdmissionWindow::initial`] admits the first
+/// `min(bound, total)` items; afterwards every completed item calls
+/// [`AdmissionWindow::completed`], which hands back the next catalog
+/// index to admit (or `None` once the catalog is exhausted). Exactly
+/// one caller receives each index, whatever the interleaving.
+pub struct AdmissionWindow {
+    /// Maximum items in flight at once.
+    bound: usize,
+    /// Catalog size.
+    total: usize,
+    /// Next catalog index to admit once a completion frees a slot.
+    next: AtomicUsize,
+    /// Items currently in flight (admitted, not yet completed).
+    in_flight: AtomicUsize,
+    /// High watermark of `in_flight` — the checked invariant is
+    /// `peak() <= bound()`.
+    peak: AtomicUsize,
+}
+
+impl AdmissionWindow {
+    /// A window of `bound` slots over `total` items. `bound` is
+    /// clamped to at least 1 so an empty catalog still terminates.
+    pub fn new(bound: usize, total: usize) -> AdmissionWindow {
+        AdmissionWindow {
+            bound: bound.max(1),
+            total,
+            next: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Admits the initial batch: catalog indices `0..min(bound,
+    /// total)`. Call once, before any worker runs.
+    pub fn initial(&self) -> std::ops::Range<usize> {
+        let admitted = self.bound.min(self.total);
+        // Single-threaded setup phase: plain stores, nothing to order.
+        self.next.store(admitted, Ordering::Relaxed);
+        self.in_flight.store(admitted, Ordering::Relaxed);
+        self.peak.store(admitted, Ordering::Relaxed);
+        0..admitted
+    }
+
+    /// One in-flight item completed; returns the catalog index its
+    /// slot admits, or `None` when the catalog is exhausted. Safe to
+    /// call from any worker: the RMWs below share each atomic's total
+    /// modification order, so concurrent completions hand out distinct
+    /// indices and the accounting is exact.
+    pub fn completed(&self) -> Option<usize> {
+        // The completing item leaves the window first, so in-flight
+        // momentarily dips rather than spikes: the invariant direction
+        // the window exists for (never *exceed* the bound) holds even
+        // between the two RMWs. Relaxed: pure counting — the admitted
+        // item's data travels through the injector's channel mutex,
+        // not through this counter.
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // Relaxed: RMW total order alone guarantees each index is
+        // claimed exactly once; the claimer publishes whatever state
+        // the index guards via the channel it enqueues into.
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.total {
+            return None;
+        }
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        // Relaxed fetch_max: monotonic watermark over values read from
+        // the same counter; no cross-thread data hangs off it.
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        Some(idx)
+    }
+
+    /// The window bound (maximum concurrent in-flight items).
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Items currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High watermark of [`AdmissionWindow::in_flight`].
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_clamps_to_catalog() {
+        let w = AdmissionWindow::new(8, 3);
+        assert_eq!(w.initial(), 0..3);
+        assert_eq!(w.in_flight(), 3);
+    }
+
+    #[test]
+    fn completions_walk_the_catalog_then_drain() {
+        let w = AdmissionWindow::new(2, 5);
+        assert_eq!(w.initial(), 0..2);
+        assert_eq!(w.completed(), Some(2));
+        assert_eq!(w.completed(), Some(3));
+        assert_eq!(w.completed(), Some(4));
+        assert_eq!(w.in_flight(), 2);
+        assert_eq!(w.completed(), None);
+        assert_eq!(w.completed(), None);
+        assert_eq!(w.in_flight(), 0);
+        assert!(w.peak() <= w.bound());
+    }
+
+    #[test]
+    fn empty_catalog_admits_nothing() {
+        let w = AdmissionWindow::new(4, 0);
+        assert_eq!(w.initial(), 0..0);
+        assert_eq!(w.completed(), None);
+    }
+}

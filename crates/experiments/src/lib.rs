@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod exp_audit;
 pub mod exp_background;
 pub mod exp_characterization;

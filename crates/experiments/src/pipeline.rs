@@ -56,6 +56,9 @@
 //!   (first-wins for the fingerprint map), independent of completion
 //!   order.
 
+use crate::admission::AdmissionWindow;
+use arest_conc::atomic::{AtomicUsize, Ordering};
+use arest_conc::sync::Mutex;
 use arest_core::detect::{detect_segments_spanned, DetectedSegment, DetectorConfig};
 use arest_core::model::{AugmentedHop, AugmentedTrace};
 use arest_fingerprint::combined::{fingerprint_addresses, FingerprintSource, VendorEvidence};
@@ -74,8 +77,7 @@ use arest_topo::ids::{AsNumber, RouterId};
 use crossbeam::channel;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, LazyLock, Mutex};
+use std::sync::{Arc, LazyLock};
 use std::time::{Duration, Instant};
 
 /// The global registry's span tracer (inert while `AREST_OBS` is off).
@@ -421,8 +423,9 @@ struct StreamEngine<'a> {
     annotator: AsAnnotator,
     cache: FingerprintCache<'a>,
     flows: Vec<AsFlow>,
-    /// Next catalog index to admit once a result send is accepted.
-    next_as: AtomicUsize,
+    /// Sliding admission control: bounds concurrent in-flight ASes,
+    /// advanced one slot per accepted result send.
+    window: AdmissionWindow,
     /// Raw traces currently alive (probed but not yet consumed).
     resident: AtomicUsize,
     /// High watermark of `resident`.
@@ -461,11 +464,22 @@ impl StreamEngine<'_> {
             &self.campaign_cfg,
             flow_ctx,
         );
-        let now = self.resident.fetch_add(traces.len(), Ordering::SeqCst) + traces.len();
-        self.peak_resident.fetch_max(now, Ordering::SeqCst);
+        // Relaxed: a pure statistic. RMWs on one atomic share a total
+        // modification order, so the count is exact; the traces
+        // themselves are published through the slot mutex below.
+        let now = self.resident.fetch_add(traces.len(), Ordering::Relaxed) + traces.len();
+        // Relaxed fetch_max: a monotonic watermark over values read
+        // from the same counter; nothing is ordered against it.
+        self.peak_resident.fetch_max(now, Ordering::Relaxed);
         STREAM_METRICS.peak_resident.set_max(now as i64);
         *flow.slots[vp_idx].lock().expect("flow slot lock") = Some(traces);
-        if flow.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // AcqRel, not Relaxed: each probe's decrement must *release*
+        // its slot write into the chain so the final decrementer (the
+        // one observing 1) has every sibling's write happen-before the
+        // tail it injects. The tail re-locks each slot mutex, but that
+        // alone cannot order its critical section after a sibling
+        // probe's — this RMW chain is what does.
+        if flow.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             injector.push(StreamUnit::Tail { as_idx });
         }
     }
@@ -571,8 +585,7 @@ impl StreamEngine<'_> {
 
         // Backpressure point: only an *accepted* result opens the
         // window for the next AS.
-        let next = self.next_as.fetch_add(1, Ordering::SeqCst);
-        if next < self.flows.len() {
+        if let Some(next) = self.window.completed() {
             for unit in self.admit(next) {
                 injector.push(unit);
             }
@@ -595,7 +608,9 @@ impl StreamEngine<'_> {
     /// The consumer took one AS off the channel; its raw traces are
     /// no longer pipeline-resident.
     fn note_consumed(&self, raw_traces: usize) {
-        self.resident.fetch_sub(raw_traces, Ordering::SeqCst);
+        // Relaxed: pure statistic, same rationale as the fetch_add in
+        // `probe` — the RMW total order keeps it exact.
+        self.resident.fetch_sub(raw_traces, Ordering::Relaxed);
     }
 }
 
@@ -653,6 +668,13 @@ impl Dataset {
         // without VPs there are no traces, hence no addresses).
         let (fp_entry, fp_src) =
             vps.first().map_or((RouterId(0), Ipv4Addr::UNSPECIFIED), |vp| (vp.gateway, vp.addr));
+        // Force the streaming-metrics static now, on this thread: a
+        // `LazyLock`'s one-time initialization blocks every other
+        // contender on an OS futex, so first-touch from racing workers
+        // would serialize them invisibly (and wedge a model-check run,
+        // where the scheduler cannot see that block). `TRACER` is
+        // already forced by the build span above.
+        let _ = &*STREAM_METRICS;
         let window = admission_window(workers).min(n_as.max(1));
         let engine = StreamEngine {
             net: &internet.net,
@@ -667,14 +689,14 @@ impl Dataset {
             annotator: AsAnnotator::new(internet.ownership.iter().copied()),
             cache: FingerprintCache::new(&internet.net, fp_entry, fp_src),
             flows: (0..n_as).map(|_| AsFlow::new(internet.vps.len())).collect(),
-            next_as: AtomicUsize::new(window),
+            window: AdmissionWindow::new(window, n_as),
             resident: AtomicUsize::new(0),
             peak_resident: AtomicUsize::new(0),
             stream_ctx: stream_span.context(),
         };
 
         let mut initial: Vec<StreamUnit> = Vec::new();
-        for as_idx in 0..window.min(n_as) {
+        for as_idx in engine.window.initial() {
             initial.extend(engine.admit(as_idx));
         }
 
@@ -707,7 +729,9 @@ impl Dataset {
         drop(stream_span);
         timings.stream = stage.elapsed();
 
-        let peak_resident_traces = engine.peak_resident.load(Ordering::SeqCst);
+        // Relaxed: every worker has joined (the scope closed above),
+        // so their watermark updates happen-before this load anyway.
+        let peak_resident_traces = engine.peak_resident.load(Ordering::Relaxed);
         drop(engine);
 
         // Deterministic assembly: catalog order, first-wins for the

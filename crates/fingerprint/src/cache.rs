@@ -23,12 +23,13 @@
 use crate::combined::{ttl_evidence, FingerprintSource, VendorEvidence};
 use crate::snmp::SnmpDataset;
 use crate::ttl::ping_echo_ttl;
+use arest_conc::sync::RwLock;
 use arest_obs::Counter;
 use arest_simnet::Network;
 use arest_topo::ids::RouterId;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::sync::{LazyLock, RwLock};
+use std::sync::LazyLock;
 
 /// Number of lock stripes. Spreads concurrent misses from different
 /// ASes across independent locks; 16 is ample for the pool's worker
@@ -69,6 +70,13 @@ impl<'net> FingerprintCache<'net> {
     /// pipeline uses its first vantage point, as the staged
     /// fingerprint pass did).
     pub fn new(net: &'net Network, entry: RouterId, src: Ipv4Addr) -> FingerprintCache<'net> {
+        // Force the counter statics now, while construction is still
+        // single-threaded. A `LazyLock`'s one-time initialization
+        // blocks every other contender on an OS futex, so first-touch
+        // from racing workers would serialize them invisibly (and
+        // wedge a model-check run, where the scheduler cannot see
+        // that block).
+        let _ = (&*METRICS, &*crate::combined::METRICS);
         FingerprintCache {
             net,
             entry,
@@ -249,7 +257,7 @@ mod tests {
         let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
         let serial: Vec<Option<u8>> = lo.iter().map(|&a| cache.echo_ttl(a)).collect();
         let fresh = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
-        std::thread::scope(|s| {
+        arest_conc::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
                     for (&addr, &expect) in lo.iter().zip(&serial) {

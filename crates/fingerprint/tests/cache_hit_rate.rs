@@ -1,0 +1,115 @@
+//! Coverage for the shared fingerprint cache: cross-shard determinism
+//! under concurrent lookups, and the memoization hit rate asserted
+//! through the `fingerprint.cache.*` obs counters.
+//!
+//! This file holds a single test function in its own process on
+//! purpose: it enables the process-global registry (the cache's
+//! counters live there), which would race other tests in the binary.
+
+use arest_fingerprint::cache::FingerprintCache;
+use arest_fingerprint::snmp::SnmpDataset;
+use arest_simnet::plane::Route;
+use arest_simnet::Network;
+use arest_topo::graph::Topology;
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_topo::prefix::Prefix;
+use arest_topo::vendor::Vendor;
+use std::net::Ipv4Addr;
+
+/// An 8-router chain whose consecutive loopbacks land on 8 distinct
+/// cache shards; probes enter at R0.
+fn testbed() -> (Network, Vec<Ipv4Addr>) {
+    let mut topo = Topology::new();
+    let asn = AsNumber(65_312);
+    let vendors = [Vendor::Cisco, Vendor::Juniper, Vendor::Huawei];
+    let routers: Vec<RouterId> = (0..8)
+        .map(|i| {
+            topo.add_router(
+                format!("h{i}"),
+                asn,
+                vendors[i % vendors.len()],
+                Ipv4Addr::new(10, 255, 33, (i + 1) as u8),
+            )
+        })
+        .collect();
+    for i in 0..7u8 {
+        topo.add_link(
+            routers[i as usize],
+            Ipv4Addr::new(10, 33, i, 1),
+            routers[i as usize + 1],
+            Ipv4Addr::new(10, 33, i, 2),
+            1,
+        );
+    }
+    let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
+    let mut net = Network::new(topo);
+    let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
+    for &from in &routers {
+        for (&to, &lo) in routers.iter().zip(&loopbacks) {
+            if from == to {
+                continue;
+            }
+            if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                net.plane_mut(from)
+                    .install_route(Prefix::host(lo), Route { out_iface, next_router });
+            }
+        }
+    }
+    (net, loopbacks)
+}
+
+#[test]
+fn concurrent_lookups_are_shard_deterministic_and_hit_rate_is_exact() {
+    let registry = arest_obs::global();
+    registry.set_enabled(true);
+
+    let (net, lo) = testbed();
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+
+    // Serial baseline on its own cache: the ground truth per address.
+    let baseline_cache = FingerprintCache::new(&net, RouterId(0), src);
+    let baseline: Vec<Option<u8>> = lo.iter().map(|&a| baseline_cache.echo_ttl(a)).collect();
+    assert!(baseline.iter().all(Option::is_some), "every chained loopback answers");
+
+    let before = registry.snapshot();
+
+    // Concurrent phase: 4 threads × 3 rounds over all 8 addresses,
+    // every lookup racing across the shards.
+    const THREADS: u64 = 4;
+    const ROUNDS: u64 = 3;
+    let cache = FingerprintCache::new(&net, RouterId(0), src);
+    arest_conc::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (&addr, &expect) in lo.iter().zip(&baseline) {
+                        assert_eq!(
+                            cache.echo_ttl(addr),
+                            expect,
+                            "concurrent lookup must match the serial baseline"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(cache.memoized(), lo.len(), "one memoized probe per distinct address");
+
+    // Hit-rate bookkeeping is schedule-independent: exactly one miss
+    // per distinct address (the write lock held across the probe
+    // guarantees it), everything else a hit.
+    let after = registry.snapshot();
+    let delta = after.diff(&before);
+    let total = THREADS * ROUNDS * lo.len() as u64;
+    let distinct = lo.len() as u64;
+    assert_eq!(delta.counters.get("fingerprint.cache.misses"), Some(&distinct));
+    assert_eq!(delta.counters.get("fingerprint.cache.hits"), Some(&(total - distinct)));
+
+    // The memoized answers double as evidence inputs: a full-fusion
+    // pass over the warm cache is all hits, no new probes.
+    let snmp = SnmpDataset::new();
+    for &addr in &lo {
+        let _ = cache.evidence(addr, 250, &snmp);
+    }
+    assert_eq!(cache.memoized(), lo.len(), "evidence on a warm cache probes nothing new");
+}

@@ -1,0 +1,92 @@
+//! Exhaustive model check of the fingerprint cache's memoization
+//! under racing lookups (`cargo test -p arest-fingerprint --features
+//! model-check`).
+
+#![cfg(feature = "model-check")]
+
+use arest_conc::model::Model;
+use arest_fingerprint::cache::FingerprintCache;
+use arest_simnet::plane::Route;
+use arest_simnet::Network;
+use arest_topo::graph::Topology;
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_topo::prefix::Prefix;
+use arest_topo::vendor::Vendor;
+use std::net::Ipv4Addr;
+
+/// R0(Cisco) — R1(Juniper); probes enter at R0.
+fn testbed() -> (Network, Vec<Ipv4Addr>) {
+    let mut topo = Topology::new();
+    let asn = AsNumber(65_311);
+    let routers: Vec<RouterId> = [Vendor::Cisco, Vendor::Juniper]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            topo.add_router(format!("m{i}"), asn, *v, Ipv4Addr::new(10, 255, 32, (i + 1) as u8))
+        })
+        .collect();
+    topo.add_link(
+        routers[0],
+        Ipv4Addr::new(10, 32, 0, 1),
+        routers[1],
+        Ipv4Addr::new(10, 32, 0, 2),
+        1,
+    );
+    let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
+    let mut net = Network::new(topo);
+    let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
+    for &from in &routers {
+        for (&to, &lo) in routers.iter().zip(&loopbacks) {
+            if from == to {
+                continue;
+            }
+            if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                net.plane_mut(from)
+                    .install_route(Prefix::host(lo), Route { out_iface, next_router });
+            }
+        }
+    }
+    (net, loopbacks)
+}
+
+/// Invariant: two threads racing `echo_ttl` on the same address agree
+/// on the answer and the probe is memoized exactly once — the write
+/// lock held across the probe admits no double-probe interleaving.
+#[test]
+fn model_racing_lookups_probe_once_and_agree() {
+    let report = Model::default().check(|| {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        let addr = lo[1];
+        let mut results = (None, None);
+        arest_conc::thread::scope(|s| {
+            let racer = s.spawn(|| cache.echo_ttl(addr));
+            results.0 = Some(cache.echo_ttl(addr));
+            results.1 = Some(racer.join().expect("racing lookup"));
+        });
+        let (mine, theirs) = (results.0.unwrap(), results.1.unwrap());
+        assert!(mine.is_some(), "the probed address must answer");
+        assert_eq!(mine, theirs, "racing lookups must agree");
+        assert_eq!(cache.memoized(), 1, "exactly one memoized probe");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: lookups racing on *different* shards stay independent —
+/// both memoize, neither blocks the other into a deadlock, and the
+/// cache ends with both entries whatever the interleaving.
+#[test]
+fn model_distinct_shards_memoize_independently() {
+    let report = Model::default().check(|| {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), Ipv4Addr::new(192, 0, 2, 9));
+        arest_conc::thread::scope(|s| {
+            let c = &cache;
+            let other = lo[1];
+            s.spawn(move || c.echo_ttl(other));
+            cache.echo_ttl(lo[0]);
+        });
+        assert_eq!(cache.memoized(), 2, "both addresses memoized");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}

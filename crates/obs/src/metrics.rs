@@ -6,7 +6,13 @@
 //! instrumented code caches handles in statics and records through
 //! them from any thread.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use arest_conc::atomic::{AtomicI64, AtomicU64, Ordering};
+// The enabled gate stays a plain std atomic even under `model-check`:
+// it is write-once configuration read before recording, not
+// synchronization between recorders, and modeling it would insert a
+// schedule point into every gated no-op — inflating the schedule
+// space of *other* crates' model tests without checking anything.
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Number of histogram buckets: bucket 0 holds zero-valued samples,
@@ -193,7 +199,7 @@ mod tests {
         let registry = crate::Registry::new();
         let counter = registry.counter("c");
         let histogram = registry.histogram("h");
-        std::thread::scope(|scope| {
+        arest_conc::thread::scope(|scope| {
             for _ in 0..8 {
                 let counter = counter.clone();
                 let histogram = histogram.clone();

@@ -4,9 +4,11 @@ use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, Histogra
 use crate::snapshot::{HistogramSnapshot, Snapshot};
 use crate::timer::ScopedTimer;
 use crate::tracing::{Tracer, TracerCore};
+use arest_conc::sync::Mutex;
 use std::collections::BTreeMap;
+// The gate is deliberately a std atomic — see the note in `metrics.rs`.
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, LazyLock, Mutex};
+use std::sync::{Arc, LazyLock};
 
 /// One registered metric's shared cell.
 #[derive(Debug, Clone)]

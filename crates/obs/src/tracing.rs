@@ -50,11 +50,14 @@
 //! assert_eq!(records[1].parent, records[0].id);
 //! ```
 
+use arest_conc::atomic::{AtomicU64, AtomicUsize, Ordering};
+use arest_conc::sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::hash::{Hash as _, Hasher as _};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+// The gate is deliberately a std atomic — see the note in `metrics.rs`.
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of independent ring-buffer shards finished spans land in.
@@ -448,7 +451,7 @@ mod tests {
         let tracer = registry.tracer();
         let parent = tracer.span("campaign");
         let ctx = parent.context();
-        std::thread::scope(|scope| {
+        arest_conc::thread::scope(|scope| {
             for _ in 0..4 {
                 let tracer = tracer.clone();
                 scope.spawn(move || {

@@ -1,0 +1,65 @@
+//! Exhaustive model checks of the registry's concurrent recording
+//! paths (`cargo test -p arest-obs --features model-check`).
+
+#![cfg(feature = "model-check")]
+
+use arest_conc::model::Model;
+use arest_obs::Registry;
+
+/// Invariant: increments racing from two threads all land — the
+/// counter cell is a single atomic, never read-modify-write split.
+#[test]
+fn model_concurrent_counter_increments_all_land() {
+    let report = Model::default().check(|| {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        arest_conc::thread::scope(|scope| {
+            for _ in 0..2 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    counter.inc();
+                    counter.add(2);
+                });
+            }
+        });
+        assert_eq!(counter.get(), 6, "every racing increment must land");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: `Gauge::set_max` is a true high-watermark under racing
+/// writers — whichever interleaving runs, the gauge ends at the
+/// maximum of all recorded values, never at a later-but-lower one.
+#[test]
+fn model_gauge_set_max_is_a_high_watermark_under_races() {
+    let report = Model::default().check(|| {
+        let registry = Registry::new();
+        let gauge = registry.gauge("peak");
+        arest_conc::thread::scope(|scope| {
+            let g1 = gauge.clone();
+            scope.spawn(move || g1.set_max(3));
+            let g2 = gauge.clone();
+            scope.spawn(move || g2.set_max(7));
+        });
+        assert_eq!(gauge.get(), 7, "the watermark must settle at the maximum");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: registering the same name from two threads yields one
+/// shared cell (the registry lock serializes first-use registration),
+/// so both handles' increments accumulate together.
+#[test]
+fn model_racing_registration_returns_one_cell() {
+    let report = Model::default().check(|| {
+        let registry = Registry::new();
+        arest_conc::thread::scope(|scope| {
+            let r1 = &registry;
+            scope.spawn(move || r1.counter("same").inc());
+            let r2 = &registry;
+            scope.spawn(move || r2.counter("same").inc());
+        });
+        assert_eq!(registry.counter("same").get(), 2, "both handles share one cell");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}

@@ -10,10 +10,32 @@
 //! is what makes a parallel build result-identical to a sequential
 //! one regardless of worker count or scheduling.
 
+use arest_conc::atomic::{AtomicUsize, Ordering};
+use arest_conc::sync::Mutex;
 use crossbeam::channel;
 use std::panic;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Drop guard balancing the `tnt.pool.queue_depth` gauge: when it
+/// drops — normal return *or* a panic unwinding out of the worker
+/// scope — it drains whatever is still buffered in the unit channel
+/// and subtracts each abandoned unit. Tying the drain to scope exit
+/// itself (rather than to happy-path code after the scope) is what
+/// keeps the gauge at zero when a worker panic propagates.
+struct GaugeDrain<'a, T, F: Fn(&T) -> bool> {
+    rx: &'a channel::Receiver<T>,
+    counts: F,
+}
+
+impl<T, F: Fn(&T) -> bool> Drop for GaugeDrain<'_, T, F> {
+    fn drop(&mut self) {
+        let metrics = &*crate::obs::METRICS;
+        for msg in self.rx.try_iter() {
+            if (self.counts)(&msg) {
+                metrics.pool_queue_depth.add(-1);
+            }
+        }
+    }
+}
 
 /// Worker count for parallel stages: the `AREST_WORKERS` environment
 /// variable when set (clamped to at least 1), otherwise the machine's
@@ -73,6 +95,10 @@ where
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // Units abandoned when workers die (panic propagation below)
+    // still count against the queue-depth gauge; this guard drains
+    // them on every exit path out of the scope, unwinding included.
+    let _drain = GaugeDrain { rx: &unit_rx, counts: |_: &(usize, T)| true };
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(n))
             .map(|_| {
@@ -85,14 +111,9 @@ where
                         stolen += 1;
                         if result_tx.send((idx, work(idx, item))).is_err() {
                             // The result side is gone (another worker
-                            // panicked and the drain unwound). Nobody
-                            // will pull the remaining queued units, so
-                            // account for them here — the queue-depth
-                            // gauge must drain to zero on every exit
-                            // path, not just the happy one.
-                            for _ in unit_rx.try_iter() {
-                                metrics.pool_queue_depth.add(-1);
-                            }
+                            // panicked and the drain unwound); stop
+                            // pulling — the caller's scope-exit guard
+                            // accounts for whatever is still queued.
                             break;
                         }
                     }
@@ -147,7 +168,11 @@ impl<T> Injector<'_, T> {
         // Incremented before the send — and therefore before the
         // injecting unit's own decrement — so the pending count can
         // never hit zero while injected work is still queued.
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: RMWs on one atomic share a total modification
+        // order and this thread's add precedes its own later sub in
+        // program order, so the count is exact; the unit itself is
+        // published by the channel's mutex, not by this counter.
+        self.pending.fetch_add(1, Ordering::Relaxed);
         assert!(self.tx.send(Msg::Unit(unit)).is_ok(), "queueing injected work");
     }
 }
@@ -181,25 +206,19 @@ where
     }
     metrics.pool_queue_depth.add(n as i64);
 
+    // The queue-depth gauge drains on every exit path — a panicking
+    // unit unwinds through this guard with the rest of the queue
+    // still buffered.
+    let _drain = GaugeDrain { rx: &rx, counts: |msg: &Msg<T>| matches!(msg, Msg::Unit(_)) };
+
     if workers <= 1 {
         // Sequential fast path: one in-thread pull loop. Injected
         // units land behind the queued ones, so the loop ends exactly
         // when no unit injected anything more.
         let injector = Injector { tx: &tx, pending: &pending };
-        let outcome = panic::catch_unwind(panic::AssertUnwindSafe(|| {
-            while let Ok(Msg::Unit(unit)) = rx.try_recv() {
-                metrics.pool_queue_depth.add(-1);
-                work(unit, &injector);
-            }
-        }));
-        if let Err(payload) = outcome {
-            // The queue-depth gauge drains on every exit path.
-            for msg in rx.try_iter() {
-                if matches!(msg, Msg::Unit(_)) {
-                    metrics.pool_queue_depth.add(-1);
-                }
-            }
-            panic::resume_unwind(payload);
+        while let Ok(Msg::Unit(unit)) = rx.try_recv() {
+            metrics.pool_queue_depth.add(-1);
+            work(unit, &injector);
         }
         return;
     }
@@ -231,14 +250,21 @@ where
                                         // exactly one worker: it starts
                                         // the Done cascade that walks
                                         // every other worker out of its
-                                        // recv loop.
-                                        if pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                        // recv loop. Relaxed: the RMW
+                                        // total order alone decides who
+                                        // saw 1→0; everything the units
+                                        // wrote is published by the
+                                        // channel mutex and the scope
+                                        // join, not by this counter.
+                                        if pending.fetch_sub(1, Ordering::Relaxed) == 1 {
                                             let _ = tx.send(Msg::Done);
                                             break;
                                         }
                                     }
                                     Err(payload) => {
-                                        let mut slot = panicked.lock().expect("panic slot lock");
+                                        let mut slot = panicked
+                                            .lock()
+                                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                                         if slot.is_none() {
                                             *slot = Some(payload);
                                         }
@@ -272,14 +298,11 @@ where
     })
     .unwrap_or_else(|payload| panic::resume_unwind(payload));
 
-    // Units abandoned by a panic shutdown still count against the
-    // queue-depth gauge: drain to zero on every exit path.
-    for msg in rx.try_iter() {
-        if matches!(msg, Msg::Unit(_)) {
-            metrics.pool_queue_depth.add(-1);
-        }
-    }
-    if let Some(payload) = panicked.into_inner().expect("panic slot lock") {
+    // The `_drain` guard (dropped on return *and* on the unwind paths
+    // above) subtracts units abandoned by a panic shutdown, so the
+    // queue-depth gauge reads zero again on every exit.
+    if let Some(payload) = panicked.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         panic::resume_unwind(payload);
     }
 }

@@ -1,0 +1,62 @@
+//! Exhaustive model checks of the worker pool's concurrency
+//! invariants (`cargo test -p arest-tnt --features model-check`).
+//!
+//! Everything the pool leans on is modeled here: the channel shim's
+//! mutex/condvar, the scoped workers, and the `pending` counter that
+//! decides when the dynamic pool's Done cascade may start.
+
+#![cfg(feature = "model-check")]
+
+use arest_conc::atomic::{AtomicUsize, Ordering};
+use arest_conc::model::Model;
+use arest_tnt::pool::{run_dynamic, run_indexed};
+
+/// Invariant: a unit injected by a running worker is never lost, no
+/// matter where that worker is preempted between its `pending`
+/// increment, the send, and its own decrement. The killer schedule —
+/// the other worker deciding `pending == 0` while the injected unit is
+/// in flight — must be unreachable.
+#[test]
+fn model_injected_units_never_lost_when_injector_preempted() {
+    let report = Model::default().check(|| {
+        let executed = AtomicUsize::new(0);
+        run_dynamic(vec![1u8], 2, &|unit, injector| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if unit == 1 {
+                injector.push(0);
+            }
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 2, "the injected unit must run");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: the dynamic pool terminates with every unit executed
+/// when *both* workers inject — the Done cascade can only start after
+/// the last injected unit's decrement.
+#[test]
+fn model_concurrent_injectors_all_units_run() {
+    let report = Model::default().max_runs(400_000).check(|| {
+        let executed = AtomicUsize::new(0);
+        run_dynamic(vec![1u8, 1], 2, &|unit, injector| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if unit == 1 {
+                injector.push(0);
+            }
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 4, "both injected units must run");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: `run_indexed` always returns every result in submission
+/// order, whichever worker stole which unit and in whatever order the
+/// results came back.
+#[test]
+fn model_run_indexed_merges_in_submission_order() {
+    let report = Model::default().check(|| {
+        let out = run_indexed(vec![10u8, 20], 2, &|idx, x| (idx, x));
+        assert_eq!(out, vec![(0, 10), (1, 20)]);
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}

@@ -11,6 +11,11 @@
 //! * [`channel::bounded`] — the same channel with a capacity:
 //!   `send` blocks while the queue is full (backpressure) and wakes
 //!   when a receiver pops or every receiver disconnects.
+//!
+//! All synchronization goes through `arest-conc`: plain `std` in
+//! normal builds, cooperative scheduler-controlled primitives under
+//! the `model-check` feature, where the model tests in
+//! `tests/model.rs` exhaustively explore this module's interleavings.
 
 #![forbid(unsafe_code)]
 
@@ -18,8 +23,9 @@
 /// work-stealing pipeline needs (`unbounded`, clonable ends,
 /// disconnect detection).
 pub mod channel {
+    use arest_conc::sync::{Condvar, Mutex};
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
 
     /// Everything the condvar predicate depends on lives under one
     /// mutex: a receiver's senders-gone check and the last sender's
@@ -145,7 +151,7 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let Ok(mut state) = self.shared.state.lock() else { return };
             state.senders -= 1;
             let disconnected = state.senders == 0;
             drop(state);
@@ -216,7 +222,7 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut state = self.shared.state.lock().expect("channel lock");
+            let Ok(mut state) = self.shared.state.lock() else { return };
             state.receivers -= 1;
             let disconnected = state.receivers == 0;
             drop(state);
@@ -265,33 +271,78 @@ pub mod channel {
 }
 
 /// Scoped threads, mirroring `crossbeam::thread`.
+///
+/// Built directly on `std::thread::scope` for the `'scope`-long scope
+/// reference workers need for nested spawning; under `model-check`
+/// each spawn additionally registers with the active `arest-conc`
+/// scheduler through its `arest_conc::hooks`, and children
+/// are joined cooperatively before the real scope join.
 pub mod thread {
+    use std::panic::{self, AssertUnwindSafe};
     use std::thread as std_thread;
+
+    #[cfg(feature = "model-check")]
+    use arest_conc::hooks;
+
+    /// No-op stand-ins keeping the spawn/join code straight-line when
+    /// the model checker is compiled out.
+    #[cfg(not(feature = "model-check"))]
+    mod hooks {
+        pub struct SpawnToken;
+
+        impl SpawnToken {
+            pub fn tid(&self) -> usize {
+                0
+            }
+
+            pub fn run<T>(self, f: impl FnOnce() -> T) -> std::thread::Result<T> {
+                Ok(f())
+            }
+        }
+
+        pub fn register_spawn() -> Option<SpawnToken> {
+            None
+        }
+
+        pub fn join_one(_tid: usize) {}
+
+        pub fn join_all(_tids: Vec<usize>) {}
+
+        pub fn scope_body_panicked(_payload: &(dyn std::any::Any + Send)) {}
+    }
 
     /// A scope handle passed to the closure and to every spawned
     /// thread (crossbeam passes the scope as the closure argument so
     /// workers can themselves spawn).
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std_thread::Scope<'scope, 'env>,
+        /// Model tids of every spawned worker, for the cooperative
+        /// join at scope exit; unused outside `model-check` runs.
+        /// `Arc` rather than a borrow: a `'scope`-long reference to a
+        /// scope-local registry cannot typecheck against the
+        /// placeholder region `std::thread::scope` hands out.
+        children: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
     }
 
     impl<'scope, 'env> Clone for Scope<'scope, 'env> {
         fn clone(&self) -> Self {
-            *self
+            Scope { inner: self.inner, children: std::sync::Arc::clone(&self.children) }
         }
     }
 
-    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
-
     /// Handle to a scoped worker.
     pub struct ScopedJoinHandle<'scope, T> {
-        inner: std_thread::ScopedJoinHandle<'scope, T>,
+        inner: std_thread::ScopedJoinHandle<'scope, std_thread::Result<T>>,
+        tid: Option<usize>,
     }
 
     impl<'scope, T> ScopedJoinHandle<'scope, T> {
         /// Waits for the worker; `Err` carries its panic payload.
         pub fn join(self) -> std_thread::Result<T> {
-            self.inner.join()
+            if let Some(tid) = self.tid {
+                hooks::join_one(tid);
+            }
+            self.inner.join().and_then(|result| result)
         }
     }
 
@@ -303,8 +354,24 @@ pub mod thread {
             F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
-            let scope = *self;
-            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+            let scope = self.clone();
+            match hooks::register_spawn() {
+                Some(token) => {
+                    let tid = token.tid();
+                    scope
+                        .children
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(tid);
+                    ScopedJoinHandle {
+                        inner: self.inner.spawn(move || token.run(move || f(&scope))),
+                        tid: Some(tid),
+                    }
+                }
+                None => {
+                    ScopedJoinHandle { inner: self.inner.spawn(move || Ok(f(&scope))), tid: None }
+                }
+            }
         }
     }
 
@@ -318,7 +385,119 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+        let children = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let value = std_thread::scope(|s| {
+            let scope = Scope { inner: s, children: std::sync::Arc::clone(&children) };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            let spawned = std::mem::take(
+                &mut *children.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            match result {
+                Ok(value) => {
+                    // Cooperative join before the std scope's real
+                    // join, so model-run children are never real-joined
+                    // while parked waiting for the scheduler token.
+                    hooks::join_all(spawned);
+                    value
+                }
+                Err(payload) => {
+                    // Abort the model run first: parked children must
+                    // wake and terminate or the real join deadlocks.
+                    hooks::scope_body_panicked(payload.as_ref());
+                    panic::resume_unwind(payload)
+                }
+            }
+        });
+        Ok(value)
+    }
+}
+
+/// Seeded historical bugs, compiled only for the model checker's
+/// regression tests: each variant reintroduces a race this repository
+/// once shipped (or nearly shipped) so `tests/model.rs` can prove the
+/// checker still finds it with a minimal replayable schedule.
+#[cfg(feature = "model-check")]
+pub mod mutations {
+    use arest_conc::atomic::{AtomicUsize, Ordering};
+    use arest_conc::sync::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// The pre-review PR 2 channel shape: the sender count lives in an
+    /// atomic *outside* the queue mutex, so the last sender's
+    /// decrement-and-notify is not serialized with a receiver's
+    /// senders-gone check — the disconnect wakeup can fire in the
+    /// window between a receiver observing a live sender and parking,
+    /// leaving it blocked forever (lost wakeup).
+    struct BuggyShared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        /// BUG under test: not protected by `queue`'s mutex.
+        senders: AtomicUsize,
+    }
+
+    /// Sending half of the seeded lost-wakeup channel.
+    pub struct BuggySender<T> {
+        shared: Arc<BuggyShared<T>>,
+    }
+
+    /// Receiving half of the seeded lost-wakeup channel.
+    pub struct BuggyReceiver<T> {
+        shared: Arc<BuggyShared<T>>,
+    }
+
+    /// Creates the seeded lost-wakeup channel (unbounded).
+    pub fn buggy_unbounded<T>() -> (BuggySender<T>, BuggyReceiver<T>) {
+        let shared = Arc::new(BuggyShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (BuggySender { shared: Arc::clone(&shared) }, BuggyReceiver { shared })
+    }
+
+    impl<T> BuggySender<T> {
+        /// Enqueues a message and wakes one receiver.
+        pub fn send(&self, value: T) {
+            self.shared.queue.lock().expect("channel lock").push_back(value);
+            self.shared.ready.notify_one();
+        }
+    }
+
+    impl<T> Clone for BuggySender<T> {
+        fn clone(&self) -> BuggySender<T> {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            BuggySender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for BuggySender<T> {
+        fn drop(&mut self) {
+            // BUG under test: the decrement and the wakeup are not
+            // under the queue mutex, so they can slot in between a
+            // receiver's check and its wait.
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> BuggyReceiver<T> {
+        /// Dequeues the next message, blocking while the channel is
+        /// empty but (apparently) still connected; `None` on
+        /// disconnect.
+        pub fn recv(&self) -> Option<T> {
+            let mut queue = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Some(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return None;
+                }
+                queue = self.shared.ready.wait(queue).expect("channel lock");
+            }
+        }
     }
 }
 
@@ -395,6 +574,8 @@ mod tests {
         // concurrently with receivers entering `recv` must never leave
         // a receiver blocked forever. Many short rounds to give the
         // race a window; each round must terminate with a disconnect.
+        // (tests/model.rs additionally proves this exhaustively with
+        // the model checker.)
         for _ in 0..200 {
             let (tx, rx) = super::channel::unbounded::<u8>();
             super::thread::scope(|s| {
@@ -426,7 +607,11 @@ mod tests {
                 s.spawn(move |_| {
                     for i in 0..5u32 {
                         tx.send(i).expect("send");
-                        sent.fetch_add(1, Ordering::SeqCst);
+                        // Relaxed: a pure event count for the polling
+                        // loop below; the queue-state assertions are
+                        // ordered by the channel's own mutex, not by
+                        // this counter.
+                        sent.fetch_add(1, Ordering::Relaxed);
                     }
                 })
             };
@@ -435,7 +620,9 @@ mod tests {
             let mut stalled_at = 0;
             for _ in 0..200 {
                 std::thread::sleep(Duration::from_millis(1));
-                stalled_at = sent.load(Ordering::SeqCst);
+                // Relaxed: same single-counter poll; no other memory
+                // is claimed ordered by this load.
+                stalled_at = sent.load(Ordering::Relaxed);
                 if stalled_at == 2 {
                     break;
                 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub use arest_audit as audit;
+pub use arest_conc as conc;
 pub use arest_core as core;
 pub use arest_experiments as experiments;
 pub use arest_fingerprint as fingerprint;

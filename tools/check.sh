@@ -10,12 +10,23 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> concurrency allowlist lint"
+tools/conc_lint.sh
+
 echo "==> cargo build --release (examples included)"
 cargo build --workspace --release --examples
 cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test --workspace --quiet
+
+echo "==> model-check: exhaustive concurrency invariant suites"
+cargo test -p arest-conc --features model-check --quiet
+cargo test -p crossbeam --features model-check --quiet --test model
+cargo test -p arest-tnt --features model-check --quiet --test model_pool
+cargo test -p arest-obs --features model-check --quiet --test model_obs
+cargo test -p arest-fingerprint --features model-check --quiet --test model_cache
+cargo test -p arest-experiments --features model-check --quiet --test model_window
 
 echo "==> cargo doc (rustdoc warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
