@@ -1,0 +1,161 @@
+//! Columnar arena benchmarks: the struct-of-arrays hot path against
+//! its nested row-major baseline, at the default catalog size and at
+//! 10× — the criterion counterpart of the `bench-pipeline` CLI's
+//! `columnar_vs_nested_speedup` figure.
+//!
+//! Three groups:
+//!
+//! * `arena_convert` — `TraceArena::from_traces` / `to_traces`
+//!   round-trip cost, the price a streaming tail pays to go columnar.
+//! * `collect_addrs` — the fingerprint address sweep, nested iterator
+//!   vs one pass over the arena's flat columns.
+//! * `arena_detect` — AReST segment extraction per trace
+//!   (`detect_segments`) vs the single `ArenaDetector` pass.
+
+use arest_core::columnar::{ArenaDetector, AugmentedArena};
+use arest_core::detect::{detect_segments, DetectorConfig};
+use arest_core::model::{AugmentedHop, AugmentedTrace};
+use arest_tnt::arena::TraceArena;
+use arest_tnt::trace::{collect_addrs, Hop, Trace};
+use arest_wire::mpls::{Label, LabelStack};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Traces per catalog at 1×: 60 ASes × ~8 kept traces each.
+const CATALOG_TRACES: usize = 480;
+const HOPS: usize = 16;
+
+/// One synthetic raw trace with the pipeline's hop mix: silent hops,
+/// plain IP hops, RFC 4950 label stacks, and a revealed tail.
+fn raw_trace(vp: &Arc<str>, i: u32) -> Trace {
+    let hops = (0..HOPS as u32)
+        .map(|t| {
+            let mut hop = Hop::silent(t as u8 + 1);
+            if t % 7 == 3 {
+                return hop; // a silent hop per path
+            }
+            hop.addr = Some(Ipv4Addr::from(0x0a00_0000 + i * 64 + t));
+            hop.rtt_us = Some(1_000 + t * 37);
+            hop.reply_ip_ttl = Some(255 - t as u8);
+            hop.quoted_ip_ttl = Some(if t % 5 == 0 { 2 } else { 1 });
+            if (2..6).contains(&(t % 8)) {
+                let labels: Vec<Label> = [17_500 + t, 24_900]
+                    .iter()
+                    .take(if t % 2 == 0 { 2 } else { 1 })
+                    .map(|&l| Label::new(l).unwrap())
+                    .collect();
+                hop.stack = Some(Arc::new(LabelStack::from_labels(&labels, 1)));
+            }
+            hop.revealed = t % 11 == 9;
+            hop.is_destination = t as usize == HOPS - 1;
+            hop
+        })
+        .collect();
+    Trace {
+        vp: Arc::clone(vp),
+        src: Ipv4Addr::new(198, 18, 0, 1),
+        dst: Ipv4Addr::from(0xc633_6400 + i),
+        hops,
+        reached: true,
+    }
+}
+
+fn raw_traces(count: usize) -> Vec<Trace> {
+    let vp: Arc<str> = Arc::from("bench-vp");
+    (0..count as u32).map(|i| raw_trace(&vp, i)).collect()
+}
+
+/// The classifier bench's mixed shape, `count` traces of it.
+fn augmented_traces(count: usize) -> Vec<AugmentedTrace> {
+    (0..count as u32)
+        .map(|i| {
+            let hops = (0..HOPS as u32)
+                .map(|t| match t % 8 {
+                    0 | 7 => AugmentedHop::ip(Ipv4Addr::from(0x0a00_0000 + i * 64 + t)),
+                    1..=3 => AugmentedHop::labeled(
+                        Ipv4Addr::from(0x0a00_0000 + i * 64 + t),
+                        LabelStack::from_labels(&[Label::new(17_500).unwrap()], 1),
+                    ),
+                    4 | 5 => AugmentedHop::labeled(
+                        Ipv4Addr::from(0x0a00_0000 + i * 64 + t),
+                        LabelStack::from_labels(
+                            &[Label::new(24_000 + t).unwrap(), Label::new(24_900).unwrap()],
+                            1,
+                        ),
+                    ),
+                    _ => AugmentedHop::labeled(
+                        Ipv4Addr::from(0x0a00_0000 + i * 64 + t),
+                        LabelStack::from_labels(&[Label::new(16_005).unwrap()], 1),
+                    ),
+                })
+                .collect();
+            AugmentedTrace::new("bench", Ipv4Addr::from(0xcb00_7100 + i), hops)
+        })
+        .collect()
+}
+
+fn bench_arena_convert(c: &mut Criterion) {
+    let traces = raw_traces(CATALOG_TRACES);
+    let arena = TraceArena::from_traces(&traces);
+    let mut group = c.benchmark_group("arena_convert");
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    group.bench_function("from_traces", |b| {
+        b.iter(|| TraceArena::from_traces(black_box(&traces)));
+    });
+    group.bench_function("to_traces", |b| {
+        b.iter(|| black_box(&arena).to_traces());
+    });
+    group.finish();
+}
+
+fn bench_collect_addrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect_addrs");
+    for scale in [1usize, 10] {
+        let traces = raw_traces(CATALOG_TRACES * scale);
+        let arena = TraceArena::from_traces(&traces);
+        group.throughput(Throughput::Elements(arena.hop_count() as u64));
+        group.bench_function(format!("nested_{scale}x"), |b| {
+            b.iter(|| collect_addrs(black_box(&traces)));
+        });
+        group.bench_function(format!("columnar_{scale}x"), |b| {
+            b.iter(|| black_box(&arena).collect_addrs());
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_detect(c: &mut Criterion) {
+    let config = DetectorConfig::default();
+    let mut group = c.benchmark_group("arena_detect");
+    group.sample_size(20);
+    for scale in [1usize, 10] {
+        let nested = augmented_traces(CATALOG_TRACES * scale);
+        let arena = AugmentedArena::from_traces(&nested);
+        group.throughput(Throughput::Elements((nested.len() * HOPS) as u64));
+        group.bench_function(format!("nested_{scale}x"), |b| {
+            b.iter(|| {
+                let mut segments = 0usize;
+                for trace in black_box(&nested) {
+                    segments += detect_segments(trace, &config).len();
+                }
+                segments
+            });
+        });
+        group.bench_function(format!("columnar_{scale}x"), |b| {
+            b.iter(|| {
+                let mut detector = ArenaDetector::new(black_box(&arena), &config);
+                let mut segments = 0usize;
+                for t in 0..arena.len() {
+                    segments += detector.detect(t).len();
+                }
+                segments
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_convert, bench_collect_addrs, bench_arena_detect);
+criterion_main!(benches);

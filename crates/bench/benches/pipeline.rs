@@ -11,7 +11,8 @@ use std::hint::black_box;
 
 fn quick_config(workers: usize) -> PipelineConfig {
     let mut config = PipelineConfig::quick();
-    config.gen = GenConfig { scale: 0.02, seed: 2_025, vp_count: 4, sr_adoption: 1.0 };
+    config.gen =
+        GenConfig { scale: 0.02, seed: 2_025, vp_count: 4, sr_adoption: 1.0, catalog_scale: 1 };
     config.targets_per_as = 10;
     config.workers = Some(workers);
     config

@@ -136,7 +136,13 @@ fn bench_internet_generation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("scale_0.01_4vps", |b| {
         b.iter(|| {
-            generate(black_box(&GenConfig { scale: 0.01, seed: 1, vp_count: 4, sr_adoption: 1.0 }))
+            generate(black_box(&GenConfig {
+                scale: 0.01,
+                seed: 1,
+                vp_count: 4,
+                sr_adoption: 1.0,
+                catalog_scale: 1,
+            }))
         });
     });
     group.finish();

@@ -11,6 +11,8 @@
 //! * `experiments_figures` — one group per paper figure (1, 5–17,
 //!   headline, ablation).
 //! * `pipeline` — the staged parallel build at 1 vs N workers.
+//! * `columnar` — the struct-of-arrays arena (convert, address sweep,
+//!   detect) against the nested row-major baseline at 1× and 10×.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +27,8 @@ pub fn bench_dataset() -> &'static Dataset {
     static DATASET: OnceLock<Dataset> = OnceLock::new();
     DATASET.get_or_init(|| {
         let mut config = PipelineConfig::quick();
-        config.gen = GenConfig { scale: 0.02, seed: 2_025, vp_count: 4, sr_adoption: 1.0 };
+        config.gen =
+            GenConfig { scale: 0.02, seed: 2_025, vp_count: 4, sr_adoption: 1.0, catalog_scale: 1 };
         config.targets_per_as = 10;
         Dataset::build(config)
     })

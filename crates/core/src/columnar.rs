@@ -1,0 +1,503 @@
+//! Columnar (struct-of-arrays) augmented traces and the five-flag
+//! scan over them.
+//!
+//! [`AugmentedArena`] is the detector-facing sibling of the trace
+//! arena in `arest-tnt`: the same flat-columns-plus-offsets layout
+//! (see that crate's `arena` module for the diagram), restricted to
+//! the fields the detection flags read — address, vendor evidence,
+//! and the flattened label stacks. The streaming pipeline builds one
+//! per AS and runs [`ArenaDetector`] over it, so the hot CVR/CO
+//! run-length scan and the per-hop LSVR/LVR/LSO classification walk
+//! contiguous memory instead of chasing `Arc`s hop by hop.
+//!
+//! The detector is a literal mirror of `detect_segments_inner` — same
+//! phases, same provenance fields, same ordering, same observability
+//! counters — and [`detect_segments_arena`] is property-tested
+//! byte-identical against the nested path (`tests/columnar_identity`
+//! plus the pipeline's `parallel_build_matches_*` suite, where the
+//! staged nested build is the oracle).
+
+use crate::detect::{flag_slot, DetectedSegment, DetectorConfig, Provenance, OBS, TRACER};
+use crate::flags::Flag;
+use crate::model::{AugmentedHop, AugmentedTrace};
+use crate::ranges::label_in_sr_range;
+use arest_fingerprint::combined::VendorEvidence;
+use arest_obs::SpanContext;
+use arest_wire::bitmap::Bitmap;
+use arest_wire::mpls::{Label, LabelStack, Lse};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Augmented traces in columnar layout: per-trace vp/dst plus hop
+/// offsets, per-hop addr/evidence/qTTL columns with validity bitmaps,
+/// and one flattened LSE array indexed by per-hop offsets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AugmentedArena {
+    vps: Vec<Arc<str>>,
+    dsts: Vec<Ipv4Addr>,
+    /// Hop range of trace `t`: `hop_off[t]..hop_off[t+1]`.
+    hop_off: Vec<u32>,
+    addrs: Vec<Ipv4Addr>,
+    addr_valid: Bitmap,
+    evidence: Vec<Option<VendorEvidence>>,
+    qttls: Vec<u8>,
+    qttl_valid: Bitmap,
+    revealed: Bitmap,
+    is_destination: Bitmap,
+    has_stack: Bitmap,
+    /// LSE range of hop `h`: `lse_off[h]..lse_off[h+1]`.
+    lse_off: Vec<u32>,
+    lses: Vec<Lse>,
+}
+
+impl AugmentedArena {
+    /// An empty arena; grow it with [`AugmentedArena::begin_trace`] /
+    /// [`AugmentedArena::push_hop`] / [`AugmentedArena::finish_trace`].
+    pub fn new() -> AugmentedArena {
+        AugmentedArena { hop_off: vec![0], lse_off: vec![0], ..AugmentedArena::default() }
+    }
+
+    /// Converts nested augmented traces into columns (lossless, see
+    /// [`AugmentedArena::to_traces`]).
+    pub fn from_traces(traces: &[AugmentedTrace]) -> AugmentedArena {
+        let mut arena = AugmentedArena::new();
+        for trace in traces {
+            arena.begin_trace(trace.vp.clone(), trace.dst);
+            for hop in &trace.hops {
+                arena.push_hop(
+                    hop.addr,
+                    hop.stack.as_deref().map(LabelStack::entries),
+                    hop.evidence,
+                    hop.revealed,
+                    hop.quoted_ip_ttl,
+                    hop.is_destination,
+                );
+            }
+            arena.finish_trace();
+        }
+        arena
+    }
+
+    /// Materializes the columns back into nested augmented traces
+    /// (stack `Arc`s rebuilt, values identical).
+    pub fn to_traces(&self) -> Vec<AugmentedTrace> {
+        (0..self.len())
+            .map(|t| {
+                let (h0, h1) = self.hop_range(t);
+                let hops = (h0..h1)
+                    .map(|h| AugmentedHop {
+                        addr: self.addr(h),
+                        stack: self
+                            .lses(h)
+                            .map(|lses| Arc::new(LabelStack::from_entries(lses.to_vec()))),
+                        evidence: self.evidence[h],
+                        revealed: self.revealed.get(h),
+                        quoted_ip_ttl: self.qttl_valid.get(h).then(|| self.qttls[h]),
+                        is_destination: self.is_destination.get(h),
+                    })
+                    .collect();
+                AugmentedTrace::new(self.vps[t].clone(), self.dsts[t], hops)
+            })
+            .collect()
+    }
+
+    /// Starts a new trace; follow with hop pushes and
+    /// [`AugmentedArena::finish_trace`].
+    pub fn begin_trace(&mut self, vp: Arc<str>, dst: Ipv4Addr) {
+        self.vps.push(vp);
+        self.dsts.push(dst);
+    }
+
+    /// Appends one hop to the trace being built.
+    pub fn push_hop(
+        &mut self,
+        addr: Option<Ipv4Addr>,
+        stack: Option<&[Lse]>,
+        evidence: Option<VendorEvidence>,
+        revealed: bool,
+        quoted_ip_ttl: Option<u8>,
+        is_destination: bool,
+    ) {
+        self.addr_valid.push(addr.is_some());
+        self.addrs.push(addr.unwrap_or(Ipv4Addr::UNSPECIFIED));
+        self.evidence.push(evidence);
+        self.qttl_valid.push(quoted_ip_ttl.is_some());
+        self.qttls.push(quoted_ip_ttl.unwrap_or(0));
+        self.revealed.push(revealed);
+        self.is_destination.push(is_destination);
+        self.has_stack.push(stack.is_some());
+        self.lses.extend_from_slice(stack.unwrap_or(&[]));
+        let lses = u32::try_from(self.lses.len()).expect("LSE count fits u32");
+        self.lse_off.push(lses);
+    }
+
+    /// Closes the trace being built, returning its index.
+    pub fn finish_trace(&mut self) -> usize {
+        let hops = u32::try_from(self.addrs.len()).expect("hop count fits u32");
+        self.hop_off.push(hops);
+        self.len() - 1
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// Whether the arena holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.vps.is_empty()
+    }
+
+    /// Total number of hops across all traces.
+    pub fn hop_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Total number of flattened LSEs.
+    pub fn lse_count(&self) -> usize {
+        self.lses.len()
+    }
+
+    /// Destination of trace `t`.
+    pub fn dst(&self, t: usize) -> Ipv4Addr {
+        self.dsts[t]
+    }
+
+    /// Vantage-point name of trace `t`.
+    pub fn vp(&self, t: usize) -> &Arc<str> {
+        &self.vps[t]
+    }
+
+    fn hop_range(&self, t: usize) -> (usize, usize) {
+        (self.hop_off[t] as usize, self.hop_off[t + 1] as usize)
+    }
+
+    fn addr(&self, h: usize) -> Option<Ipv4Addr> {
+        self.addr_valid.get(h).then(|| self.addrs[h])
+    }
+
+    /// Quoted LSEs of hop `h`, `None` when no stack was quoted.
+    fn lses(&self, h: usize) -> Option<&[Lse]> {
+        self.has_stack.get(h).then(|| {
+            let (start, end) = (self.lse_off[h] as usize, self.lse_off[h + 1] as usize);
+            &self.lses[start..end]
+        })
+    }
+
+    fn top_label(&self, h: usize) -> Option<Label> {
+        self.lses(h).and_then(<[Lse]>::first).map(|lse| lse.label)
+    }
+
+    /// Visible stack depth of hop `h` (0 when no stack was quoted —
+    /// the nested `stack.map_or(0, depth)` reading).
+    fn stack_depth(&self, h: usize) -> usize {
+        (self.lse_off[h + 1] - self.lse_off[h]) as usize
+    }
+
+    /// Mirror of the nested `effective_depth`: everything from the
+    /// first RFC 6790 Entropy Label Indicator downward is excluded.
+    fn effective_depth(&self, h: usize, config: &DetectorConfig) -> usize {
+        let Some(lses) = self.lses(h) else { return 0 };
+        if !config.ignore_entropy_labels {
+            return lses.len();
+        }
+        lses.iter().position(|lse| lse.label == Label::ENTROPY_INDICATOR).unwrap_or(lses.len())
+    }
+}
+
+/// The five-flag scan over an [`AugmentedArena`], one trace at a time,
+/// with scratch buffers (`claimed` slots, the distinct-address sort)
+/// reused across traces instead of reallocated per trace.
+pub struct ArenaDetector<'a> {
+    arena: &'a AugmentedArena,
+    config: DetectorConfig,
+    claimed: Vec<bool>,
+    addr_scratch: Vec<Ipv4Addr>,
+}
+
+impl<'a> ArenaDetector<'a> {
+    /// A detector over `arena` with the given knobs.
+    pub fn new(arena: &'a AugmentedArena, config: &DetectorConfig) -> ArenaDetector<'a> {
+        ArenaDetector { arena, config: *config, claimed: Vec::new(), addr_scratch: Vec::new() }
+    }
+
+    /// Runs the detector over trace `t` (unspanned).
+    pub fn detect(&mut self, t: usize) -> Vec<DetectedSegment> {
+        self.detect_spanned(t, SpanContext::NONE)
+    }
+
+    /// [`ArenaDetector::detect`] parented under an explicit span
+    /// context — opens the same `core.detect.trace` span and records
+    /// the same fields as the nested `detect_segments_spanned`.
+    pub fn detect_spanned(&mut self, t: usize, parent: SpanContext) -> Vec<DetectedSegment> {
+        let mut span = TRACER.span_with_parent("core.detect.trace", parent);
+        let segments = self.detect_inner(t);
+        if span.is_recording() {
+            span.record("dst", self.arena.dst(t));
+            span.record("segments", segments.len());
+            for segment in &segments {
+                span.record(
+                    "detection",
+                    format!("{} {}", segment.flag, segment.provenance.chain()),
+                );
+            }
+        }
+        segments
+    }
+
+    /// The columnar mirror of `detect_segments_inner`: identical
+    /// phases, branch decisions, provenance, ordering, and counters —
+    /// only the data access is columnar (hop indices stay
+    /// trace-relative, exactly like the nested `trace.hops` indices).
+    fn detect_inner(&mut self, t: usize) -> Vec<DetectedSegment> {
+        let arena = self.arena;
+        let config = &self.config;
+        let (h0, h1) = arena.hop_range(t);
+        let n = h1 - h0;
+        let mut segments = Vec::new();
+        self.claimed.clear();
+        self.claimed.resize(n, false);
+
+        // ---- Phase 1: label sequences (CVR / CO) ----
+        let mut i = 0;
+        while i < n {
+            let Some(first_label) = arena.top_label(h0 + i) else {
+                i += 1;
+                continue;
+            };
+            let mut j = i;
+            let mut prev_label = first_label;
+            let mut suffix_based = false;
+            while j + 1 < n {
+                let Some(next_label) = arena.top_label(h0 + j + 1) else { break };
+                if next_label == prev_label {
+                    j += 1;
+                    prev_label = next_label;
+                } else if config.suffix_matching && next_label.suffix_matches(prev_label) {
+                    suffix_based = true;
+                    j += 1;
+                    prev_label = next_label;
+                } else {
+                    break;
+                }
+            }
+            let run_len = j - i + 1;
+            let distinct_addrs = {
+                self.addr_scratch.clear();
+                self.addr_scratch.extend((i..=j).filter_map(|k| arena.addr(h0 + k)));
+                self.addr_scratch.sort_unstable();
+                self.addr_scratch.dedup();
+                self.addr_scratch.len()
+            };
+            if run_len >= config.min_sequence_len && distinct_addrs >= 2 {
+                let confirming_hop = (i..=j).find(|&k| {
+                    arena.evidence[h0 + k].is_some_and(|e| {
+                        arena.top_label(h0 + k).is_some_and(|l| label_in_sr_range(e, l))
+                    })
+                });
+                let flag = if confirming_hop.is_some() { Flag::Cvr } else { Flag::Co };
+                let fingerprint = confirming_hop
+                    .and_then(|k| arena.evidence[h0 + k])
+                    .or_else(|| (i..=j).find_map(|k| arena.evidence[h0 + k]));
+                segments.push(DetectedSegment {
+                    flag,
+                    start: i,
+                    end: j,
+                    label: first_label,
+                    suffix_based,
+                    provenance: Provenance {
+                        trigger_hop: i,
+                        run_len,
+                        distinct_addrs,
+                        lses_consulted: run_len,
+                        effective_depth: arena.effective_depth(h0 + i, config),
+                        fingerprint,
+                        label_in_vendor_range: confirming_hop.is_some(),
+                        suffix_matched: suffix_based,
+                    },
+                });
+                for claimed_slot in self.claimed.iter_mut().take(j + 1).skip(i) {
+                    *claimed_slot = true;
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+
+        // ---- Phase 2: per-hop stack flags (LSVR / LVR / LSO) ----
+        for idx in 0..n {
+            if self.claimed[idx] {
+                continue;
+            }
+            let Some(label) = arena.top_label(h0 + idx) else { continue };
+            let depth = arena.effective_depth(h0 + idx, config);
+            if depth == 0 {
+                continue;
+            }
+            let in_range = arena.evidence[h0 + idx].is_some_and(|e| label_in_sr_range(e, label));
+            let flag = if depth >= 2 {
+                if in_range {
+                    Some(Flag::Lsvr)
+                } else {
+                    Some(Flag::Lso)
+                }
+            } else if in_range {
+                Some(Flag::Lvr)
+            } else {
+                None
+            };
+            if let Some(flag) = flag {
+                segments.push(DetectedSegment {
+                    flag,
+                    start: idx,
+                    end: idx,
+                    label,
+                    suffix_based: false,
+                    provenance: Provenance {
+                        trigger_hop: idx,
+                        run_len: 1,
+                        distinct_addrs: usize::from(arena.addr_valid.get(h0 + idx)),
+                        lses_consulted: arena.stack_depth(h0 + idx),
+                        effective_depth: depth,
+                        fingerprint: arena.evidence[h0 + idx],
+                        label_in_vendor_range: in_range,
+                        suffix_matched: false,
+                    },
+                });
+            }
+        }
+
+        segments.sort_by_key(|s| (s.start, s.end));
+        let obs = &*OBS;
+        obs.traces.inc();
+        obs.segments.add(segments.len() as u64);
+        for segment in &segments {
+            obs.flags[flag_slot(segment.flag)].inc();
+        }
+        segments
+    }
+}
+
+/// Runs the columnar detector over every trace of an arena. The
+/// convenience entry point for benches and tests; the pipeline drives
+/// [`ArenaDetector`] trace by trace to interleave spans.
+pub fn detect_segments_arena(
+    arena: &AugmentedArena,
+    config: &DetectorConfig,
+) -> Vec<Vec<DetectedSegment>> {
+    let mut detector = ArenaDetector::new(arena, config);
+    (0..arena.len()).map(|t| detector.detect(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_segments;
+    use arest_topo::vendor::Vendor;
+
+    fn stack(labels: &[u32]) -> LabelStack {
+        let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+        LabelStack::from_labels(&labels, 1)
+    }
+
+    fn hop(n: u8, labels: &[u32]) -> AugmentedHop {
+        let addr = Ipv4Addr::new(10, 0, 0, n);
+        if labels.is_empty() {
+            AugmentedHop::ip(addr)
+        } else {
+            AugmentedHop::labeled(addr, stack(labels))
+        }
+    }
+
+    fn with_evidence(mut h: AugmentedHop, e: VendorEvidence) -> AugmentedHop {
+        h.evidence = Some(e);
+        h
+    }
+
+    fn silent() -> AugmentedHop {
+        AugmentedHop {
+            addr: None,
+            stack: None,
+            evidence: None,
+            revealed: false,
+            quoted_ip_ttl: None,
+            is_destination: false,
+        }
+    }
+
+    /// The detect.rs unit-test corpus, replayed through the arena:
+    /// every nested result must be byte-identical.
+    fn corpus() -> Vec<AugmentedTrace> {
+        let t = |hops| AugmentedTrace::new("vp", Ipv4Addr::new(203, 0, 113, 1), hops);
+        vec![
+            t(vec![
+                with_evidence(hop(1, &[16_005]), VendorEvidence::Exact(Vendor::Cisco)),
+                hop(2, &[16_005]),
+                hop(3, &[16_005]),
+            ]),
+            t(vec![hop(4, &[17_005]), hop(5, &[17_005]), hop(6, &[17_005])]),
+            t(vec![
+                with_evidence(hop(7, &[20_000, 37_000]), VendorEvidence::Exact(Vendor::Cisco)),
+                hop(8, &[345_129]),
+            ]),
+            t(vec![with_evidence(hop(9, &[16_105]), VendorEvidence::Exact(Vendor::Cisco))]),
+            t(vec![hop(10, &[345_100, 345_200])]),
+            t(vec![hop(1, &[345_000])]),
+            t(vec![hop(1, &[]), hop(2, &[]), hop(3, &[])]),
+            t(vec![hop(1, &[16_005]), hop(2, &[13_005])]),
+            t(vec![hop(1, &[17_000]), silent(), hop(3, &[17_000])]),
+            t(vec![
+                hop(1, &[]),
+                hop(2, &[17_005]),
+                hop(3, &[17_005]),
+                hop(4, &[]),
+                hop(5, &[600_000, 700_000]),
+                with_evidence(hop(6, &[16_009]), VendorEvidence::CiscoOrHuawei),
+            ]),
+            t(vec![hop(1, &[600_000, 7, 412_345])]),
+            t(vec![hop(1, &[600_000, 700_000, 7, 99_000])]),
+            t(vec![
+                AugmentedHop::labeled(Ipv4Addr::new(10, 0, 0, 1), LabelStack::new()), // empty stack
+                hop(2, &[17_005]),
+            ]),
+            t(vec![]),
+        ]
+    }
+
+    #[test]
+    fn arena_round_trip_is_lossless() {
+        let traces = corpus();
+        let arena = AugmentedArena::from_traces(&traces);
+        assert_eq!(arena.len(), traces.len());
+        assert_eq!(arena.to_traces(), traces);
+    }
+
+    #[test]
+    fn columnar_detection_is_identical_to_nested() {
+        let traces = corpus();
+        let arena = AugmentedArena::from_traces(&traces);
+        for config in [
+            DetectorConfig::default(),
+            DetectorConfig { suffix_matching: false, ..Default::default() },
+            DetectorConfig { min_sequence_len: 3, ..Default::default() },
+            DetectorConfig { ignore_entropy_labels: false, ..Default::default() },
+        ] {
+            let nested: Vec<_> = traces.iter().map(|t| detect_segments(t, &config)).collect();
+            assert_eq!(
+                detect_segments_arena(&arena, &config),
+                nested,
+                "columnar and nested detection diverge under {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_arena_detects_nothing() {
+        let arena = AugmentedArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.hop_count(), 0);
+        assert!(detect_segments_arena(&arena, &DetectorConfig::default()).is_empty());
+        assert_eq!(arena.to_traces(), Vec::<AugmentedTrace>::new());
+    }
+}

@@ -16,20 +16,21 @@ use std::sync::LazyLock;
 
 /// Cached handles into the global `arest-obs` registry: traces walked
 /// and per-flag segment detections (free when observability is off).
-struct ObsMetrics {
+pub(crate) struct ObsMetrics {
     /// `core.detect.traces` — traces run through the detector.
-    traces: Counter,
+    pub(crate) traces: Counter,
     /// `core.detect.segments` — segments detected across all flags.
-    segments: Counter,
+    pub(crate) segments: Counter,
     /// `core.detect.flag.{cvr,co,lsvr,lvr,lso}`, indexed by
     /// [`flag_slot`].
-    flags: [Counter; 5],
+    pub(crate) flags: [Counter; 5],
 }
 
-/// The global registry's span tracer (inert while `AREST_OBS` is off).
-static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
+/// The global registry's span tracer (inert while `AREST_OBS` is
+/// off). Shared with the columnar detector in [`crate::columnar`].
+pub(crate) static TRACER: LazyLock<Tracer> = LazyLock::new(|| arest_obs::global().tracer());
 
-static OBS: LazyLock<ObsMetrics> = LazyLock::new(|| {
+pub(crate) static OBS: LazyLock<ObsMetrics> = LazyLock::new(|| {
     let registry = arest_obs::global();
     ObsMetrics {
         traces: registry.counter("core.detect.traces"),
@@ -44,7 +45,7 @@ static OBS: LazyLock<ObsMetrics> = LazyLock::new(|| {
     }
 });
 
-fn flag_slot(flag: Flag) -> usize {
+pub(crate) fn flag_slot(flag: Flag) -> usize {
     match flag {
         Flag::Cvr => 0,
         Flag::Co => 1,

@@ -1,0 +1,78 @@
+//! Property proof of the columnar detector's defining contract: over
+//! *arbitrary* augmented traces (silent hops, entropy stacks, mixed
+//! evidence, empty traces), `detect_segments_arena` is byte-identical
+//! to the nested `detect_segments` — flags, spans, labels, and the
+//! full provenance chains — under every detector configuration.
+
+use arest_core::columnar::{detect_segments_arena, AugmentedArena};
+use arest_core::detect::{detect_segments, DetectorConfig};
+use arest_core::model::{AugmentedHop, AugmentedTrace};
+use arest_fingerprint::combined::VendorEvidence;
+use arest_topo::vendor::Vendor;
+use arest_wire::mpls::{Label, LabelStack};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn hop_strategy() -> impl Strategy<Value = AugmentedHop> {
+    (
+        any::<u32>(),
+        prop::option::of(prop::collection::vec(0u32..=1_048_575, 0..4)),
+        prop::option::of(0usize..4),
+        any::<bool>(),
+        prop::option::of(1u8..10),
+        prop::bool::weighted(0.1),
+        any::<bool>(),
+    )
+        .prop_map(|(addr, labels, evidence, revealed, qttl, silent, is_destination)| {
+            let evidence = evidence.and_then(|e| match e {
+                0 => Some(VendorEvidence::Exact(Vendor::Cisco)),
+                1 => Some(VendorEvidence::Exact(Vendor::Juniper)),
+                2 => Some(VendorEvidence::CiscoOrHuawei),
+                _ => None,
+            });
+            AugmentedHop {
+                addr: (!silent).then(|| Ipv4Addr::from(addr)),
+                stack: labels.map(|ls| {
+                    let labels: Vec<Label> =
+                        ls.into_iter().map(|l| Label::new(l).unwrap()).collect();
+                    std::sync::Arc::new(LabelStack::from_labels(&labels, 1))
+                }),
+                evidence,
+                revealed,
+                quoted_ip_ttl: qttl,
+                is_destination,
+            }
+        })
+}
+
+fn traces_strategy() -> impl Strategy<Value = Vec<AugmentedTrace>> {
+    prop::collection::vec(
+        prop::collection::vec(hop_strategy(), 0..24)
+            .prop_map(|hops| AugmentedTrace::new("prop", Ipv4Addr::new(203, 0, 113, 1), hops)),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn columnar_detection_matches_nested_exactly(traces in traces_strategy()) {
+        let arena = AugmentedArena::from_traces(&traces);
+        prop_assert_eq!(&arena.to_traces(), &traces, "augmented round trip must be lossless");
+        for config in [
+            DetectorConfig::default(),
+            DetectorConfig { suffix_matching: false, ..Default::default() },
+            DetectorConfig { min_sequence_len: 3, ..Default::default() },
+            DetectorConfig { ignore_entropy_labels: false, ..Default::default() },
+        ] {
+            let nested: Vec<_> = traces.iter().map(|t| detect_segments(t, &config)).collect();
+            prop_assert_eq!(
+                detect_segments_arena(&arena, &config),
+                nested,
+                "columnar and nested detection diverge under {:?}",
+                config
+            );
+        }
+    }
+}

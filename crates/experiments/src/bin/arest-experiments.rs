@@ -11,6 +11,9 @@
 //!   --targets <n>    Anaximander target cap per AS (default 48)
 //!   --seed <n>       generator seed (default 2025)
 //!   --workers <n>    worker threads (default: AREST_WORKERS / cores)
+//!   --catalog-scale <n>  replicate the 60-AS catalog n times
+//!   --nested         keep streaming tails on the nested (row-major)
+//!                    detect path instead of the columnar arena
 //!   --stream         print one progress row per finished AS, in
 //!                    completion order, while the catalog builds
 //!   --out <dir>      also write each report to <dir>/<id>.txt
@@ -19,13 +22,17 @@
 //!                    (implies --obs)
 //! ```
 //!
-//! `bench-pipeline` builds the dataset in **both** execution models —
-//! the staged five-barrier baseline and the streaming dataflow — at
-//! one worker and at `--workers` (or the machine's parallelism), then
-//! writes `BENCH_pipeline.json` with per-phase seconds, each run's
-//! peak resident raw-trace count, the parallel speedup, the
-//! streaming-vs-staged ratio, and the host core count (a single-core
-//! host gets an explicit caveat).
+//! `bench-pipeline` builds the dataset in **three** configurations —
+//! the staged five-barrier baseline, the streaming dataflow on the
+//! nested detect path, and the streaming dataflow on the columnar
+//! arena — at one worker and at `--workers` (or the machine's
+//! parallelism), then writes `BENCH_pipeline.json` with per-phase
+//! seconds, each run's detect path and fingerprint/detect work
+//! figures, its peak resident raw-trace count, the parallel speedup,
+//! the streaming-vs-staged ratio, the columnar-vs-nested speedup on
+//! the layout-sensitive work, and the host core count (a single-core
+//! host gets an explicit caveat). `--catalog-scale` is the throughput
+//! axis: 10 replicas ≈ the paper's catalog at 10× scale.
 //!
 //! With observability on (`--obs` or `AREST_OBS=1`), every mode —
 //! explicit ids, `all`, and `bench-pipeline` — additionally writes the
@@ -63,6 +70,10 @@ fn main() {
             "--targets" => config.targets_per_as = expect_value(&mut iter, "--targets"),
             "--seed" => config.gen.seed = expect_value(&mut iter, "--seed"),
             "--workers" => config.workers = Some(expect_value(&mut iter, "--workers")),
+            "--catalog-scale" => {
+                config.gen.catalog_scale = expect_value(&mut iter, "--catalog-scale");
+            }
+            "--nested" => config.columnar = false,
             "--stream" => stream = true,
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
@@ -187,8 +198,9 @@ fn write_run_report(out_dir: Option<&str>) {
     eprintln!("wrote {txt_path} and {csv_path}");
 }
 
-/// Builds the same dataset in both execution models (staged baseline,
-/// then streaming) at one worker and at the requested worker count,
+/// Builds the same dataset in all three configurations (staged
+/// baseline, streaming on the nested detect path, streaming on the
+/// columnar arena) at one worker and at the requested worker count,
 /// printing per-phase timings and writing `BENCH_pipeline.json`.
 /// Returns the last dataset built, so `--trace-out` can render its
 /// detection provenance.
@@ -201,15 +213,27 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
         worker_counts.push(parallel_workers);
     }
 
-    let mut runs: Vec<BuildStats> = Vec::new();
+    // (mode, columnar tail?, detect-path label). The staged baseline
+    // runs the nested per-trace code behind its barriers, so it shares
+    // the "nested" label; the two streaming runs differ only in the
+    // tail's memory layout.
+    let variants = [
+        (BuildMode::Staged, false, "nested"),
+        (BuildMode::Streaming, false, "nested"),
+        (BuildMode::Streaming, true, "columnar"),
+    ];
+
+    let mut runs: Vec<(BuildStats, &'static str)> = Vec::new();
     let mut last_dataset: Option<Dataset> = None;
     for &workers in &worker_counts {
-        let run_config = PipelineConfig { workers: Some(workers), ..config };
-        for mode in [BuildMode::Staged, BuildMode::Streaming] {
+        for (mode, columnar, path) in variants {
+            let run_config = PipelineConfig { workers: Some(workers), columnar, ..config };
             eprintln!(
-                "bench-pipeline: {} build (scale {}, {} VPs, seed {}) with {workers} worker(s)…",
+                "bench-pipeline: {} build, {path} detect (scale {}, catalog ×{}, {} VPs, \
+                 seed {}) with {workers} worker(s)…",
                 mode.as_str(),
                 run_config.gen.scale,
+                run_config.gen.catalog_scale,
                 run_config.gen.vp_count,
                 run_config.gen.seed
             );
@@ -218,36 +242,57 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
                 BuildMode::Streaming => Dataset::build_with_stats(run_config),
             };
             eprintln!(
-                "  total {:.2}s ({} raw traces, peak resident {})",
+                "  total {:.2}s ({} raw traces, peak resident {}, fingerprint work {:.3}s, \
+                 detect work {:.3}s)",
                 stats.total.as_secs_f64(),
                 dataset.raw_trace_count,
-                stats.peak_resident_traces
+                stats.peak_resident_traces,
+                stats.fingerprint_work.as_secs_f64(),
+                stats.detect_work.as_secs_f64(),
             );
             for (name, duration) in stats.stages() {
                 eprintln!("    {name:<12}{:.3}s", duration.as_secs_f64());
             }
-            runs.push(stats);
+            runs.push((stats, path));
             last_dataset = Some(dataset);
         }
     }
 
-    let total_of = |mode: BuildMode, workers: usize| {
-        runs.iter().find(|s| s.mode == mode && s.workers == workers).map(|s| s.total.as_secs_f64())
+    let run_of = |mode: BuildMode, path: &str, workers: usize| {
+        runs.iter()
+            .find(|(s, p)| s.mode == mode && *p == path && s.workers == workers)
+            .map(|(s, _)| s)
     };
-    // Parallel scaling of the streaming dataflow itself.
-    let speedup =
-        match (total_of(BuildMode::Streaming, 1), total_of(BuildMode::Streaming, parallel_workers))
-        {
-            (Some(serial), Some(parallel)) => serial / parallel.max(f64::EPSILON),
-            _ => 1.0,
-        };
-    // The tentpole figure: staged vs streaming at the same (highest)
-    // worker count. > 1.0 means the dataflow beats the barriers.
+    let total_of = |mode: BuildMode, path: &str, workers: usize| {
+        run_of(mode, path, workers).map(|s| s.total.as_secs_f64())
+    };
+    // Parallel scaling of the (default, columnar) streaming dataflow.
+    let speedup = match (
+        total_of(BuildMode::Streaming, "columnar", 1),
+        total_of(BuildMode::Streaming, "columnar", parallel_workers),
+    ) {
+        (Some(serial), Some(parallel)) => serial / parallel.max(f64::EPSILON),
+        _ => 1.0,
+    };
+    // Staged vs (columnar) streaming at the same (highest) worker
+    // count. > 1.0 means the dataflow beats the barriers.
     let streaming_vs_staged = match (
-        total_of(BuildMode::Staged, parallel_workers),
-        total_of(BuildMode::Streaming, parallel_workers),
+        total_of(BuildMode::Staged, "nested", parallel_workers),
+        total_of(BuildMode::Streaming, "columnar", parallel_workers),
     ) {
         (Some(staged), Some(streaming)) => staged / streaming.max(f64::EPSILON),
+        _ => 1.0,
+    };
+    // The tentpole figure: summed fingerprint+detect work, nested vs
+    // columnar streaming tails at the highest worker count. Work
+    // figures are layout-sensitive but scheduling-insensitive, so the
+    // ratio isolates the arena's effect from probing wall clock.
+    let work_of = |path: &str| {
+        run_of(BuildMode::Streaming, path, parallel_workers)
+            .map(|s| s.fingerprint_work.as_secs_f64() + s.detect_work.as_secs_f64())
+    };
+    let columnar_vs_nested = match (work_of("nested"), work_of("columnar")) {
+        (Some(nested), Some(columnar)) => nested / columnar.max(f64::EPSILON),
         _ => 1.0,
     };
     eprintln!(
@@ -255,6 +300,10 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
          (host has {available} core(s))"
     );
     eprintln!("streaming vs staged at {parallel_workers} worker(s): {streaming_vs_staged:.2}x");
+    eprintln!(
+        "columnar vs nested detect+fingerprint work at {parallel_workers} worker(s): \
+         {columnar_vs_nested:.2}x"
+    );
 
     // Hand-rolled JSON, like the rest of the suite (no serde).
     let mut json = String::from("{\n");
@@ -266,12 +315,15 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
              measures scheduling overhead, not parallel scaling\",\n",
         );
     }
+    json.push_str(&format!("  \"catalog_scale\": {},\n", config.gen.catalog_scale));
     json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
     json.push_str(&format!("  \"streaming_vs_staged_speedup\": {streaming_vs_staged:.4},\n"));
+    json.push_str(&format!("  \"columnar_vs_nested_speedup\": {columnar_vs_nested:.4},\n"));
     json.push_str("  \"runs\": [\n");
-    for (i, stats) in runs.iter().enumerate() {
+    for (i, (stats, path)) in runs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workers\": {}, \"mode\": \"{}\", \"stages\": {{",
+            "    {{\"workers\": {}, \"mode\": \"{}\", \"detect_path\": \"{path}\", \
+             \"stages\": {{",
             stats.workers,
             stats.mode.as_str()
         ));
@@ -282,7 +334,10 @@ fn bench_pipeline(config: PipelineConfig) -> Dataset {
             json.push_str(&format!("\"{name}\": {:.6}", duration.as_secs_f64()));
         }
         json.push_str(&format!(
-            "}}, \"total_seconds\": {:.6}, \"peak_resident_traces\": {}}}",
+            "}}, \"fingerprint_seconds\": {:.6}, \"detect_seconds\": {:.6}, \
+             \"total_seconds\": {:.6}, \"peak_resident_traces\": {}}}",
+            stats.fingerprint_work.as_secs_f64(),
+            stats.detect_work.as_secs_f64(),
             stats.total.as_secs_f64(),
             stats.peak_resident_traces
         ));
@@ -306,8 +361,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
-         [--workers N] [--stream] [--out DIR] [--obs] [--trace-out DIR] \
-         <ids…|all|bench-pipeline>\n\
+         [--workers N] [--catalog-scale N] [--nested] [--stream] [--out DIR] [--obs] \
+         [--trace-out DIR] <ids…|all|bench-pipeline>\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -50,7 +50,8 @@ fn main() {
     }
 
     eprintln!("generating the synthetic Internet (scale {scale}, seed {seed})…");
-    let internet = generate(&GenConfig { scale, seed, vp_count: 8, sr_adoption: 1.0 });
+    let internet =
+        generate(&GenConfig { scale, seed, vp_count: 8, sr_adoption: 1.0, catalog_scale: 1 });
     let vp = internet
         .vps
         .get(vp_index)

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod clock;
 pub mod exp_audit;
 pub mod exp_background;
 pub mod exp_characterization;

@@ -1,10 +1,13 @@
-//! Exhaustive model check of the streaming pipeline's admission
-//! window (`cargo test -p arest-experiments --features model-check`).
+//! Exhaustive model check of the streaming pipeline's shared tail
+//! state: the admission window and the work clocks
+//! (`cargo test -p arest-experiments --features model-check`).
 
 #![cfg(feature = "model-check")]
 
 use arest_conc::model::Model;
 use arest_experiments::admission::AdmissionWindow;
+use arest_experiments::clock::WorkClock;
+use std::time::Duration;
 
 /// Invariant: however two workers' completions interleave, the number
 /// of in-flight ASes never exceeds the window bound, and every catalog
@@ -54,6 +57,25 @@ fn model_catalog_exhaustion_drains_the_window() {
         assert_eq!(admitted.1.unwrap(), None, "catalog of 2 is exhausted");
         assert_eq!(w.in_flight(), 0, "both slots drained");
         assert!(w.peak() <= w.bound());
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: work sections logged from racing tail workers are never
+/// lost — the clock's total is the exact sum under any interleaving.
+#[test]
+fn model_work_clock_loses_no_section() {
+    let report = Model::default().check(|| {
+        let clock = WorkClock::new();
+        arest_conc::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                clock.add(Duration::from_nanos(3));
+                clock.add(Duration::from_nanos(5));
+            });
+            clock.add(Duration::from_nanos(7));
+            worker.join().expect("logging worker");
+        });
+        assert_eq!(clock.total(), Duration::from_nanos(15), "a section's time was lost");
     });
     assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
 }

@@ -83,9 +83,10 @@ fn trace_out_emits_valid_chrome_trace_flamegraph_and_provenance() {
 #[test]
 fn bench_stage_timings_agree_with_span_durations() {
     let dir = scratch_dir("trace-bench");
-    // `--workers 1` makes bench-pipeline build exactly once per mode
-    // (staged baseline + streaming dataflow), so the span ring holds
-    // exactly the pipeline.stage.* spans of those two builds.
+    // `--workers 1` makes bench-pipeline build exactly once per
+    // configuration (staged baseline, nested streaming, columnar
+    // streaming), so the span ring holds exactly the pipeline.stage.*
+    // spans of those three builds.
     let status = Command::new(env!("CARGO_BIN_EXE_arest-experiments"))
         .args(["--quick", "--workers", "1", "--trace-out"])
         .arg(&dir)
@@ -97,13 +98,30 @@ fn bench_stage_timings_agree_with_span_durations() {
 
     let bench = Json::parse(&read(&dir.join("BENCH_pipeline.json"))).expect("bench json");
     let runs = bench.get("runs").and_then(Json::as_arr).expect("runs array");
-    assert_eq!(runs.len(), 2, "staged + streaming at --workers 1");
+    assert_eq!(runs.len(), 3, "staged + nested streaming + columnar streaming at --workers 1");
     let mode_of = |run: &Json| run.get("mode").and_then(Json::as_str).map(str::to_owned);
+    let path_of = |run: &Json| run.get("detect_path").and_then(Json::as_str).map(str::to_owned);
     assert_eq!(mode_of(&runs[0]).as_deref(), Some("staged"));
     assert_eq!(mode_of(&runs[1]).as_deref(), Some("streaming"));
+    assert_eq!(mode_of(&runs[2]).as_deref(), Some("streaming"));
+    assert_eq!(path_of(&runs[0]).as_deref(), Some("nested"));
+    assert_eq!(path_of(&runs[1]).as_deref(), Some("nested"));
+    assert_eq!(path_of(&runs[2]).as_deref(), Some("columnar"));
+    assert!(
+        bench.get("catalog_scale").and_then(Json::as_f64).is_some_and(|s| s >= 1.0),
+        "bench records the catalog scale"
+    );
+    assert!(
+        bench.get("columnar_vs_nested_speedup").and_then(Json::as_f64).is_some_and(|s| s > 0.0),
+        "bench records the columnar-vs-nested work ratio"
+    );
     for run in runs {
         let peak = run.get("peak_resident_traces").and_then(Json::as_f64);
         assert!(peak.is_some_and(|p| p > 0.0), "each run reports its residency watermark");
+        for key in ["fingerprint_seconds", "detect_seconds"] {
+            let work = run.get(key).and_then(Json::as_f64);
+            assert!(work.is_some_and(|w| w >= 0.0), "each run reports {key}");
+        }
     }
 
     // The stage names differ per mode (five barriers vs

@@ -69,13 +69,35 @@ pub fn plan_as(
     profile: DeploymentProfile,
     seed: u64,
 ) -> AsPlan {
+    plan_as_replica(topo, entry, profile, seed, 0)
+}
+
+/// [`plan_as`] for catalog replica `replica` (the
+/// `GenConfig::catalog_scale` axis). Replica 0 is byte-identical to
+/// [`plan_as`]; replica `r` shifts the AS's address plan into disjoint
+/// space — infrastructure under `10+r.<id>/16`, customers under
+/// `100+r.<64+id>/16` — so replicas never collide with each other, the
+/// VP fabric (172.20/14), the transit links (192.168/16), or the VP
+/// sources (198.18/15). The caller supplies a replica-unique
+/// `entry.asn`; the per-AS RNG streams key off it, so each replica
+/// grows its own topology rather than a copy.
+pub fn plan_as_replica(
+    topo: &mut Topology,
+    entry: &AsProfile,
+    profile: DeploymentProfile,
+    seed: u64,
+    replica: u8,
+) -> AsPlan {
+    assert!(replica < 64, "catalog replica {replica} out of the address plan's range");
     let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(entry.asn) << 8));
     let asn = AsNumber(entry.asn);
     let id = entry.id;
     let n = profile.routers;
+    let infra_octet = 10 + replica;
+    let customer_octet = 100 + replica;
 
     // Routers with vendors drawn from the mix; loopbacks in
-    // 10.<id>.255.0/24.
+    // 10+r.<id>.255.0/24.
     let routers: Vec<RouterId> = (0..n)
         .map(|i| {
             let vendor = draw_vendor(&profile.vendor_mix, &mut rng);
@@ -83,13 +105,13 @@ pub fn plan_as(
                 format!("{}-r{i}", entry.name.to_lowercase().replace(' ', "-")),
                 asn,
                 vendor,
-                Ipv4Addr::new(10, id, 255, (i + 1) as u8),
+                Ipv4Addr::new(infra_octet, id, 255, (i + 1) as u8),
             )
         })
         .collect();
 
     // Link fabric: a random tree plus chords; addresses allocated
-    // pairwise from 10.<id>.0.0/16 (byte 255 reserved for loopbacks).
+    // pairwise from 10+r.<id>.0.0/16 (byte 255 reserved for loopbacks).
     let mut link_counter: u32 = 0;
     let alloc_pair = |counter: &mut u32| {
         let c = *counter;
@@ -97,7 +119,10 @@ pub fn plan_as(
         let third = (c / 127) as u8;
         assert!(third < 255, "link address space exhausted in AS#{id}");
         let fourth = ((c % 127) * 2) as u8;
-        (Ipv4Addr::new(10, id, third, fourth), Ipv4Addr::new(10, id, third, fourth + 1))
+        (
+            Ipv4Addr::new(infra_octet, id, third, fourth),
+            Ipv4Addr::new(infra_octet, id, third, fourth + 1),
+        )
     };
     let mut linked: HashSet<(RouterId, RouterId)> = HashSet::new();
     let add_link = |topo: &mut Topology,
@@ -192,7 +217,7 @@ pub fn plan_as(
                 None
             }
             .unwrap_or_else(|| bfs[bfs.len() - 1 - (k % bfs.len().div_ceil(3))]);
-            let prefix = Prefix::new(Ipv4Addr::new(100, 64 + id, k as u8, 0), 24)
+            let prefix = Prefix::new(Ipv4Addr::new(customer_octet, 64 + id, k as u8, 0), 24)
                 .expect("/24 under 100.64/10");
             (prefix, anchor)
         })
@@ -209,8 +234,8 @@ pub fn plan_as(
         ldp_members,
         junction,
         customers,
-        infra_block: Prefix::new(Ipv4Addr::new(10, id, 0, 0), 16).expect("/16"),
-        customer_block: Prefix::new(Ipv4Addr::new(100, 64 + id, 0, 0), 16).expect("/16"),
+        infra_block: Prefix::new(Ipv4Addr::new(infra_octet, id, 0, 0), 16).expect("/16"),
+        customer_block: Prefix::new(Ipv4Addr::new(customer_octet, 64 + id, 0, 0), 16).expect("/16"),
     }
 }
 

@@ -8,8 +8,8 @@
 //! for bdrmapIT-style annotation, and the ground-truth record the
 //! validation experiments read.
 
-use crate::builder::{deploy_as, plan_as, AsLabelRecord, AsPlan};
-use crate::catalog::{AsType, CATALOG};
+use crate::builder::{deploy_as, plan_as_replica, AsLabelRecord, AsPlan};
+use crate::catalog::{AsProfile, AsType, CATALOG};
 use crate::profile::profile_for;
 use arest_simnet::plane::Route;
 use arest_simnet::Network;
@@ -36,11 +36,20 @@ pub struct GenConfig {
     /// deployment clock for longitudinal what-if studies (the paper's
     /// stated future work).
     pub sr_adoption: f64,
+    /// Catalog replication factor: the Internet holds
+    /// `60 × catalog_scale` ASes. Replica 0 is the paper's Table 5
+    /// verbatim (byte-identical to a `catalog_scale: 1` run); each
+    /// further replica re-instantiates the 60 profiles under fresh
+    /// ASNs (`asn + 1_000_000·r`), disjoint address space, and its own
+    /// deterministic RNG streams. This is the throughput axis for the
+    /// columnar-vs-nested benchmarks: 10× catalog, same per-AS shape.
+    /// Capped at 63 by the address plan (`plan_as_replica`).
+    pub catalog_scale: usize,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { scale: 0.05, seed: 2_025, vp_count: 50, sr_adoption: 1.0 }
+        GenConfig { scale: 0.05, seed: 2_025, vp_count: 50, sr_adoption: 1.0, catalog_scale: 1 }
     }
 }
 
@@ -48,7 +57,7 @@ impl GenConfig {
     /// A small configuration for unit tests: a handful of VPs over a
     /// downscaled Internet.
     pub fn tiny() -> GenConfig {
-        GenConfig { scale: 0.01, seed: 7, vp_count: 4, sr_adoption: 1.0 }
+        GenConfig { scale: 0.01, seed: 7, vp_count: 4, sr_adoption: 1.0, catalog_scale: 1 }
     }
 }
 
@@ -168,17 +177,20 @@ pub fn generate(config: &GenConfig) -> Internet {
     let mut topo = Topology::new();
 
     // ---- Phase 1: AS topologies ----
-    let plans: Vec<AsPlan> = CATALOG
-        .iter()
-        .map(|entry| {
-            plan_as(
-                &mut topo,
-                entry,
-                profile_for(entry, config.scale, config.sr_adoption),
-                config.seed,
-            )
-        })
-        .collect();
+    // Replica-major, catalog-minor: replica 0 lays down the paper's 60
+    // ASes first (so `Internet::plan(id)` / `Dataset::result(id)` keep
+    // addressing Table 5 rows at any scale), then each further replica
+    // appends its own 60 under fresh ASNs and disjoint address space.
+    let scale = config.catalog_scale.max(1);
+    assert!(scale < 64, "catalog_scale {scale} exceeds the address plan (max 63)");
+    let mut plans: Vec<AsPlan> = Vec::with_capacity(CATALOG.len() * scale);
+    for replica in 0..scale {
+        for entry in &CATALOG {
+            let entry = AsProfile { asn: entry.asn + 1_000_000 * replica as u32, ..*entry };
+            let profile = profile_for(&entry, config.scale, config.sr_adoption);
+            plans.push(plan_as_replica(&mut topo, &entry, profile, config.seed, replica as u8));
+        }
+    }
 
     // ---- Provider wiring ----
     // Stubs and content providers buy transit from sizeable
@@ -504,5 +516,44 @@ mod tests {
         let internet = tiny();
         let with_transit = internet.routes.iter().filter(|r| r.path.len() >= 3).count();
         assert!(with_transit > 10, "expected provider paths, got {with_transit}");
+    }
+
+    #[test]
+    fn catalog_scale_replicates_without_collisions() {
+        let scaled = generate(&GenConfig { catalog_scale: 3, ..GenConfig::tiny() });
+        assert_eq!(scaled.plans.len(), 180);
+
+        // Every replica gets distinct ASNs and distinct address blocks.
+        let asns: HashSet<u32> = scaled.plans.iter().map(|p| p.entry.asn).collect();
+        assert_eq!(asns.len(), 180, "replica ASNs collide");
+        let blocks: HashSet<Ipv4Addr> =
+            scaled.plans.iter().map(|p| p.infra_block.network()).collect();
+        assert_eq!(blocks.len(), 180, "replica infra blocks collide");
+
+        // Replica 0 is the Table 5 catalog verbatim: byte-identical to
+        // an unscaled run, so Dataset::result(id) keeps its meaning.
+        let base = tiny();
+        for (a, b) in base.plans.iter().zip(&scaled.plans) {
+            assert_eq!(a.entry.asn, b.entry.asn);
+            assert_eq!(a.routers.len(), b.routers.len());
+            assert_eq!(a.infra_block, b.infra_block);
+            assert_eq!(a.customer_block, b.customer_block);
+            assert_eq!(a.customers, b.customers);
+        }
+
+        // Later replicas diverge: same catalog row, different ASN, so
+        // every ASN-keyed draw (hidden SR deployers, wiring RNG) runs
+        // on a fresh stream rather than cloning replica 0.
+        let differs = (0..60).any(|i| {
+            scaled.ground_truth.sr_deployed[&scaled.plans[i].asn]
+                != scaled.ground_truth.sr_deployed[&scaled.plans[i + 60].asn]
+        });
+        assert!(differs, "replica 1 cloned replica 0's deployment draws");
+        for r in 1..3u32 {
+            for i in 0..60 {
+                let plan = &scaled.plans[(r as usize) * 60 + i];
+                assert_eq!(plan.entry.asn, base.plans[i].entry.asn + 1_000_000 * r);
+            }
+        }
     }
 }

@@ -1,0 +1,616 @@
+//! Columnar (struct-of-arrays) trace storage.
+//!
+//! The nested [`Trace`] → [`Hop`] → `Option<Arc<LabelStack>>` shape is
+//! convenient to build during a campaign, but every hot consumer —
+//! address collection, TTL fingerprinting, the five-flag scan — walks
+//! it as three pointer hops and an `Option` branch per LSE. At catalog
+//! scale that pointer chasing dominates the scan itself.
+//!
+//! [`TraceArena`] stores the same data as flat parallel columns:
+//!
+//! ```text
+//! per trace   vps srcs dsts reached        hop_off (len = traces+1)
+//! per hop     ttls addrs+valid rtts+valid qttls+valid reply_ttls+valid
+//!             revealed is_destination has_stack      lse_off (len = hops+1)
+//! per LSE     lses (every stack flattened, top entry first)
+//! ```
+//!
+//! Trace `t` owns hops `hop_off[t]..hop_off[t+1]`; hop `h` owns LSEs
+//! `lse_off[h]..lse_off[h+1]`. Optional columns pack their values
+//! densely and mark presence in a [`Bitmap`]; an unset bit means the
+//! aligned slot holds an unspecified placeholder. `has_stack`
+//! distinguishes "no stack quoted" from "a quoted but empty stack", so
+//! the conversion is lossless in both directions — proven by the
+//! round-trip tests here and the property test in
+//! `tests/arena_roundtrip.rs`.
+//!
+//! [`TraceView`]/[`HopView`] are zero-copy index handles mirroring the
+//! nested accessors, and [`TraceArena::restrict`] performs the
+//! pipeline's AS-restriction compaction (span cut + consecutive
+//! duplicate-address collapse) column to column without materializing
+//! nested traces in between.
+
+use crate::trace::{Hop, Trace};
+use arest_wire::bitmap::Bitmap;
+use arest_wire::mpls::{Label, LabelStack, Lse};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Placeholder stored in invalid slots of optional columns. Never
+/// observable: every read is gated on the column's validity bitmap.
+const NO_ADDR: Ipv4Addr = Ipv4Addr::UNSPECIFIED;
+
+/// A set of traces in columnar (struct-of-arrays) layout.
+///
+/// Build one with [`TraceArena::from_traces`] (or push restricted
+/// copies with [`TraceArena::restrict`]), read it through
+/// [`TraceView`]/[`HopView`], and materialize nested traces back with
+/// [`TraceArena::to_traces`] when an owner API needs them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceArena {
+    vps: Vec<Arc<str>>,
+    srcs: Vec<Ipv4Addr>,
+    dsts: Vec<Ipv4Addr>,
+    reached: Bitmap,
+    /// Hop range of trace `t`: `hop_off[t]..hop_off[t+1]`.
+    hop_off: Vec<u32>,
+    ttls: Vec<u8>,
+    addrs: Vec<Ipv4Addr>,
+    addr_valid: Bitmap,
+    rtts: Vec<u32>,
+    rtt_valid: Bitmap,
+    qttls: Vec<u8>,
+    qttl_valid: Bitmap,
+    reply_ttls: Vec<u8>,
+    reply_valid: Bitmap,
+    revealed: Bitmap,
+    is_destination: Bitmap,
+    has_stack: Bitmap,
+    /// LSE range of hop `h`: `lse_off[h]..lse_off[h+1]` (empty when
+    /// `has_stack` is unset *or* the quoted stack itself was empty).
+    lse_off: Vec<u32>,
+    lses: Vec<Lse>,
+}
+
+impl TraceArena {
+    /// An empty arena.
+    pub fn new() -> TraceArena {
+        TraceArena { hop_off: vec![0], lse_off: vec![0], ..TraceArena::default() }
+    }
+
+    /// Converts nested traces into columns. Lossless: `to_traces`
+    /// reproduces the input value for value (stack `Arc`s are rebuilt,
+    /// not shared).
+    pub fn from_traces(traces: &[Trace]) -> TraceArena {
+        let hops: usize = traces.iter().map(|t| t.hops.len()).sum();
+        let lses: usize =
+            traces.iter().map(|t| t.hops.iter().map(Hop::stack_depth).sum::<usize>()).sum();
+        let mut arena = TraceArena {
+            vps: Vec::with_capacity(traces.len()),
+            srcs: Vec::with_capacity(traces.len()),
+            dsts: Vec::with_capacity(traces.len()),
+            reached: Bitmap::with_capacity(traces.len()),
+            hop_off: Vec::with_capacity(traces.len() + 1),
+            ttls: Vec::with_capacity(hops),
+            addrs: Vec::with_capacity(hops),
+            addr_valid: Bitmap::with_capacity(hops),
+            rtts: Vec::with_capacity(hops),
+            rtt_valid: Bitmap::with_capacity(hops),
+            qttls: Vec::with_capacity(hops),
+            qttl_valid: Bitmap::with_capacity(hops),
+            reply_ttls: Vec::with_capacity(hops),
+            reply_valid: Bitmap::with_capacity(hops),
+            revealed: Bitmap::with_capacity(hops),
+            is_destination: Bitmap::with_capacity(hops),
+            has_stack: Bitmap::with_capacity(hops),
+            lse_off: Vec::with_capacity(hops + 1),
+            lses: Vec::with_capacity(lses),
+        };
+        arena.hop_off.push(0);
+        arena.lse_off.push(0);
+        for trace in traces {
+            arena.begin_trace(trace.vp.clone(), trace.src, trace.dst, trace.reached);
+            for hop in &trace.hops {
+                arena.push_hop(hop);
+            }
+            arena.finish_trace();
+        }
+        arena
+    }
+
+    /// Materializes the columns back into nested traces.
+    pub fn to_traces(&self) -> Vec<Trace> {
+        (0..self.len())
+            .map(|t| {
+                let view = self.trace(t);
+                Trace {
+                    vp: view.vp().clone(),
+                    src: view.src(),
+                    dst: view.dst(),
+                    hops: view.hops().map(|h| h.to_hop()).collect(),
+                    reached: view.reached(),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.vps.len()
+    }
+
+    /// Whether the arena holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.vps.is_empty()
+    }
+
+    /// Total number of hops across all traces.
+    pub fn hop_count(&self) -> usize {
+        self.ttls.len()
+    }
+
+    /// Total number of flattened LSEs across all quoted stacks.
+    pub fn lse_count(&self) -> usize {
+        self.lses.len()
+    }
+
+    /// View of trace `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`.
+    pub fn trace(&self, index: usize) -> TraceView<'_> {
+        assert!(index < self.len(), "trace index {index} out of range (len {})", self.len());
+        TraceView { arena: self, index }
+    }
+
+    /// Iterates over all traces in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceView<'_>> {
+        (0..self.len()).map(|index| TraceView { arena: self, index })
+    }
+
+    /// Columnar address collection: every hop address that came with a
+    /// reply IP TTL, sorted and deduplicated, aligned with its
+    /// first-seen time-exceeded reply TTL. Same contract as
+    /// [`crate::trace::collect_addrs`], but hash-free: one branch-light
+    /// gather over two columns and two bitmaps, then a stable sort on
+    /// the address. Stability keeps equal addresses in hop order, so
+    /// `dedup` keeps the first-seen TE TTL — the same winner as the
+    /// nested path's first `HashMap` insertion. The TE TTLs come back
+    /// as an aligned slice, so downstream batches never re-hash per
+    /// address.
+    pub fn collect_addrs(&self) -> (Vec<Ipv4Addr>, Vec<u8>) {
+        let hops = self.hop_count();
+        let mut pairs: Vec<(Ipv4Addr, u8)> = Vec::with_capacity(hops);
+        for h in 0..hops {
+            if self.addr_valid.get(h) && self.reply_valid.get(h) {
+                pairs.push((self.addrs[h], self.reply_ttls[h]));
+            }
+        }
+        pairs.sort_by_key(|&(addr, _)| addr);
+        pairs.dedup_by_key(|&mut (addr, _)| addr);
+        pairs.into_iter().unzip()
+    }
+
+    /// Appends a restricted copy of trace `index` keeping the
+    /// inclusive hop span `first..=last` and collapsing consecutive
+    /// hops that repeat the same address (the first of each run wins,
+    /// silent hops break runs) — column for column, the compaction the
+    /// pipeline's AS restriction performs on nested hops. Returns the
+    /// new trace's index in `self`.
+    pub fn push_restricted(
+        &mut self,
+        src: &TraceArena,
+        index: usize,
+        first: usize,
+        last: usize,
+    ) -> usize {
+        let view = src.trace(index);
+        assert!(first <= last && last < view.hop_count(), "invalid hop span {first}..={last}");
+        self.begin_trace(view.vp().clone(), view.src(), view.dst(), view.reached());
+        let mut prev_addr: Option<Ipv4Addr> = None;
+        for j in first..=last {
+            let hop = view.hop(j);
+            let addr = hop.addr();
+            if j > first && addr.is_some() && addr == prev_addr {
+                continue;
+            }
+            prev_addr = addr;
+            self.push_hop_view(&hop);
+        }
+        self.finish_trace()
+    }
+
+    /// Restriction over a whole arena: `span_of` returns the inclusive
+    /// hop span to keep for each trace (`None` drops the trace), and
+    /// every kept trace is compacted via [`TraceArena::push_restricted`].
+    pub fn restrict<F>(&self, mut span_of: F) -> TraceArena
+    where
+        F: FnMut(TraceView<'_>) -> Option<(usize, usize)>,
+    {
+        let mut out = TraceArena::new();
+        for view in self.iter() {
+            if let Some((first, last)) = span_of(view) {
+                out.push_restricted(self, view.index, first, last);
+            }
+        }
+        out
+    }
+
+    fn begin_trace(&mut self, vp: Arc<str>, src: Ipv4Addr, dst: Ipv4Addr, reached: bool) {
+        self.vps.push(vp);
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.reached.push(reached);
+    }
+
+    fn finish_trace(&mut self) -> usize {
+        let hops = u32::try_from(self.ttls.len()).expect("hop count fits u32");
+        self.hop_off.push(hops);
+        self.len() - 1
+    }
+
+    fn push_hop(&mut self, hop: &Hop) {
+        self.push_hop_parts(
+            hop.ttl,
+            hop.addr,
+            hop.rtt_us,
+            hop.quoted_ip_ttl,
+            hop.reply_ip_ttl,
+            hop.revealed,
+            hop.is_destination,
+            hop.stack.as_deref().map(LabelStack::entries),
+        );
+    }
+
+    fn push_hop_view(&mut self, hop: &HopView<'_>) {
+        self.push_hop_parts(
+            hop.ttl(),
+            hop.addr(),
+            hop.rtt_us(),
+            hop.quoted_ip_ttl(),
+            hop.reply_ip_ttl(),
+            hop.revealed(),
+            hop.is_destination(),
+            hop.lses(),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // private column-push primitive
+    fn push_hop_parts(
+        &mut self,
+        ttl: u8,
+        addr: Option<Ipv4Addr>,
+        rtt_us: Option<u32>,
+        quoted_ip_ttl: Option<u8>,
+        reply_ip_ttl: Option<u8>,
+        revealed: bool,
+        is_destination: bool,
+        stack: Option<&[Lse]>,
+    ) {
+        self.ttls.push(ttl);
+        self.addr_valid.push(addr.is_some());
+        self.addrs.push(addr.unwrap_or(NO_ADDR));
+        self.rtt_valid.push(rtt_us.is_some());
+        self.rtts.push(rtt_us.unwrap_or(0));
+        self.qttl_valid.push(quoted_ip_ttl.is_some());
+        self.qttls.push(quoted_ip_ttl.unwrap_or(0));
+        self.reply_valid.push(reply_ip_ttl.is_some());
+        self.reply_ttls.push(reply_ip_ttl.unwrap_or(0));
+        self.revealed.push(revealed);
+        self.is_destination.push(is_destination);
+        self.has_stack.push(stack.is_some());
+        self.lses.extend_from_slice(stack.unwrap_or(&[]));
+        let lses = u32::try_from(self.lses.len()).expect("LSE count fits u32");
+        self.lse_off.push(lses);
+    }
+}
+
+/// Zero-copy view of one trace inside a [`TraceArena`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    arena: &'a TraceArena,
+    index: usize,
+}
+
+impl<'a> TraceView<'a> {
+    /// Index of this trace within its arena.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Vantage-point name (interned, shared with the nested traces).
+    pub fn vp(&self) -> &'a Arc<str> {
+        &self.arena.vps[self.index]
+    }
+
+    /// Probe source address.
+    pub fn src(&self) -> Ipv4Addr {
+        self.arena.srcs[self.index]
+    }
+
+    /// Probe destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        self.arena.dsts[self.index]
+    }
+
+    /// Whether the destination answered.
+    pub fn reached(&self) -> bool {
+        self.arena.reached.get(self.index)
+    }
+
+    /// Number of hops in this trace.
+    pub fn hop_count(&self) -> usize {
+        (self.arena.hop_off[self.index + 1] - self.arena.hop_off[self.index]) as usize
+    }
+
+    /// View of hop `index` (trace-relative).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= hop_count()`.
+    pub fn hop(&self, index: usize) -> HopView<'a> {
+        assert!(index < self.hop_count(), "hop index {index} out of range");
+        HopView { arena: self.arena, hop: self.arena.hop_off[self.index] as usize + index }
+    }
+
+    /// Iterates over this trace's hops in path order.
+    pub fn hops(&self) -> impl Iterator<Item = HopView<'a>> + '_ {
+        let start = self.arena.hop_off[self.index] as usize;
+        let end = self.arena.hop_off[self.index + 1] as usize;
+        let arena = self.arena;
+        (start..end).map(move |hop| HopView { arena, hop })
+    }
+
+    /// Addresses that replied, in path order (mirror of
+    /// [`Trace::responding_addrs`]).
+    pub fn responding_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.hops().filter_map(|h| h.addr())
+    }
+}
+
+/// Zero-copy view of one hop inside a [`TraceArena`].
+#[derive(Debug, Clone, Copy)]
+pub struct HopView<'a> {
+    arena: &'a TraceArena,
+    hop: usize,
+}
+
+impl<'a> HopView<'a> {
+    /// The probe TTL this hop answered.
+    pub fn ttl(&self) -> u8 {
+        self.arena.ttls[self.hop]
+    }
+
+    /// The replying address, `None` for a silent hop.
+    pub fn addr(&self) -> Option<Ipv4Addr> {
+        self.arena.addr_valid.get(self.hop).then(|| self.arena.addrs[self.hop])
+    }
+
+    /// Round-trip time in microseconds, when a reply arrived.
+    pub fn rtt_us(&self) -> Option<u32> {
+        self.arena.rtt_valid.get(self.hop).then(|| self.arena.rtts[self.hop])
+    }
+
+    /// The quoted IP TTL (qTTL), when present.
+    pub fn quoted_ip_ttl(&self) -> Option<u8> {
+        self.arena.qttl_valid.get(self.hop).then(|| self.arena.qttls[self.hop])
+    }
+
+    /// The reply's own IP TTL, when present.
+    pub fn reply_ip_ttl(&self) -> Option<u8> {
+        self.arena.reply_valid.get(self.hop).then(|| self.arena.reply_ttls[self.hop])
+    }
+
+    /// Whether TNT inserted this hop through revelation.
+    pub fn revealed(&self) -> bool {
+        self.arena.revealed.get(self.hop)
+    }
+
+    /// Whether this hop is the probe destination.
+    pub fn is_destination(&self) -> bool {
+        self.arena.is_destination.get(self.hop)
+    }
+
+    /// Whether the hop replied at all (mirror of [`Hop::responded`]).
+    pub fn responded(&self) -> bool {
+        self.arena.addr_valid.get(self.hop)
+    }
+
+    /// Whether a label stack was quoted (even an empty one).
+    pub fn has_stack(&self) -> bool {
+        self.arena.has_stack.get(self.hop)
+    }
+
+    /// The quoted LSEs, top entry first; `None` when no stack was
+    /// quoted (distinct from `Some(&[])`, a quoted empty stack).
+    pub fn lses(&self) -> Option<&'a [Lse]> {
+        self.has_stack().then(|| {
+            let start = self.arena.lse_off[self.hop] as usize;
+            let end = self.arena.lse_off[self.hop + 1] as usize;
+            &self.arena.lses[start..end]
+        })
+    }
+
+    /// Depth of the quoted stack, 0 when none (mirror of
+    /// [`Hop::stack_depth`]).
+    pub fn stack_depth(&self) -> usize {
+        (self.arena.lse_off[self.hop + 1] - self.arena.lse_off[self.hop]) as usize
+    }
+
+    /// The top (active) label, if a non-empty stack was quoted.
+    pub fn top_label(&self) -> Option<Label> {
+        self.lses().and_then(<[Lse]>::first).map(|lse| lse.label)
+    }
+
+    /// Materializes this hop back into the nested representation.
+    pub fn to_hop(&self) -> Hop {
+        Hop {
+            ttl: self.ttl(),
+            addr: self.addr(),
+            rtt_us: self.rtt_us(),
+            stack: self.lses().map(|lses| Arc::new(LabelStack::from_entries(lses.to_vec()))),
+            quoted_ip_ttl: self.quoted_ip_ttl(),
+            reply_ip_ttl: self.reply_ip_ttl(),
+            revealed: self.revealed(),
+            is_destination: self.is_destination(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::collect_addrs;
+    use arest_wire::mpls::Label;
+
+    fn labeled_hop(ttl: u8, last: u8, labels: &[u32]) -> Hop {
+        let labels: Vec<Label> = labels.iter().map(|&v| Label::new(v).unwrap()).collect();
+        Hop {
+            ttl,
+            addr: Some(Ipv4Addr::new(10, 0, 0, last)),
+            rtt_us: Some(u32::from(ttl) * 130),
+            stack: Some(Arc::new(LabelStack::from_labels(&labels, 252))),
+            quoted_ip_ttl: Some(1),
+            reply_ip_ttl: Some(250),
+            revealed: false,
+            is_destination: false,
+        }
+    }
+
+    fn sample_traces() -> Vec<Trace> {
+        let mut revealed = labeled_hop(3, 7, &[]);
+        revealed.stack = None;
+        revealed.revealed = true;
+        let mut dest = labeled_hop(5, 9, &[]);
+        dest.stack = None;
+        dest.is_destination = true;
+        dest.reply_ip_ttl = None;
+        let mut empty_stack = labeled_hop(2, 4, &[]);
+        empty_stack.rtt_us = None;
+        vec![
+            Trace {
+                vp: "vp0".into(),
+                src: Ipv4Addr::new(192, 0, 2, 1),
+                dst: Ipv4Addr::new(203, 0, 113, 1),
+                hops: vec![
+                    labeled_hop(1, 1, &[16_005]),
+                    empty_stack,
+                    revealed,
+                    Hop::silent(4),
+                    dest,
+                ],
+                reached: true,
+            },
+            Trace {
+                vp: "vp1".into(),
+                src: Ipv4Addr::new(192, 0, 2, 2),
+                dst: Ipv4Addr::new(203, 0, 113, 2),
+                hops: vec![labeled_hop(1, 1, &[16_005, 7, 24_001])],
+                reached: false,
+            },
+            Trace {
+                vp: "vp0".into(),
+                src: Ipv4Addr::new(192, 0, 2, 1),
+                dst: Ipv4Addr::new(203, 0, 113, 3),
+                hops: vec![],
+                reached: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let traces = sample_traces();
+        let arena = TraceArena::from_traces(&traces);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.hop_count(), 6);
+        assert_eq!(arena.lse_count(), 4);
+        assert_eq!(arena.to_traces(), traces);
+    }
+
+    #[test]
+    fn views_mirror_nested_accessors() {
+        let traces = sample_traces();
+        let arena = TraceArena::from_traces(&traces);
+        for (t, trace) in traces.iter().enumerate() {
+            let view = arena.trace(t);
+            assert_eq!(view.vp(), &trace.vp);
+            assert_eq!(view.dst(), trace.dst);
+            assert_eq!(view.reached(), trace.reached);
+            assert_eq!(view.hop_count(), trace.hops.len());
+            assert_eq!(
+                view.responding_addrs().collect::<Vec<_>>(),
+                trace.responding_addrs().collect::<Vec<_>>()
+            );
+            for (j, hop) in trace.hops.iter().enumerate() {
+                let hv = view.hop(j);
+                assert_eq!(hv.addr(), hop.addr);
+                assert_eq!(hv.responded(), hop.responded());
+                assert_eq!(hv.stack_depth(), hop.stack_depth());
+                assert_eq!(hv.has_stack(), hop.stack.is_some());
+                assert_eq!(
+                    hv.top_label(),
+                    hop.stack.as_ref().and_then(|s| s.top()).map(|lse| lse.label)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_arena_is_valid() {
+        let arena = TraceArena::new();
+        assert!(arena.is_empty());
+        assert_eq!(arena.hop_count(), 0);
+        assert_eq!(arena.lse_count(), 0);
+        assert_eq!(arena.to_traces(), Vec::<Trace>::new());
+        assert_eq!(arena.collect_addrs(), (Vec::new(), Vec::new()));
+        assert_eq!(TraceArena::from_traces(&[]), arena);
+        assert!(arena.restrict(|_| Some((0, 0))).is_empty());
+    }
+
+    #[test]
+    fn collect_addrs_agrees_with_nested_helper() {
+        let traces = sample_traces();
+        let arena = TraceArena::from_traces(&traces);
+        let (nested_addrs, nested_te) = collect_addrs(&traces);
+        let (addrs, te) = arena.collect_addrs();
+        assert_eq!(addrs, nested_addrs);
+        let te_of: Vec<u8> = addrs.iter().map(|a| nested_te[a]).collect();
+        assert_eq!(te, te_of, "aligned TE TTLs must match the map, first seen wins");
+    }
+
+    #[test]
+    fn restrict_cuts_span_and_collapses_consecutive_duplicates() {
+        let a = |last: u8| Some(Ipv4Addr::new(10, 0, 0, last));
+        let hop = |ttl: u8, addr: Option<Ipv4Addr>| Hop { addr, ..Hop::silent(ttl) };
+        let trace = Trace {
+            vp: "vp".into(),
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst: Ipv4Addr::new(203, 0, 113, 1),
+            hops: vec![
+                hop(1, a(99)), // cut by span
+                hop(2, a(1)),
+                hop(3, a(1)), // duplicate run → collapsed
+                hop(4, None), // silent hop breaks the run
+                hop(5, a(1)),
+                hop(6, a(2)),
+                hop(7, a(50)), // cut by span
+            ],
+            reached: true,
+        };
+        let arena = TraceArena::from_traces(std::slice::from_ref(&trace));
+        let restricted = arena.restrict(|_| Some((1, 5)));
+
+        // The nested oracle: the exact truncate + drain + dedup_by the
+        // pipeline's restriction applies.
+        let mut hops = trace.hops.clone();
+        hops.truncate(6);
+        hops.drain(..1);
+        hops.dedup_by(|b, c| c.addr.is_some() && c.addr == b.addr);
+        assert_eq!(restricted.trace(0).hop_count(), hops.len());
+        assert_eq!(restricted.to_traces()[0].hops, hops);
+
+        assert!(arena.restrict(|_| None).is_empty(), "None drops the trace");
+    }
+}

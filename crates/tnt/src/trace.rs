@@ -100,18 +100,28 @@ impl Trace {
 /// This is the single address-collection step shared by the staged and
 /// streaming pipelines; the sort makes any downstream split or probe
 /// order deterministic.
-pub fn collect_addrs<'a>(
-    traces: impl IntoIterator<Item = &'a Trace>,
-) -> (Vec<Ipv4Addr>, HashMap<Ipv4Addr, u8>) {
-    let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::new();
+///
+/// The map is pre-sized from the total hop count (an upper bound on
+/// distinct addresses) so insertion never rehash-grows, and the sorted
+/// list is built from first insertions instead of re-hashing every key
+/// out of the finished map.
+pub fn collect_addrs<'a, I>(traces: I) -> (Vec<Ipv4Addr>, HashMap<Ipv4Addr, u8>)
+where
+    I: IntoIterator<Item = &'a Trace> + Clone,
+{
+    let hop_count: usize = traces.clone().into_iter().map(|t| t.hops.len()).sum();
+    let mut te_ttls: HashMap<Ipv4Addr, u8> = HashMap::with_capacity(hop_count);
+    let mut addrs: Vec<Ipv4Addr> = Vec::with_capacity(hop_count);
     for trace in traces {
         for hop in &trace.hops {
             if let (Some(addr), Some(ttl)) = (hop.addr, hop.reply_ip_ttl) {
-                te_ttls.entry(addr).or_insert(ttl);
+                if let std::collections::hash_map::Entry::Vacant(slot) = te_ttls.entry(addr) {
+                    slot.insert(ttl);
+                    addrs.push(addr);
+                }
             }
         }
     }
-    let mut addrs: Vec<Ipv4Addr> = te_ttls.keys().copied().collect();
     addrs.sort_unstable();
     (addrs, te_ttls)
 }

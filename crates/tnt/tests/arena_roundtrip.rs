@@ -1,0 +1,107 @@
+//! Property proof that the columnar arena is lossless: for *arbitrary*
+//! traces — silent hops, revealed hops, quoted-but-empty stacks, deep
+//! entropy-bearing stacks, missing RTT/qTTL/reply-TTL fields —
+//! `Trace → TraceArena → Trace` is the identity, and the zero-copy
+//! views agree with the nested accessors along the way.
+
+use arest_tnt::arena::TraceArena;
+use arest_tnt::trace::{collect_addrs, Hop, Trace};
+use arest_wire::mpls::{Label, LabelStack, Lse};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn lse_strategy() -> impl Strategy<Value = Lse> {
+    (0u32..=0xF_FFFF, any::<u8>(), any::<bool>(), any::<u8>()).prop_map(
+        |(label, tc, bottom, ttl)| {
+            let mut lse = Lse::new(Label::new_truncated(label), bottom, ttl);
+            lse.tc = tc & 0x7;
+            lse
+        },
+    )
+}
+
+fn stack_strategy() -> impl Strategy<Value = Option<Arc<LabelStack>>> {
+    (prop::bool::weighted(0.6), prop::collection::vec(lse_strategy(), 0..5))
+        .prop_map(|(quoted, entries)| quoted.then(|| Arc::new(LabelStack::from_entries(entries))))
+}
+
+fn hop_strategy() -> impl Strategy<Value = Hop> {
+    (
+        any::<u8>(),
+        (prop::bool::weighted(0.8), any::<u32>())
+            .prop_map(|(some, addr)| some.then(|| Ipv4Addr::from(addr))),
+        prop::option::of(any::<u32>()),
+        stack_strategy(),
+        prop::option::of(any::<u8>()),
+        prop::option::of(any::<u8>()),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(ttl, addr, rtt_us, stack, quoted_ip_ttl, reply_ip_ttl, revealed, is_destination)| {
+                Hop {
+                    ttl,
+                    addr,
+                    rtt_us,
+                    stack,
+                    quoted_ip_ttl,
+                    reply_ip_ttl,
+                    revealed,
+                    is_destination,
+                }
+            },
+        )
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        0u8..5,
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(hop_strategy(), 0..12),
+        any::<bool>(),
+    )
+        .prop_map(|(vp, src, dst, hops, reached)| Trace {
+            vp: format!("vp{vp}").into(),
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+            hops,
+            reached,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arena_round_trip_is_identity(traces in prop::collection::vec(trace_strategy(), 0..8)) {
+        let arena = TraceArena::from_traces(&traces);
+        prop_assert_eq!(arena.len(), traces.len());
+        prop_assert_eq!(arena.hop_count(), traces.iter().map(|t| t.hops.len()).sum::<usize>());
+        prop_assert_eq!(&arena.to_traces(), &traces);
+
+        // Views agree with the nested accessors hop for hop.
+        for (view, trace) in arena.iter().zip(&traces) {
+            for (hv, hop) in view.hops().zip(&trace.hops) {
+                prop_assert_eq!(hv.addr(), hop.addr);
+                prop_assert_eq!(hv.stack_depth(), hop.stack_depth());
+                prop_assert_eq!(hv.has_stack(), hop.stack.is_some());
+                prop_assert_eq!(
+                    hv.lses().map(<[Lse]>::to_vec),
+                    hop.stack.as_ref().map(|s| s.entries().to_vec())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_collect_addrs_matches_nested(traces in prop::collection::vec(trace_strategy(), 0..8)) {
+        let arena = TraceArena::from_traces(&traces);
+        let (nested_addrs, nested_te) = collect_addrs(&traces);
+        let (addrs, te) = arena.collect_addrs();
+        prop_assert_eq!(&addrs, &nested_addrs);
+        let te_of: Vec<u8> = addrs.iter().map(|a| nested_te[a]).collect();
+        prop_assert_eq!(te, te_of);
+    }
+}

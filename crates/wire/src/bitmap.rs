@@ -1,0 +1,101 @@
+//! A packed validity bitmap for columnar (struct-of-arrays) layouts.
+//!
+//! Columnar stores keep optional columns as a dense value array plus a
+//! [`Bitmap`] saying which rows actually hold a value — an `Option`
+//! flattened into one bit per row, 64 rows per machine word. Both the
+//! trace arena (`arest-tnt`) and the augmented-trace arena
+//! (`arest-core`) index their columns with it, which is why it lives
+//! here at the bottom of the crate graph.
+
+/// An append-only bit vector packed into `u64` words.
+///
+/// Bits are addressed LSB-first within each word: bit `i` lives at
+/// `words[i / 64] >> (i % 64) & 1`. All operations are branch-light;
+/// `get` on an out-of-range index panics like a slice would.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// Creates an empty bitmap with room for `bits` entries.
+    pub fn with_capacity(bits: usize) -> Bitmap {
+        Bitmap { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= u64::from(bit) << (self.len % 64);
+        self.len += 1;
+    }
+
+    /// Reads bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip_across_word_boundaries() {
+        let mut bitmap = Bitmap::with_capacity(200);
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0 || i % 64 == 63).collect();
+        for &bit in &pattern {
+            bitmap.push(bit);
+        }
+        assert_eq!(bitmap.len(), 200);
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(bitmap.get(i), bit, "bit {i}");
+        }
+        assert_eq!(bitmap.count_ones(), pattern.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn empty_bitmap_has_no_bits() {
+        let bitmap = Bitmap::new();
+        assert!(bitmap.is_empty());
+        assert_eq!(bitmap.len(), 0);
+        assert_eq!(bitmap.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let mut bitmap = Bitmap::new();
+        bitmap.push(true);
+        let _ = bitmap.get(1);
+    }
+}

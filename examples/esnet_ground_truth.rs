@@ -15,7 +15,13 @@ use arest_suite::netgen::internet::GenConfig;
 
 fn main() {
     let config = PipelineConfig {
-        gen: GenConfig { scale: 0.05, seed: 2_025, vp_count: 10, sr_adoption: 1.0 },
+        gen: GenConfig {
+            scale: 0.05,
+            seed: 2_025,
+            vp_count: 10,
+            sr_adoption: 1.0,
+            catalog_scale: 1,
+        },
         targets_per_as: 32,
         ..PipelineConfig::default()
     };

@@ -13,7 +13,13 @@ use std::collections::BTreeMap;
 
 fn main() {
     let config = PipelineConfig {
-        gen: GenConfig { scale: 0.04, seed: 2_025, vp_count: 8, sr_adoption: 1.0 },
+        gen: GenConfig {
+            scale: 0.04,
+            seed: 2_025,
+            vp_count: 8,
+            sr_adoption: 1.0,
+            catalog_scale: 1,
+        },
         targets_per_as: 24,
         ..PipelineConfig::default()
     };

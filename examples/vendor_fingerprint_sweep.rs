@@ -49,7 +49,13 @@ fn main() {
 
     // Harvest the SNMPv3 dataset from a generated Internet.
     eprintln!("\ngenerating the synthetic Internet…");
-    let internet = generate(&GenConfig { scale: 0.03, seed: 2_025, vp_count: 4, sr_adoption: 1.0 });
+    let internet = generate(&GenConfig {
+        scale: 0.03,
+        seed: 2_025,
+        vp_count: 4,
+        sr_adoption: 1.0,
+        catalog_scale: 1,
+    });
     let snmp = SnmpDataset::harvest(&internet.net);
     let mut per_vendor: BTreeMap<Vendor, usize> = BTreeMap::new();
     for (_, vendor) in snmp.iter() {

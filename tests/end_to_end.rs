@@ -15,7 +15,8 @@ fn dataset() -> &'static Dataset {
     static DATASET: OnceLock<Dataset> = OnceLock::new();
     DATASET.get_or_init(|| {
         let mut config = PipelineConfig::quick();
-        config.gen = GenConfig { scale: 0.03, seed: 2_025, vp_count: 6, sr_adoption: 1.0 };
+        config.gen =
+            GenConfig { scale: 0.03, seed: 2_025, vp_count: 6, sr_adoption: 1.0, catalog_scale: 1 };
         config.targets_per_as = 16;
         Dataset::build(config)
     })
