@@ -3,6 +3,8 @@
 //! ```text
 //! arest-experiments [options] <experiment ids… | all>
 //! arest-experiments [options] bench-pipeline
+//! arest-experiments [options] serve
+//! arest-experiments [options] bench-serve
 //!
 //! options:
 //!   --quick          tiny Internet (unit-test scale)
@@ -20,6 +22,10 @@
 //!   --obs            enable observability (same as AREST_OBS=1)
 //!   --trace-out <dir> write span-trace artifacts into <dir>
 //!                    (implies --obs)
+//!   --listen <a:p>   serve / bench-serve bind address
+//!                    (default 127.0.0.1:8080; port 0 = ephemeral)
+//!   --clients <n>    bench-serve concurrent clients (default 4)
+//!   --requests <n>   bench-serve requests per client (default 200)
 //! ```
 //!
 //! `bench-pipeline` builds the dataset in **three** configurations —
@@ -39,6 +45,19 @@
 //! final metrics snapshot as `RUN_REPORT.txt` / `RUN_REPORT.csv` into
 //! `--out` (or the working directory). Metrics never alter experiment
 //! output: reports are byte-identical with observability on or off.
+//!
+//! `serve` builds the dataset, flattens it into the read-only store
+//! (`arest_experiments::serve_store`), and runs the `arest-serve`
+//! HTTP daemon on `--listen` until SIGINT (ctrl-c), which triggers a
+//! graceful shutdown: in-flight requests complete, then the process
+//! exits 0. Observability is forced on so `GET /metrics` reports live
+//! request counters. See `docs/API.md` for the endpoint reference.
+//!
+//! `bench-serve` starts the same daemon on an ephemeral loopback port,
+//! drives it with `--clients` keep-alive connections issuing
+//! `--requests` requests each over a mixed endpoint schedule, and
+//! writes `BENCH_serve.json` with requests/sec and p50/p95/p99
+//! latency percentiles taken from the `arest-obs` histograms.
 //!
 //! `--trace-out <dir>` (which turns observability on by itself)
 //! additionally drains the span ring buffer at the end of the run and
@@ -60,6 +79,9 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut stream = false;
+    let mut listen = String::from("127.0.0.1:8080");
+    let mut clients = 4usize;
+    let mut requests = 200usize;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -75,6 +97,11 @@ fn main() {
             }
             "--nested" => config.columnar = false,
             "--stream" => stream = true,
+            "--listen" => {
+                listen = iter.next().unwrap_or_else(|| usage("--listen needs addr:port"));
+            }
+            "--clients" => clients = expect_value(&mut iter, "--clients"),
+            "--requests" => requests = expect_value(&mut iter, "--requests"),
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
             "--trace-out" => {
@@ -86,6 +113,15 @@ fn main() {
             other if other.starts_with('-') => usage(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
         }
+    }
+    if ids.iter().any(|i| i == "serve") {
+        serve(config, &listen);
+        write_run_report(out_dir.as_deref());
+        return;
+    }
+    if ids.iter().any(|i| i == "bench-serve") {
+        bench_serve(config, &listen, clients, requests);
+        return;
     }
     if ids.iter().any(|i| i == "bench-pipeline") {
         let dataset = bench_pipeline(config);
@@ -152,6 +188,152 @@ fn main() {
     if let Some(dir) = &trace_out {
         write_trace_artifacts(dir, &dataset);
     }
+}
+
+/// Builds the dataset, flattens it into the serving store, and runs
+/// the `arest-serve` HTTP daemon on `listen` until SIGINT requests a
+/// graceful shutdown (in-flight requests complete, then this
+/// returns).
+fn serve(config: PipelineConfig, listen: &str) {
+    // Live request counters on /metrics, whatever AREST_OBS says.
+    let registry = arest_obs::global();
+    registry.set_enabled(true);
+
+    eprintln!(
+        "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
+        config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
+    );
+    let started = Instant::now();
+    let dataset = Dataset::build(config);
+    let store = std::sync::Arc::new(arest_experiments::serve_store::build(&dataset));
+    eprintln!(
+        "dataset ready in {:.1}s: {} ASes, {} addresses, {} raw traces",
+        started.elapsed().as_secs_f64(),
+        store.ases().len(),
+        store.summary().addresses,
+        store.summary().raw_traces,
+    );
+
+    ctrlc::install();
+    let server = arest_serve::Server::bind(listen, store, registry, config.workers)
+        .unwrap_or_else(|e| usage(&format!("cannot bind {listen}: {e}")));
+    println!("arest-serve: listening on http://{}", server.local_addr());
+    eprintln!("arest-serve: {} pool workers; ctrl-c for graceful shutdown", server.workers());
+    server.run_until(&ctrlc::interrupted);
+    let stats = server.stats();
+    eprintln!(
+        "arest-serve: drained ({} connections accepted, {} completed)",
+        stats.accepted, stats.completed
+    );
+}
+
+/// Starts the daemon on an ephemeral loopback port, drives it with
+/// `clients` keep-alive connections issuing `requests` requests each
+/// over a mixed endpoint schedule, and writes `BENCH_serve.json`.
+fn bench_serve(config: PipelineConfig, listen: &str, clients: usize, requests: usize) {
+    eprintln!(
+        "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
+        config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
+    );
+    let dataset = Dataset::build(config);
+    let store = std::sync::Arc::new(arest_experiments::serve_store::build(&dataset));
+
+    // A private, always-enabled registry: the bench must measure even
+    // when AREST_OBS is off, without polluting the global snapshot.
+    let registry = arest_obs::Registry::new();
+
+    // Mixed schedule over real dataset keys: every endpoint class,
+    // weighted toward the API routes.
+    let asn = store.ases().first().map_or(0, |s| s.asn);
+    let detected_asn = store.ases().iter().find(|s| s.flags.total() > 0).map_or(asn, |s| s.asn);
+    let addr = store.addrs().next().map(|r| r.addr.to_string());
+    let mut targets = vec![
+        "/api/summary".to_string(),
+        format!("/api/as/{asn}"),
+        format!("/api/as/{detected_asn}"),
+        "/status".to_string(),
+        "/metrics".to_string(),
+    ];
+    if let Some(addr) = &addr {
+        targets.push(format!("/api/addr/{addr}"));
+    }
+
+    // The pool serves connections with `workers - 1` threads (one
+    // camps on the listener); size it so every client can be in
+    // flight at once.
+    let workers = (clients + 1).max(2);
+    let bind = if listen == "127.0.0.1:8080" { "127.0.0.1:0" } else { listen };
+    let server = arest_serve::Server::bind(bind, store, &registry, Some(workers))
+        .unwrap_or_else(|e| usage(&format!("cannot bind {bind}: {e}")));
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    eprintln!(
+        "bench-serve: {clients} client(s) × {requests} request(s) against http://{addr} \
+         ({workers} server workers, {} endpoints)…",
+        targets.len()
+    );
+
+    let load_config = arest_serve::LoadConfig { clients, requests_per_client: requests };
+    let mut report = None;
+    arest_conc::thread::scope(|s| {
+        let runner = s.spawn(|| server.run());
+        report = Some(arest_serve::load::run(addr, &targets, &load_config, &registry));
+        handle.shutdown();
+        runner.join().expect("server thread");
+    });
+    let report = report.expect("load run completed");
+
+    let snapshot = registry.snapshot();
+    let latency = snapshot.histograms.get("serve.bench.latency.us");
+    let (p50, p95, p99) = latency.map_or((0, 0, 0), arest_obs::HistogramSnapshot::percentiles);
+    let mean = latency.map_or(0, |h| h.sum.checked_div(h.count).unwrap_or(0));
+    eprintln!(
+        "bench-serve: {} requests ({} failed) in {:.2}s — {:.0} req/s, \
+         latency p50 {p50}µs p95 {p95}µs p99 {p99}µs",
+        report.requests(),
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        report.requests_per_second(),
+    );
+
+    // Hand-rolled JSON, like the rest of the suite (no serde).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    json.push_str(&format!("  \"server_workers\": {workers},\n"));
+    json.push_str(&format!("  \"requests\": {},\n", report.requests()));
+    json.push_str(&format!("  \"failures\": {},\n", report.failed));
+    json.push_str(&format!("  \"elapsed_seconds\": {:.6},\n", report.elapsed.as_secs_f64()));
+    json.push_str(&format!("  \"requests_per_second\": {:.2},\n", report.requests_per_second()));
+    json.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \
+         \"mean\": {mean}}},\n"
+    ));
+    json.push_str("  \"per_endpoint\": {\n");
+    let labels: Vec<&str> = {
+        let mut seen = Vec::new();
+        for target in &targets {
+            let label = arest_serve::load::target_label(target);
+            if !seen.contains(&label) {
+                seen.push(label);
+            }
+        }
+        seen
+    };
+    for (i, label) in labels.iter().enumerate() {
+        let name = format!("serve.bench.latency.us.{label}");
+        let hist = snapshot.histograms.get(&name);
+        let (p50, p95, p99) = hist.map_or((0, 0, 0), arest_obs::HistogramSnapshot::percentiles);
+        json.push_str(&format!(
+            "    \"{label}\": {{\"requests\": {}, \"p50\": {p50}, \"p95\": {p95}, \
+             \"p99\": {p99}}}{}\n",
+            hist.map_or(0, |h| h.count),
+            if i + 1 < labels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
 }
 
 /// Drains the span ring buffer and writes the `--trace-out` artifacts:
@@ -362,7 +544,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
          [--workers N] [--catalog-scale N] [--nested] [--stream] [--out DIR] [--obs] \
-         [--trace-out DIR] <ids…|all|bench-pipeline>\n\
+         [--trace-out DIR] [--listen A:P] [--clients N] [--requests N] \
+         <ids…|all|bench-pipeline|serve|bench-serve>\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -34,6 +34,7 @@ pub mod pipeline;
 pub mod provenance;
 pub mod render;
 pub mod run_report;
+pub mod serve_store;
 
 pub use pipeline::{AsResult, Dataset, PipelineConfig};
 pub use render::{Report, Table};

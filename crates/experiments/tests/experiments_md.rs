@@ -53,6 +53,10 @@ fn knobs_and_artifacts_are_documented() {
         "AREST_WORKERS",
         "RUN_REPORT",
         "bench-pipeline",
+        "bench-serve",
+        "--listen",
+        "BENCH_serve.json",
+        "docs/API.md",
         "--trace-out",
         "RUN_REPORT_provenance",
         "trace.json",

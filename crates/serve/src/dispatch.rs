@@ -1,0 +1,169 @@
+//! The accept/dispatch bookkeeping core, separated from all I/O so
+//! the `model-check` scheduler can explore its shutdown races
+//! exhaustively (`tests/model_serve.rs`).
+//!
+//! The server's lifecycle invariants all live here:
+//!
+//! * a connection is **admitted** ([`DispatchCore::admit`]) before its
+//!   work unit is injected into the pool, and **finished**
+//!   ([`DispatchCore::finish`]) when its handler returns — so
+//!   admitted-but-unserved connections cannot exist;
+//! * after [`DispatchCore::request_shutdown`] no further admission
+//!   succeeds (checked under the same lock that counts admissions, so
+//!   there is no admit/shutdown race window);
+//! * [`DispatchCore::await_drain`] returns only once shutdown was
+//!   requested **and** every admitted connection has finished — the
+//!   graceful-shutdown barrier.
+
+use arest_conc::atomic::{AtomicBool, Ordering};
+use arest_conc::sync::{Condvar, Mutex};
+
+/// Connection counters, all guarded by one lock.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counts {
+    accepted: u64,
+    completed: u64,
+    in_flight: u64,
+}
+
+/// Lifecycle statistics, as returned by [`DispatchCore::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Connections admitted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections whose handler has returned.
+    pub completed: u64,
+    /// Connections currently being served.
+    pub in_flight: u64,
+}
+
+/// The model-checkable accept/dispatch core.
+#[derive(Debug, Default)]
+pub struct DispatchCore {
+    /// The shutdown flag the accept loop polls between accepts. Also
+    /// checked under `counts`' lock inside [`Self::admit`], which is
+    /// what makes "no admission after shutdown" exact rather than
+    /// eventual.
+    shutdown: AtomicBool,
+    counts: Mutex<Counts>,
+    /// Signalled when `in_flight` hits zero or shutdown is requested —
+    /// the two events [`Self::await_drain`] waits on.
+    drained: Condvar,
+}
+
+impl DispatchCore {
+    /// Whether shutdown has been requested. Lock-free: the accept and
+    /// connection loops poll this between I/O operations.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests graceful shutdown: no further connections are
+    /// admitted; connections already admitted finish normally.
+    /// Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake any drain waiter. Taking the lock orders the store
+        // before the notify relative to a waiter that just re-checked
+        // the predicate, closing the lost-wakeup window.
+        let _guard = self.counts.lock().expect("dispatch lock");
+        self.drained.notify_all();
+    }
+
+    /// Tries to admit one connection. Returns `false` once shutdown
+    /// has been requested — the caller must then drop the connection
+    /// without serving it (it was never admitted, so nothing is lost).
+    #[must_use]
+    pub fn admit(&self) -> bool {
+        let mut counts = self.counts.lock().expect("dispatch lock");
+        if self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        counts.accepted += 1;
+        counts.in_flight += 1;
+        true
+    }
+
+    /// Marks one admitted connection as fully served.
+    ///
+    /// # Panics
+    /// If called without a matching successful [`Self::admit`] — that
+    /// is a server bug, not a runtime condition.
+    pub fn finish(&self) {
+        let mut counts = self.counts.lock().expect("dispatch lock");
+        assert!(counts.in_flight > 0, "finish() without a matching admit()");
+        counts.in_flight -= 1;
+        counts.completed += 1;
+        if counts.in_flight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until shutdown has been requested and every admitted
+    /// connection has finished.
+    pub fn await_drain(&self) {
+        let mut counts = self.counts.lock().expect("dispatch lock");
+        while !(self.shutdown.load(Ordering::SeqCst) && counts.in_flight == 0) {
+            counts = self.drained.wait(counts).expect("dispatch lock");
+        }
+    }
+
+    /// A consistent snapshot of the lifecycle counters.
+    #[must_use]
+    pub fn stats(&self) -> DispatchStats {
+        let counts = self.counts.lock().expect("dispatch lock");
+        DispatchStats {
+            accepted: counts.accepted,
+            completed: counts.completed,
+            in_flight: counts.in_flight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_finish_roundtrip_counts() {
+        let core = DispatchCore::default();
+        assert!(core.admit());
+        assert!(core.admit());
+        core.finish();
+        let stats = core.stats();
+        assert_eq!((stats.accepted, stats.completed, stats.in_flight), (2, 1, 1));
+        core.finish();
+        assert_eq!(core.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn no_admission_after_shutdown() {
+        let core = DispatchCore::default();
+        assert!(core.admit());
+        core.request_shutdown();
+        assert!(!core.admit(), "shutdown closes the gate");
+        core.finish();
+        core.await_drain(); // in_flight is 0 and shutdown set: returns
+        assert_eq!(core.stats().accepted, core.stats().completed);
+    }
+
+    #[test]
+    fn await_drain_blocks_until_the_last_finish() {
+        let core = DispatchCore::default();
+        assert!(core.admit());
+        core.request_shutdown();
+        arest_conc::thread::scope(|s| {
+            let waiter = s.spawn(|| core.await_drain());
+            core.finish();
+            waiter.join().expect("drain waiter");
+        });
+        assert_eq!(core.stats().in_flight, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() without a matching admit()")]
+    fn unbalanced_finish_is_a_bug() {
+        DispatchCore::default().finish();
+    }
+}

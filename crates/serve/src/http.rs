@@ -1,0 +1,408 @@
+//! HTTP/1.1 request parsing and response writing.
+//!
+//! The parser is *incremental*: [`parse_head`] is called on the
+//! connection's receive buffer after every read and either yields a
+//! complete request head (plus how many bytes it consumed, so
+//! keep-alive pipelining works), asks for more bytes, or fails with a
+//! typed error that maps onto a status code. A request split into
+//! single-byte reads parses identically to one arriving whole — the
+//! torture suite checks exactly that.
+//!
+//! Limits are enforced *while* data accumulates, not after: a request
+//! line longer than [`MAX_TARGET_BYTES`] fails with 414 before the
+//! head terminator ever shows up, and a head larger than
+//! [`MAX_HEAD_BYTES`] fails with 431 — an unauthenticated client
+//! cannot grow the buffer unboundedly.
+
+use std::io;
+
+/// Longest accepted request target (the path + query part of the
+/// request line). Beyond this the request fails with `414 URI Too
+/// Long`.
+pub const MAX_TARGET_BYTES: usize = 2048;
+
+/// Largest accepted request head (request line + headers + the blank
+/// line). Beyond this the request fails with `431 Request Header
+/// Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 8192;
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token (always `GET` once parsing succeeded).
+    pub method: String,
+    /// The request target exactly as sent (path, optionally `?query`).
+    pub target: String,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+    /// Header `(name, value)` pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), trimmed.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.trim())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// response: an explicit `Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`.
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.version == "HTTP/1.0",
+        }
+    }
+}
+
+/// A parse failure, each mapping onto one response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// `400 Bad Request`: a malformed request line, header, or an
+    /// unsupported construct (request bodies, non-1.x versions).
+    BadRequest(&'static str),
+    /// `405 Method Not Allowed`: a well-formed request line whose
+    /// method is a valid token other than `GET`.
+    MethodNotAllowed,
+    /// `414 URI Too Long`: the request target exceeds
+    /// [`MAX_TARGET_BYTES`].
+    UriTooLong,
+    /// `431 Request Header Fields Too Large`: the head exceeds
+    /// [`MAX_HEAD_BYTES`].
+    HeadersTooLarge,
+}
+
+impl ParseError {
+    /// The response status code for this failure.
+    #[must_use]
+    pub fn status(self) -> u16 {
+        match self {
+            ParseError::BadRequest(_) => 400,
+            ParseError::MethodNotAllowed => 405,
+            ParseError::UriTooLong => 414,
+            ParseError::HeadersTooLarge => 431,
+        }
+    }
+
+    /// A one-line human explanation for the error body.
+    #[must_use]
+    pub fn message(self) -> &'static str {
+        match self {
+            ParseError::BadRequest(msg) => msg,
+            ParseError::MethodNotAllowed => "only GET is supported",
+            ParseError::UriTooLong => "request target exceeds 2048 bytes",
+            ParseError::HeadersTooLarge => "request head exceeds 8192 bytes",
+        }
+    }
+}
+
+/// One step of incremental parsing.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete head: `consumed` bytes of the buffer belong to this
+    /// request and must be drained before parsing the next one.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+    /// The head is not complete yet — read more bytes.
+    Partial,
+    /// The head is irrecoverably malformed; respond and close.
+    Failed(ParseError),
+}
+
+/// Parses one request head from the front of `buf`.
+pub fn parse_head(buf: &[u8]) -> Parsed {
+    let Some(head_len) = find(buf, b"\r\n\r\n") else {
+        // No terminator yet. Enforce limits on what has accumulated so
+        // a hostile client cannot grow the buffer forever.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parsed::Failed(ParseError::HeadersTooLarge);
+        }
+        if find(buf, b"\r\n").is_none() && buf.len() > MAX_TARGET_BYTES + 64 {
+            // Not even the request line has ended: the target alone
+            // already blew the limit (64 bytes of slack covers the
+            // method and version tokens around it).
+            return Parsed::Failed(ParseError::UriTooLong);
+        }
+        return Parsed::Partial;
+    };
+    if head_len + 4 > MAX_HEAD_BYTES {
+        return Parsed::Failed(ParseError::HeadersTooLarge);
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return Parsed::Failed(ParseError::BadRequest("request head is not valid UTF-8"));
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Parsed::Failed(ParseError::BadRequest(
+            "request line is not `METHOD target HTTP/version`",
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Parsed::Failed(ParseError::BadRequest("method is not a valid token"));
+    }
+    if target.len() > MAX_TARGET_BYTES {
+        return Parsed::Failed(ParseError::UriTooLong);
+    }
+    if !target.starts_with('/') {
+        return Parsed::Failed(ParseError::BadRequest("request target must start with `/`"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parsed::Failed(ParseError::BadRequest("only HTTP/1.0 and HTTP/1.1 are spoken"));
+    }
+    if method != "GET" {
+        return Parsed::Failed(ParseError::MethodNotAllowed);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Failed(ParseError::BadRequest("header line has no `:`"));
+        };
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Parsed::Failed(ParseError::BadRequest("header name is not a valid token"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        version: version.to_string(),
+        headers,
+    };
+    if request.header("transfer-encoding").is_some()
+        || request.header("content-length").is_some_and(|v| v != "0")
+    {
+        return Parsed::Failed(ParseError::BadRequest("GET requests must not carry a body"));
+    }
+    Parsed::Complete { request, consumed: head_len + 4 }
+}
+
+/// RFC 9110 `tchar`: the bytes allowed in method and header-name
+/// tokens.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// First index of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// A response ready to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body, written verbatim after the head.
+    pub body: String,
+    /// Extra headers, written after the fixed set.
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body, extra: Vec::new() }
+    }
+
+    /// The uniform JSON error body: `{"error": …, "status": …}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = crate::json::Json::obj(vec![
+            ("error", crate::json::Json::str(message)),
+            ("status", crate::json::Json::U64(u64::from(status))),
+        ])
+        .render();
+        let mut response = Response::json(status, body);
+        if status == 405 {
+            response.extra.push(("Allow", "GET".to_string()));
+        }
+        response
+    }
+}
+
+/// The reason phrase for every status this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        414 => "URI Too Long",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `out` as an HTTP/1.1 message. `close` decides
+/// the `Connection` header (and must match what the caller then does
+/// with the stream).
+pub fn write_response(
+    out: &mut impl io::Write,
+    response: &Response,
+    close: bool,
+) -> io::Result<()> {
+    let mut head = String::new();
+    use std::fmt::Write as _;
+    let _ = write!(head, "HTTP/1.1 {} {}\r\n", response.status, reason(response.status));
+    let _ = write!(head, "Content-Type: {}\r\n", response.content_type);
+    let _ = write!(head, "Content-Length: {}\r\n", response.body.len());
+    let _ = write!(head, "Connection: {}\r\n", if close { "close" } else { "keep-alive" });
+    for (name, value) in &response.extra {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())?;
+    out.write_all(response.body.as_bytes())?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &str) -> (Request, usize) {
+        match parse_head(raw.as_bytes()) {
+            Parsed::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected a complete parse, got {other:?}"),
+        }
+    }
+
+    fn failed(raw: &str) -> ParseError {
+        match parse_head(raw.as_bytes()) {
+            Parsed::Failed(err) => err,
+            other => panic!("expected a parse failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_plain_get_parses() {
+        let (req, consumed) = complete("GET /status HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/status");
+        assert_eq!(req.version, "HTTP/1.1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(consumed, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n".len());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn every_prefix_of_a_request_is_partial() {
+        let raw = b"GET /api/summary HTTP/1.1\r\nHost: split\r\n\r\n";
+        for end in 0..raw.len() {
+            assert!(
+                matches!(parse_head(&raw[..end]), Parsed::Partial),
+                "prefix of {end} bytes must be partial"
+            );
+        }
+        assert!(matches!(parse_head(raw), Parsed::Complete { .. }));
+    }
+
+    #[test]
+    fn consumed_supports_pipelining() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (req, consumed) = complete(raw);
+        assert_eq!(req.target, "/a");
+        let (req2, _) = complete(&raw[consumed..]);
+        assert_eq!(req2.target, "/b");
+    }
+
+    #[test]
+    fn close_semantics_follow_version_and_connection() {
+        let (req, _) = complete("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(req.wants_close());
+        let (req, _) = complete("GET / HTTP/1.0\r\n\r\n");
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+        let (req, _) = complete("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn non_get_methods_are_405() {
+        assert_eq!(failed("POST /status HTTP/1.1\r\n\r\n"), ParseError::MethodNotAllowed);
+        assert_eq!(failed("BREW /pot HTTP/1.1\r\n\r\n"), ParseError::MethodNotAllowed);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        assert!(matches!(failed("GARBAGE\r\n\r\n"), ParseError::BadRequest(_)));
+        assert!(matches!(failed("how now brown cow\r\n\r\n"), ParseError::BadRequest(_)));
+        assert!(matches!(failed("GET /x HTTP/2.0\r\n\r\n"), ParseError::BadRequest(_)));
+        assert!(matches!(failed("GET nopath HTTP/1.1\r\n\r\n"), ParseError::BadRequest(_)));
+        assert!(matches!(failed("G@T / HTTP/1.1\r\n\r\n"), ParseError::BadRequest(_)));
+        assert!(matches!(failed("GET / HTTP/1.1\r\nnocolon\r\n\r\n"), ParseError::BadRequest(_)));
+    }
+
+    #[test]
+    fn request_bodies_are_rejected() {
+        assert!(matches!(
+            failed("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n"),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            failed("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ParseError::BadRequest(_)
+        ));
+        let (_, _) = complete("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    }
+
+    #[test]
+    fn oversized_targets_fail_with_414_even_before_the_line_ends() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_TARGET_BYTES + 10));
+        assert_eq!(failed(&long), ParseError::UriTooLong);
+        // No CRLF anywhere yet — the limit still trips.
+        let unterminated = format!("GET /{}", "a".repeat(MAX_TARGET_BYTES + 100));
+        assert_eq!(failed(&unterminated), ParseError::UriTooLong);
+    }
+
+    #[test]
+    fn oversized_heads_fail_with_431() {
+        let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(MAX_HEAD_BYTES));
+        assert_eq!(failed(&huge), ParseError::HeadersTooLarge);
+        // Still unterminated but already over the cap.
+        let unterminated = format!("GET / HTTP/1.1\r\nX-Pad: {}", "b".repeat(MAX_HEAD_BYTES));
+        assert_eq!(failed(&unterminated), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn response_writer_emits_exact_framing() {
+        let mut out = Vec::new();
+        let response = Response::json(200, "{}".to_string());
+        write_response(&mut out, &response, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+             Connection: keep-alive\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn error_responses_carry_the_allow_header_on_405() {
+        let response = Response::error(405, "only GET is supported");
+        assert_eq!(response.extra, vec![("Allow", "GET".to_string())]);
+        let mut out = Vec::new();
+        write_response(&mut out, &response, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Allow: GET\r\n"));
+        assert!(text.contains("Connection: close"));
+    }
+}

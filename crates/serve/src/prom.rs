@@ -1,0 +1,110 @@
+//! Prometheus text exposition for an `arest-obs` [`Snapshot`].
+//!
+//! The registry's dotted metric names (`serve.http.requests`) are
+//! mangled to the Prometheus grammar (`serve_http_requests`); log₂
+//! histograms render as the standard cumulative `le`-labeled bucket
+//! series using each bucket's exclusive upper bound, truncated after
+//! the last occupied bucket (65 buckets of zeros would drown the
+//! signal), plus the `_sum`/`_count` pair. Output order is the
+//! snapshot's: counters, then gauges, then histograms, each sorted by
+//! name — fully deterministic, which is what lets `docs/API.md` quote
+//! a `/metrics` body verbatim.
+
+use arest_obs::{bucket_bounds, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders a snapshot in Prometheus text exposition format.
+#[must_use]
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = mangle(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = mangle(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in &snapshot.histograms {
+        let name = mangle(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let last_occupied = histogram.buckets.iter().rposition(|&count| count > 0);
+        let mut cumulative = 0u64;
+        if let Some(last) = last_occupied {
+            for (index, &count) in histogram.buckets.iter().enumerate().take(last + 1) {
+                cumulative += count;
+                let (_, upper) = bucket_bounds(index);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", histogram.count);
+        let _ = writeln!(out, "{name}_sum {}", histogram.sum);
+        let _ = writeln!(out, "{name}_count {}", histogram.count);
+    }
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus name grammar:
+/// `[a-zA-Z0-9_:]` pass through, everything else becomes `_`.
+fn mangle(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_obs::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_with_type_lines() {
+        let registry = Registry::new();
+        registry.counter("serve.http.requests").add(3);
+        registry.gauge("serve.http.in_flight").set(2);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# TYPE serve_http_requests counter\nserve_http_requests 3\n"));
+        assert!(text.contains("# TYPE serve_http_in_flight gauge\nserve_http_in_flight 2\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_log2_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat.us");
+        h.record(1); // bucket [1,2), upper bound 2
+        h.record(3); // bucket [2,4), upper bound 4
+        h.record(3);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"2\"} 1\n"), "first bucket cumulative:\n{text}");
+        assert!(text.contains("lat_us_bucket{le=\"4\"} 3\n"), "second bucket cumulative:\n{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_us_sum 7\n"));
+        assert!(text.contains("lat_us_count 3\n"));
+        assert!(!text.contains("le=\"8\""), "buckets past the last occupied one are elided");
+    }
+
+    #[test]
+    fn empty_histograms_render_only_the_inf_bucket() {
+        let registry = Registry::new();
+        registry.histogram("empty.us");
+        let text = render(&registry.snapshot());
+        assert!(text.contains("empty_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_us_sum 0\n"));
+        assert!(text.contains("empty_us_count 0\n"));
+    }
+
+    #[test]
+    fn output_is_deterministic_across_renders() {
+        let registry = Registry::new();
+        registry.counter("b.second").inc();
+        registry.counter("a.first").inc();
+        registry.histogram("c.us").record(10);
+        let a = render(&registry.snapshot());
+        let b = render(&registry.snapshot());
+        assert_eq!(a, b);
+        let first = a.find("a_first").unwrap();
+        let second = a.find("b_second").unwrap();
+        assert!(first < second, "names render sorted");
+    }
+}

@@ -1,0 +1,115 @@
+//! Exhaustive model check of the server's accept/dispatch core
+//! (`cargo test -p arest-serve --features model-check`).
+//!
+//! The invariants under test are the ones graceful shutdown rests on
+//! (`DESIGN.md` §12): no connection is admitted after shutdown, no
+//! admitted connection is lost, and the drain barrier terminates
+//! under every interleaving of accepts, completions, and the SIGINT
+//! that races them.
+
+#![cfg(feature = "model-check")]
+
+use arest_conc::model::Model;
+use arest_serve::DispatchCore;
+
+/// Invariant: a SIGINT racing two accept/serve workers never loses an
+/// admitted connection — whatever the interleaving, every connection
+/// that `admit()` accepted is finished before `await_drain` returns,
+/// and the counters agree.
+#[test]
+fn model_shutdown_never_loses_admitted_connections() {
+    let report = Model::default().check(|| {
+        let core = DispatchCore::default();
+        arest_conc::thread::scope(|s| {
+            // Two workers each try to admit-and-serve one connection,
+            // as the pool would after two accepts.
+            let worker = s.spawn(|| {
+                if core.admit() {
+                    core.finish();
+                    true
+                } else {
+                    false
+                }
+            });
+            // SIGINT races the admissions.
+            let signal = s.spawn(|| core.request_shutdown());
+            let mine = if core.admit() {
+                core.finish();
+                true
+            } else {
+                false
+            };
+            let theirs = worker.join().expect("serving worker");
+            signal.join().expect("signal thread");
+            // The drain barrier must terminate under every schedule…
+            core.await_drain();
+            let stats = core.stats();
+            // …with every admitted connection served, none in flight.
+            let admitted = u64::from(mine) + u64::from(theirs);
+            assert_eq!(stats.accepted, admitted, "accepted tracks successful admits");
+            assert_eq!(stats.completed, admitted, "every admitted connection finished");
+            assert_eq!(stats.in_flight, 0, "drain left nothing in flight");
+        });
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: once shutdown is requested, the admission gate is shut
+/// under the same lock that counts admissions — an accept unit that
+/// observes `admit() == false` can drop the connection knowing the
+/// drain barrier never promised to serve it.
+#[test]
+fn model_no_admission_after_shutdown_under_any_schedule() {
+    let report = Model::default().check(|| {
+        let core = DispatchCore::default();
+        arest_conc::thread::scope(|s| {
+            let acceptor = s.spawn(|| {
+                let first = core.admit();
+                if first {
+                    core.finish();
+                }
+                let second = core.admit();
+                if second {
+                    core.finish();
+                }
+                (first, second)
+            });
+            core.request_shutdown();
+            let (first, second) = acceptor.join().expect("acceptor");
+            // Admission is monotone: once refused, refused forever.
+            assert!(first || !second, "admission cannot recover after a refusal");
+            // And definitely refused once shutdown has been observed.
+            assert!(!core.admit(), "gate stays shut after request_shutdown returned");
+        });
+        core.await_drain();
+        let stats = core.stats();
+        assert_eq!(stats.accepted, stats.completed);
+        assert_eq!(stats.in_flight, 0);
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: `await_drain` running concurrently with the last
+/// `finish` and the shutdown request neither deadlocks nor returns
+/// early (it must observe both the flag and the drained counts).
+#[test]
+fn model_drain_barrier_terminates_against_concurrent_finish() {
+    let report = Model::default().check(|| {
+        let core = DispatchCore::default();
+        assert!(core.admit(), "admission before shutdown always succeeds");
+        arest_conc::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                core.await_drain();
+                // Post-drain: shutdown seen and nothing in flight.
+                let stats = core.stats();
+                assert_eq!(stats.in_flight, 0, "drain returned with work in flight");
+            });
+            let finisher = s.spawn(|| core.finish());
+            core.request_shutdown();
+            finisher.join().expect("finisher");
+            waiter.join().expect("drain waiter");
+        });
+        assert_eq!(core.stats().completed, 1);
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}

@@ -1,0 +1,99 @@
+//! Offline in-tree shim for the `ctrlc` crate: SIGINT notification
+//! through one process-global atomic flag.
+//!
+//! The real `ctrlc` crate funnels the signal through a self-pipe into
+//! a handler thread so arbitrary closures can run outside
+//! async-signal context. This workspace needs none of that: the only
+//! consumer is `arest-serve`'s accept loop, which *polls* a shutdown
+//! flag between accepts (DESIGN.md §12). So the shim's handler does
+//! the one thing that is async-signal-safe by construction — a single
+//! atomic store — and the safe [`interrupted`] accessor is the whole
+//! observation surface.
+//!
+//! This is the **only** crate in the workspace allowed to use
+//! `unsafe` (every other crate, shims included, carries
+//! `unsafe_code = "forbid"` through the workspace lint table): there
+//! is no way to reach `signal(2)` from safe std. The unsafety is
+//! confined to the two `extern "C"` declarations and the one
+//! registration call below.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler, read by [`interrupted`]. `SeqCst` out of
+/// caution; a relaxed store would do — the flag carries no payload and
+/// publishes nothing besides itself.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// POSIX `SIGINT` (what the terminal sends on Ctrl-C and `kill -INT`).
+const SIGINT: i32 = 2;
+
+/// The C signal-handler type `signal(2)` takes and returns.
+type Handler = extern "C" fn(i32);
+
+#[cfg(unix)]
+extern "C" {
+    /// libc `signal(2)`. The previous handler is returned as an opaque
+    /// pointer-sized value; this shim never restores it, so `usize` is
+    /// enough to receive (and ignore) it.
+    fn signal(signum: i32, handler: Handler) -> usize;
+}
+
+/// The installed handler. Only async-signal-safe work is allowed in
+/// here; a store to a static atomic qualifies (POSIX lists atomic
+/// object access among the safe operations).
+extern "C" fn on_sigint(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler. Idempotent; later calls re-register
+/// the same handler. On non-Unix targets this is a no-op (the flag
+/// then simply never trips).
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `signal` is the documented libc entry point; `on_sigint`
+    // matches the required `extern "C" fn(c_int)` ABI, never unwinds,
+    // and touches nothing but a static atomic. Registration itself has
+    // no preconditions. The returned previous handler is discarded —
+    // this process installs exactly one handler, once, at startup.
+    #[allow(unsafe_code)]
+    unsafe {
+        let _ = signal(SIGINT, on_sigint);
+    }
+}
+
+/// Whether SIGINT has been received since the last [`reset`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Clears the flag (test isolation; a long-lived daemon that chooses
+/// to survive a first Ctrl-C could also use it).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        /// libc `raise(3)`: delivers `signum` to the calling thread.
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigint_trips_the_flag_and_reset_clears_it() {
+        install();
+        reset();
+        assert!(!interrupted(), "flag starts clear");
+        // SAFETY: `raise` delivers SIGINT synchronously to this
+        // thread; the handler installed above turns it into an atomic
+        // store instead of the default process termination.
+        #[allow(unsafe_code)]
+        let rc = unsafe { raise(SIGINT) };
+        assert_eq!(rc, 0, "raise(SIGINT) succeeds");
+        assert!(interrupted(), "the handler set the flag");
+        reset();
+        assert!(!interrupted());
+    }
+}

@@ -27,6 +27,7 @@ cargo test -p arest-tnt --features model-check --quiet --test model_pool
 cargo test -p arest-obs --features model-check --quiet --test model_obs
 cargo test -p arest-fingerprint --features model-check --quiet --test model_cache
 cargo test -p arest-experiments --features model-check --quiet --test model_window
+cargo test -p arest-serve --features model-check --quiet --test model_serve
 
 echo "==> cargo doc (rustdoc warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -59,5 +60,32 @@ test -s trace-artifacts/RUN_REPORT_provenance.txt
 
 echo "==> tracing example smoke run"
 cargo run --release --example tracing >/dev/null
+
+echo "==> arest-serve smoke run (ephemeral port, live /status + /metrics)"
+SERVE_LOG=$(mktemp)
+SERVE_OUT=$(mktemp -d)    # serve forces --obs; keep its RUN_REPORT out of the tree
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --out "$SERVE_OUT" serve --listen 127.0.0.1:0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_URL=""
+for _ in $(seq 1 100); do
+    SERVE_URL=$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "$SERVE_LOG" || true)
+    [[ -n "$SERVE_URL" ]] && break
+    sleep 0.2
+done
+test -n "$SERVE_URL"
+curl -sf "$SERVE_URL/status" | grep -q '"status": "serving"'
+curl -sf "$SERVE_URL/metrics" | grep -q 'serve_http_requests_status 1'
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"    # graceful SIGINT drain must exit 0
+test -s "$SERVE_OUT/RUN_REPORT.txt"
+rm -rf "$SERVE_LOG" "$SERVE_OUT"
+
+echo "==> bench-serve smoke run (load generator + latency report)"
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick bench-serve --clients 2 --requests 25
+test -s BENCH_serve.json
+grep -q '"requests_per_second"' BENCH_serve.json
+grep -q '"p99"' BENCH_serve.json
 
 echo "==> all checks passed"

@@ -36,6 +36,12 @@ lint 'std::thread::(spawn|scope)\b' \
     'use arest_conc::thread::{spawn, scope}, not std::thread'
 lint 'use std::thread::[^;]*\b(spawn|scope)\b' \
     'import spawn/scope from arest_conc::thread, not std::thread'
+# Channels too: a std mpsc receiver blocks on a futex the model cannot
+# see. The arest-serve accept/dispatch core deliberately has no
+# channel at all — it coordinates through arest_conc mutex/condvar —
+# and everything else uses the crossbeam shim.
+lint 'std::sync::mpsc' \
+    'use the crossbeam shim channels, not std::sync::mpsc'
 
 if [[ "$fail" -ne 0 ]]; then
     echo 'conc-lint: FAILED — route these through arest-conc (see DESIGN.md §10)'
