@@ -5,6 +5,9 @@
 //! arest-experiments [options] bench-pipeline
 //! arest-experiments [options] serve
 //! arest-experiments [options] bench-serve
+//! arest-experiments [options] bench-ledger
+//! arest-experiments --ledger <dir> history
+//! arest-experiments --ledger <dir> diff <a> <b>
 //!
 //! options:
 //!   --quick          tiny Internet (unit-test scale)
@@ -26,7 +29,20 @@
 //!                    (default 127.0.0.1:8080; port 0 = ephemeral)
 //!   --clients <n>    bench-serve concurrent clients (default 4)
 //!   --requests <n>   bench-serve requests per client (default 200)
+//!   --ledger <dir>   commit every completed build to the run ledger
+//!                    at <dir>; `serve` additionally watches it for
+//!                    newly committed serials (zero-downtime refresh)
 //! ```
+//!
+//! With `--ledger <dir>`, every mode that builds a dataset (`all`,
+//! explicit ids, `serve`, `bench-pipeline`, `bench-serve`) commits the
+//! completed campaign under the ledger's next serial. `history` lists
+//! the committed runs; `diff <a> <b>` prints the announce/withdraw
+//! delta between two serials and writes `RUN_REPORT_delta.txt`;
+//! `bench-ledger` measures commit/load/diff latency and writes
+//! `BENCH_ledger.json`. A `serve --ledger` daemon polls the directory
+//! and atomically swaps newly committed runs into the serving store —
+//! no restart, no dropped request (`DESIGN.md` §13).
 //!
 //! `bench-pipeline` builds the dataset in **three** configurations —
 //! the staged five-barrier baseline, the streaming dataflow on the
@@ -82,6 +98,7 @@ fn main() {
     let mut listen = String::from("127.0.0.1:8080");
     let mut clients = 4usize;
     let mut requests = 200usize;
+    let mut ledger_dir: Option<String> = None;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -102,6 +119,9 @@ fn main() {
             }
             "--clients" => clients = expect_value(&mut iter, "--clients"),
             "--requests" => requests = expect_value(&mut iter, "--requests"),
+            "--ledger" => {
+                ledger_dir = Some(iter.next().unwrap_or_else(|| usage("--ledger needs a dir")));
+            }
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
             "--trace-out" => {
@@ -114,17 +134,39 @@ fn main() {
             id => ids.push(id.to_string()),
         }
     }
+    if ids.iter().any(|i| i == "history") {
+        let dir = ledger_dir.as_deref().unwrap_or_else(|| usage("history needs --ledger <dir>"));
+        history(dir);
+        return;
+    }
+    if let Some(pos) = ids.iter().position(|i| i == "diff") {
+        let dir = ledger_dir.as_deref().unwrap_or_else(|| usage("diff needs --ledger <dir>"));
+        let serial = |offset: usize| -> u64 {
+            ids.get(pos + offset)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("diff needs two run serials: diff <a> <b>"))
+        };
+        diff_runs(dir, serial(1), serial(2), out_dir.as_deref());
+        return;
+    }
+    if ids.iter().any(|i| i == "bench-ledger") {
+        bench_ledger(config, ledger_dir.as_deref());
+        return;
+    }
     if ids.iter().any(|i| i == "serve") {
-        serve(config, &listen);
+        serve(config, &listen, ledger_dir.as_deref());
         write_run_report(out_dir.as_deref());
         return;
     }
     if ids.iter().any(|i| i == "bench-serve") {
-        bench_serve(config, &listen, clients, requests);
+        bench_serve(config, &listen, clients, requests, ledger_dir.as_deref());
         return;
     }
     if ids.iter().any(|i| i == "bench-pipeline") {
         let dataset = bench_pipeline(config);
+        if let Some(dir) = &ledger_dir {
+            commit_to_ledger(dir, &dataset, &config);
+        }
         write_run_report(out_dir.as_deref());
         if let Some(dir) = &trace_out {
             write_trace_artifacts(dir, &dataset);
@@ -184,17 +226,187 @@ fn main() {
             None => eprintln!("unknown experiment id: {id} (see --help)"),
         }
     }
+    if let Some(dir) = &ledger_dir {
+        commit_to_ledger(dir, &dataset, &config);
+    }
     write_run_report(out_dir.as_deref());
     if let Some(dir) = &trace_out {
         write_trace_artifacts(dir, &dataset);
     }
 }
 
+/// Opens (creating if needed) the run ledger at `dir`, exiting with a
+/// usage error when the directory is unusable.
+fn open_ledger(dir: &str) -> arest_ledger::Ledger {
+    arest_ledger::Ledger::open(dir)
+        .unwrap_or_else(|e| usage(&format!("cannot open ledger {dir}: {e}")))
+}
+
+/// Commits a completed campaign under the ledger's next serial and
+/// reports the receipt. Used by every dataset-building mode when
+/// `--ledger <dir>` is given.
+fn commit_to_ledger(dir: &str, dataset: &Dataset, config: &PipelineConfig) {
+    let ledger = open_ledger(dir);
+    let receipt =
+        arest_experiments::ledger_io::commit_dataset(&ledger, dataset, config, now_unix())
+            .unwrap_or_else(|e| usage(&format!("ledger commit to {dir} failed: {e}")));
+    eprintln!(
+        "ledger: committed run {} to {dir} ({} bytes, payload digest {:016x})",
+        receipt.serial, receipt.bytes, receipt.payload_digest
+    );
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+/// `history` mode: one line per committed run, oldest first. Runs
+/// whose headers fail verification are listed as unreadable rather
+/// than aborting the listing — the operator needs to see them to fix
+/// them.
+fn history(dir: &str) {
+    let ledger = open_ledger(dir);
+    let serials =
+        ledger.serials().unwrap_or_else(|e| usage(&format!("cannot list ledger {dir}: {e}")));
+    if serials.is_empty() {
+        println!("ledger {dir}: no committed runs");
+        return;
+    }
+    println!("ledger {dir}: {} committed run(s)", serials.len());
+    for serial in serials {
+        match ledger.meta(serial) {
+            Ok(meta) => println!(
+                "  run {serial:>4}  committed_unix={}  config={:016x}  catalog={:016x}  \
+                 payload={:016x} ({} bytes)",
+                meta.committed_unix,
+                meta.config_digest,
+                meta.catalog_digest,
+                meta.payload_digest,
+                meta.payload_len
+            ),
+            Err(e) => println!("  run {serial:>4}  UNREADABLE: {e}"),
+        }
+    }
+}
+
+/// `diff <a> <b>` mode: prints the announce/withdraw feed between two
+/// committed runs and writes it as `RUN_REPORT_delta.txt` into `--out`
+/// (or the working directory).
+fn diff_runs(dir: &str, a: u64, b: u64, out_dir: Option<&str>) {
+    let ledger = open_ledger(dir);
+    let delta = ledger
+        .diff(a, b)
+        .unwrap_or_else(|e| usage(&format!("cannot diff runs {a} and {b} in {dir}: {e}")));
+    let text = arest_experiments::delta_report::to_text(&delta);
+    print!("{text}");
+    let dir_out = out_dir.unwrap_or(".");
+    if let Some(out) = out_dir {
+        std::fs::create_dir_all(out).expect("create output dir");
+    }
+    let path = format!("{dir_out}/RUN_REPORT_delta.txt");
+    std::fs::write(&path, &text).expect("write RUN_REPORT_delta.txt");
+    eprintln!("wrote {path}");
+}
+
+/// `bench-ledger` mode: builds one dataset, then times commit, load,
+/// and diff against a ledger directory (`--ledger`, or a throwaway
+/// under the system temp dir) and writes `BENCH_ledger.json`.
+fn bench_ledger(config: PipelineConfig, ledger_dir: Option<&str>) {
+    eprintln!(
+        "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
+        config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
+    );
+    let dataset = Dataset::build(config);
+
+    let scratch = ledger_dir.map_or_else(
+        || {
+            let dir =
+                std::env::temp_dir().join(format!("arest-bench-ledger-{}", std::process::id()));
+            dir.to_string_lossy().into_owned()
+        },
+        String::from,
+    );
+    let cleanup = ledger_dir.is_none();
+    let ledger = open_ledger(&scratch);
+
+    const ITERATIONS: u64 = 8;
+    let mut commit_us: Vec<u64> = Vec::new();
+    let mut load_us: Vec<u64> = Vec::new();
+    let mut diff_us: Vec<u64> = Vec::new();
+    let mut snapshot_bytes = 0u64;
+    let mut serials: Vec<u64> = Vec::new();
+    let base_unix = now_unix();
+    for i in 0..ITERATIONS {
+        let started = Instant::now();
+        let receipt =
+            arest_experiments::ledger_io::commit_dataset(&ledger, &dataset, &config, base_unix + i)
+                .unwrap_or_else(|e| usage(&format!("ledger commit to {scratch} failed: {e}")));
+        commit_us.push(micros(started));
+        snapshot_bytes = receipt.bytes;
+        serials.push(receipt.serial);
+
+        let started = Instant::now();
+        ledger.load(receipt.serial).expect("load committed run");
+        load_us.push(micros(started));
+    }
+    for pair in serials.windows(2) {
+        let started = Instant::now();
+        ledger.diff(pair[0], pair[1]).expect("diff committed runs");
+        diff_us.push(micros(started));
+    }
+    eprintln!(
+        "bench-ledger: {ITERATIONS} commits of {snapshot_bytes} bytes — commit p50 {}µs, \
+         load p50 {}µs, diff p50 {}µs",
+        percentile(&mut commit_us, 50),
+        percentile(&mut load_us, 50),
+        percentile(&mut diff_us, 50),
+    );
+
+    // Hand-rolled JSON, like the rest of the suite (no serde).
+    let stanza = |values: &mut Vec<u64>| {
+        format!(
+            "{{\"p50\": {}, \"p95\": {}, \"max\": {}}}",
+            percentile(values, 50),
+            percentile(values, 95),
+            values.last().copied().unwrap_or(0)
+        )
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"iterations\": {ITERATIONS},\n"));
+    json.push_str(&format!("  \"snapshot_bytes\": {snapshot_bytes},\n"));
+    json.push_str(&format!("  \"commit_us\": {},\n", stanza(&mut commit_us)));
+    json.push_str(&format!("  \"load_us\": {},\n", stanza(&mut load_us)));
+    json.push_str(&format!("  \"diff_us\": {}\n", stanza(&mut diff_us)));
+    json.push_str("}\n");
+    std::fs::write("BENCH_ledger.json", &json).expect("write BENCH_ledger.json");
+    eprintln!("wrote BENCH_ledger.json");
+
+    if cleanup {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}
+
+fn micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Nearest-rank percentile; sorts in place.
+fn percentile(values: &mut [u64], pct: usize) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let rank = (values.len() * pct).div_ceil(100).max(1);
+    values[rank - 1]
+}
+
 /// Builds the dataset, flattens it into the serving store, and runs
 /// the `arest-serve` HTTP daemon on `listen` until SIGINT requests a
 /// graceful shutdown (in-flight requests complete, then this
-/// returns).
-fn serve(config: PipelineConfig, listen: &str) {
+/// returns). With `--ledger <dir>`, the completed build is committed
+/// to the ledger first, and a watcher thread polls the directory for
+/// newer serials, atomically swapping each into the serving store.
+fn serve(config: PipelineConfig, listen: &str, ledger_dir: Option<&str>) {
     // Live request counters on /metrics, whatever AREST_OBS says.
     let registry = arest_obs::global();
     registry.set_enabled(true);
@@ -214,12 +426,42 @@ fn serve(config: PipelineConfig, listen: &str) {
         store.summary().raw_traces,
     );
 
+    let ledger = ledger_dir.map(|dir| {
+        commit_to_ledger(dir, &dataset, &config);
+        std::sync::Arc::new(open_ledger(dir))
+    });
+
     ctrlc::install();
-    let server = arest_serve::Server::bind(listen, store, registry, config.workers)
+    let mut server = arest_serve::Server::bind(listen, store, registry, config.workers)
         .unwrap_or_else(|e| usage(&format!("cannot bind {listen}: {e}")));
+    if let Some(ledger) = &ledger {
+        server.attach_ledger(std::sync::Arc::clone(ledger));
+    }
     println!("arest-serve: listening on http://{}", server.local_addr());
     eprintln!("arest-serve: {} pool workers; ctrl-c for graceful shutdown", server.workers());
-    server.run_until(&ctrlc::interrupted);
+    if let Some(ledger) = &ledger {
+        // Stamp the serving store with the serial just committed, then
+        // watch the directory: each newer serial is loaded off the
+        // request path and atomically swapped in (DESIGN.md §13).
+        let cell = server.store_cell();
+        if let Ok(Some(serial)) = arest_serve::ledger_watch::refresh(&cell, ledger) {
+            eprintln!("arest-serve: serving ledger run {serial}");
+        }
+        arest_conc::thread::scope(|s| {
+            let watcher = s.spawn(|| {
+                arest_serve::ledger_watch::watch(
+                    &cell,
+                    ledger,
+                    std::time::Duration::from_millis(250),
+                    &ctrlc::interrupted,
+                );
+            });
+            server.run_until(&ctrlc::interrupted);
+            watcher.join().expect("ledger watcher thread");
+        });
+    } else {
+        server.run_until(&ctrlc::interrupted);
+    }
     let stats = server.stats();
     eprintln!(
         "arest-serve: drained ({} connections accepted, {} completed)",
@@ -230,13 +472,22 @@ fn serve(config: PipelineConfig, listen: &str) {
 /// Starts the daemon on an ephemeral loopback port, drives it with
 /// `clients` keep-alive connections issuing `requests` requests each
 /// over a mixed endpoint schedule, and writes `BENCH_serve.json`.
-fn bench_serve(config: PipelineConfig, listen: &str, clients: usize, requests: usize) {
+fn bench_serve(
+    config: PipelineConfig,
+    listen: &str,
+    clients: usize,
+    requests: usize,
+    ledger_dir: Option<&str>,
+) {
     eprintln!(
         "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
         config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
     );
     let dataset = Dataset::build(config);
     let store = std::sync::Arc::new(arest_experiments::serve_store::build(&dataset));
+    if let Some(dir) = ledger_dir {
+        commit_to_ledger(dir, &dataset, &config);
+    }
 
     // A private, always-enabled registry: the bench must measure even
     // when AREST_OBS is off, without polluting the global snapshot.
@@ -544,8 +795,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
          [--workers N] [--catalog-scale N] [--nested] [--stream] [--out DIR] [--obs] \
-         [--trace-out DIR] [--listen A:P] [--clients N] [--requests N] \
-         <ids…|all|bench-pipeline|serve|bench-serve>\n\
+         [--trace-out DIR] [--listen A:P] [--clients N] [--requests N] [--ledger DIR] \
+         <ids…|all|bench-pipeline|serve|bench-serve|bench-ledger|history|diff A B>\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

@@ -1,0 +1,210 @@
+//! The `RUN_REPORT_delta.txt` renderer: an announce/withdraw feed in
+//! plain text.
+//!
+//! Every detection-level line begins with exactly `announce `,
+//! `withdraw `, or `change ` so shell pipelines (and the check.sh
+//! smoke) can grep the feed without parsing: the format is the
+//! contract. The header carries both runs' serials, commit times, and
+//! digests; the tail rolls the delta up per AS with the deployment
+//! verdict transition.
+
+use arest_ledger::{DeltaEntry, DetectionDelta};
+use std::fmt::Write as _;
+
+fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+fn push_entry(out: &mut String, verb: &str, e: &DeltaEntry) {
+    let _ = writeln!(
+        out,
+        "{verb} asn{} addr={} vp={} dst={} hops={}-{} flag={} stars={} label={}",
+        e.key.asn,
+        e.key.addr,
+        e.key.vp,
+        e.key.dst,
+        e.key.start,
+        e.key.end,
+        e.flag,
+        e.stars,
+        e.label
+    );
+}
+
+/// Renders a delta as the `RUN_REPORT_delta.txt` artifact (also what
+/// `arest-experiments diff <a> <b>` prints).
+#[must_use]
+pub fn to_text(delta: &DetectionDelta) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "AReST detection delta: run {} -> run {}",
+        delta.from.serial, delta.to.serial
+    );
+    let _ = writeln!(
+        out,
+        "  committed_unix: {} -> {}",
+        delta.from.committed_unix, delta.to.committed_unix
+    );
+    let _ = writeln!(
+        out,
+        "  config digest:  {} -> {}{}",
+        hex(delta.from.config_digest),
+        hex(delta.to.config_digest),
+        if delta.from.config_digest == delta.to.config_digest {
+            " (same campaign configuration)"
+        } else {
+            " (CONFIGURATION CHANGED)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  catalog digest: {} -> {}{}",
+        hex(delta.from.catalog_digest),
+        hex(delta.to.catalog_digest),
+        if delta.from.catalog_digest == delta.to.catalog_digest {
+            ""
+        } else {
+            " (CATALOG CHANGED)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  announced {}, withdrawn {}, changed {}",
+        delta.announced.len(),
+        delta.withdrawn.len(),
+        delta.changed.len()
+    );
+    out.push('\n');
+
+    if delta.is_empty() {
+        out.push_str("no detection-level differences\n");
+    }
+    for e in &delta.announced {
+        push_entry(&mut out, "announce", e);
+    }
+    for e in &delta.withdrawn {
+        push_entry(&mut out, "withdraw", e);
+    }
+    for e in &delta.changed {
+        let _ = writeln!(
+            out,
+            "change   asn{} addr={} vp={} dst={} hops={}-{} flag={}->{} label={}->{}",
+            e.key.asn,
+            e.key.addr,
+            e.key.vp,
+            e.key.dst,
+            e.key.start,
+            e.key.end,
+            e.before_flag,
+            e.after_flag,
+            e.before_label,
+            e.after_label
+        );
+    }
+
+    if !delta.per_as.is_empty() {
+        out.push_str("\nper-AS rollup:\n");
+        for a in &delta.per_as {
+            let _ = writeln!(
+                out,
+                "  asn{:<6} {:<24} +{} -{} ~{} deployed {}->{}",
+                a.asn,
+                a.name,
+                a.announced,
+                a.withdrawn,
+                a.changed,
+                if a.deployed_before { "yes" } else { "no" },
+                if a.deployed_after { "yes" } else { "no" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arest_ledger::{AsDelta, ChangedEntry, DeltaKey, RunMeta};
+    use std::net::Ipv4Addr;
+
+    fn meta(serial: u64) -> RunMeta {
+        RunMeta {
+            serial,
+            committed_unix: 1_750_000_000 + serial,
+            config_digest: 7,
+            catalog_digest: 9,
+            payload_len: 100,
+            payload_digest: serial,
+        }
+    }
+
+    fn key(addr: [u8; 4]) -> DeltaKey {
+        DeltaKey {
+            asn: 64512,
+            addr: Ipv4Addr::from(addr),
+            vp: "vp03".to_string(),
+            dst: "10.0.9.9".to_string(),
+            start: 2,
+            end: 4,
+        }
+    }
+
+    #[test]
+    fn verbs_anchor_each_line_for_grep() {
+        let delta = DetectionDelta {
+            from: meta(1),
+            to: meta(2),
+            announced: vec![DeltaEntry {
+                key: key([10, 0, 0, 7]),
+                flag: "CVR".to_string(),
+                stars: 5,
+                label: 16_003,
+            }],
+            withdrawn: vec![DeltaEntry {
+                key: key([10, 0, 0, 1]),
+                flag: "LSO".to_string(),
+                stars: 1,
+                label: 30_001,
+            }],
+            changed: vec![ChangedEntry {
+                key: key([10, 0, 0, 2]),
+                before_flag: "CVR".to_string(),
+                after_flag: "LVR".to_string(),
+                before_label: 16_003,
+                after_label: 17_000,
+            }],
+            per_as: vec![AsDelta {
+                asn: 64512,
+                name: "Test Net".to_string(),
+                announced: 1,
+                withdrawn: 1,
+                changed: 1,
+                deployed_before: true,
+                deployed_after: true,
+            }],
+        };
+        let text = to_text(&delta);
+        assert!(text.lines().any(|l| l.starts_with("announce asn64512 addr=10.0.0.7")));
+        assert!(text.lines().any(|l| l.starts_with("withdraw asn64512 addr=10.0.0.1")));
+        assert!(text.lines().any(|l| l.starts_with("change   asn64512 addr=10.0.0.2")));
+        assert!(text.contains("flag=CVR->LVR"));
+        assert!(text.contains("deployed yes->yes"));
+        assert!(text.contains("same campaign configuration"));
+    }
+
+    #[test]
+    fn empty_deltas_say_so() {
+        let delta = DetectionDelta {
+            from: meta(1),
+            to: meta(2),
+            announced: Vec::new(),
+            withdrawn: Vec::new(),
+            changed: Vec::new(),
+            per_as: Vec::new(),
+        };
+        let text = to_text(&delta);
+        assert!(text.contains("no detection-level differences"));
+        assert!(text.contains("announced 0, withdrawn 0, changed 0"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Committing completed campaigns to an `arest-ledger` directory.
+//!
+//! The ledger stores plain snapshot rows; this module is the glue
+//! that flattens a built [`Dataset`] through the serving store
+//! (`serve_store::build`, the one canonical flattening) into a
+//! [`RunSnapshot`](arest_ledger::RunSnapshot) and commits it, stamped
+//! with digests of the pipeline configuration and the AS catalog so
+//! `arest-experiments diff` can tell "the Internet changed" from "the
+//! campaign changed".
+
+use crate::pipeline::{Dataset, PipelineConfig};
+use arest_ledger::{fnv64, CommitOptions, CommitReceipt, Ledger, LedgerResult};
+use arest_serve::ledger_bridge::snapshot_from_store;
+
+/// Digest of the full pipeline configuration (every knob that shapes
+/// the campaign, via its `Debug` rendering — the config is a plain
+/// `Copy` struct whose `Debug` output is total).
+#[must_use]
+pub fn config_digest(config: &PipelineConfig) -> u64 {
+    fnv64(format!("{config:?}").as_bytes())
+}
+
+/// Digest of the built-in 60-AS catalog the campaign measured.
+/// Changes when any profile (name, type, adoption, vendor mix)
+/// changes, so two runs over different catalogs never silently diff.
+#[must_use]
+pub fn catalog_digest() -> u64 {
+    let mut rendered = String::new();
+    for profile in &arest_netgen::catalog::CATALOG {
+        rendered.push_str(&format!("{profile:?}\n"));
+    }
+    fnv64(rendered.as_bytes())
+}
+
+/// Flattens `dataset` and commits it under the ledger's next serial.
+/// `committed_unix` is caller-supplied (the CLI passes the wall
+/// clock, tests pass fixed values) so commits stay reproducible.
+pub fn commit_dataset(
+    ledger: &Ledger,
+    dataset: &Dataset,
+    config: &PipelineConfig,
+    committed_unix: u64,
+) -> LedgerResult<CommitReceipt> {
+    let store = crate::serve_store::build(dataset);
+    let snapshot = snapshot_from_store(&store);
+    let options = CommitOptions {
+        committed_unix,
+        config_digest: config_digest(config),
+        catalog_digest: catalog_digest(),
+    };
+    ledger.commit(&snapshot, &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_digest_tracks_the_knobs() {
+        let base = PipelineConfig::quick();
+        let mut tweaked = base;
+        tweaked.gen.seed = base.gen.seed + 1;
+        assert_ne!(config_digest(&base), config_digest(&tweaked));
+        assert_eq!(config_digest(&base), config_digest(&base));
+    }
+
+    #[test]
+    fn catalog_digest_is_stable() {
+        assert_eq!(catalog_digest(), catalog_digest());
+        assert_ne!(catalog_digest(), 0);
+    }
+}

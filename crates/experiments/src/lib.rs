@@ -23,6 +23,7 @@
 
 pub mod admission;
 pub mod clock;
+pub mod delta_report;
 pub mod exp_audit;
 pub mod exp_background;
 pub mod exp_characterization;
@@ -30,6 +31,7 @@ pub mod exp_dataset;
 pub mod exp_detection;
 pub mod exp_longitudinal;
 pub mod exp_validation;
+pub mod ledger_io;
 pub mod pipeline;
 pub mod provenance;
 pub mod render;

@@ -211,8 +211,8 @@ mod tests {
         let b = quick_store();
         assert_eq!(a.summary(), b.summary());
         assert_eq!(a.ases(), b.ases());
-        let status_a = a.status_json(2).render();
-        let status_b = b.status_json(2).render();
+        let status_a = a.status_json(2, arest_serve::Json::Null).render();
+        let status_b = b.status_json(2, arest_serve::Json::Null).render();
         assert_eq!(status_a, status_b);
     }
 }

@@ -11,6 +11,14 @@
 //! registered up front and therefore render as a stable all-zeros
 //! exposition.
 //!
+//! The server is ledger-backed so the history routes have something
+//! to document: run 1 is the quick campaign minus one detection (a
+//! synthetic "previous run"), run 2 is the quick campaign itself, and
+//! the daemon serves run 2 through the ledger swap path — exactly the
+//! configuration a `serve --ledger` deployment reaches after its
+//! first refresh. Commit timestamps are pinned, so every byte stays
+//! reproducible.
+//!
 //! ## Document format
 //!
 //! A replayable example is a fenced block
@@ -37,10 +45,41 @@
 //! and review the diff like any other code change.
 
 use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_ledger::{CommitOptions, FlagTotals, Ledger, RunSnapshot};
+use arest_serve::ledger_bridge::snapshot_from_store;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 const DOC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/API.md");
+
+/// The documented "previous campaign": the current snapshot minus one
+/// detection (the last one on the first detected address), with the
+/// AS and campaign flag totals decremented to match — so the
+/// `/api/diff/1/2` example is a short, readable announce feed rather
+/// than thousands of lines.
+fn previous_campaign(current: &RunSnapshot) -> RunSnapshot {
+    let mut prev = current.clone();
+    let entry = prev
+        .addrs
+        .iter_mut()
+        .find(|e| !e.detections.is_empty())
+        .expect("quick dataset has detections");
+    let removed = entry.detections.pop().expect("non-empty detection list");
+    let dec = |flags: &mut FlagTotals| match removed.flag.as_str() {
+        "CVR" => flags.cvr -= 1,
+        "CO" => flags.co -= 1,
+        "LSVR" => flags.lsvr -= 1,
+        "LVR" => flags.lvr -= 1,
+        _ => flags.lso -= 1,
+    };
+    for a in &mut prev.ases {
+        if a.asn == removed.asn {
+            dec(&mut a.flags);
+        }
+    }
+    dec(&mut prev.totals.flags);
+    prev
+}
 
 /// Sends one documented request line and returns the actual
 /// `(status line, body)` pair.
@@ -58,13 +97,35 @@ fn documented_examples_match_served_bytes() {
     let text = std::fs::read_to_string(DOC).expect("docs/API.md exists");
     let lines: Vec<&str> = text.lines().collect();
 
-    let dataset = Dataset::build(PipelineConfig::quick());
+    let config = PipelineConfig::quick();
+    let dataset = Dataset::build(config);
     let store = Arc::new(arest_experiments::serve_store::build(&dataset));
+
+    // A two-run ledger with pinned commit timestamps: run 1 is the
+    // synthetic previous campaign, run 2 the quick campaign itself.
+    let ledger_dir =
+        std::env::temp_dir().join(format!("arest-api-md-ledger-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ledger_dir);
+    let ledger = Arc::new(Ledger::open(&ledger_dir).expect("open ledger"));
+    let current = snapshot_from_store(&store);
+    let options = |committed_unix| CommitOptions {
+        committed_unix,
+        config_digest: arest_experiments::ledger_io::config_digest(&config),
+        catalog_digest: arest_experiments::ledger_io::catalog_digest(),
+    };
+    ledger.commit(&previous_campaign(&current), &options(1_750_000_000)).expect("commit run 1");
+    ledger.commit(&current, &options(1_750_000_600)).expect("commit run 2");
+
     // Disabled registry: /metrics renders every pre-registered metric
     // as zero, so the documented scrape is byte-stable no matter how
     // many examples ran before it.
     let registry = arest_obs::Registry::disabled();
-    let server = arest_serve::Server::bind("127.0.0.1:0", store, &registry, Some(2)).expect("bind");
+    let mut server =
+        arest_serve::Server::bind("127.0.0.1:0", store, &registry, Some(2)).expect("bind");
+    server.attach_ledger(Arc::clone(&ledger));
+    let swapped =
+        arest_serve::ledger_watch::refresh(&server.store_cell(), &ledger).expect("refresh");
+    assert_eq!(swapped, Some(2), "the daemon must serve the latest committed run");
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
 
@@ -125,6 +186,7 @@ fn documented_examples_match_served_bytes() {
         handle.shutdown();
         runner.join().expect("server thread");
     });
+    let _ = std::fs::remove_dir_all(&ledger_dir);
 
     if write_mode {
         std::fs::write(DOC, out.join("\n") + "\n").expect("rewrite docs/API.md");
@@ -139,7 +201,9 @@ fn documented_examples_match_served_bytes() {
 
     // The manual must exercise every route — success AND failure
     // shapes — or the byte-for-byte guarantee means little.
-    for needle in ["/api/summary", "/api/as/", "/api/addr/", "/metrics", "/status"] {
+    for needle in
+        ["/api/summary", "/api/as/", "/api/addr/", "/api/runs", "/api/diff/", "/metrics", "/status"]
+    {
         assert!(
             replayed.iter().any(|r| r.contains(needle)),
             "docs/API.md documents no example for {needle}"

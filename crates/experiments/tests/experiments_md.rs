@@ -61,6 +61,11 @@ fn knobs_and_artifacts_are_documented() {
         "RUN_REPORT_provenance",
         "trace.json",
         "trace.folded",
+        "--ledger",
+        "bench-ledger",
+        "BENCH_ledger.json",
+        "RUN_REPORT_delta.txt",
+        "history",
     ] {
         assert!(markdown.contains(needle), "EXPERIMENTS.md must document {needle}");
     }

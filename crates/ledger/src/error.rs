@@ -1,0 +1,81 @@
+//! The typed failure surface of the ledger.
+//!
+//! Every way a snapshot file can be unreadable — truncation, bit
+//! flips, version skew, a file renamed to the wrong serial — maps to
+//! its own variant, and the decoders promise to return one of these
+//! rather than panic on any input whatsoever (the corruption-matrix
+//! tests in `tests/durability.rs` hold them to it).
+
+use core::fmt;
+
+/// Why a ledger operation failed.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `ARESTLDG` magic.
+    BadMagic,
+    /// The header checksum verified but the format version is one
+    /// this build does not speak.
+    BadVersion(u16),
+    /// The header's RFC 1071 checksum did not verify: some header
+    /// byte was flipped or overwritten.
+    HeaderChecksum,
+    /// The file ends before the structure it claims to contain.
+    Truncated,
+    /// The payload digest in the header does not match the payload
+    /// bytes: the body was corrupted after commit.
+    PayloadDigest,
+    /// A payload field holds a value the decoder cannot accept (an
+    /// out-of-range table index, a non-boolean byte, invalid UTF-8,
+    /// trailing garbage).
+    Malformed(&'static str),
+    /// The serial in the header disagrees with the serial in the file
+    /// name — a snapshot renamed over another serial's slot.
+    SerialMismatch {
+        /// The serial the file name claims.
+        file: u64,
+        /// The serial the header records.
+        header: u64,
+    },
+    /// The requested serial is not present in the ledger directory.
+    UnknownSerial(u64),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger I/O error: {e}"),
+            LedgerError::BadMagic => write!(f, "not a ledger snapshot (bad magic)"),
+            LedgerError::BadVersion(v) => write!(f, "unsupported snapshot format version {v}"),
+            LedgerError::HeaderChecksum => write!(f, "snapshot header checksum mismatch"),
+            LedgerError::Truncated => write!(f, "snapshot file truncated"),
+            LedgerError::PayloadDigest => write!(f, "snapshot payload digest mismatch"),
+            LedgerError::Malformed(what) => write!(f, "malformed snapshot payload: {what}"),
+            LedgerError::SerialMismatch { file, header } => {
+                write!(f, "file named for serial {file} but header records serial {header}")
+            }
+            LedgerError::UnknownSerial(serial) => {
+                write!(f, "serial {serial} is not in the ledger")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LedgerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> LedgerError {
+        LedgerError::Io(e)
+    }
+}
+
+/// Convenience alias used by every ledger entry point.
+pub type LedgerResult<T> = Result<T, LedgerError>;

@@ -8,11 +8,14 @@
 //!
 //! | Route | Answer |
 //! |---|---|
-//! | `GET /api/summary` | campaign-wide totals |
+//! | `GET /api/summary` | campaign-wide totals + per-AS rollup |
 //! | `GET /api/as/{asn}` | one AS's SR deployment summary |
 //! | `GET /api/addr/{ip}` | per-address detections with full provenance |
+//! | `GET /api/runs` | every run committed to the attached ledger |
+//! | `GET /api/runs/{serial}` | one committed run's header + totals |
+//! | `GET /api/diff/{a}/{b}` | announce/withdraw delta between two runs |
 //! | `GET /metrics` | Prometheus text from the `arest-obs` registry |
-//! | `GET /status` | liveness + dataset facts |
+//! | `GET /status` | liveness + dataset facts + ledger provenance |
 //!
 //! # Architecture
 //!
@@ -41,11 +44,14 @@
 pub mod dispatch;
 pub mod http;
 pub mod json;
+pub mod ledger_bridge;
+pub mod ledger_watch;
 pub mod load;
 pub mod prom;
 pub mod router;
 pub mod server;
 pub mod store;
+pub mod store_cell;
 
 pub use dispatch::{DispatchCore, DispatchStats};
 pub use json::Json;
@@ -53,3 +59,4 @@ pub use load::{LoadConfig, LoadReport};
 pub use router::{route, Route, RouteError};
 pub use server::{Server, ShutdownHandle};
 pub use store::{AddrRecord, AsSummary, Detection, FlagCounts, Store, SummaryInfo};
+pub use store_cell::{LedgerStamp, StoreCell, StoreVersion};

@@ -4,7 +4,7 @@
 
 use std::net::Ipv4Addr;
 
-/// The five routes the daemon serves.
+/// The eight routes the daemon serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     /// `GET /api/summary` — dataset-wide totals.
@@ -13,6 +13,12 @@ pub enum Route {
     As(u32),
     /// `GET /api/addr/{ip}` — one address's evidence chains.
     Addr(Ipv4Addr),
+    /// `GET /api/runs` — every committed ledger run.
+    Runs,
+    /// `GET /api/runs/{serial}` — one committed run's header + totals.
+    Run(u64),
+    /// `GET /api/diff/{a}/{b}` — announce/withdraw delta between runs.
+    Diff(u64, u64),
     /// `GET /metrics` — Prometheus text exposition.
     Metrics,
     /// `GET /status` — daemon liveness and dataset facts.
@@ -27,6 +33,9 @@ impl Route {
             Route::Summary => "summary",
             Route::As(_) => "as",
             Route::Addr(_) => "addr",
+            Route::Runs => "runs",
+            Route::Run(_) => "run",
+            Route::Diff(..) => "diff",
             Route::Metrics => "metrics",
             Route::Status => "status",
         }
@@ -77,8 +86,19 @@ pub fn route(target: &str) -> Result<Route, RouteError> {
             .parse::<Ipv4Addr>()
             .map(Route::Addr)
             .map_err(|_| RouteError::Unprocessable("the {ip} segment must be an IPv4 dotted quad")),
+        ["api", "runs"] => Ok(Route::Runs),
+        ["api", "runs", serial] => serial_of(serial).map(Route::Run),
+        ["api", "diff", a, b] => Ok(Route::Diff(serial_of(a)?, serial_of(b)?)),
         _ => Err(RouteError::NotFound),
     }
+}
+
+/// Parses one `{serial}` path segment: strict decimal digits, u64.
+fn serial_of(segment: &str) -> Result<u64, RouteError> {
+    if segment.is_empty() || !segment.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(RouteError::Unprocessable("a run serial must be decimal digits"));
+    }
+    segment.parse::<u64>().map_err(|_| RouteError::Unprocessable("run serial exceeds 64 bits"))
 }
 
 #[cfg(test)]
@@ -86,12 +106,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn the_five_routes_resolve() {
+    fn the_eight_routes_resolve() {
         assert_eq!(route("/status"), Ok(Route::Status));
         assert_eq!(route("/metrics"), Ok(Route::Metrics));
         assert_eq!(route("/api/summary"), Ok(Route::Summary));
         assert_eq!(route("/api/as/293"), Ok(Route::As(293)));
         assert_eq!(route("/api/addr/10.0.0.1"), Ok(Route::Addr(Ipv4Addr::new(10, 0, 0, 1))));
+        assert_eq!(route("/api/runs"), Ok(Route::Runs));
+        assert_eq!(route("/api/runs/12"), Ok(Route::Run(12)));
+        assert_eq!(route("/api/diff/1/2"), Ok(Route::Diff(1, 2)));
+    }
+
+    #[test]
+    fn ledger_route_parameters_are_strict() {
+        assert!(matches!(route("/api/runs/one"), Err(RouteError::Unprocessable(_))));
+        assert!(matches!(route("/api/runs/-1"), Err(RouteError::Unprocessable(_))));
+        assert!(matches!(
+            route("/api/runs/99999999999999999999"),
+            Err(RouteError::Unprocessable(_))
+        ));
+        assert!(matches!(route("/api/diff/1/x"), Err(RouteError::Unprocessable(_))));
+        assert_eq!(route("/api/diff/1"), Err(RouteError::NotFound), "diff needs two serials");
+        assert_eq!(route("/api/diff/1/2/3"), Err(RouteError::NotFound));
     }
 
     #[test]

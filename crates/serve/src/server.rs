@@ -19,9 +19,14 @@
 
 use crate::dispatch::{DispatchCore, DispatchStats};
 use crate::http::{self, ParseError, Parsed, Request, Response};
+use crate::json::Json;
+use crate::ledger_bridge;
 use crate::router::{self, Route, RouteError};
 use crate::store::Store;
+use crate::store_cell::{StoreCell, StoreVersion};
+use arest_ledger::{Ledger, LedgerError};
 use arest_obs::{Counter, Histogram, Registry};
+use std::fmt::Write as _;
 use std::io::Read as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -44,16 +49,20 @@ const TRACKED_STATUSES: [u16; 7] = [200, 400, 404, 405, 414, 422, 431];
 
 /// Endpoint labels, indexable by [`endpoint_index`]. `other` covers
 /// requests that never resolved to a route (404s, parse errors).
-const ENDPOINTS: [&str; 6] = ["summary", "as", "addr", "metrics", "status", "other"];
+const ENDPOINTS: [&str; 9] =
+    ["summary", "as", "addr", "runs", "run", "diff", "metrics", "status", "other"];
 
 fn endpoint_index(route: Option<Route>) -> usize {
     match route {
         Some(Route::Summary) => 0,
         Some(Route::As(_)) => 1,
         Some(Route::Addr(_)) => 2,
-        Some(Route::Metrics) => 3,
-        Some(Route::Status) => 4,
-        None => 5,
+        Some(Route::Runs) => 3,
+        Some(Route::Run(_)) => 4,
+        Some(Route::Diff(..)) => 5,
+        Some(Route::Metrics) => 6,
+        Some(Route::Status) => 7,
+        None => 8,
     }
 }
 
@@ -122,7 +131,8 @@ enum Unit {
 #[derive(Debug)]
 pub struct Server<'r> {
     listener: TcpListener,
-    store: Arc<Store>,
+    cell: Arc<StoreCell>,
+    ledger: Option<Arc<Ledger>>,
     registry: &'r Registry,
     metrics: Metrics,
     core: Arc<DispatchCore>,
@@ -164,12 +174,29 @@ impl<'r> Server<'r> {
         let workers = workers.unwrap_or_else(arest_tnt::pool::worker_count).max(2);
         Ok(Server {
             listener,
-            store,
+            cell: Arc::new(StoreCell::bare(store)),
+            ledger: None,
             metrics: Metrics::register(registry),
             registry,
             core: Arc::new(DispatchCore::default()),
             workers,
         })
+    }
+
+    /// Attaches a ledger: the `/api/runs` and `/api/diff` routes start
+    /// answering from it, and `/status` reports the served serial.
+    /// Pair it with [`crate::ledger_watch::watch`] on the cell from
+    /// [`Self::store_cell`] for zero-downtime refresh.
+    pub fn attach_ledger(&mut self, ledger: Arc<Ledger>) {
+        self.ledger = Some(ledger);
+    }
+
+    /// The swappable store cell this server answers from. The ledger
+    /// watcher (or any other refresher) swaps new versions in here;
+    /// in-flight requests keep the version they loaded.
+    #[must_use]
+    pub fn store_cell(&self) -> Arc<StoreCell> {
+        Arc::clone(&self.cell)
     }
 
     /// The bound address (the actual port, after ephemeral binding).
@@ -345,23 +372,117 @@ impl<'r> Server<'r> {
     }
 
     fn handle(&self, route: Route) -> Response {
+        // One load pins one version for the whole request: even while
+        // the watcher swaps a newer serial in, this answer is
+        // internally consistent.
+        let version = self.cell.load();
         match route {
-            Route::Summary => Response::json(200, self.store.summary().json().render()),
-            Route::As(asn) => match self.store.by_asn(asn) {
+            Route::Summary => Response::json(200, version.store.summary_json().render()),
+            Route::As(asn) => match version.store.by_asn(asn) {
                 Some(summary) => Response::json(200, summary.json().render()),
                 None => Response::error(404, "AS not in dataset"),
             },
-            Route::Addr(ip) => match self.store.addr(ip) {
+            Route::Addr(ip) => match version.store.addr(ip) {
                 Some(record) => Response::json(200, record.json().render()),
                 None => Response::error(404, "address not in dataset"),
             },
-            Route::Metrics => Response {
-                status: 200,
-                content_type: "text/plain; version=0.0.4",
-                body: crate::prom::render(&self.registry.snapshot()),
-                extra: Vec::new(),
-            },
-            Route::Status => Response::json(200, self.store.status_json(self.workers).render()),
+            Route::Runs => self.handle_runs(),
+            Route::Run(serial) => self.handle_run(serial),
+            Route::Diff(a, b) => self.handle_diff(a, b),
+            Route::Metrics => {
+                let mut body = crate::prom::render(&self.registry.snapshot());
+                body.push_str(&ledger_metrics_tail(&version));
+                Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    body,
+                    extra: Vec::new(),
+                }
+            }
+            Route::Status => {
+                let ledger = self.ledger_status_json(&version);
+                Response::json(200, version.store.status_json(self.workers, ledger).render())
+            }
         }
     }
+
+    /// The `/status` body's `ledger` value: the served serial, its
+    /// content digest and commit time, and how many serials the cell
+    /// lags the directory tip (the clock-free "snapshot age").
+    fn ledger_status_json(&self, version: &StoreVersion) -> Json {
+        let Some(stamp) = version.stamp else {
+            return Json::Null;
+        };
+        let latest = self
+            .ledger
+            .as_ref()
+            .and_then(|ledger| ledger.latest().ok().flatten())
+            .unwrap_or(stamp.serial);
+        Json::obj(vec![
+            ("serial", Json::U64(stamp.serial)),
+            ("payload_digest", Json::str(ledger_bridge::hex_digest(stamp.payload_digest))),
+            ("committed_unix", Json::U64(stamp.committed_unix)),
+            ("runs_behind_latest", Json::U64(latest.saturating_sub(stamp.serial))),
+        ])
+    }
+
+    fn handle_runs(&self) -> Response {
+        let Some(ledger) = &self.ledger else {
+            return Response::error(404, "no ledger attached");
+        };
+        match ledger.serials() {
+            Ok(serials) => {
+                let metas: Vec<_> =
+                    serials.into_iter().filter_map(|s| ledger.meta(s).ok()).collect();
+                Response::json(200, ledger_bridge::runs_json(&metas).render())
+            }
+            Err(_) => Response::error(500, "ledger directory unreadable"),
+        }
+    }
+
+    fn handle_run(&self, serial: u64) -> Response {
+        let Some(ledger) = &self.ledger else {
+            return Response::error(404, "no ledger attached");
+        };
+        match ledger.load(serial) {
+            Ok(run) => Response::json(200, ledger_bridge::run_json(&run).render()),
+            Err(LedgerError::UnknownSerial(_)) => Response::error(404, "no such run"),
+            Err(_) => Response::error(500, "run failed verification"),
+        }
+    }
+
+    fn handle_diff(&self, a: u64, b: u64) -> Response {
+        let Some(ledger) = &self.ledger else {
+            return Response::error(404, "no ledger attached");
+        };
+        match ledger.diff(a, b) {
+            Ok(delta) => Response::json(200, ledger_bridge::delta_json(&delta).render()),
+            Err(LedgerError::UnknownSerial(_)) => Response::error(404, "no such run"),
+            Err(_) => Response::error(500, "run failed verification"),
+        }
+    }
+}
+
+/// Serial-labeled totals for the loaded snapshot, appended to the
+/// Prometheus exposition. Empty for unstamped (ledger-free) servers,
+/// so their documented `/metrics` bodies do not move.
+fn ledger_metrics_tail(version: &StoreVersion) -> String {
+    let Some(stamp) = version.stamp else {
+        return String::new();
+    };
+    let serial = stamp.serial;
+    let summary = version.store.summary();
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE arest_ledger_serial gauge");
+    let _ = writeln!(out, "arest_ledger_serial {serial}");
+    for (name, value) in [
+        ("arest_run_detections_total", summary.flags.total()),
+        ("arest_run_detections_strong", summary.flags.strong()),
+        ("arest_run_sr_deployed_ases", summary.sr_deployed),
+        ("arest_run_addresses", summary.addresses),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{serial=\"{serial}\"}} {value}");
+    }
+    out
 }

@@ -346,22 +346,62 @@ impl Store {
         &self.summary
     }
 
-    /// The `GET /status` response body: static dataset facts plus the
-    /// serving configuration. Deliberately free of clocks and live
-    /// counters, so the documented example stays byte-stable.
+    /// The `GET /api/summary` response body: the campaign totals plus
+    /// a `per_as` rollup covering **every** AS in the served catalog —
+    /// the quiet ones included, with zeroed counters — so the array's
+    /// length always matches the catalog and a consumer can tell "not
+    /// deployed" from "not measured".
     #[must_use]
-    pub fn status_json(&self, workers: usize) -> Json {
+    pub fn summary_json(&self) -> Json {
+        let per_as = self
+            .ases
+            .iter()
+            .map(|a| {
+                Json::obj(vec![
+                    ("asn", Json::U64(u64::from(a.asn))),
+                    ("name", Json::str(&a.name)),
+                    ("analyzed", Json::Bool(a.analyzed)),
+                    ("sr_deployed", Json::Bool(a.sr_deployed())),
+                    ("detections", Json::U64(a.flags.total())),
+                    ("strong", Json::U64(a.flags.strong())),
+                ])
+            })
+            .collect();
+        let Json::Obj(mut fields) = self.summary.json() else {
+            unreachable!("SummaryInfo::json renders an object")
+        };
+        fields.push(("per_as".to_string(), Json::Arr(per_as)));
+        Json::Obj(fields)
+    }
+
+    /// The `GET /status` response body: static dataset facts plus the
+    /// serving configuration and the ledger provenance (`Json::Null`
+    /// when the server runs on a directly built dataset). Deliberately
+    /// free of clocks and live counters, so the documented example
+    /// stays byte-stable.
+    #[must_use]
+    pub fn status_json(&self, workers: usize, ledger: Json) -> Json {
         Json::obj(vec![
             ("service", Json::str("arest-serve")),
             ("status", Json::str("serving")),
             ("workers", Json::from(workers)),
+            ("ledger", ledger),
             (
                 "endpoints",
                 Json::Arr(
-                    ["/api/summary", "/api/as/{asn}", "/api/addr/{ip}", "/metrics", "/status"]
-                        .iter()
-                        .map(|s| Json::str(*s))
-                        .collect(),
+                    [
+                        "/api/summary",
+                        "/api/as/{asn}",
+                        "/api/addr/{ip}",
+                        "/api/runs",
+                        "/api/runs/{serial}",
+                        "/api/diff/{a}/{b}",
+                        "/metrics",
+                        "/status",
+                    ]
+                    .iter()
+                    .map(|s| Json::str(*s))
+                    .collect(),
                 ),
             ),
             (
@@ -379,7 +419,7 @@ impl Store {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// A two-AS, one-address store the unit tests share.
@@ -515,10 +555,26 @@ mod tests {
     #[test]
     fn status_json_is_clock_free() {
         let store = tiny();
-        let body = store.status_json(2).render();
+        let body = store.status_json(2, Json::Null).render();
         assert!(body.contains("\"workers\": 2"));
         assert!(body.contains("\"/api/addr/{ip}\""));
+        assert!(body.contains("\"/api/diff/{a}/{b}\""));
+        assert!(body.contains("\"ledger\": null"));
         assert!(!body.contains("uptime"), "status must stay byte-stable across runs");
+    }
+
+    #[test]
+    fn summary_per_as_covers_quiet_ases_with_zeroed_counters() {
+        let store = tiny();
+        let body = store.summary_json().render();
+        assert!(body.contains("\"per_as\""));
+        // Both catalog ASes appear — the quiet one too, with zeros —
+        // so the rollup length matches the catalog.
+        assert!(body.contains("\"Test Net\""));
+        assert!(body.contains("\"Quiet Net\""));
+        let hits = body.matches("\"sr_deployed\": false").count();
+        assert_eq!(hits, 1, "the quiet AS rolls up as not deployed");
+        assert_eq!(body.matches("\"asn\":").count(), store.ases().len());
     }
 
     #[test]

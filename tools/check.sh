@@ -28,6 +28,7 @@ cargo test -p arest-obs --features model-check --quiet --test model_obs
 cargo test -p arest-fingerprint --features model-check --quiet --test model_cache
 cargo test -p arest-experiments --features model-check --quiet --test model_window
 cargo test -p arest-serve --features model-check --quiet --test model_serve
+cargo test -p arest-serve --features model-check --quiet --test model_store_cell
 
 echo "==> cargo doc (rustdoc warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -87,5 +88,31 @@ cargo run --release -p arest-experiments --bin arest-experiments -- \
 test -s BENCH_serve.json
 grep -q '"requests_per_second"' BENCH_serve.json
 grep -q '"p99"' BENCH_serve.json
+
+echo "==> ledger smoke run (two campaigns, history, announce/withdraw diff)"
+LEDGER_DIR=$(mktemp -d)
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --ledger "$LEDGER_DIR" headline >/dev/null
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --seed 11 --ledger "$LEDGER_DIR" headline >/dev/null
+# Capture before grepping: `grep -q` closing the pipe early would
+# EPIPE the writer mid-listing.
+DELTA_DIR=$(mktemp -d)
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --ledger "$LEDGER_DIR" history > "$DELTA_DIR/history.txt"
+grep -q '2 committed run(s)' "$DELTA_DIR/history.txt"
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --ledger "$LEDGER_DIR" --out "$DELTA_DIR" diff 1 2 > "$DELTA_DIR/stdout.txt"
+grep -q '^announce ' "$DELTA_DIR/stdout.txt"
+grep -q '^withdraw ' "$DELTA_DIR/stdout.txt"
+test -s "$DELTA_DIR/RUN_REPORT_delta.txt"
+rm -rf "$LEDGER_DIR" "$DELTA_DIR"
+
+echo "==> bench-ledger smoke run (commit/load/diff latency report)"
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick bench-ledger
+test -s BENCH_ledger.json
+grep -q '"commit_us"' BENCH_ledger.json
+grep -q '"snapshot_bytes"' BENCH_ledger.json
 
 echo "==> all checks passed"
