@@ -6,6 +6,7 @@
 //! arest-experiments [options] serve
 //! arest-experiments [options] bench-serve
 //! arest-experiments [options] bench-ledger
+//! arest-experiments [options] bench-incremental
 //! arest-experiments --ledger <dir> history
 //! arest-experiments --ledger <dir> diff <a> <b>
 //!
@@ -32,6 +33,16 @@
 //!   --ledger <dir>   commit every completed build to the run ledger
 //!                    at <dir>; `serve` additionally watches it for
 //!                    newly committed serials (zero-downtime refresh)
+//!   --reprobe <spec> re-probe only a catalog slice: `all`, `N%`
+//!                    (first N percent), `N` (first N ASes), or
+//!                    `asN` (the one AS numbered N)
+//!   --base <serial>  merge the sliced re-probe against this ledger
+//!                    serial: unselected ASes carry forward, the
+//!                    fingerprint cache rehydrates from the base's
+//!                    sidecar, and the full merged snapshot commits
+//!                    under the next serial (needs --ledger)
+//!   --ledger-poll-ms <ms>  serve: ledger directory poll interval
+//!                    in milliseconds (default 250)
 //! ```
 //!
 //! With `--ledger <dir>`, every mode that builds a dataset (`all`,
@@ -41,8 +52,19 @@
 //! delta between two serials and writes `RUN_REPORT_delta.txt`;
 //! `bench-ledger` measures commit/load/diff latency and writes
 //! `BENCH_ledger.json`. A `serve --ledger` daemon polls the directory
-//! and atomically swaps newly committed runs into the serving store —
-//! no restart, no dropped request (`DESIGN.md` §13).
+//! (every `--ledger-poll-ms` milliseconds) and atomically swaps newly
+//! committed runs into the serving store — no restart, no dropped
+//! request (`DESIGN.md` §13).
+//!
+//! With `--reprobe <spec> --base <serial>`, any build mode runs an
+//! **incremental campaign**: only the selected catalog slice is
+//! probed, everything else carries forward from the base serial, and
+//! the commit is a full merged snapshot whose sidecar records the
+//! fresh/carried origin of every AS. The diff against the base lands
+//! in `RUN_REPORT_delta.txt` automatically. `bench-incremental`
+//! measures the cost-vs-slice-fraction curve (5/25/50/100% against a
+//! full rebuild) and writes `BENCH_incremental.json`, asserting that
+//! the 100% slice reproduces the full rebuild's payload digest.
 //!
 //! `bench-pipeline` builds the dataset in **three** configurations —
 //! the staged five-barrier baseline, the streaming dataflow on the
@@ -83,9 +105,10 @@
 //! `inferno`), and `RUN_REPORT_provenance.txt` (one evidence-chain
 //! line per AReST detection).
 
-use arest_experiments::pipeline::{BuildMode, BuildStats, Dataset, PipelineConfig};
+use arest_experiments::pipeline::{BuildMode, BuildStats, Dataset, PipelineConfig, SliceSpec};
 use arest_experiments::{run_experiment, ALL_EXPERIMENTS};
 use std::io::Write as _;
+use std::net::Ipv4Addr;
 use std::time::Instant;
 
 fn main() {
@@ -99,6 +122,7 @@ fn main() {
     let mut clients = 4usize;
     let mut requests = 200usize;
     let mut ledger_dir: Option<String> = None;
+    let mut ledger_poll_ms = 250u64;
 
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -122,6 +146,14 @@ fn main() {
             "--ledger" => {
                 ledger_dir = Some(iter.next().unwrap_or_else(|| usage("--ledger needs a dir")));
             }
+            "--reprobe" => {
+                let spec = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--reprobe needs a slice spec (all, N%, N, or asN)"));
+                config.reprobe = SliceSpec::parse(&spec).unwrap_or_else(|e| usage(&e));
+            }
+            "--base" => config.base_serial = Some(expect_value(&mut iter, "--base")),
+            "--ledger-poll-ms" => ledger_poll_ms = expect_value(&mut iter, "--ledger-poll-ms"),
             "--out" => out_dir = Some(iter.next().unwrap_or_else(|| usage("--out needs a dir"))),
             "--obs" => arest_obs::global().set_enabled(true),
             "--trace-out" => {
@@ -132,6 +164,16 @@ fn main() {
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown option {other}")),
             id => ids.push(id.to_string()),
+        }
+    }
+    if config.base_serial.is_some() && ledger_dir.is_none() {
+        usage("--base needs --ledger <dir> to merge against");
+    }
+    if let SliceSpec::Asn(asn) = config.reprobe {
+        // An unmatched ASN would silently carry everything forward;
+        // that is always an operator typo, so refuse it up front.
+        if config.slice_mask().is_some_and(|mask| !mask.contains(&true)) {
+            fail(&format!("--reprobe as{asn}: ASN {asn} is not in this campaign's catalog"));
         }
     }
     if ids.iter().any(|i| i == "history") {
@@ -153,8 +195,12 @@ fn main() {
         bench_ledger(config, ledger_dir.as_deref());
         return;
     }
+    if ids.iter().any(|i| i == "bench-incremental") {
+        bench_incremental(config);
+        return;
+    }
     if ids.iter().any(|i| i == "serve") {
-        serve(config, &listen, ledger_dir.as_deref());
+        serve(config, &listen, ledger_dir.as_deref(), ledger_poll_ms);
         write_run_report(out_dir.as_deref());
         return;
     }
@@ -165,7 +211,7 @@ fn main() {
     if ids.iter().any(|i| i == "bench-pipeline") {
         let dataset = bench_pipeline(config);
         if let Some(dir) = &ledger_dir {
-            commit_to_ledger(dir, &dataset, &config);
+            commit_to_ledger(dir, &dataset, &config, out_dir.as_deref());
         }
         write_run_report(out_dir.as_deref());
         if let Some(dir) = &trace_out {
@@ -177,6 +223,7 @@ fn main() {
         ids = ALL_EXPERIMENTS.iter().map(std::string::ToString::to_string).collect();
     }
 
+    let seed_cache = load_seed_cache(config, ledger_dir.as_deref());
     eprintln!(
         "building dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
         config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
@@ -187,7 +234,7 @@ fn main() {
         // completion order, while the rest of the catalog is still
         // being measured.
         let mut done = 0usize;
-        let (dataset, _) = Dataset::build_streaming(config, |result| {
+        let (dataset, _) = Dataset::build_streaming_seeded(config, &seed_cache, |result| {
             done += 1;
             eprintln!(
                 "  [{done:>2}] AS#{:<2} asn{}: {} intra-AS traces, {} addresses",
@@ -198,8 +245,10 @@ fn main() {
             );
         });
         dataset
-    } else {
+    } else if seed_cache.is_empty() {
         Dataset::build(config)
+    } else {
+        Dataset::build_streaming_seeded(config, &seed_cache, |_| {}).0
     };
     eprintln!(
         "dataset ready in {:.1}s: {} raw traces, {} routers",
@@ -227,7 +276,7 @@ fn main() {
         }
     }
     if let Some(dir) = &ledger_dir {
-        commit_to_ledger(dir, &dataset, &config);
+        commit_to_ledger(dir, &dataset, &config, out_dir.as_deref());
     }
     write_run_report(out_dir.as_deref());
     if let Some(dir) = &trace_out {
@@ -235,25 +284,107 @@ fn main() {
     }
 }
 
+/// Prints one friendly line and exits nonzero — for operator-facing
+/// conditions (an empty ledger, a missing serial) where the full
+/// usage dump would bury the message.
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
 /// Opens (creating if needed) the run ledger at `dir`, exiting with a
-/// usage error when the directory is unusable.
+/// friendly error when the directory is unusable.
 fn open_ledger(dir: &str) -> arest_ledger::Ledger {
     arest_ledger::Ledger::open(dir)
-        .unwrap_or_else(|e| usage(&format!("cannot open ledger {dir}: {e}")))
+        .unwrap_or_else(|e| fail(&format!("cannot open ledger {dir}: {e}")))
+}
+
+/// The fingerprint cache entries to rehydrate from: the base serial's
+/// sidecar for an incremental run (`--base`), empty otherwise.
+fn load_seed_cache(
+    config: PipelineConfig,
+    ledger_dir: Option<&str>,
+) -> Vec<(Ipv4Addr, Option<u8>)> {
+    let (Some(dir), Some(base)) = (ledger_dir, config.base_serial) else {
+        return Vec::new();
+    };
+    let ledger = open_ledger(dir);
+    match ledger.load_aux(base) {
+        Ok(Some(aux)) => {
+            eprintln!(
+                "ledger: rehydrating fingerprint cache from run {base} ({} entries)",
+                aux.cache.len()
+            );
+            aux.cache
+        }
+        // Tell a run that was never committed apart from one that
+        // predates the sidecar format.
+        Ok(None) => match ledger.meta(base) {
+            Ok(_) => fail(&format!(
+                "base run {base} in {dir} has no carry-forward sidecar \
+                 (re-commit it with this build)"
+            )),
+            Err(_) => fail(&format!("cannot load base run {base} from {dir}: not committed")),
+        },
+        Err(e) => fail(&format!("cannot load base run {base} from {dir}: {e}")),
+    }
 }
 
 /// Commits a completed campaign under the ledger's next serial and
 /// reports the receipt. Used by every dataset-building mode when
-/// `--ledger <dir>` is given.
-fn commit_to_ledger(dir: &str, dataset: &Dataset, config: &PipelineConfig) {
+/// `--ledger <dir>` is given. With `--base <serial>` the commit is an
+/// incremental merge: fresh results for the re-probed slice, carried
+/// records for the rest, and the diff against the base is written as
+/// `RUN_REPORT_delta.txt`.
+fn commit_to_ledger(dir: &str, dataset: &Dataset, config: &PipelineConfig, out_dir: Option<&str>) {
     let ledger = open_ledger(dir);
-    let receipt =
-        arest_experiments::ledger_io::commit_dataset(&ledger, dataset, config, now_unix())
-            .unwrap_or_else(|e| usage(&format!("ledger commit to {dir} failed: {e}")));
-    eprintln!(
-        "ledger: committed run {} to {dir} ({} bytes, payload digest {:016x})",
-        receipt.serial, receipt.bytes, receipt.payload_digest
-    );
+    if config.base_serial.is_some() {
+        let merged =
+            arest_experiments::ledger_io::commit_incremental(&ledger, dataset, config, now_unix())
+                .unwrap_or_else(|e| fail(&format!("incremental commit to {dir} failed: {e}")));
+        let receipt = &merged.receipt;
+        eprintln!(
+            "ledger: committed run {} to {dir} ({} bytes, payload digest {:016x})",
+            receipt.serial, receipt.bytes, receipt.payload_digest
+        );
+        eprintln!(
+            "ledger: incremental against run {}: {} fresh, {} carried AS(es)",
+            merged.base_serial,
+            merged.fresh.len(),
+            merged.carried.len()
+        );
+        write_delta_report(&ledger, dir, merged.base_serial, receipt.serial, out_dir);
+    } else {
+        let receipt =
+            arest_experiments::ledger_io::commit_dataset(&ledger, dataset, config, now_unix())
+                .unwrap_or_else(|e| fail(&format!("ledger commit to {dir} failed: {e}")));
+        eprintln!(
+            "ledger: committed run {} to {dir} ({} bytes, payload digest {:016x})",
+            receipt.serial, receipt.bytes, receipt.payload_digest
+        );
+    }
+}
+
+/// Computes the delta from `a` to `b` and writes it as
+/// `RUN_REPORT_delta.txt` into `out_dir` (or the working directory).
+fn write_delta_report(
+    ledger: &arest_ledger::Ledger,
+    dir: &str,
+    a: u64,
+    b: u64,
+    out_dir: Option<&str>,
+) {
+    let delta = ledger
+        .diff(a, b)
+        .unwrap_or_else(|e| fail(&format!("cannot diff runs {a} and {b} in {dir}: {e}")));
+    let text = arest_experiments::delta_report::to_text(&delta);
+    let dir_out = out_dir.unwrap_or(".");
+    if let Some(out) = out_dir {
+        std::fs::create_dir_all(out).expect("create output dir");
+    }
+    let path = format!("{dir_out}/RUN_REPORT_delta.txt");
+    std::fs::write(&path, &text).expect("write RUN_REPORT_delta.txt");
+    eprintln!("wrote {path}");
 }
 
 fn now_unix() -> u64 {
@@ -263,14 +394,16 @@ fn now_unix() -> u64 {
 /// `history` mode: one line per committed run, oldest first. Runs
 /// whose headers fail verification are listed as unreadable rather
 /// than aborting the listing — the operator needs to see them to fix
-/// them.
+/// them. An empty or missing ledger is a friendly one-line error, not
+/// a listing of nothing.
 fn history(dir: &str) {
     let ledger = open_ledger(dir);
     let serials =
-        ledger.serials().unwrap_or_else(|e| usage(&format!("cannot list ledger {dir}: {e}")));
+        ledger.serials().unwrap_or_else(|e| fail(&format!("cannot list ledger {dir}: {e}")));
     if serials.is_empty() {
-        println!("ledger {dir}: no committed runs");
-        return;
+        fail(&format!(
+            "ledger {dir} has no committed runs yet — run a campaign with --ledger {dir} first"
+        ));
     }
     println!("ledger {dir}: {} committed run(s)", serials.len());
     for serial in serials {
@@ -296,7 +429,7 @@ fn diff_runs(dir: &str, a: u64, b: u64, out_dir: Option<&str>) {
     let ledger = open_ledger(dir);
     let delta = ledger
         .diff(a, b)
-        .unwrap_or_else(|e| usage(&format!("cannot diff runs {a} and {b} in {dir}: {e}")));
+        .unwrap_or_else(|e| fail(&format!("cannot diff runs {a} and {b} in {dir}: {e}")));
     let text = arest_experiments::delta_report::to_text(&delta);
     print!("{text}");
     let dir_out = out_dir.unwrap_or(".");
@@ -386,6 +519,96 @@ fn bench_ledger(config: PipelineConfig, ledger_dir: Option<&str>) {
     }
 }
 
+/// `bench-incremental` mode: times one full campaign, commits it to a
+/// throwaway ledger, then re-probes 5/25/50/100% slices against that
+/// base and writes the cost-vs-slice-fraction curve as
+/// `BENCH_incremental.json`. The 100% slice doubles as an identity
+/// check: its merged payload digest must equal the full rebuild's.
+fn bench_incremental(mut config: PipelineConfig) {
+    config.reprobe = SliceSpec::Full;
+    config.base_serial = None;
+    // The curve measures the *marginal* cost of re-probing a slice, so
+    // per-AS probing must dominate the fixed Phase-1 topology cost.
+    // Floor the probing knobs; explicit --vps/--targets above the
+    // floor still win.
+    config.gen.vp_count = config.gen.vp_count.max(24);
+    config.targets_per_as = config.targets_per_as.max(96);
+    eprintln!(
+        "building full dataset (scale {}, {} VPs, {} targets/AS, seed {})…",
+        config.gen.scale, config.gen.vp_count, config.targets_per_as, config.gen.seed
+    );
+    let started = Instant::now();
+    let (full, _) = Dataset::build_streaming_seeded(config, &[], |_| {});
+    let full_seconds = started.elapsed().as_secs_f64();
+
+    let scratch = std::env::temp_dir().join(format!("arest-bench-incr-{}", std::process::id()));
+    let scratch = scratch.to_string_lossy().into_owned();
+    let ledger = open_ledger(&scratch);
+    let base = arest_experiments::ledger_io::commit_dataset(&ledger, &full, &config, now_unix())
+        .unwrap_or_else(|e| fail(&format!("ledger commit to {scratch} failed: {e}")));
+    eprintln!(
+        "bench-incremental: full build {full_seconds:.2}s, base run {} (payload {:016x})",
+        base.serial, base.payload_digest
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for pct in [5u8, 25, 50, 100] {
+        let mut sliced = config;
+        sliced.reprobe = SliceSpec::Percent(pct);
+        sliced.base_serial = Some(base.serial);
+        let seed_cache =
+            ledger.load_aux(base.serial).ok().flatten().map_or_else(Vec::new, |aux| aux.cache);
+        let started = Instant::now();
+        let (dataset, _) = Dataset::build_streaming_seeded(sliced, &seed_cache, |_| {});
+        let seconds = started.elapsed().as_secs_f64();
+        let merged = arest_experiments::ledger_io::commit_incremental(
+            &ledger,
+            &dataset,
+            &sliced,
+            now_unix(),
+        )
+        .unwrap_or_else(|e| fail(&format!("incremental commit ({pct}%) failed: {e}")));
+        let ratio = seconds / full_seconds.max(f64::EPSILON);
+        let matches_full = merged.receipt.payload_digest == base.payload_digest;
+        eprintln!(
+            "bench-incremental: {pct:>3}% slice — {} fresh, {} carried, {seconds:.2}s \
+             ({:.1}% of full), payload {:016x}",
+            merged.fresh.len(),
+            merged.carried.len(),
+            ratio * 100.0,
+            merged.receipt.payload_digest,
+        );
+        assert!(
+            pct != 100 || matches_full,
+            "100% slice must reproduce the full rebuild's payload digest \
+             ({:016x} != {:016x})",
+            merged.receipt.payload_digest,
+            base.payload_digest,
+        );
+        rows.push(format!(
+            "    {{\"percent\": {pct}, \"fresh\": {}, \"carried\": {}, \
+             \"seconds\": {seconds:.4}, \"ratio\": {ratio:.4}, \
+             \"payload_digest\": \"{:016x}\", \"digest_matches_full\": {matches_full}}}",
+            merged.fresh.len(),
+            merged.carried.len(),
+            merged.receipt.payload_digest,
+        ));
+    }
+
+    // Hand-rolled JSON, like the rest of the suite (no serde).
+    let mut json = String::from("{\n");
+    let workers = config.workers.unwrap_or_else(arest_tnt::pool::worker_count);
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"full_seconds\": {full_seconds:.4},\n"));
+    json.push_str(&format!("  \"full_payload_digest\": \"{:016x}\",\n", base.payload_digest));
+    json.push_str("  \"slices\": [\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    eprintln!("wrote BENCH_incremental.json");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 fn micros(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
@@ -404,9 +627,10 @@ fn percentile(values: &mut [u64], pct: usize) -> u64 {
 /// the `arest-serve` HTTP daemon on `listen` until SIGINT requests a
 /// graceful shutdown (in-flight requests complete, then this
 /// returns). With `--ledger <dir>`, the completed build is committed
-/// to the ledger first, and a watcher thread polls the directory for
-/// newer serials, atomically swapping each into the serving store.
-fn serve(config: PipelineConfig, listen: &str, ledger_dir: Option<&str>) {
+/// to the ledger first, and a watcher thread polls the directory
+/// every `poll_ms` milliseconds (`--ledger-poll-ms`) for newer
+/// serials, atomically swapping each into the serving store.
+fn serve(config: PipelineConfig, listen: &str, ledger_dir: Option<&str>, poll_ms: u64) {
     // Live request counters on /metrics, whatever AREST_OBS says.
     let registry = arest_obs::global();
     registry.set_enabled(true);
@@ -427,7 +651,7 @@ fn serve(config: PipelineConfig, listen: &str, ledger_dir: Option<&str>) {
     );
 
     let ledger = ledger_dir.map(|dir| {
-        commit_to_ledger(dir, &dataset, &config);
+        commit_to_ledger(dir, &dataset, &config, None);
         std::sync::Arc::new(open_ledger(dir))
     });
 
@@ -452,7 +676,7 @@ fn serve(config: PipelineConfig, listen: &str, ledger_dir: Option<&str>) {
                 arest_serve::ledger_watch::watch(
                     &cell,
                     ledger,
-                    std::time::Duration::from_millis(250),
+                    std::time::Duration::from_millis(poll_ms),
                     &ctrlc::interrupted,
                 );
             });
@@ -486,7 +710,7 @@ fn bench_serve(
     let dataset = Dataset::build(config);
     let store = std::sync::Arc::new(arest_experiments::serve_store::build(&dataset));
     if let Some(dir) = ledger_dir {
-        commit_to_ledger(dir, &dataset, &config);
+        commit_to_ledger(dir, &dataset, &config, None);
     }
 
     // A private, always-enabled registry: the bench must measure even
@@ -796,7 +1020,10 @@ fn usage(err: &str) -> ! {
         "usage: arest-experiments [--quick] [--scale F] [--vps N] [--targets N] [--seed N] \
          [--workers N] [--catalog-scale N] [--nested] [--stream] [--out DIR] [--obs] \
          [--trace-out DIR] [--listen A:P] [--clients N] [--requests N] [--ledger DIR] \
-         <ids…|all|bench-pipeline|serve|bench-serve|bench-ledger|history|diff A B>\n\
+         [--reprobe SLICE] [--base SERIAL] [--ledger-poll-ms N] \
+         <ids…|all|bench-pipeline|serve|bench-serve|bench-ledger|bench-incremental|\
+         history|diff A B>\n\
+         slice specs: all, N% (first N percent of the catalog), N (first N ASes), asN\n\
          experiments: {}",
         ALL_EXPERIMENTS.join(", ")
     );

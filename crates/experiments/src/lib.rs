@@ -38,7 +38,7 @@ pub mod render;
 pub mod run_report;
 pub mod serve_store;
 
-pub use pipeline::{AsResult, Dataset, PipelineConfig};
+pub use pipeline::{AsResult, Dataset, PipelineConfig, SliceSpec};
 pub use render::{Report, Table};
 
 /// Every experiment id, in paper order (plus the future-work sweep

@@ -81,7 +81,7 @@ use arest_mapping::alias::{AliasResolver, IpIdOracle};
 use arest_mapping::anaximander::{build_target_list, AnaximanderConfig};
 use arest_mapping::bdrmap::AsAnnotator;
 use arest_mapping::bgp::{BgpRoute, BgpView};
-use arest_netgen::internet::{generate, GenConfig, Internet};
+use arest_netgen::internet::{generate_probed, GenConfig, Internet};
 use arest_obs::{Counter, Gauge, Span, SpanContext, Tracer};
 use arest_tnt::arena::TraceArena;
 use arest_tnt::campaign::{campaign_unit, run_campaigns_spanned, CampaignConfig, VantagePoint};
@@ -150,6 +150,96 @@ static STREAM_METRICS: LazyLock<StreamMetrics> = LazyLock::new(|| {
     }
 });
 
+/// Which slice of the AS catalog a campaign probes. `Full` is a
+/// complete campaign; the other variants select a subset **in catalog
+/// order**, so a given spec names the same ASes on every run of the
+/// same catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceSpec {
+    /// Every AS — a full campaign (the default).
+    Full,
+    /// The first `⌈pct·N/100⌉` ASes of an `N`-entry catalog.
+    Percent(u8),
+    /// The first `n` ASes.
+    First(u32),
+    /// The single AS with this ASN.
+    Asn(u32),
+}
+
+impl SliceSpec {
+    /// Whether this spec is the whole catalog by construction.
+    /// (`Percent(100)` and a large `First` also select everything,
+    /// but only [`SliceSpec::mask`] can tell.)
+    pub fn is_full(self) -> bool {
+        matches!(self, SliceSpec::Full)
+    }
+
+    /// The catalog-order selection mask over the campaign's ASNs.
+    pub fn mask(self, asns: &[u32]) -> Vec<bool> {
+        let n = asns.len();
+        match self {
+            SliceSpec::Full => vec![true; n],
+            SliceSpec::Percent(pct) => {
+                let count = (n * usize::from(pct.min(100))).div_ceil(100);
+                (0..n).map(|i| i < count).collect()
+            }
+            SliceSpec::First(k) => (0..n).map(|i| (i as u64) < u64::from(k)).collect(),
+            SliceSpec::Asn(asn) => asns.iter().map(|&a| a == asn).collect(),
+        }
+    }
+
+    /// Parses a CLI slice spec: `all`, `N%` (first N percent), `asN`
+    /// (one ASN), or a plain count `N` (first N catalog entries).
+    pub fn parse(s: &str) -> Result<SliceSpec, String> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("all") {
+            return Ok(SliceSpec::Full);
+        }
+        if let Some(pct) = s.strip_suffix('%') {
+            return pct
+                .parse::<u8>()
+                .ok()
+                .filter(|p| *p <= 100)
+                .map(SliceSpec::Percent)
+                .ok_or_else(|| format!("bad percentage in slice spec {s:?} (want 0-100)"));
+        }
+        if let Some(asn) = s.strip_prefix("as").or_else(|| s.strip_prefix("AS")) {
+            return asn
+                .parse::<u32>()
+                .map(SliceSpec::Asn)
+                .map_err(|_| format!("bad ASN in slice spec {s:?} (want e.g. as293)"));
+        }
+        s.parse::<u32>()
+            .map(SliceSpec::First)
+            .map_err(|_| format!("bad slice spec {s:?} (want `all`, `N%`, `N`, or `asN`)"))
+    }
+}
+
+impl std::fmt::Display for SliceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SliceSpec::Full => write!(f, "all"),
+            SliceSpec::Percent(p) => write!(f, "{p}%"),
+            SliceSpec::First(n) => write!(f, "{n}"),
+            SliceSpec::Asn(a) => write!(f, "as{a}"),
+        }
+    }
+}
+
+/// The campaign's catalog ASNs in catalog order, derivable without
+/// generating anything: replica-major over the 60-entry table with
+/// `asn + 1_000_000·replica`, mirroring the plan layout of
+/// [`arest_netgen::internet::generate`].
+fn catalog_asns(gen: &GenConfig) -> Vec<u32> {
+    let scale = gen.catalog_scale.max(1);
+    let catalog = &arest_netgen::catalog::CATALOG;
+    let mut asns = Vec::with_capacity(catalog.len() * scale);
+    for replica in 0..scale {
+        asns.extend(catalog.iter().map(|e| e.asn + 1_000_000 * replica as u32));
+    }
+    asns
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -171,6 +261,18 @@ pub struct PipelineConfig {
     /// are identical either way; only the memory layout of the hot
     /// fingerprint/detect path changes.
     pub columnar: bool,
+    /// Which slice of the catalog this campaign re-probes. Non-full
+    /// slices skip plane deployment, target lists, probing, and tails
+    /// for every unselected AS — its [`AsResult`] comes back empty —
+    /// and are meant to be merged over a base ledger run
+    /// (`ledger_io::commit_incremental`).
+    pub reprobe: SliceSpec,
+    /// The ledger serial a sliced run carries unchanged ASes forward
+    /// from. Campaign metadata: the pipeline itself never reads it;
+    /// the ledger merge does. Excluded — along with `reprobe` — from
+    /// the canonical config digest, so incremental runs of a campaign
+    /// compare as the *same* configuration in diffs.
+    pub base_serial: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -182,6 +284,8 @@ impl Default for PipelineConfig {
             detector: DetectorConfig::default(),
             workers: None,
             columnar: true,
+            reprobe: SliceSpec::Full,
+            base_serial: None,
         }
     }
 }
@@ -196,6 +300,18 @@ impl PipelineConfig {
             detector: DetectorConfig::default(),
             workers: None,
             columnar: true,
+            reprobe: SliceSpec::Full,
+            base_serial: None,
+        }
+    }
+
+    /// The catalog-order selection mask for this configuration's
+    /// `reprobe` slice, or `None` for a full campaign.
+    pub fn slice_mask(&self) -> Option<Vec<bool>> {
+        if self.reprobe.is_full() {
+            None
+        } else {
+            Some(self.reprobe.mask(&catalog_asns(&self.gen)))
         }
     }
 }
@@ -209,6 +325,11 @@ pub struct AsResult {
     pub asn: AsNumber,
     /// Anaximander targets probed for this AS (per VP).
     pub targets_probed: usize,
+    /// Raw TNT traces this AS's campaigns collected before
+    /// restriction — its share of [`Dataset::raw_trace_count`]. The
+    /// ledger stores it per AS so an incremental merge can rebuild
+    /// exact totals from carried and fresh parts.
+    pub raw_traces: usize,
     /// Raw TNT traces restricted to the intra-AS span.
     pub restricted: Vec<Trace>,
     /// The same traces in AReST's augmented form.
@@ -337,6 +458,13 @@ pub struct Dataset {
     pub per_vp_discovered: HashMap<Arc<str>, HashSet<Ipv4Addr>>,
     /// Total traces collected before restriction.
     pub raw_trace_count: usize,
+    /// Every echo-probe memoization the run's shared
+    /// [`FingerprintCache`] held at completion, address-sorted. The
+    /// ledger persists it in the run's aux sidecar so the next
+    /// incremental run can rehydrate and skip those probes. Streaming
+    /// builds fill it; the staged baseline (no shared cache) leaves it
+    /// empty.
+    pub cache_entries: Vec<(Ipv4Addr, Option<u8>)>,
 }
 
 /// A restricted trace after the per-trace pipeline tail (one work
@@ -357,11 +485,19 @@ struct Generated {
 }
 
 /// Internet generation, the BGP view, and the per-AS Anaximander
-/// target lists — the one barrier both build modes start from.
-fn generate_phase(config: &PipelineConfig, workers: usize, parent: SpanContext) -> Generated {
+/// target lists — the one barrier both build modes start from. With a
+/// slice mask, unselected ASes get no forwarding planes and no target
+/// list: the expensive per-AS generation work scales with the slice,
+/// not the catalog.
+fn generate_phase(
+    config: &PipelineConfig,
+    workers: usize,
+    parent: SpanContext,
+    slice: Option<&[bool]>,
+) -> Generated {
     let stage_span = TRACER.span_with_parent("pipeline.stage.generate", parent);
     let generate_ctx = stage_span.context();
-    let internet = generate(&config.gen);
+    let internet = generate_probed(&config.gen, slice);
 
     let view: BgpView = internet
         .routes
@@ -382,6 +518,13 @@ fn generate_phase(config: &PipelineConfig, workers: usize, parent: SpanContext) 
     let anax = AnaximanderConfig { targets_per_prefix: 2, max_targets: config.targets_per_as };
     let plans: Vec<_> = internet.plans.iter().collect();
     let target_lists: Vec<Vec<Ipv4Addr>> = pool::run_indexed(plans, workers, &|idx, plan| {
+        if let Some(mask) = slice {
+            if !mask.get(idx).copied().unwrap_or(false) {
+                // Unselected ASes are never probed: no target list,
+                // no unit span.
+                return Vec::new();
+            }
+        }
         let mut span = TRACER.span_with_parent("pipeline.targets.unit", generate_ctx);
         span.record("as_idx", idx);
         build_target_list(&view, plan.asn, &anax)
@@ -479,6 +622,10 @@ struct StreamEngine<'a> {
     annotator: AsAnnotator,
     cache: FingerprintCache<'a>,
     flows: Vec<AsFlow>,
+    /// The catalog indices this campaign probes, in catalog order —
+    /// the whole catalog for a full run, the slice for a re-probe.
+    /// The admission window walks *positions* in this list.
+    selected: Vec<usize>,
     /// Sliding admission control: bounds concurrent in-flight ASes,
     /// advanced one slot per accepted result send.
     window: AdmissionWindow,
@@ -571,11 +718,12 @@ impl StreamEngine<'_> {
         let raw_count = raw.len();
         tail_span.record("traces", raw_count);
 
-        let (result, fingerprints, per_vp) = if self.config.columnar {
+        let (mut result, fingerprints, per_vp) = if self.config.columnar {
             self.tail_columnar(as_idx, raw, &tail_span)
         } else {
             self.tail_nested(as_idx, raw, &tail_span)
         };
+        result.raw_traces = raw_count;
         drop(tail_span);
         drop(flow_span);
         STREAM_METRICS.ases.inc();
@@ -590,9 +738,10 @@ impl StreamEngine<'_> {
         STREAM_METRICS.peak_queued.set_max(results.len() as i64);
 
         // Backpressure point: only an *accepted* result opens the
-        // window for the next AS.
+        // window for the next AS. The window hands out positions in
+        // the selection, which map to catalog indices here.
         if let Some(next) = self.window.completed() {
-            for unit in self.admit(next) {
+            for unit in self.admit(self.selected[next]) {
                 injector.push(unit);
             }
         }
@@ -797,6 +946,7 @@ impl StreamEngine<'_> {
             id: self.plan_ids[as_idx],
             asn: self.plan_asns[as_idx],
             targets_probed: self.target_lists[as_idx].len(),
+            raw_traces: 0,
             restricted: Vec::new(),
             augmented: Vec::new(),
             segments: Vec::new(),
@@ -856,6 +1006,26 @@ impl Dataset {
     /// worker count.
     pub fn build_streaming(
         config: PipelineConfig,
+        on_as: impl FnMut(&AsResult),
+    ) -> (Dataset, BuildStats) {
+        Dataset::build_streaming_seeded(config, &[], on_as)
+    }
+
+    /// [`Dataset::build_streaming`] with a fingerprint-cache seed
+    /// carried over from a previous run's [`Dataset::cache_entries`].
+    /// The seed is rehydrated under a `pipeline.cache.rehydrate` span
+    /// before any AS is admitted, so addresses whose echo probe is
+    /// carried never touch the network this run
+    /// (`fingerprint.cache.rehydrated` counts them;
+    /// `fingerprint.cache.stale` counts dropped entries).
+    ///
+    /// With a non-full [`PipelineConfig::reprobe`] slice, only the
+    /// selected ASes are generated in depth, given target lists,
+    /// scheduled on the pool, and probed; every other AS's
+    /// [`AsResult`] is present but empty (`targets_probed == 0`).
+    pub fn build_streaming_seeded(
+        config: PipelineConfig,
+        seed_cache: &[(Ipv4Addr, Option<u8>)],
         mut on_as: impl FnMut(&AsResult),
     ) -> (Dataset, BuildStats) {
         let build_started = Instant::now();
@@ -867,11 +1037,20 @@ impl Dataset {
         build_span.record("detect", if config.columnar { "columnar" } else { "nested" });
         let build_ctx = build_span.context();
 
+        let slice_mask = config.slice_mask();
         let stage = Instant::now();
-        let generated = generate_phase(&config, workers, build_ctx);
+        let generated = generate_phase(&config, workers, build_ctx, slice_mask.as_deref());
         timings.generate = stage.elapsed();
         let Generated { internet, vps, target_lists } = generated;
         let n_as = internet.plans.len();
+        let selected: Vec<usize> = match &slice_mask {
+            None => (0..n_as).collect(),
+            Some(mask) => {
+                debug_assert_eq!(mask.len(), n_as, "slice mask mirrors the catalog");
+                (0..n_as).filter(|&i| mask.get(i).copied().unwrap_or(false)).collect()
+            }
+        };
+        let n_selected = selected.len();
 
         let stage = Instant::now();
         let stream_span = TRACER.span_with_parent("pipeline.stage.stream", build_ctx);
@@ -888,7 +1067,7 @@ impl Dataset {
         // where the scheduler cannot see that block). `TRACER` is
         // already forced by the build span above.
         let _ = &*STREAM_METRICS;
-        let window = admission_window(workers).min(n_as.max(1));
+        let window = admission_window(workers).min(n_selected.max(1));
         let engine = StreamEngine {
             net: &internet.net,
             snmp: &snmp,
@@ -902,7 +1081,8 @@ impl Dataset {
             annotator: AsAnnotator::new(internet.ownership.iter().copied()),
             cache: FingerprintCache::new(&internet.net, fp_entry, fp_src),
             flows: (0..n_as).map(|_| AsFlow::new(internet.vps.len())).collect(),
-            window: AdmissionWindow::new(window, n_as),
+            selected,
+            window: AdmissionWindow::new(window, n_selected),
             resident: AtomicUsize::new(0),
             peak_resident: AtomicUsize::new(0),
             fingerprint_work: WorkClock::new(),
@@ -910,9 +1090,19 @@ impl Dataset {
             stream_ctx: stream_span.context(),
         };
 
+        // Rehydrate the carried cache before any unit can race it:
+        // a head-of-run phase, under its own span.
+        if !seed_cache.is_empty() {
+            let mut span = TRACER.span_with_parent("pipeline.cache.rehydrate", build_ctx);
+            span.record("entries", seed_cache.len());
+            let rehydrated = engine.cache.rehydrate(seed_cache);
+            span.record("rehydrated", rehydrated.rehydrated);
+            span.record("stale", rehydrated.stale);
+        }
+
         let mut initial: Vec<StreamUnit> = Vec::new();
-        for as_idx in engine.window.initial() {
-            initial.extend(engine.admit(as_idx));
+        for pos in engine.window.initial() {
+            initial.extend(engine.admit(engine.selected[pos]));
         }
 
         let (result_tx, result_rx) = channel::bounded::<StreamedAs>(RESULT_CHANNEL_CAPACITY);
@@ -949,6 +1139,7 @@ impl Dataset {
         let peak_resident_traces = engine.peak_resident.load(Ordering::Relaxed);
         let fingerprint_work = engine.fingerprint_work.total();
         let detect_work = engine.detect_work.total();
+        let cache_entries = engine.cache.export();
         drop(engine);
 
         // Deterministic assembly: catalog order, first-wins for the
@@ -960,8 +1151,25 @@ impl Dataset {
         let mut fingerprints = HashMap::new();
         let mut per_vp_discovered: HashMap<Arc<str>, HashSet<Ipv4Addr>> = HashMap::new();
         let mut raw_trace_count = 0;
-        for slot in streamed {
-            let item = slot.expect("every admitted AS streams exactly one result");
+        for (as_idx, slot) in streamed.into_iter().enumerate() {
+            let probed = slice_mask.as_ref().is_none_or(|mask| mask[as_idx]);
+            let Some(item) = slot else {
+                // Unselected ASes never entered the pool: an empty
+                // result keeps the catalog shape (one entry per AS).
+                assert!(!probed, "every admitted AS streams exactly one result");
+                let plan = &internet.plans[as_idx];
+                results.push(AsResult {
+                    id: plan.entry.id,
+                    asn: plan.asn,
+                    targets_probed: 0,
+                    raw_traces: 0,
+                    restricted: Vec::new(),
+                    augmented: Vec::new(),
+                    segments: Vec::new(),
+                    discovered: HashSet::new(),
+                });
+                continue;
+            };
             raw_trace_count += item.raw_traces;
             for (addr, evidence) in item.fingerprints {
                 fingerprints.entry(addr).or_insert(evidence);
@@ -980,6 +1188,7 @@ impl Dataset {
             snmp,
             per_vp_discovered,
             raw_trace_count,
+            cache_entries,
         };
         drop(build_span);
         let stats = BuildStats {
@@ -1022,7 +1231,8 @@ impl Dataset {
 
         // ---- Generation: Internet, BGP view, target lists ----
         let stage = Instant::now();
-        let generated = generate_phase(&config, workers, build_ctx);
+        let slice_mask = config.slice_mask();
+        let generated = generate_phase(&config, workers, build_ctx, slice_mask.as_deref());
         timings.generate = stage.elapsed();
         let Generated { internet, vps, target_lists } = generated;
 
@@ -1039,6 +1249,7 @@ impl Dataset {
             stage_span.context(),
         );
         let raw_trace_count = raw_per_as.iter().map(Vec::len).sum();
+        let raw_lens: Vec<usize> = raw_per_as.iter().map(Vec::len).collect();
         drop(stage_span);
         timings.probe = stage.elapsed();
 
@@ -1133,10 +1344,12 @@ impl Dataset {
             .plans
             .iter()
             .zip(&target_lists)
-            .map(|(plan, targets)| AsResult {
+            .zip(&raw_lens)
+            .map(|((plan, targets), &raw)| AsResult {
                 id: plan.entry.id,
                 asn: plan.asn,
                 targets_probed: targets.len(),
+                raw_traces: raw,
                 restricted: Vec::new(),
                 augmented: Vec::new(),
                 segments: Vec::new(),
@@ -1169,6 +1382,7 @@ impl Dataset {
             snmp,
             per_vp_discovered,
             raw_trace_count,
+            cache_entries: Vec::new(),
         };
         drop(build_span);
         let stats = BuildStats {
@@ -1368,6 +1582,50 @@ mod tests {
         config.workers = Some(4);
         let streaming_parallel = Dataset::build(config);
         assert_result_identical(&staged, &streaming_parallel);
+    }
+
+    #[test]
+    fn sliced_build_probes_only_selected_ases() {
+        // A slice schedules just the selected catalog prefix; the
+        // selected ASes' results are identical to a full build's
+        // (their traces only cross VP gateways, providers, and their
+        // own plane — all still deployed), and unselected slots are
+        // empty placeholders.
+        let full = Dataset::build(PipelineConfig::quick());
+        let mut config = PipelineConfig::quick();
+        config.reprobe = SliceSpec::Percent(10);
+        let mask = config.slice_mask().expect("10% slice has a mask");
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 6, "10% of 60 ASes");
+        let sliced = Dataset::build(config);
+        assert_eq!(sliced.results.len(), full.results.len());
+        let mut selected_raw = 0;
+        for (idx, (rs, rf)) in sliced.results.iter().zip(&full.results).enumerate() {
+            if mask[idx] {
+                assert_eq!(rs, rf, "selected AS#{} must match the full build", rf.id);
+                selected_raw += rs.raw_traces;
+            } else {
+                assert_eq!(rs.targets_probed, 0, "unselected AS#{} probed", rf.id);
+                assert_eq!(rs.raw_traces, 0);
+                assert!(rs.restricted.is_empty() && rs.discovered.is_empty());
+            }
+        }
+        assert_eq!(sliced.raw_trace_count, selected_raw);
+        assert!(sliced.raw_trace_count < full.raw_trace_count);
+    }
+
+    #[test]
+    fn slice_spec_parses_and_masks() {
+        assert_eq!(SliceSpec::parse("all"), Ok(SliceSpec::Full));
+        assert_eq!(SliceSpec::parse("25%"), Ok(SliceSpec::Percent(25)));
+        assert_eq!(SliceSpec::parse("as174"), Ok(SliceSpec::Asn(174)));
+        assert_eq!(SliceSpec::parse("3"), Ok(SliceSpec::First(3)));
+        assert!(SliceSpec::parse("150%").is_err());
+        assert!(SliceSpec::parse("bogus").is_err());
+        let asns = [10, 20, 30, 40];
+        assert_eq!(SliceSpec::Percent(50).mask(&asns), vec![true, true, false, false]);
+        assert_eq!(SliceSpec::First(1).mask(&asns), vec![true, false, false, false]);
+        assert_eq!(SliceSpec::Asn(30).mask(&asns), vec![false, false, true, false]);
+        assert_eq!(SliceSpec::Percent(0).mask(&asns), vec![false; 4]);
     }
 
     #[test]

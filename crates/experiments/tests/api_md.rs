@@ -113,8 +113,17 @@ fn documented_examples_match_served_bytes() {
         config_digest: arest_experiments::ledger_io::config_digest(&config),
         catalog_digest: arest_experiments::ledger_io::catalog_digest(),
     };
+    // Run 1 is committed bare (no aux sidecar — its documented
+    // `origin` is `null`); run 2 carries the sidecar every CLI commit
+    // writes, here the full-campaign shape (no base, nothing carried).
     ledger.commit(&previous_campaign(&current), &options(1_750_000_000)).expect("commit run 1");
-    ledger.commit(&current, &options(1_750_000_600)).expect("commit run 2");
+    let aux = arest_ledger::AuxRecord {
+        base_serial: None,
+        carried: Vec::new(),
+        raw_traces: current.ases.iter().map(|a| (a.asn, a.traces)).collect(),
+        cache: Vec::new(),
+    };
+    ledger.commit_with_aux(&current, &options(1_750_000_600), &aux).expect("commit run 2");
 
     // Disabled registry: /metrics renders every pre-registered metric
     // as zero, so the documented scrape is byte-stable no matter how

@@ -1,0 +1,97 @@
+//! Operator-facing CLI error paths: conditions an operator hits in
+//! normal use (an empty ledger, a typo'd ASN) must answer with one
+//! friendly stderr line and a clean nonzero exit — not a usage dump,
+//! not a panic, not a successful listing of nothing.
+//!
+//! These tests spawn the binary in subprocesses (no dataset is built;
+//! every path under test fails before the expensive work starts).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arest-cli-errors-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_arest-experiments"))
+        .args(args)
+        .output()
+        .expect("spawn arest-experiments")
+}
+
+/// One friendly `error:` line on stderr and exit code 1 — the shape
+/// every operator-facing failure shares.
+fn assert_friendly(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "want exit 1, got {:?}: {stderr}", out.status);
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines.len(), 1, "one line, not a usage dump: {stderr:?}");
+    assert!(lines[0].starts_with("error: "), "friendly prefix missing: {stderr:?}");
+    assert!(lines[0].contains(needle), "expected {needle:?} in {stderr:?}");
+    assert!(out.stdout.is_empty(), "errors go to stderr only");
+}
+
+#[test]
+fn history_on_an_empty_ledger_is_a_friendly_one_liner() {
+    let dir = scratch_dir("history-empty");
+    let out = run(&["--ledger", dir.to_str().unwrap(), "history"]);
+    assert_friendly(&out, "has no committed runs yet");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn diff_on_an_empty_ledger_is_a_friendly_one_liner() {
+    let dir = scratch_dir("diff-empty");
+    let out = run(&["--ledger", dir.to_str().unwrap(), "diff", "1", "2"]);
+    assert_friendly(&out, "cannot diff runs 1 and 2");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn history_on_a_missing_ledger_dir_still_works_or_fails_cleanly() {
+    // `Ledger::open` creates the directory, so a missing path behaves
+    // exactly like an empty ledger: same friendly line, same exit.
+    let dir = scratch_dir("history-missing");
+    std::fs::remove_dir_all(&dir).expect("drop the dir before the run");
+    let out = run(&["--ledger", dir.to_str().unwrap(), "history"]);
+    assert_friendly(&out, "has no committed runs yet");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_asn_outside_the_catalog_is_refused_before_building() {
+    let dir = scratch_dir("bad-asn");
+    let out = run(&[
+        "--quick",
+        "--ledger",
+        dir.to_str().unwrap(),
+        "--reprobe",
+        "as1001",
+        "--base",
+        "1",
+        "headline",
+    ]);
+    assert_friendly(&out, "ASN 1001 is not in this campaign's catalog");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn an_incremental_run_against_a_missing_base_fails_friendly() {
+    let dir = scratch_dir("missing-base");
+    let out = run(&[
+        "--quick",
+        "--ledger",
+        dir.to_str().unwrap(),
+        "--reprobe",
+        "25%",
+        "--base",
+        "7",
+        "headline",
+    ]);
+    assert_friendly(&out, "cannot load base run 7");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -8,8 +8,8 @@
 //! twice → byte-identical payloads and an empty delta; a different
 //! campaign → both announcements and withdrawals.
 
-use arest_experiments::ledger_io::commit_dataset;
-use arest_experiments::pipeline::{Dataset, PipelineConfig};
+use arest_experiments::ledger_io::{commit_dataset, commit_incremental};
+use arest_experiments::pipeline::{Dataset, PipelineConfig, SliceSpec};
 use arest_experiments::serve_store;
 use arest_ledger::{Ledger, HEADER_LEN};
 use arest_serve::ledger_bridge::{snapshot_from_store, store_from_snapshot};
@@ -83,6 +83,93 @@ fn committing_the_same_build_twice_yields_identical_payloads_and_an_empty_delta(
     assert!(delta.is_empty(), "identical builds must produce an empty delta");
     assert!(delta.per_as.is_empty());
 
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Commits a full quick campaign as the base run, then re-probes the
+/// given slice against it, returning the ledger plus both commits.
+fn base_then_slice(
+    tag: &str,
+    slice: SliceSpec,
+) -> (Ledger, PathBuf, arest_ledger::CommitReceipt, arest_experiments::ledger_io::IncrementalCommit)
+{
+    let config = PipelineConfig::quick();
+    let dir = scratch_dir(tag);
+    let ledger = Ledger::open(&dir).expect("open ledger");
+    let full = Dataset::build(config);
+    let base = commit_dataset(&ledger, &full, &config, 1_750_000_000).expect("commit base");
+
+    let mut sliced = config;
+    sliced.reprobe = slice;
+    sliced.base_serial = Some(base.serial);
+    let seed = ledger.load_aux(base.serial).expect("load aux").expect("base has a sidecar");
+    let (dataset, _) = Dataset::build_streaming_seeded(sliced, &seed.cache, |_| {});
+    let merged =
+        commit_incremental(&ledger, &dataset, &sliced, 1_750_000_500).expect("incremental commit");
+    (ledger, dir, base, merged)
+}
+
+/// The tentpole identity: a 100%-slice incremental run must produce a
+/// payload byte-identical to a from-scratch full rebuild — the merge
+/// path adds nothing and loses nothing.
+#[test]
+fn parallel_build_matches_a_full_slice_incremental_rebuild() {
+    let (ledger, dir, base, merged) = base_then_slice("full-slice", SliceSpec::Percent(100));
+    assert_eq!(merged.fresh.len(), 60, "a 100% slice re-probes every catalog AS");
+    assert!(merged.carried.is_empty());
+    assert_eq!(merged.receipt.payload_digest, base.payload_digest);
+
+    let bytes_a = std::fs::read(ledger.path_of(base.serial)).expect("read base");
+    let bytes_b = std::fs::read(ledger.path_of(merged.receipt.serial)).expect("read merged");
+    assert_eq!(bytes_a[HEADER_LEN..], bytes_b[HEADER_LEN..]);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A 0% slice probes nothing: the commit is pure carry-forward and
+/// must reproduce the base payload byte for byte, with an empty delta.
+#[test]
+fn parallel_build_matches_the_base_under_a_pure_carry_forward() {
+    let (ledger, dir, base, merged) = base_then_slice("zero-slice", SliceSpec::Percent(0));
+    assert!(merged.fresh.is_empty(), "a 0% slice re-probes nothing");
+    assert_eq!(merged.carried.len(), 60);
+    assert_eq!(merged.receipt.payload_digest, base.payload_digest);
+
+    let bytes_a = std::fs::read(ledger.path_of(base.serial)).expect("read base");
+    let bytes_b = std::fs::read(ledger.path_of(merged.receipt.serial)).expect("read merged");
+    assert_eq!(bytes_a[HEADER_LEN..], bytes_b[HEADER_LEN..]);
+
+    let delta = ledger.diff(base.serial, merged.receipt.serial).expect("diff");
+    assert!(delta.is_empty(), "carry-forward must not invent or lose detections");
+    assert!(delta.per_as.is_empty());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Carried ASes must never surface in the delta against the base: only
+/// re-probed ASes may contribute per-AS rows. (With a deterministic
+/// build the fresh AS reproduces its base results too, so the whole
+/// delta is empty — the carried assertion is the load-bearing one.)
+#[test]
+fn parallel_build_matches_carried_ases_with_empty_deltas() {
+    let (ledger, dir, base, merged) = base_then_slice("one-as", SliceSpec::Asn(15169));
+    assert_eq!(merged.fresh, vec![15169]);
+    assert_eq!(merged.carried.len(), 59);
+    assert!(!merged.carried.contains(&15169));
+
+    let delta = ledger.diff(base.serial, merged.receipt.serial).expect("diff");
+    for row in &delta.per_as {
+        assert!(
+            !merged.carried.contains(&row.asn),
+            "carried AS {} leaked into the delta against its own base",
+            row.asn
+        );
+    }
+    assert!(delta.is_empty(), "deterministic re-probe must change nothing");
+
+    // The merged run's sidecar records its provenance, so it can serve
+    // as the base of the *next* incremental run.
+    let aux = ledger.load_aux(merged.receipt.serial).expect("load aux").expect("sidecar");
+    assert_eq!(aux.base_serial, Some(base.serial));
+    assert_eq!(aux.carried, merged.carried);
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

@@ -45,6 +45,15 @@ struct Metrics {
     /// `fingerprint.cache.misses` — echo probes actually sent (one
     /// per distinct address, regardless of scheduling).
     misses: Counter,
+    /// `fingerprint.cache.rehydrated` — entries carried in from a
+    /// previous run's export (addresses that skip their echo probe
+    /// entirely this run).
+    rehydrated: Counter,
+    /// `fingerprint.cache.stale` — carried entries dropped at
+    /// rehydration: failed probes (no echo reply last run) are
+    /// re-probed fresh, and addresses already memoized this run keep
+    /// their fresh value.
+    stale: Counter,
 }
 
 static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
@@ -52,8 +61,19 @@ static METRICS: LazyLock<Metrics> = LazyLock::new(|| {
     Metrics {
         hits: registry.counter("fingerprint.cache.hits"),
         misses: registry.counter("fingerprint.cache.misses"),
+        rehydrated: registry.counter("fingerprint.cache.rehydrated"),
+        stale: registry.counter("fingerprint.cache.stale"),
     }
 });
+
+/// Outcome of a [`FingerprintCache::rehydrate`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RehydrateStats {
+    /// Entries installed (addresses that skip their echo probe).
+    pub rehydrated: usize,
+    /// Entries dropped (failed probes, or already memoized this run).
+    pub stale: usize,
+}
 
 /// The shared fingerprint cache. Borrow it once per build (it pins the
 /// network and the probing vantage point) and hand `&FingerprintCache`
@@ -223,6 +243,53 @@ impl<'net> FingerprintCache<'net> {
     pub fn memoized(&self) -> usize {
         self.shards.iter().map(|s| s.read().expect("fingerprint shard lock").len()).sum()
     }
+
+    /// Exports every memoized entry, address-sorted — the
+    /// deterministic shape the run ledger's sidecar persists and
+    /// [`FingerprintCache::rehydrate`] consumes on the next run.
+    pub fn export(&self) -> Vec<(Ipv4Addr, Option<u8>)> {
+        let mut entries: Vec<(Ipv4Addr, Option<u8>)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read().expect("fingerprint shard lock");
+            entries.extend(guard.iter().map(|(&addr, &ttl)| (addr, ttl)));
+        }
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        entries
+    }
+
+    /// Seeds the cache from a previous run's [`FingerprintCache::export`]
+    /// so unchanged addresses skip their echo probe entirely. Carried
+    /// failures (`None` echo TTL) are *not* installed — a non-answer is
+    /// not evidence worth trusting across runs — and an address already
+    /// memoized this run keeps its fresh value; both count as `stale`.
+    /// Safe to race against [`FingerprintCache::evidence_batch`]: every
+    /// insert happens under the shard's write lock with the same
+    /// occupied-entry re-check, so an address is never probed *and*
+    /// rehydrated.
+    pub fn rehydrate(&self, entries: &[(Ipv4Addr, Option<u8>)]) -> RehydrateStats {
+        let metrics = &*METRICS;
+        let mut stats = RehydrateStats::default();
+        for &(addr, ttl) in entries {
+            if ttl.is_none() {
+                stats.stale += 1;
+                metrics.stale.inc();
+                continue;
+            }
+            let mut guard = self.shard(addr).write().expect("fingerprint shard lock");
+            match guard.entry(addr) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    stats.stale += 1;
+                    metrics.stale.inc();
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(ttl);
+                    stats.rehydrated += 1;
+                    metrics.rehydrated.inc();
+                }
+            }
+        }
+        stats
+    }
 }
 
 /// The TTL half of the fusion rule over a memoized echo TTL, with the
@@ -365,6 +432,33 @@ mod tests {
             Some((VendorEvidence::Exact(Vendor::Huawei), FingerprintSource::Snmp))
         );
         assert_eq!(cache.memoized(), 0, "SNMPv3 precedence means no probe was needed");
+    }
+
+    #[test]
+    fn export_rehydrate_roundtrip_skips_probes() {
+        let (net, lo) = testbed();
+        let snmp = SnmpDataset::new();
+        let src = Ipv4Addr::new(192, 0, 2, 9);
+        let first = FingerprintCache::new(&net, RouterId(0), src);
+        let expected: Vec<_> = lo.iter().map(|&a| first.evidence(a, 250, &snmp)).collect();
+        let exported = first.export();
+        assert_eq!(exported.len(), first.memoized());
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "export must be address-sorted");
+
+        let second = FingerprintCache::new(&net, RouterId(0), src);
+        let stats = second.rehydrate(&exported);
+        let live = exported.iter().filter(|(_, ttl)| ttl.is_some()).count();
+        assert_eq!(stats, RehydrateStats { rehydrated: live, stale: exported.len() - live });
+        assert_eq!(second.memoized(), live);
+
+        // Rehydrated evidence is identical to freshly probed evidence
+        // (the simulator's TTLs are seed-deterministic).
+        let warm: Vec<_> = lo.iter().map(|&a| second.evidence(a, 250, &snmp)).collect();
+        assert_eq!(warm, expected);
+
+        // Re-rehydrating after the fact is inert: everything is stale.
+        let again = second.rehydrate(&exported);
+        assert_eq!(again.rehydrated, 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod combined;
 pub mod snmp;
 pub mod ttl;
 
-pub use cache::FingerprintCache;
+pub use cache::{FingerprintCache, RehydrateStats};
 pub use combined::{fingerprint_addresses, ttl_evidence, FingerprintSource, VendorEvidence};
 pub use snmp::SnmpDataset;
 pub use ttl::{ttl_class, TtlClass, TtlSignature};

@@ -112,4 +112,30 @@ fn concurrent_lookups_are_shard_deterministic_and_hit_rate_is_exact() {
         let _ = cache.evidence(addr, 250, &snmp);
     }
     assert_eq!(cache.memoized(), lo.len(), "evidence on a warm cache probes nothing new");
+
+    // Persistence round trip, as an incremental run performs it: the
+    // finished cache exports its entries, a fresh cache (a new
+    // campaign process) rehydrates them, and a full pass over the
+    // rehydrated cache probes nothing — all hits, zero misses.
+    let exported = cache.export();
+    assert_eq!(exported.len(), lo.len());
+
+    let before = registry.snapshot();
+    let warm = FingerprintCache::new(&net, RouterId(0), src);
+    let stats = warm.rehydrate(&exported);
+    assert_eq!(stats.rehydrated, lo.len(), "every exported probe seeds the new cache");
+    assert_eq!(stats.stale, 0);
+    for (&addr, &expect) in lo.iter().zip(&baseline) {
+        assert_eq!(warm.echo_ttl(addr), expect, "rehydrated answer must match a live probe");
+    }
+    let delta = registry.snapshot().diff(&before);
+    assert_eq!(delta.counters.get("fingerprint.cache.rehydrated"), Some(&distinct));
+    assert_eq!(delta.counters.get("fingerprint.cache.misses"), Some(&0), "no probe ran");
+    assert_eq!(delta.counters.get("fingerprint.cache.hits"), Some(&distinct));
+
+    // Rehydrating over an already-occupied cache keeps the live
+    // entries and counts the imports as stale instead.
+    let stats = warm.rehydrate(&exported);
+    assert_eq!(stats.rehydrated, 0);
+    assert_eq!(stats.stale, lo.len());
 }

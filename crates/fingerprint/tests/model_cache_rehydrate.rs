@@ -1,0 +1,138 @@
+//! Exhaustive model check of cache rehydration racing live lookups
+//! (`cargo test -p arest-fingerprint --features model-check --test
+//! model_cache_rehydrate`).
+//!
+//! An incremental run rehydrates the previous campaign's sidecar
+//! entries while streaming workers are already probing (`DESIGN.md`
+//! §14). The safety claim: however a `rehydrate` interleaves with a
+//! racing `echo_ttl` on the same address, the address is probed **at
+//! most once** — either the import lands first and the lookup hits,
+//! or the lookup probes first and the import is dropped as stale.
+//! Never both, and the answer is the same either way.
+
+#![cfg(feature = "model-check")]
+
+use arest_conc::model::Model;
+use arest_fingerprint::cache::FingerprintCache;
+use arest_simnet::plane::Route;
+use arest_simnet::Network;
+use arest_topo::graph::Topology;
+use arest_topo::ids::{AsNumber, RouterId};
+use arest_topo::prefix::Prefix;
+use arest_topo::vendor::Vendor;
+use std::net::Ipv4Addr;
+
+/// R0(Cisco) — R1(Juniper); probes enter at R0.
+fn testbed() -> (Network, Vec<Ipv4Addr>) {
+    let mut topo = Topology::new();
+    let asn = AsNumber(65_313);
+    let routers: Vec<RouterId> = [Vendor::Cisco, Vendor::Juniper]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            topo.add_router(format!("r{i}"), asn, *v, Ipv4Addr::new(10, 255, 34, (i + 1) as u8))
+        })
+        .collect();
+    topo.add_link(
+        routers[0],
+        Ipv4Addr::new(10, 34, 0, 1),
+        routers[1],
+        Ipv4Addr::new(10, 34, 0, 2),
+        1,
+    );
+    let loopbacks: Vec<Ipv4Addr> = routers.iter().map(|&r| topo.router(r).loopback).collect();
+    let mut net = Network::new(topo);
+    let spf = arest_topo::spf::DomainSpf::for_members(net.topo(), &routers);
+    for &from in &routers {
+        for (&to, &lo) in routers.iter().zip(&loopbacks) {
+            if from == to {
+                continue;
+            }
+            if let Some((out_iface, next_router)) = spf.next_hop(from, to) {
+                net.plane_mut(from)
+                    .install_route(Prefix::host(lo), Route { out_iface, next_router });
+            }
+        }
+    }
+    (net, loopbacks)
+}
+
+/// Invariant: a rehydration racing a live lookup on the same address
+/// resolves to exactly one probe-or-import per address — `rehydrated +
+/// misses == 1` under every interleaving — and the lookup's answer
+/// always equals the exported (ground-truth) TTL.
+#[test]
+fn model_rehydrate_racing_a_lookup_never_double_probes() {
+    // The exported sidecar entry, from a warm cache outside the model
+    // (its value IS what a live probe would answer, as in a real run).
+    let (net, lo) = testbed();
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let donor = FingerprintCache::new(&net, RouterId(0), src);
+    let addr = lo[1];
+    let expect = donor.echo_ttl(addr);
+    assert!(expect.is_some(), "the probed address must answer");
+    let exported = donor.export();
+    assert_eq!(exported.len(), 1);
+
+    let report = Model::default().check(|| {
+        let (net, _) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), src);
+        let mut outcome = (None, None);
+        arest_conc::thread::scope(|s| {
+            let c = &cache;
+            let entries = &exported;
+            let importer = s.spawn(move || c.rehydrate(entries));
+            outcome.0 = Some(cache.echo_ttl(addr));
+            outcome.1 = Some(importer.join().expect("rehydrating importer"));
+        });
+        let (answer, stats) = (outcome.0.unwrap(), outcome.1.unwrap());
+        assert_eq!(answer, expect, "rehydrated and probed answers must agree");
+        // Either the import won (lookup was a pure hit: 0 probes) or
+        // the probe won (import dropped as stale) — never both.
+        let probed = usize::from(stats.rehydrated == 0);
+        assert_eq!(stats.rehydrated + probed, 1, "exactly one probe-or-import per address");
+        assert_eq!(stats.rehydrated + stats.stale, 1, "every entry is accounted for");
+        assert_eq!(cache.memoized(), 1, "one memoized entry whichever side won");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}
+
+/// Invariant: rehydration racing a batch of lookups across *different*
+/// shards imports every unprobed address and never deadlocks — the
+/// per-shard write locks are taken one entry at a time.
+#[test]
+fn model_rehydrate_racing_a_batch_converges_per_shard() {
+    let (net, lo) = testbed();
+    let src = Ipv4Addr::new(192, 0, 2, 9);
+    let donor = FingerprintCache::new(&net, RouterId(0), src);
+    for &a in &lo {
+        donor.echo_ttl(a);
+    }
+    let exported = donor.export();
+    assert_eq!(exported.len(), lo.len());
+
+    let report = Model::default().check(|| {
+        let (net, lo) = testbed();
+        let cache = FingerprintCache::new(&net, RouterId(0), src);
+        let mut stats = None;
+        arest_conc::thread::scope(|s| {
+            let c = &cache;
+            let entries = &exported;
+            let importer = s.spawn(move || c.rehydrate(entries));
+            // One live lookup racing the import stream.
+            c.echo_ttl(lo[0]);
+            stats = Some(importer.join().expect("rehydrating importer"));
+        });
+        let stats = stats.unwrap();
+        assert_eq!(
+            stats.rehydrated + stats.stale,
+            exported.len(),
+            "every sidecar entry resolves to imported or stale"
+        );
+        // The racing lookup's address may have been probed or
+        // imported; every other address must have been imported.
+        assert!(stats.rehydrated >= exported.len() - 1);
+        assert_eq!(cache.memoized(), lo.len(), "the cache converges on the full address set");
+    });
+    assert!(report.complete, "schedule space not exhausted in {} runs", report.runs);
+}

@@ -15,6 +15,7 @@
 //! structure. Every failure is a typed [`LedgerError`]; no input —
 //! truncated, bit-flipped, renamed, or hostile — panics.
 
+use crate::aux::{decode_aux_file, encode_aux_file, AuxRecord};
 use crate::delta::{self, DetectionDelta};
 use crate::error::{LedgerError, LedgerResult};
 use crate::file::{decode_file, decode_header, encode_file, RunMeta, HEADER_LEN};
@@ -151,6 +152,49 @@ impl Ledger {
         span.record("serial", serial);
         span.record("bytes", bytes.len() as u64);
         Ok(CommitReceipt { serial, payload_digest, bytes: bytes.len() as u64, path })
+    }
+
+    /// The path a serial's carry-forward sidecar lives at.
+    #[must_use]
+    pub fn aux_path(&self, serial: u64) -> PathBuf {
+        self.dir.join(format!("run-{serial}.arest.aux"))
+    }
+
+    /// [`Ledger::commit`] plus an atomically-written carry-forward
+    /// sidecar under the same serial. The snapshot file is identical
+    /// to a plain commit's — the sidecar never changes the payload,
+    /// so content-addressed identity is unaffected.
+    pub fn commit_with_aux(
+        &self,
+        snapshot: &RunSnapshot,
+        options: &CommitOptions,
+        aux: &AuxRecord,
+    ) -> LedgerResult<CommitReceipt> {
+        let receipt = self.commit(snapshot, options)?;
+        let bytes = encode_aux_file(aux, receipt.serial);
+        let path = self.aux_path(receipt.serial);
+        let tmp = self.dir.join(format!(".run-{}.arest.aux.tmp", receipt.serial));
+        let write = std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(LedgerError::Io);
+        if let Err(e) = write {
+            METRICS.errors.inc();
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(receipt)
+    }
+
+    /// Reads and fully verifies one serial's carry-forward sidecar.
+    /// `Ok(None)` means the serial was committed without one (by an
+    /// older writer, or via plain [`Ledger::commit`]).
+    pub fn load_aux(&self, serial: u64) -> LedgerResult<Option<AuxRecord>> {
+        let bytes = match std::fs::read(self.aux_path(serial)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(LedgerError::Io(e)),
+        };
+        Ok(Some(decode_aux_file(&bytes, Some(serial))?))
     }
 
     /// Reads and fully verifies one run (header checksum, serial,
@@ -290,6 +334,32 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "commit must not leave temporaries");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn aux_sidecar_commits_and_loads_next_to_its_snapshot() {
+        let dir = scratch_dir("aux");
+        let ledger = Ledger::open(&dir).expect("open");
+        let aux = AuxRecord {
+            base_serial: None,
+            carried: Vec::new(),
+            raw_traces: vec![(65010, 5)],
+            cache: vec![(std::net::Ipv4Addr::new(10, 0, 0, 1), Some(255))],
+        };
+        let receipt =
+            ledger.commit_with_aux(&sample(), &CommitOptions::default(), &aux).expect("commit");
+        assert_eq!(receipt.serial, 1);
+        // The sidecar never pollutes the serial listing, and a plain
+        // commit has no sidecar.
+        ledger.commit(&sample(), &CommitOptions::default()).expect("commit 2");
+        assert_eq!(ledger.serials().expect("serials"), vec![1, 2]);
+        assert_eq!(ledger.load_aux(1).expect("load aux"), Some(aux));
+        assert_eq!(ledger.load_aux(2).expect("load aux 2"), None);
+        // The snapshot itself is byte-identical either way.
+        let plain = ledger.load(2).expect("load 2");
+        let with_aux = ledger.load(1).expect("load 1");
+        assert_eq!(plain.meta.payload_digest, with_aux.meta.payload_digest);
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

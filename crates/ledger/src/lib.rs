@@ -36,6 +36,7 @@
 //! `ledger.commit` / `ledger.diff` spans appear in the trace export.
 #![warn(missing_docs)]
 
+pub mod aux;
 pub mod codec;
 pub mod delta;
 pub mod digest;
@@ -46,6 +47,7 @@ mod ledger;
 mod obs;
 pub mod snapshot;
 
+pub use aux::{AuxRecord, AUX_HEADER_LEN, AUX_MAGIC, AUX_VERSION};
 pub use delta::{AsDelta, ChangedEntry, DeltaEntry, DeltaKey, DetectionDelta};
 pub use digest::{fnv64, Fnv64};
 pub use error::{LedgerError, LedgerResult};

@@ -172,6 +172,26 @@ impl PairAlloc {
 
 /// Generates the full synthetic Internet.
 pub fn generate(config: &GenConfig) -> Internet {
+    generate_probed(config, None)
+}
+
+/// Like [`generate`], but deploys control/data planes only for the
+/// ASes whose catalog index is set in `probed`, plus their transit
+/// providers (a selected customer's traces cross its providers, so
+/// those planes must forward).
+///
+/// The *topology* is always built in full — every AS's routers and
+/// links, the provider wiring, the VP attachments, the BGP view and
+/// ownership table — because provider selection, VP entry points, and
+/// address allocation all hash over the complete plan set; skipping
+/// any of it would change addresses everywhere. Only the expensive
+/// per-AS phase-2 work (IGP SPF domains, LDP/SR label planes, customer
+/// anchoring) is elided, and skipped ASes simply never forward — which
+/// is fine, because an incremental campaign never probes them.
+///
+/// `probed: None` — or an all-true mask — is exactly [`generate`]:
+/// the output is byte-identical.
+pub fn generate_probed(config: &GenConfig, probed: Option<&[bool]>) -> Internet {
     let registry = arest_obs::global();
     let _timer = registry.timer("netgen.generate.us");
     let mut topo = Topology::new();
@@ -272,10 +292,34 @@ pub fn generate(config: &GenConfig) -> Internet {
     }
 
     // ---- Phase 2: planes ----
+    // The deploy set: every AS for a full run; for a slice, the
+    // selected ASes plus their providers. Membership is an idempotent
+    // OR, so the provider map's iteration order cannot matter.
+    let deploy: Vec<bool> = match probed {
+        None => vec![true; plans.len()],
+        Some(mask) => {
+            let selected = |i: usize| mask.get(i).copied().unwrap_or(false);
+            let mut deploy: Vec<bool> = (0..plans.len()).map(selected).collect();
+            for (ci, provs) in &providers {
+                if selected(*ci) {
+                    for (pi, _) in provs {
+                        deploy[*pi] = true;
+                    }
+                }
+            }
+            deploy
+        }
+    };
     let mut net = Network::new(topo);
     let mut ground_truth = GroundTruth::default();
     let mut label_records = HashMap::new();
     for (ai, plan) in plans.iter().enumerate() {
+        // Deployment intent derives from the plan alone, so the
+        // oracle answers for skipped ASes too.
+        ground_truth.sr_deployed.insert(plan.asn, plan.sr_members.len() >= 2);
+        if !deploy[ai] {
+            continue;
+        }
         let fecs = transit_fecs.get(&ai).cloned().unwrap_or_default();
         let deployed = deploy_as(&mut net, plan, &fecs, config.seed);
         label_records.insert(plan.asn, deployed.label_audit);
@@ -283,7 +327,6 @@ pub fn generate(config: &GenConfig) -> Internet {
         ground_truth.ldp_addresses.extend(deployed.ldp_addresses);
         ground_truth.sr_prefixes.extend(deployed.sr_prefixes);
         ground_truth.ldp_prefixes.extend(deployed.ldp_prefixes);
-        ground_truth.sr_deployed.insert(plan.asn, plan.sr_members.len() >= 2);
     }
 
     // Exit maps + direct border routes for transit.
@@ -516,6 +559,56 @@ mod tests {
         let internet = tiny();
         let with_transit = internet.routes.iter().filter(|r| r.path.len() >= 3).count();
         assert!(with_transit > 10, "expected provider paths, got {with_transit}");
+    }
+
+    #[test]
+    fn probed_generation_keeps_topology_and_slices_planes() {
+        let config = GenConfig::tiny();
+        let full = tiny();
+        // Select one sizeable AS; its providers ride along.
+        let target = full
+            .plans
+            .iter()
+            .position(|p| p.routers.len() >= 4 && !p.customers.is_empty())
+            .expect("a sizeable AS exists");
+        let mask: Vec<bool> = (0..full.plans.len()).map(|i| i == target).collect();
+        let sliced = generate_probed(&config, Some(&mask));
+
+        // The topology — and with it every address — is unchanged.
+        assert_eq!(full.net.topo().router_count(), sliced.net.topo().router_count());
+        assert_eq!(full.net.topo().iface_count(), sliced.net.topo().iface_count());
+        assert_eq!(full.routes.len(), sliced.routes.len());
+        assert_eq!(full.ownership.len(), sliced.ownership.len());
+
+        // Only the selected AS (plus its providers) deployed planes,
+        // but the plan-derived deployment oracle covers everything.
+        assert!(sliced.label_records.contains_key(&sliced.plans[target].asn));
+        assert!(sliced.label_records.len() < full.label_records.len());
+        assert_eq!(full.ground_truth.sr_deployed, sliced.ground_truth.sr_deployed);
+
+        // The selected AS still forwards: its first customer prefix
+        // answers a probe through the sliced planes.
+        let plan = &sliced.plans[target];
+        let (prefix, _) = plan.customers[0];
+        let vp = &sliced.vps[0];
+        let reply = sliced.net.probe(&ProbeSpec {
+            entry: vp.gateway,
+            src: vp.addr,
+            dst: prefix.nth(7),
+            ttl: 40,
+            transport: TransportPayload::Udp { src_port: 33_434, dst_port: 33_434, ident: 9 },
+        });
+        assert!(matches!(reply, ProbeReply::DestUnreachable { .. }), "got {reply:?}");
+
+        // An all-true mask is exactly a full run.
+        let all = vec![true; full.plans.len()];
+        let same = generate_probed(&config, Some(&all));
+        assert_eq!(full.label_records.len(), same.label_records.len());
+        let mut a: Vec<Ipv4Addr> = full.ground_truth.sr_addresses.iter().copied().collect();
+        let mut b: Vec<Ipv4Addr> = same.ground_truth.sr_addresses.iter().copied().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::store::{
 use arest_ledger::snapshot::{
     AddrEntry, AsRecord, DetectionRecord, FlagTotals, ProvenanceRecord, RunSnapshot, RunTotals,
 };
-use arest_ledger::{DetectionDelta, RunMeta, StoredRun, HEADER_LEN};
+use arest_ledger::{AuxRecord, DetectionDelta, RunMeta, StoredRun, HEADER_LEN};
 use std::collections::HashMap;
 
 fn totals_of(flags: &FlagCounts) -> FlagTotals {
@@ -211,12 +211,21 @@ pub fn runs_json(metas: &[RunMeta]) -> Json {
     ])
 }
 
-/// The `GET /api/runs/{serial}` body: the verified header plus the
-/// committed campaign totals.
+/// The `GET /api/runs/{serial}` body: the verified header, the
+/// committed campaign totals, and — when the serial carries a
+/// carry-forward sidecar — the fresh/carried origin breakdown.
 #[must_use]
-pub fn run_json(run: &StoredRun) -> Json {
+pub fn run_json(run: &StoredRun, aux: Option<&AuxRecord>) -> Json {
     let t = &run.snapshot.totals;
     let flags = counts_of(&t.flags);
+    let origin = aux.map_or(Json::Null, |aux| {
+        let carried = aux.carried.len() as u64;
+        Json::obj(vec![
+            ("base_serial", aux.base_serial.map_or(Json::Null, Json::U64)),
+            ("fresh_ases", Json::U64(t.ases.saturating_sub(carried))),
+            ("carried_ases", Json::U64(carried)),
+        ])
+    });
     Json::obj(vec![
         ("meta", meta_json(&run.meta)),
         (
@@ -233,6 +242,7 @@ pub fn run_json(run: &StoredRun) -> Json {
                 ("detections", flags.detections_json()),
             ]),
         ),
+        ("origin", origin),
     ])
 }
 

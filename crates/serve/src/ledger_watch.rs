@@ -16,7 +16,7 @@
 //! records them.
 
 use crate::ledger_bridge::store_from_snapshot;
-use crate::store_cell::{LedgerStamp, StoreCell, StoreVersion};
+use crate::store_cell::{LedgerStamp, RunOrigin, StoreCell, StoreVersion};
 use arest_ledger::{Ledger, LedgerResult};
 use std::sync::Arc;
 use std::time::Duration;
@@ -33,12 +33,23 @@ pub fn refresh(cell: &StoreCell, ledger: &Ledger) -> LedgerResult<Option<u64>> {
         return Ok(None);
     }
     let run = ledger.load(latest)?;
+    // A missing or unreadable sidecar only costs the origin
+    // breakdown; the run itself still serves.
+    let origin = ledger.load_aux(latest).ok().flatten().map(|aux| {
+        let carried = aux.carried.len() as u64;
+        RunOrigin {
+            base_serial: aux.base_serial,
+            fresh: (run.snapshot.ases.len() as u64).saturating_sub(carried),
+            carried,
+        }
+    });
     let version = StoreVersion {
         store: Arc::new(store_from_snapshot(&run.snapshot)),
         stamp: Some(LedgerStamp {
             serial: run.meta.serial,
             payload_digest: run.meta.payload_digest,
             committed_unix: run.meta.committed_unix,
+            origin,
         }),
     };
     Ok(cell.swap(version).then_some(latest))

@@ -59,4 +59,4 @@ pub use load::{LoadConfig, LoadReport};
 pub use router::{route, Route, RouteError};
 pub use server::{Server, ShutdownHandle};
 pub use store::{AddrRecord, AsSummary, Detection, FlagCounts, Store, SummaryInfo};
-pub use store_cell::{LedgerStamp, StoreCell, StoreVersion};
+pub use store_cell::{LedgerStamp, RunOrigin, StoreCell, StoreVersion};

@@ -445,7 +445,10 @@ impl<'r> Server<'r> {
             return Response::error(404, "no ledger attached");
         };
         match ledger.load(serial) {
-            Ok(run) => Response::json(200, ledger_bridge::run_json(&run).render()),
+            Ok(run) => {
+                let aux = ledger.load_aux(serial).ok().flatten();
+                Response::json(200, ledger_bridge::run_json(&run, aux.as_ref()).render())
+            }
             Err(LedgerError::UnknownSerial(_)) => Response::error(404, "no such run"),
             Err(_) => Response::error(500, "run failed verification"),
         }
@@ -483,6 +486,14 @@ fn ledger_metrics_tail(version: &StoreVersion) -> String {
     ] {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name}{{serial=\"{serial}\"}} {value}");
+    }
+    if let Some(origin) = stamp.origin {
+        for (name, value) in
+            [("arest_run_ases_fresh", origin.fresh), ("arest_run_ases_carried", origin.carried)]
+        {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{serial=\"{serial}\"}} {value}");
+        }
     }
     out
 }

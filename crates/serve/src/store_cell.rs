@@ -26,6 +26,19 @@ use crate::store::Store;
 use arest_conc::sync::RwLock;
 use std::sync::Arc;
 
+/// How a run's per-AS results were obtained, from its carry-forward
+/// sidecar: re-probed fresh, or carried from a base serial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOrigin {
+    /// The serial an incremental run merged against, `None` for a
+    /// full run.
+    pub base_serial: Option<u64>,
+    /// ASes re-probed in this run.
+    pub fresh: u64,
+    /// ASes carried forward from the base.
+    pub carried: u64,
+}
+
 /// Where a served store came from in the ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LedgerStamp {
@@ -35,6 +48,9 @@ pub struct LedgerStamp {
     pub payload_digest: u64,
     /// The commit's wall-clock time (Unix seconds, caller-supplied).
     pub committed_unix: u64,
+    /// The fresh/carried origin breakdown, when the serial carries a
+    /// sidecar (runs committed by older writers have none).
+    pub origin: Option<RunOrigin>,
 }
 
 /// One immutable store plus its provenance stamp. `stamp` is `None`
@@ -119,6 +135,7 @@ mod tests {
                 serial,
                 payload_digest: serial * 31,
                 committed_unix: 1_750_000_000 + serial,
+                origin: None,
             }),
         }
     }

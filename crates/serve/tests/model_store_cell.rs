@@ -26,6 +26,7 @@ fn version(serial: u64) -> StoreVersion {
             serial,
             payload_digest: serial.wrapping_mul(0x9e37_79b9),
             committed_unix: 1_750_000_000 + serial,
+            origin: None,
         }),
     }
 }

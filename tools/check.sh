@@ -26,6 +26,7 @@ cargo test -p crossbeam --features model-check --quiet --test model
 cargo test -p arest-tnt --features model-check --quiet --test model_pool
 cargo test -p arest-obs --features model-check --quiet --test model_obs
 cargo test -p arest-fingerprint --features model-check --quiet --test model_cache
+cargo test -p arest-fingerprint --features model-check --quiet --test model_cache_rehydrate
 cargo test -p arest-experiments --features model-check --quiet --test model_window
 cargo test -p arest-serve --features model-check --quiet --test model_serve
 cargo test -p arest-serve --features model-check --quiet --test model_store_cell
@@ -114,5 +115,26 @@ cargo run --release -p arest-experiments --bin arest-experiments -- \
 test -s BENCH_ledger.json
 grep -q '"commit_us"' BENCH_ledger.json
 grep -q '"snapshot_bytes"' BENCH_ledger.json
+
+echo "==> incremental smoke run (full campaign, 1-AS re-probe, carry-forward delta)"
+INCR_DIR=$(mktemp -d)
+INCR_OUT=$(mktemp -d)
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --ledger "$INCR_DIR" headline >/dev/null
+# Re-probe a single catalog AS against run 1: everything else is
+# carried forward and the deterministic build leaves an empty delta.
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --ledger "$INCR_DIR" --reprobe as15169 --base 1 --out "$INCR_OUT" \
+    headline >/dev/null 2>"$INCR_OUT/stderr.txt"
+grep -q 'rehydrating fingerprint cache from run 1' "$INCR_OUT/stderr.txt"
+grep -q 'incremental against run 1: 1 fresh, 59 carried' "$INCR_OUT/stderr.txt"
+grep -q 'no detection-level differences' "$INCR_OUT/RUN_REPORT_delta.txt"
+rm -rf "$INCR_DIR" "$INCR_OUT"
+
+echo "==> bench-incremental smoke run (cost-vs-slice-fraction curve)"
+cargo run --release -p arest-experiments --bin arest-experiments -- \
+    --quick --workers 4 bench-incremental
+test -s BENCH_incremental.json
+grep -q '"digest_matches_full": true' BENCH_incremental.json
 
 echo "==> all checks passed"
